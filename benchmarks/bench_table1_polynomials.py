@@ -1,0 +1,69 @@
+"""Table 1: generator polynomials for Hamming codes and CRC-m parameters.
+
+Regenerates every row of Table 1 from the registry, validates that each
+polynomial is primitive (i.e. actually usable as a Hamming generator), and
+benchmarks the construction of the syndrome lookup tables — the work the
+paper does offline with a C++/Boost.CRC program before compiling the P4
+program.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table, save_results_json
+from repro.core.hamming import HammingCode
+from repro.core.polynomials import PAPER_ERRATA, TABLE_1, render_table_1
+
+from benchmarks.conftest import RESULTS_DIR, emit_result
+
+
+def _table1_rows():
+    rows = []
+    for index, entry in enumerate(TABLE_1):
+        rows.append(
+            [
+                f"({entry.n}, {entry.k})",
+                entry.polynomial_text,
+                f"0x{entry.crc_parameter:X}",
+                f"0x{entry.paper_crc_parameter:X}",
+                "erratum" if index in PAPER_ERRATA else "match",
+                str(entry.is_valid_hamming_generator()),
+            ]
+        )
+    return rows
+
+
+def test_table1_regeneration(benchmark):
+    """Regenerate Table 1 and benchmark syndrome-table construction (m = 8)."""
+    # The hot operation: building the (255, 247) code with its 256-entry
+    # syndrome lookup table, which is what the offline table generator does.
+    code = benchmark(HammingCode, 8)
+    assert code.n == 255 and code.k == 247
+
+    rows = _table1_rows()
+    table = format_table(
+        ["Code", "Generator polynomial", "CRC-m (derived)", "CRC-m (paper)", "status", "primitive"],
+        rows,
+        title="Table 1 — Hamming generator polynomials and CRC-m parameters",
+    )
+    emit_result("table1_polynomials", table + "\n\n" + render_table_1(include_validity=True))
+    save_results_json(
+        RESULTS_DIR / "table1_polynomials.json",
+        {
+            f"({entry.n},{entry.k})#{index}": {
+                "polynomial": entry.polynomial_text,
+                "crc_parameter": entry.crc_parameter,
+                "paper_crc_parameter": entry.paper_crc_parameter,
+                "primitive": entry.is_valid_hamming_generator(),
+            }
+            for index, entry in enumerate(TABLE_1)
+        },
+    )
+    # every polynomial in the registry must be a valid Hamming generator
+    assert all(entry.is_valid_hamming_generator() for entry in TABLE_1)
+
+
+@pytest.mark.parametrize("order", [3, 4, 5, 6, 7, 8, 9, 10])
+def test_syndrome_table_construction_cost(benchmark, order):
+    """Construction cost of each Table 1 code (grows with 2^m)."""
+    code = benchmark(HammingCode, order)
+    assert code.m == order

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Choosing GD parameters for your own traffic.
+
+The paper fixes the Hamming order (m = 8) and the identifier width (t = 15)
+because of Tofino byte-alignment and memory constraints; a software
+deployment — or a different switch generation — can pick other points.  This
+example sweeps both parameters over a sensor-style workload and prints:
+
+* the wire formats each configuration implies (chunk, type-2, type-3 sizes,
+  padding bits, dictionary capacity);
+* the achieved compression ratio and the fraction of chunks compressed;
+* the best configuration for this workload under a simple byte-count
+  objective.
+
+It also shows how to query Table 1 for the generator polynomial a given
+order requires.
+
+Run with::
+
+    python examples/parameter_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.codec import GDCodec
+from repro.core.polynomials import polynomial_for_order
+from repro.core.transform import GDTransform
+from repro.workloads import SyntheticSensorWorkload
+from repro.zipline.headers import ZipLineHeaderSet
+
+ORDERS = (6, 8, 10, 12)
+IDENTIFIER_BITS = (7, 15, 23)
+CHUNKS_PER_RUN = 4_000
+DISTINCT_BASES = 64
+
+
+def describe_wire_formats() -> None:
+    """Print the wire formats implied by each Hamming order."""
+    rows = []
+    for order in ORDERS:
+        transform = GDTransform(order=order)
+        headers = ZipLineHeaderSet.build(transform, identifier_bits=15)
+        entry = polynomial_for_order(order)
+        rows.append(
+            [
+                order,
+                f"({entry.n}, {entry.k})",
+                entry.polynomial_text,
+                transform.chunk_bytes,
+                headers.type2_payload_bytes,
+                headers.type3_payload_bytes,
+            ]
+        )
+    print(
+        format_table(
+            ["m", "Hamming code", "generator polynomial", "chunk [B]",
+             "type-2 [B]", "type-3 [B]"],
+            rows,
+            title="Wire formats by Hamming order (15-bit identifiers)",
+        )
+    )
+
+
+def sweep() -> None:
+    """Sweep (order, identifier width) and report compression results."""
+    rows = []
+    best = None
+    for order in ORDERS:
+        workload = SyntheticSensorWorkload(
+            num_chunks=CHUNKS_PER_RUN,
+            distinct_bases=DISTINCT_BASES,
+            order=order,
+            seed=11,
+        )
+        data = b"".join(workload.chunks())
+        for identifier_bits in IDENTIFIER_BITS:
+            codec = GDCodec(
+                order=order,
+                identifier_bits=identifier_bits,
+                alignment_padding_bits=8,
+            )
+            result = codec.compress(data)
+            rows.append(
+                [
+                    order,
+                    identifier_bits,
+                    1 << identifier_bits,
+                    f"{result.compressed_record_fraction:.2f}",
+                    f"{result.compression_ratio:.4f}",
+                ]
+            )
+            if best is None or result.compression_ratio < best[2]:
+                best = (order, identifier_bits, result.compression_ratio)
+    print()
+    print(
+        format_table(
+            ["m", "identifier bits", "dictionary size", "fraction compressed", "ratio"],
+            rows,
+            title=f"Compression sweep ({CHUNKS_PER_RUN:,} chunks, "
+            f"{DISTINCT_BASES} distinct bases per order)",
+        )
+    )
+    assert best is not None
+    print()
+    print(
+        f"best configuration for this workload: m = {best[0]}, "
+        f"t = {best[1]} bits (ratio {best[2]:.4f})"
+    )
+    print(
+        "The paper's m = 8 / t = 15 choice is the hardware sweet spot: the\n"
+        "largest byte-aligned order and the largest identifier that fits the\n"
+        "switch memory, not necessarily the best pure-software point."
+    )
+
+
+def main() -> None:
+    describe_wire_formats()
+    sweep()
+
+
+if __name__ == "__main__":
+    main()

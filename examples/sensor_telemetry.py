@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""IoT sensor telemetry through a pair of ZipLine switches.
+
+This example reproduces the paper's primary use case end to end, entirely in
+simulation:
+
+* a fleet of sensors produces 256-bit readouts (the synthetic workload of
+  Figure 3, scaled down);
+* the readouts are replayed through the full deployment — sender host →
+  ZipLine *encoding* switch → 100 GbE hop → ZipLine *decoding* switch →
+  receiver host — under the three dictionary scenarios the paper measures
+  (no table, static table, dynamic learning);
+* the traffic crossing the compressed hop is accounted per packet type, the
+  receiver verifies every chunk arrived bit exact, and the dynamic scenario
+  reports the basis-learning delay.
+
+Run with::
+
+    python examples/sensor_telemetry.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.workloads import SyntheticSensorWorkload
+from repro.zipline import DeploymentScenario, ZipLineDeployment
+
+#: Scaled-down trace (the paper replays 3,124,000 chunks; the simulation gets
+#: the same shape from far fewer).
+NUM_CHUNKS = 8_000
+DISTINCT_BASES = 16
+
+#: Replay rate chosen so the trace duration relative to the 1.77 ms learning
+#: delay matches the paper's experiment (see EXPERIMENTS.md).
+PACKET_RATE = NUM_CHUNKS / 0.446
+
+
+def run_scenario(scenario: DeploymentScenario, workload: SyntheticSensorWorkload):
+    """Replay the workload under one dictionary scenario."""
+    chunks = workload.chunks()
+    deployment = ZipLineDeployment(
+        scenario=scenario,
+        static_bases=workload.bases() if scenario is DeploymentScenario.STATIC else None,
+    )
+    summary = deployment.replay_and_run(chunks, packet_rate=PACKET_RATE)
+    lossless = deployment.verify_lossless(chunks)
+    return summary, lossless
+
+
+def main() -> None:
+    workload = SyntheticSensorWorkload(
+        num_chunks=NUM_CHUNKS, distinct_bases=DISTINCT_BASES, seed=42
+    )
+    print(
+        f"sensor workload: {NUM_CHUNKS:,} chunks of "
+        f"{workload.chunk_bytes} bytes, {DISTINCT_BASES} operating points, "
+        f"{workload.total_bytes / 1e6:.1f} MB of payload"
+    )
+
+    rows = []
+    for scenario in (
+        DeploymentScenario.NO_TABLE,
+        DeploymentScenario.STATIC,
+        DeploymentScenario.DYNAMIC,
+    ):
+        summary, lossless = run_scenario(scenario, workload)
+        learning = (
+            f"{summary.learning_time * 1e3:.2f} ms"
+            if summary.learning_time is not None
+            else "–"
+        )
+        rows.append(
+            [
+                scenario.value,
+                summary.uncompressed_packets,
+                summary.compressed_packets,
+                f"{summary.transmitted_payload_bytes / 1e6:.3f} MB",
+                f"{summary.compression_ratio:.3f}",
+                f"{summary.savings_percent:.1f} %",
+                learning,
+                "yes" if lossless else "NO",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "scenario",
+                "type-2 pkts",
+                "type-3 pkts",
+                "bytes on hop",
+                "ratio",
+                "savings",
+                "learning delay",
+                "lossless",
+            ],
+            rows,
+            title="Traffic crossing the compressed hop (encoder switch → decoder switch)",
+        )
+    )
+    print()
+    print(
+        "The paper's Figure 3 reports 1.03 (no table), 0.09 (static) and 0.11\n"
+        "(dynamic) for the synthetic dataset; the dynamic penalty is the\n"
+        "1.77 ms the control plane needs to install each new basis-ID pair."
+    )
+
+
+if __name__ == "__main__":
+    main()

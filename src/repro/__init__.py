@@ -1,0 +1,55 @@
+"""ZipLine reproduction: in-network compression at line speed.
+
+A production-quality Python reproduction of *ZipLine: In-Network Compression
+at Line Speed* (CoNEXT 2020).  The library implements generalized
+deduplication (GD) over Hamming codes computed with CRC arithmetic, a
+functional model of the Tofino data plane (match-action tables, registers,
+CRC externs, digests), the ZipLine control plane with LRU identifier
+management, trace workloads, baselines, and the analytical performance
+models needed to regenerate every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import GDCodec
+
+    codec = GDCodec(order=8, identifier_bits=15)
+    result = codec.compress(payload_bytes, pad=True)
+    print(result.compression_ratio)
+    restored = codec.decompress_records(result.records, len(payload_bytes))
+"""
+
+from repro.core import (
+    BasisDictionary,
+    BitVector,
+    CompressionResult,
+    CrcEngine,
+    CrcParameters,
+    EncoderMode,
+    EvictionPolicy,
+    GDCodec,
+    GDDecoder,
+    GDEncoder,
+    GDTransform,
+    HammingCode,
+    syndrome_crc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasisDictionary",
+    "BitVector",
+    "CompressionResult",
+    "CrcEngine",
+    "CrcParameters",
+    "EncoderMode",
+    "EvictionPolicy",
+    "GDCodec",
+    "GDDecoder",
+    "GDEncoder",
+    "GDTransform",
+    "HammingCode",
+    "syndrome_crc",
+    "__version__",
+]

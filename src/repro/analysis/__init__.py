@@ -1,0 +1,33 @@
+"""Experiment methodology helpers: statistics, repetition, reporting."""
+
+from repro.analysis.experiment import ExperimentResult, ExperimentRunner, PAPER_REPETITIONS
+from repro.analysis.reporting import (
+    ComparisonRow,
+    comparison_table,
+    format_table,
+    horizontal_bars,
+    save_results_json,
+)
+from repro.analysis.statistics import (
+    MeasurementSummary,
+    confidence_interval_95,
+    mean,
+    standard_deviation,
+    summarize,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "PAPER_REPETITIONS",
+    "ComparisonRow",
+    "comparison_table",
+    "format_table",
+    "horizontal_bars",
+    "save_results_json",
+    "MeasurementSummary",
+    "confidence_interval_95",
+    "mean",
+    "standard_deviation",
+    "summarize",
+]

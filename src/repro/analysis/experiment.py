@@ -1,0 +1,80 @@
+"""Repeated-measurement experiment runner.
+
+The evaluation methodology of the paper is uniform: "each measurement is
+repeated 10 times, and we show the average and the 95 % confidence
+interval".  :class:`ExperimentRunner` packages that methodology so every
+benchmark harness uses the same loop: run a callable ``repetitions`` times
+(optionally with a per-repetition seed), collect one scalar per run, and
+summarise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import MeasurementSummary, summarize
+from repro.exceptions import ReproError
+
+__all__ = ["ExperimentResult", "ExperimentRunner"]
+
+#: The paper's repetition count.
+PAPER_REPETITIONS = 10
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A named, summarised repeated measurement."""
+
+    name: str
+    samples: Sequence[float]
+    summary: MeasurementSummary
+    unit: str = ""
+
+    def format(self, precision: int = 2) -> str:
+        """Paper-style one-line rendering."""
+        return f"{self.name}: {self.summary.format(self.unit, precision)}"
+
+
+class ExperimentRunner:
+    """Run measurements the way the paper's evaluation does.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of repetitions per measurement (10 in the paper).
+    """
+
+    def __init__(self, repetitions: int = PAPER_REPETITIONS):
+        if repetitions <= 0:
+            raise ReproError("repetitions must be positive")
+        self.repetitions = repetitions
+        self.results: List[ExperimentResult] = []
+
+    def run(
+        self,
+        name: str,
+        measurement: Callable[[int], float],
+        unit: str = "",
+    ) -> ExperimentResult:
+        """Run ``measurement(repetition_index)`` repeatedly and summarise it."""
+        if not callable(measurement):
+            raise ReproError("measurement must be callable")
+        samples = [float(measurement(index)) for index in range(self.repetitions)]
+        result = ExperimentResult(
+            name=name, samples=tuple(samples), summary=summarize(samples), unit=unit
+        )
+        self.results.append(result)
+        return result
+
+    def run_scenarios(
+        self,
+        measurements: Dict[str, Callable[[int], float]],
+        unit: str = "",
+    ) -> List[ExperimentResult]:
+        """Run a set of named measurements with identical methodology."""
+        return [self.run(name, func, unit) for name, func in measurements.items()]
+
+    def report(self, precision: int = 2) -> str:
+        """Multi-line report of every result recorded so far."""
+        return "\n".join(result.format(precision) for result in self.results)

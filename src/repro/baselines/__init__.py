@@ -1,0 +1,14 @@
+"""Comparison baselines: gzip/DEFLATE, classic deduplication, no-op."""
+
+from repro.baselines.dedup import DedupResult, ExactDedupBaseline
+from repro.baselines.gzip_baseline import GzipBaseline, GzipResult
+from repro.baselines.null import NullBaseline, NullResult
+
+__all__ = [
+    "DedupResult",
+    "ExactDedupBaseline",
+    "GzipBaseline",
+    "GzipResult",
+    "NullBaseline",
+    "NullResult",
+]

@@ -1,0 +1,45 @@
+"""The no-op baseline: forward everything untouched.
+
+Used as the "Original data" reference bar in Figure 3 and as the "No op"
+configuration in Figures 4 and 5.  It exists as a class so every scenario in
+the benchmark harness exposes the same interface (``run(chunks)`` returning
+an object with ``compression_ratio``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["NullResult", "NullBaseline"]
+
+
+@dataclass(frozen=True)
+class NullResult:
+    """Outcome of the no-op baseline (output equals input)."""
+
+    chunks: int
+    original_bytes: int
+
+    @property
+    def transmitted_bytes(self) -> int:
+        """Bytes transmitted (identical to the input)."""
+        return self.original_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Always exactly 1.0 (unless the input is empty)."""
+        return 1.0 if self.original_bytes else 0.0
+
+
+class NullBaseline:
+    """Forward chunks untouched and account their size."""
+
+    def run(self, chunks: Iterable[bytes]) -> NullResult:
+        """Account a chunk stream without transforming it."""
+        count = 0
+        total = 0
+        for chunk in chunks:
+            count += 1
+            total += len(chunk)
+        return NullResult(chunks=count, original_bytes=total)

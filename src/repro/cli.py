@@ -1,0 +1,215 @@
+"""Command-line interface for the ZipLine reproduction.
+
+Exposes the pieces a user reaches for most often without writing Python:
+
+* ``compress`` / ``decompress`` — file compression with the GD codec and the
+  self-contained ``GDZ1`` container;
+* ``generate-trace`` — write a synthetic-sensor or DNS chunk trace as a pcap
+  file ready to replay;
+* ``replay`` — run a pcap chunk trace through the simulated two-switch
+  deployment and report the Figure 3 style accounting;
+* ``table1`` — print the reproduced Table 1;
+* ``learning-delay`` — measure the dynamic-learning delay (the paper's
+  1.77 ms experiment).
+
+Invoke with ``python -m repro ...`` or look at ``repro.cli.main``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.statistics import summarize
+from repro.core.codec import GDCodec
+from repro.core.polynomials import render_table_1
+from repro.workloads import ChunkTrace, DnsQueryWorkload, SyntheticSensorWorkload
+from repro.zipline import DeploymentScenario, ZipLineDeployment
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZipLine reproduction: generalized deduplication tooling",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compress = subparsers.add_parser(
+        "compress", help="compress a file into a GDZ1 container"
+    )
+    compress.add_argument("input", type=Path, help="file to compress")
+    compress.add_argument("output", type=Path, help="container to write")
+    compress.add_argument("--order", type=int, default=8, help="Hamming order m (default 8)")
+    compress.add_argument(
+        "--identifier-bits", type=int, default=15, help="identifier width t (default 15)"
+    )
+
+    decompress = subparsers.add_parser(
+        "decompress", help="decompress a GDZ1 container back into a file"
+    )
+    decompress.add_argument("input", type=Path, help="container to read")
+    decompress.add_argument("output", type=Path, help="file to write")
+
+    generate = subparsers.add_parser(
+        "generate-trace", help="generate a chunk trace and write it as a pcap"
+    )
+    generate.add_argument(
+        "dataset", choices=("synthetic", "dns"), help="which Figure 3 dataset to generate"
+    )
+    generate.add_argument("output", type=Path, help="pcap file to write")
+    generate.add_argument("--chunks", type=int, default=10_000, help="number of chunks/queries")
+    generate.add_argument("--bases", type=int, default=32, help="distinct bases (synthetic)")
+    generate.add_argument("--names", type=int, default=300, help="distinct names (dns)")
+    generate.add_argument("--seed", type=int, default=2020, help="generator seed")
+
+    replay = subparsers.add_parser(
+        "replay", help="replay a chunk-trace pcap through the simulated deployment"
+    )
+    replay.add_argument("input", type=Path, help="pcap produced by generate-trace")
+    replay.add_argument(
+        "--scenario",
+        choices=[scenario.value for scenario in DeploymentScenario],
+        default="dynamic",
+        help="dictionary scenario (default: dynamic)",
+    )
+    replay.add_argument(
+        "--packet-rate", type=float, default=1e6, help="replay rate in packets/s"
+    )
+
+    subparsers.add_parser("table1", help="print the reproduced Table 1")
+
+    learning = subparsers.add_parser(
+        "learning-delay", help="measure the dynamic-learning delay (paper: 1.77 ms)"
+    )
+    learning.add_argument("--repetitions", type=int, default=10, help="number of runs")
+    learning.add_argument("--packets", type=int, default=4000, help="packets per run")
+
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = args.input.read_bytes()
+    codec = GDCodec(
+        order=args.order,
+        identifier_bits=args.identifier_bits,
+        alignment_padding_bits=0,
+    )
+    blob = codec.compress_to_container(data, pad=True)
+    args.output.write_bytes(blob)
+    ratio = len(blob) / len(data) if data else 0.0
+    print(
+        f"{args.input} ({len(data):,} B) -> {args.output} ({len(blob):,} B), "
+        f"container ratio {ratio:.3f}"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    blob = args.input.read_bytes()
+    codec = GDCodec.from_container_header(blob)
+    data = codec.decompress_container(blob)
+    args.output.write_bytes(data)
+    print(f"{args.input} -> {args.output} ({len(data):,} B restored)")
+    return 0
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    if args.dataset == "synthetic":
+        workload = SyntheticSensorWorkload(
+            num_chunks=args.chunks, distinct_bases=args.bases, seed=args.seed
+        )
+        trace = workload.trace()
+    else:
+        workload = DnsQueryWorkload(
+            num_queries=args.chunks, distinct_names=args.names, seed=args.seed
+        )
+        trace = workload.trace()
+    count = trace.to_pcap(args.output)
+    stats = trace.stats()
+    print(
+        f"wrote {count:,} chunk packets to {args.output} "
+        f"({stats.total_bytes / 1e6:.2f} MB of payload, "
+        f"{stats.distinct_chunks:,} distinct chunks)"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = ChunkTrace.from_pcap(args.input)
+    scenario = DeploymentScenario.from_name(args.scenario)
+    static_bases = None
+    if scenario is DeploymentScenario.STATIC:
+        from repro.core.transform import GDTransform
+
+        static_bases = trace.distinct_bases(GDTransform(order=8))
+    deployment = ZipLineDeployment(scenario=scenario, static_bases=static_bases)
+    summary = deployment.replay_and_run(trace.chunks, packet_rate=args.packet_rate)
+    lossless = deployment.verify_lossless(trace.chunks)
+    rows = [
+        ["chunks replayed", f"{len(trace):,}"],
+        ["type-2 packets", f"{summary.uncompressed_packets:,}"],
+        ["type-3 packets", f"{summary.compressed_packets:,}"],
+        ["bytes on the compressed hop", f"{summary.transmitted_payload_bytes:,}"],
+        ["compression ratio", f"{summary.compression_ratio:.4f}"],
+        ["savings", f"{summary.savings_percent:.1f} %"],
+        [
+            "learning delay",
+            "n/a"
+            if summary.learning_time is None
+            else f"{summary.learning_time * 1e3:.3f} ms",
+        ],
+        ["lossless", "yes" if lossless else "NO"],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"replay ({scenario.value})"))
+    return 0 if lossless else 1
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table_1(include_validity=True))
+    return 0
+
+
+def _cmd_learning_delay(args: argparse.Namespace) -> int:
+    samples: List[float] = []
+    for seed in range(args.repetitions):
+        chunk = SyntheticSensorWorkload(num_chunks=1, distinct_bases=1, seed=seed).chunks()[0]
+        deployment = ZipLineDeployment(scenario="dynamic", seed=seed)
+        deployment.replay_chunks([chunk] * args.packets, packet_rate=1e6)
+        deployment.run()
+        learning_time = deployment.learning_time()
+        if learning_time is None:
+            print("warning: no compressed packet observed; increase --packets")
+            return 1
+        samples.append(learning_time * 1e3)
+    summary = summarize(samples)
+    print(f"learning delay over {args.repetitions} runs: {summary.format('ms', 3)}")
+    print("paper reports (1.77 ± 0.08) ms")
+    return 0
+
+
+_HANDLERS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "generate-trace": _cmd_generate_trace,
+    "replay": _cmd_replay,
+    "table1": _cmd_table1,
+    "learning-delay": _cmd_learning_delay,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

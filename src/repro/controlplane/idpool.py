@@ -1,0 +1,150 @@
+"""Identifier pool management for the ZipLine control plane.
+
+Section 5 of the paper: "the control plane chooses an identifier to assign
+to the basis.  When there are unused identifiers, the control plane selects
+the least recently used one.  Should all identifiers be in use, an LRU
+policy is applied to evict and recycle an identifier."
+
+:class:`IdentifierPool` implements exactly that allocation discipline for a
+pool of ``2**t`` identifiers.  It tracks which identifiers are free, which
+are bound to a basis, and the recency of every binding (refreshed when the
+data plane reports activity through table idle-timeout polling).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.exceptions import ControlPlaneError
+
+__all__ = ["Allocation", "IdentifierPool"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of allocating an identifier for a basis."""
+
+    identifier: int
+    evicted_basis: Optional[Hashable]
+    recycled: bool
+
+
+class IdentifierPool:
+    """Bounded pool of identifiers with LRU recycling.
+
+    Free identifiers are handed out lowest-first (which also means
+    least-recently-released first, since released identifiers go to the back
+    of the free list).  When none are free the least recently *active* bound
+    identifier is recycled.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ControlPlaneError(f"pool capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._free: List[int] = list(range(capacity))
+        # identifier -> basis, oldest activity first.
+        self._bound: "OrderedDict[int, Hashable]" = OrderedDict()
+        self._basis_to_id: Dict[Hashable, int] = {}
+        self.allocations = 0
+        self.recycles = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of identifiers."""
+        return self._capacity
+
+    @property
+    def free_count(self) -> int:
+        """Identifiers currently unbound."""
+        return len(self._free)
+
+    @property
+    def bound_count(self) -> int:
+        """Identifiers currently bound to a basis."""
+        return len(self._bound)
+
+    def identifier_for(self, basis: Hashable) -> Optional[int]:
+        """Identifier currently bound to ``basis``, or ``None``."""
+        return self._basis_to_id.get(basis)
+
+    def basis_for(self, identifier: int) -> Optional[Hashable]:
+        """Basis currently bound to ``identifier``, or ``None``."""
+        self._check_identifier(identifier)
+        return self._bound.get(identifier)
+
+    def bindings(self) -> Dict[int, Hashable]:
+        """Copy of the identifier → basis map."""
+        return dict(self._bound)
+
+    def _check_identifier(self, identifier: int) -> None:
+        if not 0 <= identifier < self._capacity:
+            raise ControlPlaneError(
+                f"identifier {identifier} out of range [0, {self._capacity})"
+            )
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, basis: Hashable) -> Allocation:
+        """Bind ``basis`` to an identifier, recycling the LRU one if needed.
+
+        Re-allocating an already-bound basis refreshes its recency and
+        returns the existing identifier without recycling anything.
+        """
+        existing = self._basis_to_id.get(basis)
+        if existing is not None:
+            self._bound.move_to_end(existing)
+            return Allocation(identifier=existing, evicted_basis=None, recycled=False)
+
+        self.allocations += 1
+        if self._free:
+            identifier = self._free.pop(0)
+            evicted: Optional[Hashable] = None
+            recycled = False
+        else:
+            identifier, evicted = self._bound.popitem(last=False)
+            del self._basis_to_id[evicted]
+            self.recycles += 1
+            recycled = True
+        self._bound[identifier] = basis
+        self._basis_to_id[basis] = identifier
+        return Allocation(identifier=identifier, evicted_basis=evicted, recycled=recycled)
+
+    def touch(self, identifier: int) -> None:
+        """Refresh the recency of a bound identifier (data-plane activity)."""
+        self._check_identifier(identifier)
+        if identifier in self._bound:
+            self._bound.move_to_end(identifier)
+
+    def touch_basis(self, basis: Hashable) -> None:
+        """Refresh recency given the basis instead of the identifier."""
+        identifier = self._basis_to_id.get(basis)
+        if identifier is not None:
+            self._bound.move_to_end(identifier)
+
+    def release(self, identifier: int) -> Optional[Hashable]:
+        """Unbind an identifier and return it to the free list."""
+        self._check_identifier(identifier)
+        basis = self._bound.pop(identifier, None)
+        if basis is None:
+            return None
+        del self._basis_to_id[basis]
+        self._free.append(identifier)
+        return basis
+
+    def least_recently_used(self) -> Optional[Tuple[int, Hashable]]:
+        """The binding that would be recycled next, or ``None`` when empty."""
+        if not self._bound:
+            return None
+        identifier = next(iter(self._bound))
+        return identifier, self._bound[identifier]
+
+    def clear(self) -> None:
+        """Release every binding."""
+        self._bound.clear()
+        self._basis_to_id.clear()
+        self._free = list(range(self._capacity))

@@ -1,0 +1,80 @@
+"""Core of the reproduction: generalized deduplication built on Hamming/CRC.
+
+This subpackage is the paper's primary contribution in library form:
+
+* :mod:`repro.core.bits` — bit-vector utilities;
+* :mod:`repro.core.crc` — the parameterised CRC engine (the software twin of
+  the Tofino CRC extern);
+* :mod:`repro.core.polynomials` — Table 1 of the paper as a registry;
+* :mod:`repro.core.hamming` — Hamming codes driven by CRC arithmetic;
+* :mod:`repro.core.transform` — the chunk ⇄ (prefix, basis, deviation) split;
+* :mod:`repro.core.dictionary` — the bounded basis ↔ identifier mapping;
+* :mod:`repro.core.encoder` / :mod:`repro.core.decoder` — record-level GD;
+* :mod:`repro.core.codec` — the one-call byte-stream compressor.
+"""
+
+from repro.core.bits import BitVector
+from repro.core.codec import CompressionResult, GDCodec
+from repro.core.crc import (
+    CRC8_ATM,
+    CRC16_CCITT,
+    CRC32_ETHERNET,
+    CrcEngine,
+    CrcParameters,
+    syndrome_crc,
+)
+from repro.core.decoder import DecoderStats, GDDecoder
+from repro.core.dictionary import BasisDictionary, DictionaryStats, EvictionPolicy
+from repro.core.encoder import EncoderMode, EncoderStats, GDEncoder
+from repro.core.hamming import HammingCode, SyndromeTable
+from repro.core.polynomials import (
+    TABLE_1,
+    HammingPolynomial,
+    default_polynomial,
+    polynomial_for_code,
+    polynomial_for_order,
+    supported_orders,
+)
+from repro.core.records import (
+    CompressedRecord,
+    GDRecord,
+    RawRecord,
+    RecordType,
+    UncompressedRecord,
+)
+from repro.core.transform import GDParts, GDTransform
+
+__all__ = [
+    "BitVector",
+    "CompressionResult",
+    "GDCodec",
+    "CRC8_ATM",
+    "CRC16_CCITT",
+    "CRC32_ETHERNET",
+    "CrcEngine",
+    "CrcParameters",
+    "syndrome_crc",
+    "DecoderStats",
+    "GDDecoder",
+    "BasisDictionary",
+    "DictionaryStats",
+    "EvictionPolicy",
+    "EncoderMode",
+    "EncoderStats",
+    "GDEncoder",
+    "HammingCode",
+    "SyndromeTable",
+    "TABLE_1",
+    "HammingPolynomial",
+    "default_polynomial",
+    "polynomial_for_code",
+    "polynomial_for_order",
+    "supported_orders",
+    "CompressedRecord",
+    "GDRecord",
+    "RawRecord",
+    "RecordType",
+    "UncompressedRecord",
+    "GDParts",
+    "GDTransform",
+]

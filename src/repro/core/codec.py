@@ -1,0 +1,403 @@
+"""High-level GD codec: compress / decompress byte streams in one call.
+
+:class:`GDCodec` is the laptop-level entry point of the library — the piece a
+downstream user reaches for when they want the paper's compression algorithm
+without the switch model.  It wires together a transform, an encoder-side
+dictionary and a decoder-side dictionary, offers ``compress`` /
+``decompress`` over byte strings, and can serialise the compressed stream to
+a simple self-describing container (useful for files, and used by the gzip
+comparison in the Figure 3 benchmark).
+
+The container format is deliberately simple:
+
+* a 16-byte header: magic ``GDZ1``, Hamming order, chunk bits, identifier
+  bits, flags, and the number of records;
+* each record as a 1-byte type tag (2 or 3) followed by the record payload,
+  byte aligned.
+
+Everything needed to decompress is in the header, so a file compressed on
+one machine can be decompressed on another with no shared state.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.dictionary import BasisDictionary, EvictionPolicy
+from repro.core.decoder import GDDecoder
+from repro.core.encoder import EncoderMode, GDEncoder
+from repro.core.records import (
+    CompressedRecord,
+    GDRecord,
+    RecordType,
+    UncompressedRecord,
+)
+from repro.core.transform import GDTransform
+from repro.exceptions import ChunkSizeError, CodingError
+
+__all__ = ["CompressionResult", "GDCodec"]
+
+_MAGIC = b"GDZ1"
+_HEADER = struct.Struct(">4sBHBBIxxx")  # magic, order, chunk_bits, id_bits, flags, records
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of compressing a byte string with :class:`GDCodec`.
+
+    Attributes
+    ----------
+    records:
+        The emitted GD records in order.
+    original_bytes:
+        Size of the input.
+    payload_bytes:
+        Sum of the padded record payloads — what would travel on the wire as
+        ZipLine packet payloads (no container overhead).
+    container_bytes:
+        Size of the serialised container produced by :meth:`GDCodec.to_container`
+        (includes the header and the per-record type tags).
+    """
+
+    records: Tuple[GDRecord, ...]
+    original_bytes: int
+    payload_bytes: int
+    container_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Payload bytes over original bytes (the paper's Figure 3 metric)."""
+        if self.original_bytes == 0:
+            return 0.0
+        return self.payload_bytes / self.original_bytes
+
+    @property
+    def container_ratio(self) -> float:
+        """Container bytes over original bytes (fair comparison with gzip files)."""
+        if self.original_bytes == 0:
+            return 0.0
+        return self.container_bytes / self.original_bytes
+
+    @property
+    def compressed_record_fraction(self) -> float:
+        """Fraction of records that were emitted as compressed (type 3)."""
+        if not self.records:
+            return 0.0
+        compressed = sum(
+            1 for record in self.records if record.record_type is RecordType.COMPRESSED
+        )
+        return compressed / len(self.records)
+
+
+class GDCodec:
+    """Byte-stream compressor/decompressor built on generalized deduplication.
+
+    Parameters
+    ----------
+    order:
+        Hamming order ``m`` (the paper uses 8).
+    chunk_bits:
+        Chunk width; defaults to the smallest byte multiple ≥ ``2**order - 1``.
+    identifier_bits:
+        Identifier width ``t``; the dictionary holds ``2**t`` bases (the paper
+        uses 15).
+    mode:
+        ``dynamic`` (default), ``static`` or ``no_table``.
+    eviction_policy:
+        Dictionary replacement policy (LRU by default, as in the paper).
+    alignment_padding_bits:
+        Extra bits added to type-2 payloads to model the hardware container
+        alignment (8 in the paper).  Set to 0 for the pure software codec.
+    static_bases:
+        Iterable of basis values to preload when ``mode="static"``.
+    """
+
+    def __init__(
+        self,
+        order: int = 8,
+        chunk_bits: Optional[int] = None,
+        identifier_bits: int = 15,
+        mode: "str | EncoderMode" = EncoderMode.DYNAMIC,
+        eviction_policy: "str | EvictionPolicy" = EvictionPolicy.LRU,
+        alignment_padding_bits: int = 0,
+        static_bases: Optional[Iterable[int]] = None,
+        learning_delay_chunks: int = 0,
+    ):
+        if identifier_bits <= 0:
+            raise CodingError(f"identifier_bits must be positive, got {identifier_bits}")
+        self._transform = GDTransform(order=order, chunk_bits=chunk_bits)
+        self._identifier_bits = identifier_bits
+        self._mode = EncoderMode.from_name(mode)
+        self._eviction_policy = EvictionPolicy.from_name(eviction_policy)
+        self._alignment_padding_bits = alignment_padding_bits
+        self._learning_delay_chunks = learning_delay_chunks
+        self._static_bases = list(static_bases) if static_bases is not None else None
+
+        capacity = 1 << identifier_bits
+        self._encoder_dictionary: Optional[BasisDictionary] = None
+        self._decoder_dictionary: Optional[BasisDictionary] = None
+        if self._mode is not EncoderMode.NO_TABLE:
+            self._encoder_dictionary = BasisDictionary(capacity, eviction_policy)
+            self._decoder_dictionary = BasisDictionary(capacity, eviction_policy)
+            if self._mode is EncoderMode.STATIC:
+                if self._static_bases is None:
+                    raise CodingError("static mode requires static_bases")
+                self._encoder_dictionary.preload(iter(self._static_bases))
+                self._decoder_dictionary.preload(iter(self._static_bases))
+
+        self._encoder = GDEncoder(
+            self._transform,
+            self._encoder_dictionary,
+            mode=self._mode,
+            identifier_bits=identifier_bits,
+            alignment_padding_bits=alignment_padding_bits,
+            learning_delay_chunks=learning_delay_chunks,
+        )
+        self._decoder = GDDecoder(
+            self._transform,
+            self._decoder_dictionary,
+            learn_from_uncompressed=self._mode is not EncoderMode.NO_TABLE,
+        )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def transform(self) -> GDTransform:
+        """The underlying GD transformation."""
+        return self._transform
+
+    @property
+    def encoder(self) -> GDEncoder:
+        """The encoder half of the codec."""
+        return self._encoder
+
+    @property
+    def decoder(self) -> GDDecoder:
+        """The decoder half of the codec."""
+        return self._decoder
+
+    @property
+    def chunk_bytes(self) -> int:
+        """Chunk size in bytes."""
+        return self._transform.chunk_bytes
+
+    @property
+    def identifier_bits(self) -> int:
+        """Identifier width in bits."""
+        return self._identifier_bits
+
+    # -- chunking ---------------------------------------------------------------
+
+    def chunk_data(self, data: bytes, pad: bool = False) -> List[bytes]:
+        """Split ``data`` into codec-sized chunks.
+
+        When ``pad`` is true a short final chunk is zero-padded on the right;
+        the original length is restored by :meth:`decompress` via the header,
+        so padding is safe for container round trips.  Without ``pad``, the
+        data length must be an exact multiple of the chunk size (the paper's
+        traces always are).
+        """
+        size = self.chunk_bytes
+        if len(data) % size:
+            if not pad:
+                raise ChunkSizeError(
+                    f"data length {len(data)} is not a multiple of the chunk size "
+                    f"{size}; pass pad=True to zero-pad the final chunk"
+                )
+            data = data + b"\x00" * (size - len(data) % size)
+        return [data[offset : offset + size] for offset in range(0, len(data), size)]
+
+    # -- compression -------------------------------------------------------------
+
+    def compress(self, data: bytes, pad: bool = False) -> CompressionResult:
+        """Compress a byte string into GD records."""
+        chunks = self.chunk_data(data, pad=pad)
+        records = self._encoder.encode_all(chunks)
+        payload_bytes = sum(record.payload_bytes for record in records)
+        # Container layout: fixed header, 8-byte original length, then one
+        # type tag plus the payload per record (see ``to_container``).
+        container_bytes = (
+            _HEADER.size + 8 + sum(1 + record.payload_bytes for record in records)
+        )
+        return CompressionResult(
+            records=tuple(records),
+            original_bytes=len(data),
+            payload_bytes=payload_bytes,
+            container_bytes=container_bytes,
+        )
+
+    def decompress_records(
+        self, records: Iterable[GDRecord], original_bytes: Optional[int] = None
+    ) -> bytes:
+        """Decode records back into the original byte string."""
+        data = self._decoder.decode_to_bytes(records)
+        if original_bytes is not None:
+            data = data[:original_bytes]
+        return data
+
+    # -- container serialisation ------------------------------------------------------
+
+    def to_container(self, result: CompressionResult) -> bytes:
+        """Serialise a compression result into the ``GDZ1`` container format."""
+        flags = 0
+        header = _HEADER.pack(
+            _MAGIC,
+            self._transform.order,
+            self._transform.chunk_bits,
+            self._identifier_bits,
+            flags,
+            len(result.records),
+        )
+        parts: List[bytes] = [header, struct.pack(">Q", result.original_bytes)]
+        for record in result.records:
+            parts.append(bytes([int(record.record_type)]))
+            parts.append(record.to_bytes())
+        return b"".join(parts)
+
+    def clone(self) -> "GDCodec":
+        """A new codec with the same parameters and empty dictionaries."""
+        return GDCodec(
+            order=self._transform.order,
+            chunk_bits=self._transform.chunk_bits,
+            identifier_bits=self._identifier_bits,
+            mode=self._mode,
+            eviction_policy=self._eviction_policy,
+            alignment_padding_bits=self._alignment_padding_bits,
+            static_bases=self._static_bases,
+            learning_delay_chunks=self._learning_delay_chunks,
+        )
+
+    def compress_to_container(self, data: bytes, pad: bool = True) -> bytes:
+        """Compress and serialise into a self-contained container.
+
+        A fresh encoder state is used so that every basis referenced by a
+        type-3 record is introduced by an earlier type-2 record inside the
+        same container — the container can then be decompressed with no
+        shared state, regardless of what this codec compressed before.
+        """
+        fresh = self.clone()
+        return fresh.to_container(fresh.compress(data, pad=pad))
+
+    @classmethod
+    def from_container_header(cls, blob: bytes) -> "GDCodec":
+        """Build a codec matching the parameters stored in a container."""
+        if len(blob) < _HEADER.size:
+            raise CodingError("container too short to hold a header")
+        magic, order, chunk_bits, identifier_bits, _flags, _count = _HEADER.unpack(
+            blob[: _HEADER.size]
+        )
+        if magic != _MAGIC:
+            raise CodingError(f"bad container magic {magic!r}")
+        return cls(
+            order=order,
+            chunk_bits=chunk_bits,
+            identifier_bits=identifier_bits,
+            mode=EncoderMode.DYNAMIC,
+        )
+
+    def decompress_container(self, blob: bytes) -> bytes:
+        """Parse a ``GDZ1`` container and reconstruct the original bytes."""
+        if len(blob) < _HEADER.size + 8:
+            raise CodingError("container too short")
+        magic, order, chunk_bits, identifier_bits, _flags, count = _HEADER.unpack(
+            blob[: _HEADER.size]
+        )
+        if magic != _MAGIC:
+            raise CodingError(f"bad container magic {magic!r}")
+        if order != self._transform.order or chunk_bits != self._transform.chunk_bits:
+            raise CodingError(
+                "container was produced with different GD parameters "
+                f"(order {order}, chunk_bits {chunk_bits})"
+            )
+        if identifier_bits != self._identifier_bits:
+            raise CodingError(
+                f"container identifier width {identifier_bits} does not match "
+                f"codec width {self._identifier_bits}"
+            )
+        offset = _HEADER.size
+        (original_bytes,) = struct.unpack_from(">Q", blob, offset)
+        offset += 8
+        records: List[GDRecord] = []
+        for _ in range(count):
+            record, offset = self._parse_record(blob, offset)
+            records.append(record)
+        # Containers are self-contained: decode with a fresh dictionary so
+        # that identifiers resolve exactly as the producing encoder assigned
+        # them, independent of anything this codec decoded before.
+        fresh = self.clone()
+        return fresh.decompress_records(records, original_bytes=original_bytes)
+
+    def _parse_record(self, blob: bytes, offset: int) -> Tuple[GDRecord, int]:
+        """Parse one tagged record from a container blob."""
+        if offset >= len(blob):
+            raise CodingError("container truncated: missing record tag")
+        tag = blob[offset]
+        offset += 1
+        transform = self._transform
+        if tag == int(RecordType.UNCOMPRESSED):
+            template = UncompressedRecord(
+                prefix=0,
+                basis=0,
+                deviation=0,
+                prefix_bits=transform.prefix_bits,
+                basis_bits=transform.basis_bits,
+                deviation_bits=transform.deviation_bits,
+                alignment_padding_bits=self._encoder.alignment_padding_bits,
+            )
+            size = template.payload_bytes
+            payload = blob[offset : offset + size]
+            if len(payload) != size:
+                raise CodingError("container truncated: short type-2 record")
+            value = int.from_bytes(payload, "big")
+            deviation = value & ((1 << transform.deviation_bits) - 1)
+            value >>= transform.deviation_bits
+            basis = value & ((1 << transform.basis_bits) - 1)
+            value >>= transform.basis_bits
+            prefix = value & ((1 << transform.prefix_bits) - 1) if transform.prefix_bits else 0
+            record: GDRecord = UncompressedRecord(
+                prefix=prefix,
+                basis=basis,
+                deviation=deviation,
+                prefix_bits=transform.prefix_bits,
+                basis_bits=transform.basis_bits,
+                deviation_bits=transform.deviation_bits,
+                alignment_padding_bits=self._encoder.alignment_padding_bits,
+            )
+            return record, offset + size
+        if tag == int(RecordType.COMPRESSED):
+            total_bits = (
+                transform.prefix_bits + self._identifier_bits + transform.deviation_bits
+            )
+            size = (total_bits + 7) // 8
+            payload = blob[offset : offset + size]
+            if len(payload) != size:
+                raise CodingError("container truncated: short type-3 record")
+            value = int.from_bytes(payload, "big")
+            deviation = value & ((1 << transform.deviation_bits) - 1)
+            value >>= transform.deviation_bits
+            identifier = value & ((1 << self._identifier_bits) - 1)
+            value >>= self._identifier_bits
+            prefix = value & ((1 << transform.prefix_bits) - 1) if transform.prefix_bits else 0
+            record = CompressedRecord(
+                prefix=prefix,
+                identifier=identifier,
+                deviation=deviation,
+                prefix_bits=transform.prefix_bits,
+                identifier_bits=self._identifier_bits,
+                deviation_bits=transform.deviation_bits,
+            )
+            return record, offset + size
+        raise CodingError(f"unknown record tag {tag} at offset {offset - 1}")
+
+    # -- convenience -------------------------------------------------------------
+
+    def roundtrip(self, data: bytes, pad: bool = True) -> bytes:
+        """Compress then decompress ``data`` (used heavily by tests)."""
+        result = self.compress(data, pad=pad)
+        return self.decompress_records(result.records, original_bytes=len(data))
+
+    def compression_ratio(self, data: bytes, pad: bool = True) -> float:
+        """Shortcut returning only the payload compression ratio for ``data``."""
+        return self.compress(data, pad=pad).compression_ratio

@@ -1,0 +1,186 @@
+"""GD decoder: reconstructs original chunks from type-2/type-3 records.
+
+The decoder inverts :class:`~repro.core.encoder.GDEncoder`.  Its dictionary
+maps identifiers back to (prefix, basis) pairs; in the pure-software codec
+the decoder keeps its dictionary synchronised by learning from the type-2
+records it receives (the same deterministic insertion order the encoder
+used), while in the switch deployment the control plane installs the reverse
+mapping explicitly before the forward mapping is enabled (Section 5 of the
+paper), which the :mod:`repro.controlplane` package models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.dictionary import BasisDictionary
+from repro.core.records import (
+    CompressedRecord,
+    GDRecord,
+    RawRecord,
+    RecordType,
+    UncompressedRecord,
+)
+from repro.core.transform import GDParts, GDTransform
+from repro.exceptions import CodingError, DictionaryError
+
+__all__ = ["DecoderStats", "GDDecoder"]
+
+
+@dataclass
+class DecoderStats:
+    """Counters describing what the decoder has processed."""
+
+    records: int = 0
+    raw_records: int = 0
+    uncompressed_records: int = 0
+    compressed_records: int = 0
+    output_bits: int = 0
+    unknown_identifiers: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "records": self.records,
+            "raw_records": self.raw_records,
+            "uncompressed_records": self.uncompressed_records,
+            "compressed_records": self.compressed_records,
+            "output_bits": self.output_bits,
+            "unknown_identifiers": self.unknown_identifiers,
+        }
+
+
+class GDDecoder:
+    """Decode GD records back into the original chunks.
+
+    Parameters
+    ----------
+    transform:
+        Must be configured identically to the encoder's transform.
+    dictionary:
+        The identifier → basis mapping.  May be shared with an encoder (the
+        ideal zero-latency model) or kept separate and fed by learning /
+        control-plane installs.
+    learn_from_uncompressed:
+        When ``True`` (default), every type-2 record inserts its basis into
+        the dictionary, mirroring the deterministic insertion the encoder
+        performs in dynamic mode so that both sides assign the same
+        identifiers without any out-of-band channel.
+    """
+
+    def __init__(
+        self,
+        transform: GDTransform,
+        dictionary: Optional[BasisDictionary] = None,
+        learn_from_uncompressed: bool = True,
+    ):
+        self._transform = transform
+        self._dictionary = dictionary
+        self._learn = learn_from_uncompressed
+        self.stats = DecoderStats()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def transform(self) -> GDTransform:
+        """The GD transformation in use."""
+        return self._transform
+
+    @property
+    def dictionary(self) -> Optional[BasisDictionary]:
+        """The identifier → basis dictionary (``None`` when decoding type 2 only)."""
+        return self._dictionary
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode_record(self, record: GDRecord) -> int:
+        """Decode one record into the original chunk value."""
+        self.stats.records += 1
+        if isinstance(record, RawRecord):
+            self.stats.raw_records += 1
+            self.stats.output_bits += record.chunk_bits
+            return record.chunk
+        if isinstance(record, UncompressedRecord):
+            return self._decode_uncompressed(record)
+        if isinstance(record, CompressedRecord):
+            return self._decode_compressed(record)
+        raise CodingError(f"unsupported record type {type(record).__name__}")
+
+    def decode_record_to_bytes(self, record: GDRecord) -> bytes:
+        """Decode one record and serialise the chunk to bytes."""
+        chunk = self.decode_record(record)
+        return self._transform.chunk_to_bytes(chunk)
+
+    def decode_stream(self, records: Iterable[GDRecord]) -> Iterator[int]:
+        """Lazily decode an iterable of records."""
+        for record in records:
+            yield self.decode_record(record)
+
+    def decode_all(self, records: Iterable[GDRecord]) -> List[int]:
+        """Eagerly decode an iterable of records."""
+        return list(self.decode_stream(records))
+
+    def decode_to_bytes(self, records: Iterable[GDRecord]) -> bytes:
+        """Decode an iterable of records and concatenate the chunk bytes."""
+        return b"".join(self.decode_record_to_bytes(record) for record in records)
+
+    # -- internals ------------------------------------------------------------
+
+    def _decode_uncompressed(self, record: UncompressedRecord) -> int:
+        self.stats.uncompressed_records += 1
+        self._check_widths(record.prefix_bits, record.basis_bits, record.deviation_bits)
+        if self._learn and self._dictionary is not None:
+            self._dictionary.insert(record.dedup_key)
+        chunk = self._transform.join_fields(
+            record.prefix, record.basis, record.deviation
+        )
+        self.stats.output_bits += self._transform.chunk_bits
+        return chunk
+
+    def _decode_compressed(self, record: CompressedRecord) -> int:
+        self.stats.compressed_records += 1
+        if self._dictionary is None:
+            raise DictionaryError(
+                "cannot decode a compressed record without a dictionary"
+            )
+        basis = self._dictionary.reverse_lookup(record.identifier)
+        if basis is None:
+            self.stats.unknown_identifiers += 1
+            raise DictionaryError(
+                f"identifier {record.identifier} is not mapped to any basis"
+            )
+        if self._learn:
+            # Keep the decoder's recency order aligned with the encoder's so
+            # both sides evict the same entries under dictionary pressure.
+            self._dictionary.touch(basis)
+        self._check_widths(record.prefix_bits, None, record.deviation_bits)
+        chunk = self._transform.join_fields(record.prefix, basis, record.deviation)
+        self.stats.output_bits += self._transform.chunk_bits
+        return chunk
+
+    def _check_widths(
+        self,
+        prefix_bits: int,
+        basis_bits: Optional[int],
+        deviation_bits: int,
+    ) -> None:
+        if prefix_bits != self._transform.prefix_bits:
+            raise CodingError(
+                f"record prefix width {prefix_bits} does not match transform "
+                f"prefix width {self._transform.prefix_bits}"
+            )
+        if basis_bits is not None and basis_bits != self._transform.basis_bits:
+            raise CodingError(
+                f"record basis width {basis_bits} does not match transform "
+                f"basis width {self._transform.basis_bits}"
+            )
+        if deviation_bits != self._transform.deviation_bits:
+            raise CodingError(
+                f"record deviation width {deviation_bits} does not match transform "
+                f"deviation width {self._transform.deviation_bits}"
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the accounting counters without touching the dictionary."""
+        self.stats = DecoderStats()

@@ -1,0 +1,299 @@
+"""Basis dictionary: the bounded basis ↔ identifier mapping at the heart of GD.
+
+ZipLine replaces a (prefix, basis) pair that has been seen before with a
+short identifier of ``t`` bits, so at most ``2**t`` bases can be cached
+(32,768 for the paper's ``t = 15``).  When the identifier pool is exhausted
+the least recently used entry is recycled (Section 5 of the paper).
+
+The same data structure is used in three places:
+
+* inside :class:`~repro.core.codec.GDCodec` for the pure-software codec;
+* by the control plane (:mod:`repro.controlplane`) as the authoritative copy
+  of the mapping that it pushes into the switches' match-action tables;
+* by the baselines (classic deduplication uses it with the raw chunk as key).
+
+Eviction policies other than LRU (FIFO, random) are provided for the
+ablation study called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import DictionaryError
+
+__all__ = [
+    "EvictionPolicy",
+    "DictionaryStats",
+    "BasisDictionary",
+]
+
+
+class EvictionPolicy(Enum):
+    """Replacement policy applied when the identifier pool is exhausted."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+    @classmethod
+    def from_name(cls, name: "str | EvictionPolicy") -> "EvictionPolicy":
+        """Parse a policy from its name (case-insensitive) or pass through."""
+        if isinstance(name, EvictionPolicy):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(policy.value for policy in cls)
+            raise DictionaryError(
+                f"unknown eviction policy {name!r}; valid policies: {valid}"
+            ) from None
+
+
+@dataclass
+class DictionaryStats:
+    """Counters describing dictionary behaviour during a run."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected_insertions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that found an existing mapping."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected_insertions": self.rejected_insertions,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class BasisDictionary:
+    """Bounded, bidirectional mapping between bases and short identifiers.
+
+    Identifiers are integers in ``[0, capacity)``.  The dictionary hands out
+    the lowest never-used identifier first and only starts recycling once the
+    pool is exhausted, mirroring the control-plane behaviour described in the
+    paper ("when there are unused identifiers, the control plane selects the
+    least recently used one").
+
+    Keys can be any hashable value; ZipLine uses ``(prefix, basis)`` tuples.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: "str | EvictionPolicy" = EvictionPolicy.LRU,
+        seed: Optional[int] = None,
+    ):
+        if capacity <= 0:
+            raise DictionaryError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._policy = EvictionPolicy.from_name(policy)
+        self._random = random.Random(seed)
+        # key -> identifier, maintained in recency order (oldest first) for
+        # LRU, insertion order for FIFO.
+        self._key_to_id: "OrderedDict[Hashable, int]" = OrderedDict()
+        self._id_to_key: Dict[int, Hashable] = {}
+        self._free_ids: List[int] = list(range(capacity - 1, -1, -1))
+        self.stats = DictionaryStats()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneously mapped bases."""
+        return self._capacity
+
+    @property
+    def policy(self) -> EvictionPolicy:
+        """Configured eviction policy."""
+        return self._policy
+
+    def __len__(self) -> int:
+        return len(self._key_to_id)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._key_to_id
+
+    def is_full(self) -> bool:
+        """True when every identifier is currently assigned."""
+        return len(self._key_to_id) >= self._capacity
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate over currently mapped keys (no recency side effects)."""
+        return iter(list(self._key_to_id.keys()))
+
+    def items(self) -> Iterator[Tuple[Hashable, int]]:
+        """Iterate over (key, identifier) pairs (no recency side effects)."""
+        return iter(list(self._key_to_id.items()))
+
+    def identifier_width(self) -> int:
+        """Number of bits needed to represent any identifier."""
+        return max((self._capacity - 1).bit_length(), 1)
+
+    # -- lookups -------------------------------------------------------------
+
+    def lookup(self, key: Hashable, touch: bool = True) -> Optional[int]:
+        """Identifier for ``key`` or ``None``; optionally refresh recency."""
+        self.stats.lookups += 1
+        identifier = self._key_to_id.get(key)
+        if identifier is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if touch and self._policy is EvictionPolicy.LRU:
+            self._key_to_id.move_to_end(key)
+        return identifier
+
+    def peek(self, key: Hashable) -> Optional[int]:
+        """Identifier for ``key`` without updating recency or counters."""
+        return self._key_to_id.get(key)
+
+    def touch(self, key: Hashable) -> bool:
+        """Refresh the recency of ``key`` without counting a lookup.
+
+        Returns ``True`` when the key exists.  Used by the decoder side to
+        keep its recency order in lock-step with the encoder so that both
+        dictionaries make identical eviction decisions.
+        """
+        if key not in self._key_to_id:
+            return False
+        if self._policy is EvictionPolicy.LRU:
+            self._key_to_id.move_to_end(key)
+        return True
+
+    def reverse_lookup(self, identifier: int) -> Optional[Hashable]:
+        """Key currently mapped to ``identifier``, or ``None``."""
+        self._check_identifier(identifier)
+        return self._id_to_key.get(identifier)
+
+    def _check_identifier(self, identifier: int) -> None:
+        if not 0 <= identifier < self._capacity:
+            raise DictionaryError(
+                f"identifier {identifier} out of range [0, {self._capacity})"
+            )
+
+    # -- insertion / eviction --------------------------------------------------
+
+    def insert(self, key: Hashable) -> Tuple[int, Optional[Hashable]]:
+        """Map ``key`` to an identifier, evicting if necessary.
+
+        Returns ``(identifier, evicted_key)`` where ``evicted_key`` is
+        ``None`` unless an existing mapping had to be recycled.  Inserting a
+        key that is already mapped refreshes its recency and returns the
+        existing identifier.
+        """
+        existing = self._key_to_id.get(key)
+        if existing is not None:
+            self.stats.rejected_insertions += 1
+            if self._policy is EvictionPolicy.LRU:
+                self._key_to_id.move_to_end(key)
+            return existing, None
+
+        evicted_key: Optional[Hashable] = None
+        if self._free_ids:
+            identifier = self._free_ids.pop()
+        else:
+            evicted_key, identifier = self._evict()
+        self._key_to_id[key] = identifier
+        self._id_to_key[identifier] = key
+        self.stats.insertions += 1
+        return identifier, evicted_key
+
+    def insert_with_identifier(self, key: Hashable, identifier: int) -> None:
+        """Install an externally chosen mapping (used by the decoder side).
+
+        The decompressing switch receives (identifier, basis) pairs chosen by
+        the control plane; it must accept them verbatim, displacing whatever
+        the identifier previously pointed at.
+        """
+        self._check_identifier(identifier)
+        if key in self._key_to_id and self._key_to_id[key] != identifier:
+            raise DictionaryError(
+                f"key {key!r} is already mapped to identifier "
+                f"{self._key_to_id[key]}, cannot remap to {identifier}"
+            )
+        previous_key = self._id_to_key.get(identifier)
+        if previous_key is not None and previous_key != key:
+            del self._key_to_id[previous_key]
+            self.stats.evictions += 1
+        if identifier in self._free_ids:
+            self._free_ids.remove(identifier)
+        self._key_to_id[key] = identifier
+        self._id_to_key[identifier] = key
+        self.stats.insertions += 1
+
+    def _evict(self) -> Tuple[Hashable, int]:
+        """Remove one entry according to the configured policy."""
+        if not self._key_to_id:
+            raise DictionaryError("cannot evict from an empty dictionary")
+        if self._policy in (EvictionPolicy.LRU, EvictionPolicy.FIFO):
+            key, identifier = next(iter(self._key_to_id.items()))
+        else:
+            key = self._random.choice(list(self._key_to_id.keys()))
+            identifier = self._key_to_id[key]
+        del self._key_to_id[key]
+        del self._id_to_key[identifier]
+        self.stats.evictions += 1
+        return key, identifier
+
+    def remove(self, key: Hashable) -> Optional[int]:
+        """Remove ``key`` explicitly; returns its identifier or ``None``."""
+        identifier = self._key_to_id.pop(key, None)
+        if identifier is None:
+            return None
+        del self._id_to_key[identifier]
+        self._free_ids.append(identifier)
+        return identifier
+
+    def clear(self) -> None:
+        """Forget every mapping and return all identifiers to the pool."""
+        self._key_to_id.clear()
+        self._id_to_key.clear()
+        self._free_ids = list(range(self._capacity - 1, -1, -1))
+
+    # -- bulk helpers -----------------------------------------------------------
+
+    def preload(self, keys: Iterator[Hashable]) -> int:
+        """Insert keys up front (the paper's *static table* scenario).
+
+        Returns the number of distinct keys actually mapped.  Raises
+        :class:`DictionaryError` if the distinct keys exceed the capacity —
+        a static table cannot silently drop mappings.
+        """
+        distinct = []
+        seen = set()
+        for key in keys:
+            if key not in seen:
+                seen.add(key)
+                distinct.append(key)
+        if len(distinct) > self._capacity:
+            raise DictionaryError(
+                f"static preload of {len(distinct)} bases exceeds the dictionary "
+                f"capacity of {self._capacity}"
+            )
+        for key in distinct:
+            self.insert(key)
+        return len(distinct)
+
+    def snapshot(self) -> Dict[Hashable, int]:
+        """A plain-dict copy of the current mapping (for tests/telemetry)."""
+        return dict(self._key_to_id)

@@ -1,0 +1,279 @@
+"""GD encoder: turns a stream of fixed-size chunks into type-2/type-3 records.
+
+The encoder combines a :class:`~repro.core.transform.GDTransform` (the
+algebraic split) with a :class:`~repro.core.dictionary.BasisDictionary` (the
+bounded basis ↔ identifier mapping).  Three operating modes mirror the
+paper's three measured configurations:
+
+* ``no table`` — the dictionary is never consulted or filled; every chunk
+  becomes a type-2 record (the 1.03× bar in Figure 3);
+* ``static table`` — the dictionary is preloaded and never modified; chunks
+  whose basis is known become type-3 records;
+* ``dynamic learning`` — unknown bases are inserted on first sight, after an
+  optional learning delay expressed in packets (the software stand-in for
+  the 1.77 ms control-plane latency; the full latency model lives in
+  :mod:`repro.zipline` / :mod:`repro.controlplane`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.dictionary import BasisDictionary, EvictionPolicy
+from repro.core.records import CompressedRecord, GDRecord, RecordType, UncompressedRecord
+from repro.core.transform import ChunkLike, GDParts, GDTransform
+from repro.exceptions import CodingError, DictionaryError
+
+__all__ = ["EncoderMode", "EncoderStats", "GDEncoder"]
+
+
+class EncoderMode(Enum):
+    """Dictionary-handling mode (matches the Figure 3 scenarios)."""
+
+    NO_TABLE = "no_table"
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+    @classmethod
+    def from_name(cls, name: "str | EncoderMode") -> "EncoderMode":
+        """Parse a mode from its name (case-insensitive) or pass through."""
+        if isinstance(name, EncoderMode):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(mode.value for mode in cls)
+            raise CodingError(
+                f"unknown encoder mode {name!r}; valid modes: {valid}"
+            ) from None
+
+
+@dataclass
+class EncoderStats:
+    """Byte and packet accounting kept by the encoder.
+
+    ``input_bits`` counts the original chunks; ``output_bits`` counts the
+    unpadded record payloads; ``output_padded_bits`` includes the
+    byte-alignment padding that the Tofino target imposes.  The ratios at the
+    bottom of Figure 3 are ``output_padded_bits / input_bits``.
+    """
+
+    chunks: int = 0
+    uncompressed_records: int = 0
+    compressed_records: int = 0
+    input_bits: int = 0
+    output_bits: int = 0
+    output_padded_bits: int = 0
+
+    def record(self, record: GDRecord, input_bits: int) -> None:
+        """Account for one emitted record."""
+        self.chunks += 1
+        self.input_bits += input_bits
+        self.output_bits += record.payload_bits
+        self.output_padded_bits += record.padded_bits
+        if record.record_type is RecordType.COMPRESSED:
+            self.compressed_records += 1
+        else:
+            self.uncompressed_records += 1
+
+    @property
+    def compression_ratio(self) -> float:
+        """Padded output size over input size (Figure 3's numeric labels)."""
+        if self.input_bits == 0:
+            return 0.0
+        return self.output_padded_bits / self.input_bits
+
+    @property
+    def unpadded_ratio(self) -> float:
+        """Output size over input size ignoring alignment padding."""
+        if self.input_bits == 0:
+            return 0.0
+        return self.output_bits / self.input_bits
+
+    @property
+    def input_bytes(self) -> float:
+        """Input volume in bytes."""
+        return self.input_bits / 8
+
+    @property
+    def output_bytes(self) -> float:
+        """Padded output volume in bytes."""
+        return self.output_padded_bits / 8
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "chunks": self.chunks,
+            "uncompressed_records": self.uncompressed_records,
+            "compressed_records": self.compressed_records,
+            "input_bits": self.input_bits,
+            "output_bits": self.output_bits,
+            "output_padded_bits": self.output_padded_bits,
+            "compression_ratio": self.compression_ratio,
+            "unpadded_ratio": self.unpadded_ratio,
+        }
+
+
+class GDEncoder:
+    """Encode chunks into GD records using a bounded basis dictionary.
+
+    Parameters
+    ----------
+    transform:
+        The GD transformation to apply to each chunk.
+    dictionary:
+        The basis dictionary.  Optional for :attr:`EncoderMode.NO_TABLE`.
+    mode:
+        One of ``no_table``, ``static`` or ``dynamic``.
+    identifier_bits:
+        Width of the identifier field in type-3 records.  Defaults to the
+        dictionary's natural width (``ceil(log2(capacity))``), 15 bits for
+        the paper's configuration.
+    alignment_padding_bits:
+        Extra padding added to the *uncompressed* (type-2) representation to
+        model the Tofino container-alignment overhead (8 bits in the paper's
+        deployment, producing the 1.03 ratio).  Type-3 records are already
+        byte aligned for the paper's parameters and get no extra padding.
+    learning_delay_chunks:
+        In dynamic mode, the number of subsequent chunks that still see the
+        dictionary miss after a new basis is first observed — a simple
+        packet-counted stand-in for the control-plane installation latency.
+        0 means learning is instantaneous.
+    """
+
+    def __init__(
+        self,
+        transform: GDTransform,
+        dictionary: Optional[BasisDictionary] = None,
+        mode: "str | EncoderMode" = EncoderMode.DYNAMIC,
+        identifier_bits: Optional[int] = None,
+        alignment_padding_bits: int = 8,
+        learning_delay_chunks: int = 0,
+    ):
+        self._transform = transform
+        self._mode = EncoderMode.from_name(mode)
+        if self._mode is not EncoderMode.NO_TABLE and dictionary is None:
+            raise DictionaryError(f"mode {self._mode.value} requires a dictionary")
+        self._dictionary = dictionary
+        if identifier_bits is None:
+            identifier_bits = (
+                dictionary.identifier_width() if dictionary is not None else 15
+            )
+        if dictionary is not None and (1 << identifier_bits) < dictionary.capacity:
+            raise DictionaryError(
+                f"identifier width {identifier_bits} cannot address a dictionary "
+                f"of capacity {dictionary.capacity}"
+            )
+        self._identifier_bits = identifier_bits
+        if alignment_padding_bits < 0:
+            raise CodingError("alignment padding cannot be negative")
+        self._alignment_padding_bits = alignment_padding_bits
+        if learning_delay_chunks < 0:
+            raise CodingError("learning delay cannot be negative")
+        self._learning_delay_chunks = learning_delay_chunks
+        # (prefix, basis) -> chunk index at which the mapping becomes usable.
+        self._pending_activation: Dict[object, int] = {}
+        self.stats = EncoderStats()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def transform(self) -> GDTransform:
+        """The GD transformation in use."""
+        return self._transform
+
+    @property
+    def dictionary(self) -> Optional[BasisDictionary]:
+        """The basis dictionary (``None`` in no-table mode)."""
+        return self._dictionary
+
+    @property
+    def mode(self) -> EncoderMode:
+        """Configured dictionary-handling mode."""
+        return self._mode
+
+    @property
+    def identifier_bits(self) -> int:
+        """Width of the identifier field in compressed records."""
+        return self._identifier_bits
+
+    @property
+    def alignment_padding_bits(self) -> int:
+        """Padding added to type-2 payloads for container alignment."""
+        return self._alignment_padding_bits
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode_chunk(self, chunk: ChunkLike) -> GDRecord:
+        """Encode one chunk into a type-2 or type-3 record."""
+        parts = self._transform.split(chunk)
+        record = self._build_record(parts)
+        self.stats.record(record, self._transform.chunk_bits)
+        return record
+
+    def encode_stream(self, chunks: Iterable[ChunkLike]) -> Iterator[GDRecord]:
+        """Lazily encode an iterable of chunks."""
+        for chunk in chunks:
+            yield self.encode_chunk(chunk)
+
+    def encode_all(self, chunks: Iterable[ChunkLike]) -> List[GDRecord]:
+        """Eagerly encode an iterable of chunks into a list of records."""
+        return list(self.encode_stream(chunks))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _build_record(self, parts: GDParts) -> GDRecord:
+        if self._mode is EncoderMode.NO_TABLE or self._dictionary is None:
+            return self._uncompressed(parts)
+
+        key = parts.dedup_key
+        identifier = self._dictionary.lookup(key)
+
+        if identifier is not None and self._is_active(key):
+            return CompressedRecord(
+                prefix=parts.prefix,
+                identifier=identifier,
+                deviation=parts.deviation,
+                prefix_bits=parts.prefix_bits,
+                identifier_bits=self._identifier_bits,
+                deviation_bits=parts.deviation_bits,
+                alignment_padding_bits=0,
+            )
+
+        if identifier is None and self._mode is EncoderMode.DYNAMIC:
+            self._dictionary.insert(key)
+            if self._learning_delay_chunks:
+                # ``stats.chunks`` still counts the chunks *before* this one;
+                # the mapping becomes usable after the current chunk plus the
+                # configured number of delayed chunks have gone through.
+                self._pending_activation[key] = (
+                    self.stats.chunks + 1 + self._learning_delay_chunks
+                )
+        return self._uncompressed(parts)
+
+    def _is_active(self, key: object) -> bool:
+        """True when a learned mapping has passed its activation delay."""
+        activation = self._pending_activation.get(key)
+        if activation is None:
+            return True
+        if self.stats.chunks >= activation:
+            del self._pending_activation[key]
+            return True
+        return False
+
+    def _uncompressed(self, parts: GDParts) -> UncompressedRecord:
+        return UncompressedRecord(
+            prefix=parts.prefix,
+            basis=parts.basis,
+            deviation=parts.deviation,
+            prefix_bits=parts.prefix_bits,
+            basis_bits=parts.basis_bits,
+            deviation_bits=parts.deviation_bits,
+            alignment_padding_bits=self._alignment_padding_bits,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the accounting counters without touching the dictionary."""
+        self.stats = EncoderStats()

@@ -1,0 +1,393 @@
+"""Hamming codes driven by CRC arithmetic, as used by the GD transformation.
+
+A Hamming code of order ``m`` has length ``n = 2**m - 1`` and dimension
+``k = n - m``.  ZipLine never uses the code for error *correction*; instead
+it exploits the code's algebra to split an arbitrary ``n``-bit chunk ``B``
+into a ``k``-bit **basis** and an ``m``-bit **deviation** (the syndrome):
+
+* encoding (compression direction, Figure 1 of the paper):
+  ``s = CRC_m(B)``; the syndrome lookup table maps ``s`` to the single bit
+  position whose flip turns ``B`` into a codeword ``B'``; the basis is the
+  ``k`` message bits of ``B'``;
+* decoding (decompression direction, Figure 2): the basis is zero-padded and
+  fed through the same CRC to recover the parity bits, rebuilding ``B'``;
+  the same syndrome lookup table gives the mask that flips the deviated bit
+  back, recovering ``B`` exactly.
+
+Because every ``n``-bit value decomposes uniquely into (basis, syndrome),
+the transform is lossless and bijective: ``2**k * 2**m == 2**n``.
+
+The class below also exposes the textbook machinery (generator and
+parity-check matrices, systematic encoding, single-error correction) so the
+library doubles as a usable Hamming-code implementation, and so the
+equivalence claims of Table 2 can be tested directly against the matrix
+formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bits import BitVector, mask
+from repro.core.crc import CrcEngine, poly_mod, syndrome_crc
+from repro.core.polynomials import HammingPolynomial, polynomial_for_order
+from repro.exceptions import CodingError
+
+__all__ = [
+    "HammingCode",
+    "SyndromeTable",
+    "hamming_parameters_for_order",
+]
+
+
+def hamming_parameters_for_order(m: int) -> Tuple[int, int]:
+    """Return ``(n, k)`` for a Hamming code of order ``m``."""
+    if m < 2:
+        raise CodingError(f"Hamming order must be at least 2, got {m}")
+    n = (1 << m) - 1
+    return n, n - m
+
+
+@dataclass(frozen=True)
+class SyndromeTable:
+    """The syndrome → error-position lookup table (step ➌ in Figure 1).
+
+    ``positions[s]`` gives the bit position (0 = least significant bit of the
+    chunk) whose single-bit error produces syndrome ``s``; syndrome 0 maps to
+    ``None`` (no deviation).  ``masks[s]`` is the corresponding n-bit XOR
+    mask — precomputed exactly like the constant P4 table entries that the
+    paper generates with a short C++/Boost.CRC program.
+    """
+
+    order: int
+    positions: Tuple[Optional[int], ...]
+    masks: Tuple[int, ...]
+
+    def position_for(self, syndrome: int) -> Optional[int]:
+        """Error bit position for ``syndrome`` (``None`` for syndrome 0)."""
+        if not 0 <= syndrome < len(self.positions):
+            raise CodingError(
+                f"syndrome {syndrome} out of range for order {self.order}"
+            )
+        return self.positions[syndrome]
+
+    def mask_for(self, syndrome: int) -> int:
+        """n-bit XOR mask for ``syndrome`` (0 for syndrome 0)."""
+        if not 0 <= syndrome < len(self.masks):
+            raise CodingError(
+                f"syndrome {syndrome} out of range for order {self.order}"
+            )
+        return self.masks[syndrome]
+
+    def entries(self) -> List[Tuple[int, Optional[int]]]:
+        """All (syndrome, position) pairs, syndrome 0 first."""
+        return list(enumerate(self.positions))
+
+
+class HammingCode:
+    """A cyclic Hamming code of order ``m`` built from a generator polynomial.
+
+    Parameters
+    ----------
+    m:
+        Parity width.  ``n = 2**m - 1`` and ``k = n - m`` follow.
+    polynomial:
+        Optional full-form generator polynomial (including the leading
+        ``x**m`` term).  Defaults to the Table 1 entry for this order.
+
+    The instance owns a :class:`~repro.core.crc.CrcEngine` configured in
+    plain-remainder mode — the software twin of the Tofino CRC extern that
+    the hardware implementation programs with the Table 1 parameter.
+    """
+
+    def __init__(self, m: int, polynomial: Optional[int] = None):
+        n, k = hamming_parameters_for_order(m)
+        if polynomial is None:
+            entry: Optional[HammingPolynomial] = polynomial_for_order(m)
+            polynomial = entry.full_polynomial
+        else:
+            entry = None
+            if polynomial.bit_length() - 1 != m:
+                raise CodingError(
+                    f"polynomial degree {polynomial.bit_length() - 1} does not "
+                    f"match requested order m={m}"
+                )
+            if not polynomial & 1:
+                raise CodingError("generator polynomial must have a non-zero constant term")
+        self._m = m
+        self._n = n
+        self._k = k
+        self._full_polynomial = polynomial
+        self._table_entry = entry
+        self._crc = syndrome_crc(polynomial ^ (1 << m), m)
+        self._syndrome_table = self._build_syndrome_table()
+
+    # -- construction -----------------------------------------------------
+
+    def _build_syndrome_table(self) -> SyndromeTable:
+        """Precompute syndrome → error-position and syndrome → mask tables.
+
+        Position ``i`` has syndrome ``x**i mod g(x)``; iterating the
+        multiplication by ``x`` avoids recomputing full divisions.  The
+        construction fails loudly if two positions collide, which would mean
+        the polynomial is not primitive and cannot support a Hamming code of
+        this length.
+        """
+        positions: List[Optional[int]] = [None] * (1 << self._m)
+        masks = [0] * (1 << self._m)
+        syndrome = 1  # x^0 mod g
+        for position in range(self._n):
+            if syndrome == 0:
+                raise CodingError(
+                    f"polynomial 0x{self._full_polynomial:X} divides x^{position}; "
+                    "not a valid Hamming generator"
+                )
+            if positions[syndrome] is not None:
+                raise CodingError(
+                    f"polynomial 0x{self._full_polynomial:X} is not primitive: "
+                    f"positions {positions[syndrome]} and {position} share syndrome "
+                    f"{syndrome:#x}"
+                )
+            positions[syndrome] = position
+            masks[syndrome] = 1 << position
+            syndrome = poly_mod(syndrome << 1, self._full_polynomial)
+        return SyndromeTable(
+            order=self._m, positions=tuple(positions), masks=tuple(masks)
+        )
+
+    # -- simple accessors ---------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Parity width (syndrome width) in bits."""
+        return self._m
+
+    @property
+    def n(self) -> int:
+        """Code length in bits (``2**m - 1``)."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Message (basis) length in bits (``n - m``)."""
+        return self._k
+
+    @property
+    def full_polynomial(self) -> int:
+        """Generator polynomial including the leading term."""
+        return self._full_polynomial
+
+    @property
+    def crc_parameter(self) -> int:
+        """Polynomial with the leading term stripped (Tofino CRC parameter)."""
+        return self._full_polynomial ^ (1 << self._m)
+
+    @property
+    def crc_engine(self) -> CrcEngine:
+        """The plain-remainder CRC engine used for syndrome computation."""
+        return self._crc
+
+    @property
+    def syndrome_table(self) -> SyndromeTable:
+        """The syndrome → error-position lookup table."""
+        return self._syndrome_table
+
+    def __repr__(self) -> str:
+        return (
+            f"HammingCode(n={self._n}, k={self._k}, m={self._m}, "
+            f"polynomial=0x{self._full_polynomial:X})"
+        )
+
+    # -- syndromes ----------------------------------------------------------
+
+    def syndrome(self, chunk: int) -> int:
+        """Syndrome of an ``n``-bit chunk (step ➋ of Figure 1)."""
+        self._check_chunk(chunk)
+        return self._crc.compute_bits(chunk, self._n)
+
+    def syndrome_of_error_position(self, position: int) -> int:
+        """Syndrome produced by a single-bit error at ``position``."""
+        if not 0 <= position < self._n:
+            raise CodingError(
+                f"error position {position} out of range for n={self._n}"
+            )
+        return self._crc.compute_bits(1 << position, self._n)
+
+    def error_position(self, syndrome: int) -> Optional[int]:
+        """Bit position matching ``syndrome``, or ``None`` for syndrome 0."""
+        return self._syndrome_table.position_for(syndrome)
+
+    def error_mask(self, syndrome: int) -> int:
+        """XOR mask matching ``syndrome`` (step ➌/➍ of Figure 1)."""
+        return self._syndrome_table.mask_for(syndrome)
+
+    # -- GD transformation (basis / deviation split) -------------------------
+
+    def chunk_to_basis(self, chunk: int) -> Tuple[int, int]:
+        """Split an ``n``-bit chunk into ``(basis, syndrome)``.
+
+        This is the encoding workflow of Figure 1: compute the syndrome,
+        flip the deviated bit to land on a codeword, keep the ``k`` message
+        bits of that codeword as the basis and the syndrome as the deviation.
+        """
+        self._check_chunk(chunk)
+        syndrome = self._crc.compute_bits(chunk, self._n)
+        codeword = chunk ^ self._syndrome_table.mask_for(syndrome)
+        basis = codeword >> self._m
+        return basis, syndrome
+
+    def basis_to_chunk(self, basis: int, syndrome: int) -> int:
+        """Rebuild the original ``n``-bit chunk from ``(basis, syndrome)``.
+
+        This is the decoding workflow of Figure 2: recompute the parity bits
+        of the basis with the same CRC, concatenate, and flip the deviated
+        bit back.
+        """
+        self._check_basis(basis)
+        self._check_syndrome(syndrome)
+        parity = self.parity_of_basis(basis)
+        codeword = (basis << self._m) | parity
+        return codeword ^ self._syndrome_table.mask_for(syndrome)
+
+    def parity_of_basis(self, basis: int) -> int:
+        """Parity bits of a ``k``-bit basis (step ➍ of Figure 2).
+
+        Equals the augmented CRC of the basis — i.e. the remainder of
+        ``basis(x) * x**m`` — which is what feeding the zero-padded basis
+        through the switch CRC unit computes.
+        """
+        self._check_basis(basis)
+        return poly_mod(basis << self._m, self._full_polynomial)
+
+    # -- classic codeword operations ------------------------------------------
+
+    def encode(self, message: int) -> int:
+        """Systematically encode a ``k``-bit message into an ``n``-bit codeword."""
+        self._check_basis(message)
+        return (message << self._m) | self.parity_of_basis(message)
+
+    def is_codeword(self, value: int) -> bool:
+        """True when ``value`` is a codeword (zero syndrome)."""
+        self._check_chunk(value)
+        return self._crc.compute_bits(value, self._n) == 0
+
+    def correct(self, received: int) -> Tuple[int, Optional[int]]:
+        """Correct at most one bit error in ``received``.
+
+        Returns ``(corrected_word, flipped_position)`` where the position is
+        ``None`` when the word was already a codeword.  Not used by ZipLine
+        itself but exercised by the test suite to validate the code algebra.
+        """
+        self._check_chunk(received)
+        syndrome = self._crc.compute_bits(received, self._n)
+        if syndrome == 0:
+            return received, None
+        position = self._syndrome_table.position_for(syndrome)
+        if position is None:
+            raise CodingError(f"syndrome {syndrome:#x} has no registered position")
+        return received ^ (1 << position), position
+
+    def extract_message(self, codeword: int) -> int:
+        """Message (high ``k``) bits of a codeword."""
+        self._check_chunk(codeword)
+        return codeword >> self._m
+
+    # -- matrices (for validation and documentation) ----------------------------
+
+    def parity_check_matrix(self) -> List[List[int]]:
+        """Parity-check matrix ``H`` as ``m`` rows of ``n`` bits.
+
+        Column ``j`` (counting from the left, i.e. from the coefficient of
+        ``x**(n-1)``) is the syndrome of a single-bit error at position
+        ``n - 1 - j``, matching the paper's ``CRC(B) = B @ H^T`` formulation.
+        """
+        columns = [
+            self.syndrome_of_error_position(self._n - 1 - j) for j in range(self._n)
+        ]
+        return [
+            [(column >> (self._m - 1 - row)) & 1 for column in columns]
+            for row in range(self._m)
+        ]
+
+    def generator_matrix(self) -> List[List[int]]:
+        """Systematic generator matrix ``G_s`` as ``k`` rows of ``n`` bits.
+
+        Row ``i`` is the codeword of the unit message with bit ``k - 1 - i``
+        set, so ``G_s`` is in the ``[I_k | P]``-with-message-high form used
+        throughout this implementation.
+        """
+        rows = []
+        for i in range(self._k):
+            message = 1 << (self._k - 1 - i)
+            codeword = self.encode(message)
+            rows.append([(codeword >> (self._n - 1 - j)) & 1 for j in range(self._n)])
+        return rows
+
+    def syndrome_via_matrix(self, chunk: int) -> int:
+        """Compute a syndrome by explicit matrix multiplication (slow path).
+
+        Used in tests to confirm the CRC shortcut equals ``B @ H^T``.
+        """
+        self._check_chunk(chunk)
+        matrix = self.parity_check_matrix()
+        bits = [(chunk >> (self._n - 1 - j)) & 1 for j in range(self._n)]
+        syndrome = 0
+        for row in range(self._m):
+            accumulator = 0
+            for j in range(self._n):
+                accumulator ^= matrix[row][j] & bits[j]
+            syndrome = (syndrome << 1) | accumulator
+        return syndrome
+
+    # -- validation helpers --------------------------------------------------
+
+    def _check_chunk(self, chunk: int) -> None:
+        if chunk < 0:
+            raise CodingError(f"chunk must be non-negative, got {chunk}")
+        if chunk >> self._n:
+            raise CodingError(f"chunk {chunk:#x} does not fit in n={self._n} bits")
+
+    def _check_basis(self, basis: int) -> None:
+        if basis < 0:
+            raise CodingError(f"basis must be non-negative, got {basis}")
+        if basis >> self._k:
+            raise CodingError(f"basis {basis:#x} does not fit in k={self._k} bits")
+
+    def _check_syndrome(self, syndrome: int) -> None:
+        if syndrome < 0:
+            raise CodingError(f"syndrome must be non-negative, got {syndrome}")
+        if syndrome >> self._m:
+            raise CodingError(
+                f"syndrome {syndrome:#x} does not fit in m={self._m} bits"
+            )
+
+    # -- convenience --------------------------------------------------------
+
+    def chunk_vector_to_basis(self, chunk: BitVector) -> Tuple[BitVector, BitVector]:
+        """BitVector variant of :meth:`chunk_to_basis`."""
+        if chunk.width != self._n:
+            raise CodingError(
+                f"chunk width {chunk.width} does not match n={self._n}"
+            )
+        basis, syndrome = self.chunk_to_basis(chunk.value)
+        return BitVector(basis, self._k), BitVector(syndrome, self._m)
+
+    def basis_vector_to_chunk(self, basis: BitVector, syndrome: BitVector) -> BitVector:
+        """BitVector variant of :meth:`basis_to_chunk`."""
+        if basis.width != self._k:
+            raise CodingError(f"basis width {basis.width} does not match k={self._k}")
+        if syndrome.width != self._m:
+            raise CodingError(
+                f"syndrome width {syndrome.width} does not match m={self._m}"
+            )
+        return BitVector(self.basis_to_chunk(basis.value, syndrome.value), self._n)
+
+    def bases_sharing_chunk(self, basis: int) -> int:
+        """Number of distinct chunks that map to the given basis (= ``n + 1``).
+
+        Every basis absorbs the codeword itself plus the ``n`` single-bit
+        deviations, exactly the clustering property motivating GD.
+        """
+        self._check_basis(basis)
+        return self._n + 1

@@ -1,0 +1,304 @@
+"""The GD transformation function: fixed-size chunks ⇄ (prefix, basis, deviation).
+
+The Hamming code of order ``m`` works on chunks of exactly ``n = 2**m - 1``
+bits, which is never byte aligned.  ZipLine therefore processes chunks of
+``n + e`` bits where the ``e`` extra most-significant bits (``e = 1`` for the
+paper's 256-bit chunks with ``m = 8``) are carried through verbatim — the
+paper calls this "one additional bit to store the MSB of the raw data
+packet".
+
+:class:`GDTransform` wraps a :class:`~repro.core.hamming.HammingCode` and
+handles this framing: it accepts chunks as integers, byte strings or
+:class:`~repro.core.bits.BitVector` values, splits them into a *prefix*
+(the verbatim extra bits), a *basis* and a *deviation* (the syndrome), and
+reassembles them exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.core.bits import (
+    BitVector,
+    bits_to_bytes_len,
+    int_to_bytes,
+    mask,
+    padding_bits_for_alignment,
+)
+from repro.core.hamming import HammingCode
+from repro.exceptions import ChunkSizeError, CodingError
+
+__all__ = ["GDParts", "GDTransform", "ChunkLike"]
+
+ChunkLike = Union[int, bytes, bytearray, memoryview, BitVector]
+
+
+@dataclass(frozen=True)
+class GDParts:
+    """The three components produced by the GD transformation of one chunk.
+
+    Attributes
+    ----------
+    prefix:
+        The ``prefix_bits`` most-significant bits of the chunk, carried
+        verbatim (0 when ``prefix_bits`` is 0).
+    basis:
+        The ``k``-bit basis (deduplication unit).
+    deviation:
+        The ``m``-bit syndrome identifying which bit of the chunk deviates
+        from the basis' codeword (0 = none).
+    prefix_bits, basis_bits, deviation_bits:
+        Field widths, kept alongside the values so the parts are
+        self-describing and can be reserialised without the transform.
+    """
+
+    prefix: int
+    basis: int
+    deviation: int
+    prefix_bits: int
+    basis_bits: int
+    deviation_bits: int
+
+    def __post_init__(self) -> None:
+        if self.prefix < 0 or self.prefix >> self.prefix_bits:
+            raise CodingError(
+                f"prefix {self.prefix:#x} does not fit in {self.prefix_bits} bits"
+            )
+        if self.basis >> self.basis_bits:
+            raise CodingError(
+                f"basis {self.basis:#x} does not fit in {self.basis_bits} bits"
+            )
+        if self.deviation >> self.deviation_bits:
+            raise CodingError(
+                f"deviation {self.deviation:#x} does not fit in "
+                f"{self.deviation_bits} bits"
+            )
+
+    @property
+    def chunk_bits(self) -> int:
+        """Total chunk width this decomposition corresponds to."""
+        return self.prefix_bits + self.basis_bits + self.deviation_bits
+
+    @property
+    def dedup_key(self) -> int:
+        """The value deduplicated across chunks: the basis.
+
+        The prefix bits are carried verbatim in every packet (compressed or
+        not), exactly like the paper's per-packet MSB bit, so they do not
+        participate in deduplication.
+        """
+        return self.basis
+
+    def basis_vector(self) -> BitVector:
+        """The basis as a :class:`BitVector`."""
+        return BitVector(self.basis, self.basis_bits)
+
+    def deviation_vector(self) -> BitVector:
+        """The deviation as a :class:`BitVector`."""
+        return BitVector(self.deviation, self.deviation_bits)
+
+
+class GDTransform:
+    """Bijective mapping between chunks and (prefix, basis, deviation) parts.
+
+    Parameters
+    ----------
+    order:
+        Hamming order ``m``; the code has ``n = 2**m - 1`` and ``k = n - m``.
+    chunk_bits:
+        Total chunk width.  Must be at least ``n``; the default is the
+        smallest byte-aligned width not below ``n`` (256 for ``m = 8``),
+        matching the paper's configuration.
+    polynomial:
+        Optional generator polynomial override (full form, with leading
+        term).  Defaults to the Table 1 entry for the order.
+    """
+
+    def __init__(
+        self,
+        order: int = 8,
+        chunk_bits: int | None = None,
+        polynomial: int | None = None,
+    ):
+        self._code = HammingCode(order, polynomial)
+        n = self._code.n
+        if chunk_bits is None:
+            chunk_bits = n + padding_bits_for_alignment(n, 8)
+        if chunk_bits < n:
+            raise CodingError(
+                f"chunk_bits={chunk_bits} is smaller than the code length n={n}"
+            )
+        self._chunk_bits = chunk_bits
+        self._prefix_bits = chunk_bits - n
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def code(self) -> HammingCode:
+        """The underlying Hamming code."""
+        return self._code
+
+    @property
+    def order(self) -> int:
+        """Hamming order ``m`` (deviation width)."""
+        return self._code.m
+
+    @property
+    def chunk_bits(self) -> int:
+        """Chunk width in bits (prefix + n)."""
+        return self._chunk_bits
+
+    @property
+    def chunk_bytes(self) -> int:
+        """Bytes needed to carry one chunk."""
+        return bits_to_bytes_len(self._chunk_bits)
+
+    @property
+    def prefix_bits(self) -> int:
+        """Verbatim prefix width in bits (chunk_bits - n)."""
+        return self._prefix_bits
+
+    @property
+    def basis_bits(self) -> int:
+        """Basis width ``k`` in bits."""
+        return self._code.k
+
+    @property
+    def deviation_bits(self) -> int:
+        """Deviation (syndrome) width ``m`` in bits."""
+        return self._code.m
+
+    @property
+    def uncompressed_bits(self) -> int:
+        """Bits of a processed-but-uncompressed representation.
+
+        prefix + basis + deviation — always equal to ``chunk_bits`` because
+        the transformation is a bijection that adds no redundancy (the
+        paper's "applying GD does not introduce additional bits").
+        """
+        return self._prefix_bits + self._code.k + self._code.m
+
+    def __repr__(self) -> str:
+        return (
+            f"GDTransform(order={self.order}, chunk_bits={self._chunk_bits}, "
+            f"n={self._code.n}, k={self._code.k})"
+        )
+
+    # -- input normalisation ----------------------------------------------------
+
+    def _chunk_to_int(self, chunk: ChunkLike) -> int:
+        if isinstance(chunk, BitVector):
+            if chunk.width != self._chunk_bits:
+                raise ChunkSizeError(
+                    f"chunk width {chunk.width} does not match "
+                    f"configured {self._chunk_bits} bits"
+                )
+            return chunk.value
+        if isinstance(chunk, (bytes, bytearray, memoryview)):
+            data = bytes(chunk)
+            if len(data) != self.chunk_bytes:
+                raise ChunkSizeError(
+                    f"chunk of {len(data)} bytes does not match configured "
+                    f"{self.chunk_bytes} bytes"
+                )
+            value = int.from_bytes(data, "big")
+            if value >> self._chunk_bits:
+                raise ChunkSizeError(
+                    f"chunk value does not fit in {self._chunk_bits} bits"
+                )
+            return value
+        if isinstance(chunk, int):
+            if chunk < 0:
+                raise ChunkSizeError(f"chunk must be non-negative, got {chunk}")
+            if chunk >> self._chunk_bits:
+                raise ChunkSizeError(
+                    f"chunk {chunk:#x} does not fit in {self._chunk_bits} bits"
+                )
+            return chunk
+        raise ChunkSizeError(f"unsupported chunk type {type(chunk).__name__}")
+
+    # -- forward / inverse ---------------------------------------------------------
+
+    def split(self, chunk: ChunkLike) -> GDParts:
+        """Apply the GD transformation to one chunk (Figure 1, steps ➊–➎)."""
+        value = self._chunk_to_int(chunk)
+        n = self._code.n
+        prefix = value >> n
+        body = value & mask(n)
+        basis, deviation = self._code.chunk_to_basis(body)
+        return GDParts(
+            prefix=prefix,
+            basis=basis,
+            deviation=deviation,
+            prefix_bits=self._prefix_bits,
+            basis_bits=self._code.k,
+            deviation_bits=self._code.m,
+        )
+
+    def join(self, parts: GDParts) -> int:
+        """Invert the GD transformation (Figure 2, steps ➌–➐)."""
+        self._check_parts(parts)
+        body = self._code.basis_to_chunk(parts.basis, parts.deviation)
+        return (parts.prefix << self._code.n) | body
+
+    def join_fields(self, prefix: int, basis: int, deviation: int) -> int:
+        """Invert the transformation from raw field values."""
+        parts = GDParts(
+            prefix=prefix,
+            basis=basis,
+            deviation=deviation,
+            prefix_bits=self._prefix_bits,
+            basis_bits=self._code.k,
+            deviation_bits=self._code.m,
+        )
+        return self.join(parts)
+
+    def join_to_bytes(self, parts: GDParts) -> bytes:
+        """Invert the transformation and serialise the chunk to bytes."""
+        return int_to_bytes(self.join(parts), self._chunk_bits)
+
+    def split_bytes(self, data: bytes) -> List[GDParts]:
+        """Split a byte string into consecutive chunks and transform each.
+
+        The data length must be an exact multiple of :attr:`chunk_bytes`;
+        callers that need tail padding handle it at the framing layer (the
+        trace generators always emit whole chunks, as in the paper).
+        """
+        chunk_bytes = self.chunk_bytes
+        if len(data) % chunk_bytes:
+            raise ChunkSizeError(
+                f"data length {len(data)} is not a multiple of the chunk size "
+                f"{chunk_bytes}"
+            )
+        return [
+            self.split(data[offset : offset + chunk_bytes])
+            for offset in range(0, len(data), chunk_bytes)
+        ]
+
+    def iter_split(self, chunks: Iterable[ChunkLike]) -> Iterator[GDParts]:
+        """Lazily transform an iterable of chunks."""
+        for chunk in chunks:
+            yield self.split(chunk)
+
+    def chunk_to_bytes(self, chunk: int) -> bytes:
+        """Serialise an integer chunk into its byte representation."""
+        return int_to_bytes(self._chunk_to_int(chunk), self._chunk_bits)
+
+    # -- validation ---------------------------------------------------------------
+
+    def _check_parts(self, parts: GDParts) -> None:
+        if parts.prefix_bits != self._prefix_bits:
+            raise CodingError(
+                f"parts prefix width {parts.prefix_bits} does not match "
+                f"transform prefix width {self._prefix_bits}"
+            )
+        if parts.basis_bits != self._code.k:
+            raise CodingError(
+                f"parts basis width {parts.basis_bits} does not match k={self._code.k}"
+            )
+        if parts.deviation_bits != self._code.m:
+            raise CodingError(
+                f"parts deviation width {parts.deviation_bits} does not match "
+                f"m={self._code.m}"
+            )

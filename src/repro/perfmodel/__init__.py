@@ -1,0 +1,35 @@
+"""Analytical performance models for the raw-performance figures (4 and 5)."""
+
+from repro.perfmodel.latency import (
+    FIGURE5_OPERATIONS,
+    LatencyComponents,
+    LatencyModel,
+    LatencySample,
+)
+from repro.perfmodel.linkmodel import (
+    LinkModel,
+    PathModel,
+    SwitchModel,
+    TrafficGeneratorModel,
+)
+from repro.perfmodel.throughput import (
+    FIGURE4_FRAME_SIZES,
+    SwitchOperation,
+    ThroughputModel,
+    ThroughputSample,
+)
+
+__all__ = [
+    "FIGURE5_OPERATIONS",
+    "LatencyComponents",
+    "LatencyModel",
+    "LatencySample",
+    "LinkModel",
+    "PathModel",
+    "SwitchModel",
+    "TrafficGeneratorModel",
+    "FIGURE4_FRAME_SIZES",
+    "SwitchOperation",
+    "ThroughputModel",
+    "ThroughputSample",
+]

@@ -1,0 +1,142 @@
+"""Round-trip latency model regenerating Figure 5.
+
+The experiment behind Figure 5 has one server send packets to itself through
+the programmable switch and measures the round-trip time.  The reported RTT
+(≈ 10–15 µs) is dominated by the two traversals of the server's network
+stack and NIC; the switch adds a constant sub-microsecond pipeline latency
+that does not depend on which ZipLine program is loaded — which is exactly
+the paper's conclusion ("the addition of ZipLine has no noticeable effect on
+raw performance").
+
+:class:`LatencyModel` composes the path out of explicit components so the
+claim can be examined: host transmit path, NIC + PCIe, wire serialisation,
+switch pipeline (twice, since the packet crosses the switch out and back),
+and host receive path.  Samples carry log-normal-ish jitter typical of
+kernel-bypass measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.perfmodel.linkmodel import LinkModel, SwitchModel
+
+__all__ = ["LatencyComponents", "LatencySample", "LatencyModel", "FIGURE5_OPERATIONS"]
+
+#: The switch operations of Figure 5.
+FIGURE5_OPERATIONS = ("no_op", "encode", "decode")
+
+
+@dataclass(frozen=True)
+class LatencyComponents:
+    """The fixed components of one direction of the path (seconds)."""
+
+    host_transmit: float = 1.5e-6
+    nic_and_pcie: float = 1.0e-6
+    host_receive: float = 1.5e-6
+
+    def one_way_host_cost(self) -> float:
+        """Host-side cost of one traversal (send + receive side)."""
+        return self.host_transmit + self.nic_and_pcie + self.host_receive
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One RTT measurement (microseconds)."""
+
+    operation: str
+    rtt_us: float
+
+
+class LatencyModel:
+    """Compute Figure 5 RTT distributions.
+
+    Parameters
+    ----------
+    components:
+        Host/NIC latency components.
+    link / switch:
+        Wire and pipeline models.
+    frame_bytes:
+        Size of the probe frames (the raw_ethernet_lat default of 64 bytes).
+    extra_program_latency:
+        Additional pipeline latency attributable to the ZipLine programs —
+        zero by default, which is the paper's finding; the ablation
+        benchmark sweeps it.
+    jitter_fraction:
+        Relative spread of the measurement jitter.
+    """
+
+    def __init__(
+        self,
+        components: Optional[LatencyComponents] = None,
+        link: Optional[LinkModel] = None,
+        switch: Optional[SwitchModel] = None,
+        frame_bytes: int = 64,
+        extra_program_latency: float = 0.0,
+        jitter_fraction: float = 0.04,
+        seed: int = 7,
+    ):
+        if frame_bytes <= 0:
+            raise ReproError("frame size must be positive")
+        if extra_program_latency < 0:
+            raise ReproError("extra program latency cannot be negative")
+        if jitter_fraction < 0:
+            raise ReproError("jitter fraction cannot be negative")
+        self.components = components or LatencyComponents()
+        self.link = link or LinkModel()
+        self.switch = switch or SwitchModel()
+        self.frame_bytes = frame_bytes
+        self.extra_program_latency = extra_program_latency
+        self.jitter_fraction = jitter_fraction
+        self._rng = random.Random(seed)
+
+    # -- deterministic value --------------------------------------------------------
+
+    def round_trip_time(self, operation: str = "no_op") -> float:
+        """The model's central RTT value for an operation, in seconds.
+
+        The packet crosses the switch twice (out to the loopback and back),
+        and each crossing serialises the frame onto the wire twice.
+        """
+        program_latency = self.switch.pipeline_latency
+        if operation != "no_op":
+            program_latency += self.extra_program_latency
+        one_direction = (
+            self.components.host_transmit
+            + self.components.nic_and_pcie
+            + 2 * self.link.serialisation_delay(self.frame_bytes)
+            + program_latency
+            + self.components.nic_and_pcie
+            + self.components.host_receive
+        )
+        return 2 * one_direction
+
+    def round_trip_time_us(self, operation: str = "no_op") -> float:
+        """Central RTT in microseconds."""
+        return self.round_trip_time(operation) * 1e6
+
+    # -- sampled measurements ---------------------------------------------------------
+
+    def sample(self, operation: str = "no_op") -> LatencySample:
+        """One jittered RTT measurement."""
+        base = self.round_trip_time(operation)
+        jitter = self._rng.gauss(0.0, self.jitter_fraction)
+        # Latency jitter is one-sided in practice (queueing only adds time).
+        value = base * (1.0 + abs(jitter))
+        return LatencySample(operation=operation, rtt_us=value * 1e6)
+
+    def samples(self, operation: str = "no_op", count: int = 10) -> List[LatencySample]:
+        """Repeated RTT measurements (the paper repeats 10 times)."""
+        if count <= 0:
+            raise ReproError("sample count must be positive")
+        return [self.sample(operation) for _ in range(count)]
+
+    def figure5(
+        self, operations: Sequence[str] = FIGURE5_OPERATIONS, count: int = 10
+    ) -> Dict[str, List[LatencySample]]:
+        """The full Figure 5 dataset: RTT samples per operation."""
+        return {operation: self.samples(operation, count) for operation in operations}

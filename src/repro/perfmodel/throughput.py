@@ -1,0 +1,150 @@
+"""Throughput model regenerating Figure 4.
+
+The experiment behind Figure 4 transfers raw Ethernet frames of 64, 1500 and
+9000 bytes for 10 seconds through the switch running (a) a plain forwarding
+program, (b) the ZipLine encode program and (c) the ZipLine decode program,
+and reports Gbit/s and Mpkt/s.  The paper's observation — and the property
+the model encodes — is that the three programs are indistinguishable because
+none of them recirculates or duplicates packets; the measured numbers are
+set by the traffic-generating server for small frames and by the 100 GbE
+line rate for jumbo frames.
+
+:class:`ThroughputModel` also accepts the actual
+:class:`~repro.tofino.pipeline.Pipeline` objects of the encoder and decoder
+programs and *verifies* the no-recirculation precondition against them
+instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.perfmodel.linkmodel import PathModel
+from repro.tofino.pipeline import Pipeline
+
+__all__ = ["SwitchOperation", "ThroughputSample", "ThroughputModel", "FIGURE4_FRAME_SIZES"]
+
+#: The frame sizes of Figure 4.
+FIGURE4_FRAME_SIZES = (64, 1500, 9000)
+
+#: The switch operations of Figure 4.
+SWITCH_OPERATIONS = ("no_op", "encode", "decode")
+
+
+@dataclass(frozen=True)
+class SwitchOperation:
+    """One of the three programs loaded on the switch during the experiment."""
+
+    name: str
+    pipeline: Optional[Pipeline] = None
+
+    def is_line_rate_safe(self) -> bool:
+        """True when the program avoids recirculation and duplication."""
+        if self.pipeline is None:
+            return True
+        return not self.pipeline.uses_forbidden_features
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One Figure 4 bar: an operation × frame-size measurement."""
+
+    operation: str
+    frame_bytes: int
+    throughput_gbps: float
+    packet_rate_mpps: float
+    bottleneck: str
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "operation": self.operation,
+            "frame_bytes": self.frame_bytes,
+            "throughput_gbps": self.throughput_gbps,
+            "packet_rate_mpps": self.packet_rate_mpps,
+            "bottleneck": self.bottleneck,
+        }
+
+
+class ThroughputModel:
+    """Compute the Figure 4 series from the path model.
+
+    Parameters
+    ----------
+    path:
+        The link/switch/generator model.
+    measurement_noise:
+        Relative standard deviation applied to each repeated measurement, so
+        the 10-repetition averages carry realistic confidence intervals.
+    seed:
+        RNG seed for the noise.
+    """
+
+    def __init__(
+        self,
+        path: Optional[PathModel] = None,
+        measurement_noise: float = 0.01,
+        seed: int = 42,
+    ):
+        if measurement_noise < 0:
+            raise ReproError("measurement noise cannot be negative")
+        self.path = path or PathModel()
+        self.measurement_noise = measurement_noise
+        self._rng = random.Random(seed)
+
+    # -- single measurements ------------------------------------------------------
+
+    def measure(
+        self, operation: SwitchOperation, frame_bytes: int, noisy: bool = False
+    ) -> ThroughputSample:
+        """One operation × frame-size point of Figure 4."""
+        if frame_bytes <= 0:
+            raise ReproError("frame size must be positive")
+        if not operation.is_line_rate_safe():
+            raise ReproError(
+                f"operation {operation.name!r} uses recirculation/duplication; "
+                "the line-rate model does not apply"
+            )
+        packet_rate = self.path.achievable_packet_rate(frame_bytes)
+        throughput = self.path.achievable_throughput_bps(frame_bytes)
+        if noisy and self.measurement_noise:
+            factor = 1.0 + self._rng.gauss(0.0, self.measurement_noise)
+            factor = max(0.0, min(factor, 1.0))  # measurements never exceed the model
+            packet_rate *= factor
+            throughput *= factor
+        return ThroughputSample(
+            operation=operation.name,
+            frame_bytes=frame_bytes,
+            throughput_gbps=throughput / 1e9,
+            packet_rate_mpps=packet_rate / 1e6,
+            bottleneck=self.path.bottleneck(frame_bytes),
+        )
+
+    def repeated_measurements(
+        self, operation: SwitchOperation, frame_bytes: int, repetitions: int = 10
+    ) -> List[ThroughputSample]:
+        """Repeat a measurement (the paper repeats everything 10 times)."""
+        if repetitions <= 0:
+            raise ReproError("repetitions must be positive")
+        return [
+            self.measure(operation, frame_bytes, noisy=True) for _ in range(repetitions)
+        ]
+
+    # -- full figure ------------------------------------------------------------------
+
+    def figure4(
+        self,
+        operations: Optional[Sequence[SwitchOperation]] = None,
+        frame_sizes: Sequence[int] = FIGURE4_FRAME_SIZES,
+    ) -> List[ThroughputSample]:
+        """Every bar of Figure 4 (no noise: the model's central values)."""
+        if operations is None:
+            operations = [SwitchOperation(name) for name in SWITCH_OPERATIONS]
+        samples = []
+        for operation in operations:
+            for frame_bytes in frame_sizes:
+                samples.append(self.measure(operation, frame_bytes))
+        return samples

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate shared by the switch and control plane."""
+
+from repro.sim.events import (
+    Event,
+    EventHandle,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    SECONDS,
+)
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "NANOSECONDS",
+    "SECONDS",
+    "Simulator",
+]

@@ -1,0 +1,99 @@
+"""Event primitives for the discrete-event simulator.
+
+The control-plane latency experiment (the paper's 1.77 ms dynamic-learning
+measurement) and the trace-replay machinery need a notion of simulated time:
+packets arrive at a given rate, digests reach the control plane after a
+delay, table writes complete after another delay.  A small discrete-event
+simulator keeps this deterministic and fast; wall-clock time never enters
+the model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "EventHandle", "SECONDS", "MILLISECONDS", "MICROSECONDS", "NANOSECONDS"]
+
+#: Canonical time units, expressed in seconds.  All simulator timestamps are
+#: floats in seconds; these constants keep call sites readable
+#: (``clock.now + 1.77 * MILLISECONDS``).
+SECONDS = 1.0
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+NANOSECONDS = 1e-9
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, priority, sequence)`` so that simultaneous
+    events run in a deterministic order: lower priority value first, then
+    insertion order.  The callback and its description are excluded from the
+    ordering comparison.
+    """
+
+    time: float
+    priority: int
+    sequence: int = field(compare=True)
+    callback: Callable[[], Any] = field(compare=False)
+    description: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    @classmethod
+    def create(
+        cls,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        description: str = "",
+    ) -> "Event":
+        """Build an event with an automatically assigned sequence number."""
+        if time < 0:
+            raise SimulationError(f"event time must be non-negative, got {time}")
+        if not callable(callback):
+            raise SimulationError("event callback must be callable")
+        return cls(
+            time=time,
+            priority=priority,
+            sequence=next(_sequence),
+            callback=callback,
+            description=description,
+        )
+
+
+class EventHandle:
+    """Handle returned by the simulator's ``schedule`` methods.
+
+    Allows cancelling a pending event without digging into the event queue.
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    reaches the front.
+    """
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled execution time in seconds."""
+        return self._event.time
+
+    @property
+    def description(self) -> str:
+        """Human-readable description of the event."""
+        return self._event.description
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from running (idempotent)."""
+        self._event.cancelled = True

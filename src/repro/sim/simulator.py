@@ -1,0 +1,174 @@
+"""A small, deterministic discrete-event simulator.
+
+:class:`Simulator` is the time base shared by the Tofino switch model, the
+control plane and the traffic generators.  It is intentionally minimal: a
+monotonic clock, a binary-heap event queue, and run/step primitives.  All
+components that need time accept a ``Simulator`` (or share one through
+:class:`repro.zipline.deployment.Deployment`), so experiments are exactly
+reproducible and independent of wall-clock speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.events import Event, EventHandle
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator with a seconds-based clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule_in(1.77e-3, lambda: install_mapping(...))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        if start_time < 0:
+            raise SimulationError(f"start time must be non-negative, got {start_time}")
+        self._now = start_time
+        self._queue: List[Event] = []
+        self._executed_events = 0
+        self._running = False
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._executed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        description: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.9f}s, which is before the "
+                f"current time {self._now:.9f}s"
+            )
+        event = Event.create(time, callback, priority=priority, description=description)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        description: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, description=description
+        )
+
+    def schedule_now(
+        self, callback: Callable[[], Any], priority: int = 0, description: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` at the current time (runs after current event)."""
+        return self.schedule_at(
+            self._now, callback, priority=priority, description=description
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event {event.description!r} scheduled in the past "
+                    f"({event.time:.9f}s < {self._now:.9f}s)"
+                )
+            self._now = event.time
+            event.callback()
+            self._executed_events += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or a cap.
+
+        Returns the number of events executed by this call.  ``until`` is an
+        absolute simulated time; events scheduled exactly at ``until`` still
+        run.  ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                if self.step():
+                    executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration`` simulated seconds from the current time."""
+        if duration < 0:
+            raise SimulationError(f"duration must be non-negative, got {duration}")
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def _peek(self) -> Optional[Event]:
+        """The next non-cancelled event without removing it, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without executing events (testing helper)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards ({time:.9f}s < {self._now:.9f}s)"
+            )
+        next_event = self._peek()
+        if next_event is not None and next_event.time < time:
+            raise SimulationError(
+                "cannot advance past pending events; run() them instead"
+            )
+        self._now = time
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._executed_events = 0

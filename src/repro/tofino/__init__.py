@@ -1,0 +1,79 @@
+"""Functional model of the Tofino / TNA data plane used by ZipLine."""
+
+from repro.tofino.constraints import (
+    ALIGNMENT_BITS,
+    ResourceTracker,
+    ResourceUsage,
+    TofinoResourceProfile,
+    check_header_alignment,
+    containers_for_field,
+    header_field_padding,
+)
+from repro.tofino.counters import Counter, CounterSample, CounterType, NamedCounterSet
+from repro.tofino.crc_extern import CrcExtern, CrcPolynomial
+from repro.tofino.digest import DigestEngine, DigestMessage
+from repro.tofino.parser import (
+    ACCEPT,
+    REJECT,
+    Deparser,
+    Header,
+    HeaderType,
+    ParsedPacket,
+    Parser,
+    ParserState,
+)
+from repro.tofino.pipeline import (
+    DEFAULT_PIPELINE_LATENCY,
+    PacketContext,
+    Pipeline,
+    PipelineResult,
+)
+from repro.tofino.registers import Register, RegisterAction, RegisterArray
+from repro.tofino.switch import PortStats, TofinoSwitch
+from repro.tofino.tables import (
+    ActionSpec,
+    MatchActionTable,
+    MatchKind,
+    MatchResult,
+    TableEntry,
+)
+
+__all__ = [
+    "ALIGNMENT_BITS",
+    "ResourceTracker",
+    "ResourceUsage",
+    "TofinoResourceProfile",
+    "check_header_alignment",
+    "containers_for_field",
+    "header_field_padding",
+    "Counter",
+    "CounterSample",
+    "CounterType",
+    "NamedCounterSet",
+    "CrcExtern",
+    "CrcPolynomial",
+    "DigestEngine",
+    "DigestMessage",
+    "ACCEPT",
+    "REJECT",
+    "Deparser",
+    "Header",
+    "HeaderType",
+    "ParsedPacket",
+    "Parser",
+    "ParserState",
+    "DEFAULT_PIPELINE_LATENCY",
+    "PacketContext",
+    "Pipeline",
+    "PipelineResult",
+    "Register",
+    "RegisterAction",
+    "RegisterArray",
+    "PortStats",
+    "TofinoSwitch",
+    "ActionSpec",
+    "MatchActionTable",
+    "MatchKind",
+    "MatchResult",
+    "TableEntry",
+]

@@ -1,0 +1,135 @@
+"""Digests: the data plane's asynchronous channel to the control plane.
+
+When the ZipLine data plane sees an unknown basis it emits a *digest*
+containing the basis; the control plane receives it (after a batching and
+delivery delay), allocates an identifier and installs the mappings.  This
+latency is the dominant part of the paper's measured (1.77 ± 0.08) ms
+learning delay, so the model makes it explicit and configurable:
+
+* digests are queued by the data plane with zero cost;
+* a batch is delivered to subscribers after ``delivery_latency`` seconds
+  (TNA batches digests; the default models the digest DMA + driver path);
+* the queue has a finite depth — overflowing digests are dropped and
+  counted, as on the real ASIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ControlPlaneError
+from repro.sim.simulator import Simulator
+
+__all__ = ["DigestMessage", "DigestEngine"]
+
+#: Default latency between the data plane emitting a digest and the control
+#: plane callback running (seconds).  Chosen so the end-to-end learning time
+#: (digest + processing + two table writes) lands near the paper's 1.77 ms.
+DEFAULT_DELIVERY_LATENCY = 0.9e-3
+
+
+@dataclass(frozen=True)
+class DigestMessage:
+    """One digest record as seen by the control plane."""
+
+    digest_type: str
+    data: Dict[str, Any]
+    emitted_at: float
+    delivered_at: float
+
+
+class DigestEngine:
+    """Queue and deliver digests from the data plane to subscribers.
+
+    Parameters
+    ----------
+    simulator:
+        The shared discrete-event simulator; delivery happens on its clock.
+        When ``None`` the engine delivers synchronously (useful for unit
+        tests of the data plane alone).
+    delivery_latency:
+        Seconds between emission and the subscriber callback.
+    queue_depth:
+        Maximum number of undelivered digests; further digests are dropped.
+    """
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        delivery_latency: float = DEFAULT_DELIVERY_LATENCY,
+        queue_depth: int = 2048,
+    ):
+        if delivery_latency < 0:
+            raise ControlPlaneError("delivery latency cannot be negative")
+        if queue_depth <= 0:
+            raise ControlPlaneError("queue depth must be positive")
+        self._simulator = simulator
+        self._delivery_latency = delivery_latency
+        self._queue_depth = queue_depth
+        self._subscribers: Dict[str, List[Callable[[DigestMessage], None]]] = {}
+        self._in_flight = 0
+        self.emitted = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def delivery_latency(self) -> float:
+        """Configured emission → callback latency in seconds."""
+        return self._delivery_latency
+
+    def subscribe(self, digest_type: str, callback: Callable[[DigestMessage], None]) -> None:
+        """Register a control-plane callback for a digest type."""
+        if not callable(callback):
+            raise ControlPlaneError("digest callback must be callable")
+        self._subscribers.setdefault(digest_type, []).append(callback)
+
+    def unsubscribe_all(self, digest_type: str) -> None:
+        """Remove every subscriber of a digest type."""
+        self._subscribers.pop(digest_type, None)
+
+    # -- data-plane side --------------------------------------------------------
+
+    def emit(self, digest_type: str, data: Dict[str, Any]) -> bool:
+        """Emit one digest from the data plane.
+
+        Returns ``False`` (and counts a drop) when the queue is full.
+        Delivery is scheduled on the simulator when one is attached,
+        otherwise the callbacks run immediately.
+        """
+        self.emitted += 1
+        if self._in_flight >= self._queue_depth:
+            self.dropped += 1
+            return False
+        now = self._simulator.now if self._simulator is not None else 0.0
+        message = DigestMessage(
+            digest_type=digest_type,
+            data=dict(data),
+            emitted_at=now,
+            delivered_at=now + self._delivery_latency,
+        )
+        self._in_flight += 1
+        if self._simulator is None:
+            self._deliver(message)
+        else:
+            self._simulator.schedule_in(
+                self._delivery_latency,
+                lambda message=message: self._deliver(message),
+                description=f"digest:{digest_type}",
+            )
+        return True
+
+    # -- delivery ------------------------------------------------------------------
+
+    def _deliver(self, message: DigestMessage) -> None:
+        self._in_flight -= 1
+        self.delivered += 1
+        for callback in self._subscribers.get(message.digest_type, []):
+            callback(message)
+
+    @property
+    def in_flight(self) -> int:
+        """Digests emitted but not yet delivered."""
+        return self._in_flight

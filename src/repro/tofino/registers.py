@@ -1,0 +1,194 @@
+"""Data-plane register arrays and stateful ALU actions.
+
+The paper's first design kept the basis-ID mappings in data-plane registers
+before moving them to control-plane-managed tables; registers remain part
+of the model because they illustrate the constant-time constraint the
+authors describe (every register action must touch a single index and run
+in bounded time).  The model enforces exactly that: a
+:class:`RegisterAction` reads one cell, applies a pure function, writes the
+cell back and optionally returns a value — no loops, no global scans.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from repro.exceptions import RegisterError
+
+__all__ = ["Register", "RegisterArray", "RegisterAction"]
+
+T = TypeVar("T")
+
+
+class Register:
+    """A single data-plane register cell of ``width`` bits."""
+
+    def __init__(self, width: int, initial: int = 0, name: str = ""):
+        if width <= 0:
+            raise RegisterError(f"register width must be positive, got {width}")
+        self._width = width
+        self._mask = (1 << width) - 1
+        if initial < 0 or initial > self._mask:
+            raise RegisterError(
+                f"initial value {initial:#x} does not fit in {width} bits"
+            )
+        self._value = initial
+        self.name = name or "register"
+
+    @property
+    def width(self) -> int:
+        """Cell width in bits."""
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """Current value."""
+        return self._value
+
+    def read(self) -> int:
+        """Read the register (control-plane style access)."""
+        return self._value
+
+    def write(self, value: int) -> None:
+        """Write the register (control-plane style access)."""
+        if value < 0 or value > self._mask:
+            raise RegisterError(
+                f"value {value:#x} does not fit in {self._width} bits"
+            )
+        self._value = value
+
+
+class RegisterArray:
+    """An indexed array of register cells, as declared by ``Register<>(size)``."""
+
+    def __init__(self, size: int, width: int, initial: int = 0, name: str = ""):
+        if size <= 0:
+            raise RegisterError(f"register array size must be positive, got {size}")
+        if width <= 0:
+            raise RegisterError(f"register width must be positive, got {width}")
+        self._size = size
+        self._width = width
+        self._mask = (1 << width) - 1
+        if initial < 0 or initial > self._mask:
+            raise RegisterError(
+                f"initial value {initial:#x} does not fit in {width} bits"
+            )
+        self._cells: List[int] = [initial] * size
+        self.name = name or "register_array"
+        self._accesses = 0
+
+    @property
+    def size(self) -> int:
+        """Number of cells."""
+        return self._size
+
+    @property
+    def width(self) -> int:
+        """Cell width in bits."""
+        return self._width
+
+    @property
+    def accesses(self) -> int:
+        """Number of data-plane accesses performed (reads + read-modify-writes)."""
+        return self._accesses
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise RegisterError(
+                f"{self.name}: index {index} out of range [0, {self._size})"
+            )
+
+    # Control-plane style accessors -----------------------------------------
+
+    def read(self, index: int) -> int:
+        """Read one cell (control-plane access; not counted as data plane)."""
+        self._check_index(index)
+        return self._cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write one cell (control-plane access)."""
+        self._check_index(index)
+        if value < 0 or value > self._mask:
+            raise RegisterError(
+                f"{self.name}: value {value:#x} does not fit in {self._width} bits"
+            )
+        self._cells[index] = value
+
+    def dump(self) -> List[int]:
+        """Copy of every cell (control-plane sync / debugging)."""
+        return list(self._cells)
+
+    def clear(self, value: int = 0) -> None:
+        """Reset every cell to ``value`` (control-plane access)."""
+        if value < 0 or value > self._mask:
+            raise RegisterError(f"value {value:#x} does not fit in {self._width} bits")
+        self._cells = [value] * self._size
+
+    # Data-plane access -------------------------------------------------------
+
+    def execute(self, index: int, action: "RegisterAction") -> Optional[int]:
+        """Run a register action against one cell (data-plane access)."""
+        self._check_index(index)
+        self._accesses += 1
+        current = self._cells[index]
+        new_value, output = action.apply(current)
+        if new_value < 0 or new_value > self._mask:
+            raise RegisterError(
+                f"{self.name}: action produced value {new_value:#x} that does not "
+                f"fit in {self._width} bits"
+            )
+        self._cells[index] = new_value
+        return output
+
+
+class RegisterAction:
+    """A constant-time read-modify-write on a single register cell.
+
+    Mirrors the TNA ``RegisterAction`` extern: the ``update`` callable
+    receives the current cell value and returns ``(new_value, output)``.
+    The callable must be a pure function of its argument — the model cannot
+    verify purity, but it does enforce single-cell access by construction.
+    """
+
+    def __init__(
+        self,
+        update: Callable[[int], Tuple[int, Optional[int]]],
+        name: str = "",
+    ):
+        if not callable(update):
+            raise RegisterError("register action update must be callable")
+        self._update = update
+        self.name = name or "register_action"
+
+    def apply(self, current: int) -> Tuple[int, Optional[int]]:
+        """Apply the update function to the current cell value."""
+        result = self._update(current)
+        if not isinstance(result, tuple) or len(result) != 2:
+            raise RegisterError(
+                f"{self.name}: update must return (new_value, output), got {result!r}"
+            )
+        return result
+
+    # Common canned actions, provided for convenience ------------------------
+
+    @classmethod
+    def read_only(cls) -> "RegisterAction":
+        """Return the cell value without modifying it."""
+        return cls(lambda value: (value, value), name="read")
+
+    @classmethod
+    def overwrite(cls, new_value: int) -> "RegisterAction":
+        """Overwrite the cell and return the previous value."""
+        return cls(lambda value: (new_value, value), name="overwrite")
+
+    @classmethod
+    def increment(cls, amount: int = 1, modulo: Optional[int] = None) -> "RegisterAction":
+        """Increment the cell (optionally modulo a bound), returning the new value."""
+
+        def update(value: int) -> Tuple[int, Optional[int]]:
+            new_value = value + amount
+            if modulo is not None:
+                new_value %= modulo
+            return new_value, new_value
+
+        return cls(update, name="increment")

@@ -1,0 +1,177 @@
+"""The switch chassis: ports, links and the pipeline that processes frames.
+
+:class:`TofinoSwitch` models the part of the Wedge100BF-32X that the
+experiments interact with: 32 front-panel 100 GbE ports, a programmable
+pipeline, a digest path towards the control plane, and per-port counters.
+Frames are injected on a port (by a host model or a trace replayer), run
+through the pipeline, and are delivered to whatever is attached to the
+egress port.
+
+Timing uses the shared discrete-event simulator when one is attached: the
+pipeline latency is added between ingress and delivery.  Without a
+simulator the switch degrades gracefully to an immediate, functional-only
+mode, which is what most unit tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import PipelineError
+from repro.sim.simulator import Simulator
+from repro.tofino.counters import CounterSample, NamedCounterSet
+from repro.tofino.digest import DigestEngine
+from repro.tofino.pipeline import Pipeline, PipelineResult
+
+__all__ = ["PortStats", "TofinoSwitch"]
+
+#: Number of front-panel ports on the modelled switch (Wedge100BF-32X).
+DEFAULT_PORT_COUNT = 32
+
+#: Port speed in bits per second (100 GbE).
+DEFAULT_PORT_SPEED = 100e9
+
+PortSink = Callable[[bytes, float], None]
+
+
+@dataclass
+class PortStats:
+    """Per-port packet and byte counters."""
+
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+
+
+class TofinoSwitch:
+    """A programmable switch: ports + pipeline + digest engine.
+
+    Parameters
+    ----------
+    name:
+        Switch name (used in reports and error messages).
+    pipeline:
+        The P4-equivalent program to run on every received frame.
+    simulator:
+        Optional shared simulator; enables latency modelling and timed digest
+        delivery.
+    port_count / port_speed:
+        Front-panel port configuration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pipeline: Pipeline,
+        simulator: Optional[Simulator] = None,
+        port_count: int = DEFAULT_PORT_COUNT,
+        port_speed: float = DEFAULT_PORT_SPEED,
+        digest_engine: Optional[DigestEngine] = None,
+    ):
+        if port_count <= 0:
+            raise PipelineError(f"port count must be positive, got {port_count}")
+        if port_speed <= 0:
+            raise PipelineError(f"port speed must be positive, got {port_speed}")
+        self.name = name
+        self.pipeline = pipeline
+        self.simulator = simulator
+        self.port_count = port_count
+        self.port_speed = port_speed
+        self.digest_engine = digest_engine or DigestEngine(simulator)
+        self._sinks: Dict[int, PortSink] = {}
+        self._port_stats: Dict[int, PortStats] = {
+            port: PortStats() for port in range(port_count)
+        }
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_port(self, port: int, sink: PortSink) -> None:
+        """Attach a receiver callback to an egress port.
+
+        ``sink(frame_bytes, time)`` is called whenever the switch transmits
+        on that port.
+        """
+        self._check_port(port)
+        if not callable(sink):
+            raise PipelineError("port sink must be callable")
+        self._sinks[port] = sink
+
+    def detach_port(self, port: int) -> None:
+        """Remove the receiver attached to a port."""
+        self._check_port(port)
+        self._sinks.pop(port, None)
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.port_count:
+            raise PipelineError(
+                f"{self.name}: port {port} out of range [0, {self.port_count})"
+            )
+
+    # -- data path ----------------------------------------------------------------
+
+    def receive(self, frame: bytes, ingress_port: int) -> PipelineResult:
+        """Process a frame arriving on ``ingress_port``.
+
+        Counts the frame, runs the pipeline, emits any digests the program
+        produced, and delivers the output frame to the attached sink (after
+        the pipeline latency when a simulator is attached).
+        """
+        self._check_port(ingress_port)
+        stats = self._port_stats[ingress_port]
+        stats.rx_packets += 1
+        stats.rx_bytes += len(frame)
+
+        result = self.pipeline.process(frame, ingress_port)
+
+        for digest_type, data in result.digests:
+            self.digest_engine.emit(digest_type, data)
+
+        if result.egress_port is not None and result.frame is not None:
+            self._transmit(result.egress_port, result.frame, result.latency)
+        return result
+
+    def _transmit(self, port: int, frame: bytes, latency: float) -> None:
+        self._check_port(port)
+        stats = self._port_stats[port]
+        stats.tx_packets += 1
+        stats.tx_bytes += len(frame)
+        sink = self._sinks.get(port)
+        if sink is None:
+            return
+        if self.simulator is None:
+            sink(frame, 0.0)
+            return
+        deliver_at = self.simulator.now + latency
+
+        def deliver(frame=frame, deliver_at=deliver_at) -> None:
+            sink(frame, deliver_at)
+
+        self.simulator.schedule_in(latency, deliver, description=f"{self.name}:tx:{port}")
+
+    # -- statistics -----------------------------------------------------------------
+
+    def port_stats(self, port: int) -> PortStats:
+        """Counters of one port."""
+        self._check_port(port)
+        return self._port_stats[port]
+
+    def total_rx_packets(self) -> int:
+        """Total packets received across all ports."""
+        return sum(stats.rx_packets for stats in self._port_stats.values())
+
+    def total_tx_packets(self) -> int:
+        """Total packets transmitted across all ports."""
+        return sum(stats.tx_packets for stats in self._port_stats.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate switch counters (ports + pipeline)."""
+        summary = {
+            "rx_packets": self.total_rx_packets(),
+            "tx_packets": self.total_tx_packets(),
+            "digests_emitted": self.digest_engine.emitted,
+            "digests_dropped": self.digest_engine.dropped,
+        }
+        summary.update(self.pipeline.summary())
+        return summary

@@ -1,0 +1,15 @@
+"""Workload generators and trace containers for the evaluation."""
+
+from repro.workloads.dns import DnsQuery, DnsQueryWorkload, PAPER_DNS_QUERY_BYTES
+from repro.workloads.synthetic import PAPER_SYNTHETIC_CHUNKS, SyntheticSensorWorkload
+from repro.workloads.traces import ChunkTrace, TraceStats
+
+__all__ = [
+    "DnsQuery",
+    "DnsQueryWorkload",
+    "PAPER_DNS_QUERY_BYTES",
+    "PAPER_SYNTHETIC_CHUNKS",
+    "SyntheticSensorWorkload",
+    "ChunkTrace",
+    "TraceStats",
+]

@@ -1,0 +1,313 @@
+"""Synthetic campus-DNS workload (stand-in for the paper's real trace).
+
+The paper replays "a day of DNS queries at a 4000 users university campus"
+(the public Mendeley dataset by Singh et al.), filtered to "only keep
+queries of 34 B going to the main DNS resolver of the campus, excluding the
+DNS transaction identifier which is a random number".
+
+The real capture is not redistributable here, so this module generates a
+statistically similar trace (documented substitution in DESIGN.md):
+
+* a pool of campus-like fully qualified domain names whose DNS encoding
+  makes every query message exactly 34 bytes long (12-byte header, 18-byte
+  QNAME, 4 bytes of QTYPE/QCLASS);
+* query popularity follows a Zipf distribution — a few names (the campus
+  portal, mail, the LMS, OS update hosts) dominate, a long tail appears
+  rarely, which is what campus resolvers see;
+* transaction identifiers are uniformly random, exactly the field the paper
+  excludes from compression.
+
+The 32-byte chunk replayed through ZipLine is the query message *minus* the
+2-byte transaction identifier — the same filtering step the paper applies —
+so the chunk size matches the paper's 256-bit configuration exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.ip import build_udp_packet
+from repro.net.mac import MacAddress
+from repro.workloads.traces import ChunkTrace
+
+__all__ = ["DnsQuery", "DnsQueryWorkload", "PAPER_DNS_QUERY_BYTES"]
+
+#: Size of the filtered queries in the paper's dataset.
+PAPER_DNS_QUERY_BYTES = 34
+
+#: QTYPE values used by the generator (A dominates, some AAAA).
+_QTYPE_A = 1
+_QTYPE_AAAA = 28
+_QCLASS_IN = 1
+_DNS_PORT = 53
+
+#: Standard-query flags (recursion desired).
+_QUERY_FLAGS = 0x0100
+
+#: Target DNS message size: header(12) + qname(18) + qtype(2) + qclass(2).
+_TARGET_QNAME_ENCODED_BYTES = 18
+
+
+def _encode_qname(name: str) -> bytes:
+    """DNS label encoding of a dotted name."""
+    encoded = bytearray()
+    for label in name.split("."):
+        if not label or len(label) > 63:
+            raise WorkloadError(f"invalid DNS label in {name!r}")
+        encoded.append(len(label))
+        encoded.extend(label.encode("ascii"))
+    encoded.append(0)
+    return bytes(encoded)
+
+
+def _decode_qname(data: bytes) -> Tuple[str, int]:
+    """Decode a DNS QNAME; returns ``(name, bytes_consumed)``."""
+    labels: List[str] = []
+    offset = 0
+    while True:
+        if offset >= len(data):
+            raise WorkloadError("truncated QNAME")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        labels.append(data[offset : offset + length].decode("ascii"))
+        offset += length
+    return ".".join(labels), offset
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """One generated DNS query."""
+
+    transaction_id: int
+    name: str
+    qtype: int
+
+    def message(self) -> bytes:
+        """The full DNS query message (34 bytes for the generated names)."""
+        header = struct.pack(
+            ">HHHHHH", self.transaction_id, _QUERY_FLAGS, 1, 0, 0, 0
+        )
+        question = _encode_qname(self.name) + struct.pack(">HH", self.qtype, _QCLASS_IN)
+        return header + question
+
+    def chunk(self) -> bytes:
+        """The message with the transaction identifier removed (32 bytes).
+
+        This is the value ZipLine compresses — the paper's filtering step
+        excludes the random transaction identifier.
+        """
+        return self.message()[2:]
+
+    @classmethod
+    def from_message(cls, message: bytes) -> "DnsQuery":
+        """Parse a query message produced by :meth:`message`."""
+        if len(message) < 16:
+            raise WorkloadError(f"DNS message of {len(message)} bytes is too short")
+        transaction_id, _flags, qdcount, _an, _ns, _ar = struct.unpack(
+            ">HHHHHH", message[:12]
+        )
+        if qdcount != 1:
+            raise WorkloadError(f"expected exactly one question, got {qdcount}")
+        name, consumed = _decode_qname(message[12:])
+        qtype, _qclass = struct.unpack(
+            ">HH", message[12 + consumed : 12 + consumed + 4]
+        )
+        return cls(transaction_id=transaction_id, name=name, qtype=qtype)
+
+
+class DnsQueryWorkload:
+    """Generate a Zipf-skewed stream of 34-byte DNS queries.
+
+    Parameters
+    ----------
+    num_queries:
+        Number of queries to generate (the paper's filtered day of traffic is
+        on the order of 7 × 10^5 queries; the default is scaled down).
+    distinct_names:
+        Size of the queried-name pool.
+    zipf_exponent:
+        Skew of the name popularity distribution (1.0–1.2 is typical for
+        DNS).
+    aaaa_fraction:
+        Fraction of queries using QTYPE AAAA instead of A.
+    seed:
+        RNG seed for deterministic generation.
+    client_subnet / resolver_ip:
+        Addressing used when emitting full packets.
+    """
+
+    def __init__(
+        self,
+        num_queries: int = 100_000,
+        distinct_names: int = 400,
+        zipf_exponent: float = 1.1,
+        aaaa_fraction: float = 0.15,
+        seed: int = 2016,
+        client_subnet: str = "10.20.0.0",
+        resolver_ip: str = "10.1.1.53",
+    ):
+        if num_queries <= 0:
+            raise WorkloadError(f"num_queries must be positive, got {num_queries}")
+        if distinct_names <= 0:
+            raise WorkloadError(f"distinct_names must be positive, got {distinct_names}")
+        if zipf_exponent <= 0:
+            raise WorkloadError(f"zipf_exponent must be positive, got {zipf_exponent}")
+        if not 0.0 <= aaaa_fraction <= 1.0:
+            raise WorkloadError(f"aaaa_fraction must be within [0, 1], got {aaaa_fraction}")
+        self.num_queries = num_queries
+        self.distinct_names = distinct_names
+        self.zipf_exponent = zipf_exponent
+        self.aaaa_fraction = aaaa_fraction
+        self.seed = seed
+        self.client_subnet = client_subnet
+        self.resolver_ip = resolver_ip
+        self._names: Optional[List[str]] = None
+        self._cumulative: Optional[List[float]] = None
+
+    # -- name pool --------------------------------------------------------------
+
+    _DEPARTMENTS = (
+        "cs", "ee", "me", "ce", "bio", "phy", "chm", "mat", "law", "med",
+        "lib", "adm", "hr", "fin", "net", "it",
+    )
+    _SERVICES = (
+        "www", "mail", "lms", "vpn", "git", "wiki", "sso", "cdn", "ntp",
+        "erp", "db", "api", "app", "fs", "dc", "px",
+    )
+
+    def names(self) -> List[str]:
+        """The pool of queried names (deterministic for a given seed).
+
+        Every name is exactly 16 characters long so its DNS encoding is the
+        18 bytes needed for a 34-byte query message.
+        """
+        if self._names is not None:
+            return self._names
+        rng = random.Random(self.seed)
+        pool: List[str] = []
+        seen = set()
+        while len(pool) < self.distinct_names:
+            service = rng.choice(self._SERVICES)
+            department = rng.choice(self._DEPARTMENTS)
+            # Layout: <service+digits>.<department>.uni.in — pad the host
+            # label with digits so the full name is exactly 16 characters.
+            suffix = f".{department}.uni.in"
+            host_length = 16 - len(suffix)
+            if host_length < len(service):
+                continue
+            digits_needed = host_length - len(service)
+            host = service + "".join(
+                rng.choice(string.digits) for _ in range(digits_needed)
+            )
+            name = host + suffix
+            if len(name) != 16 or name in seen:
+                continue
+            if len(_encode_qname(name)) != _TARGET_QNAME_ENCODED_BYTES:
+                continue
+            seen.add(name)
+            pool.append(name)
+        self._names = pool
+        return pool
+
+    def _zipf_cumulative(self) -> List[float]:
+        """Cumulative Zipf weights over the name pool."""
+        if self._cumulative is not None:
+            return self._cumulative
+        weights = [1.0 / ((rank + 1) ** self.zipf_exponent) for rank in range(self.distinct_names)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+        return cumulative
+
+    def _pick_name(self, rng: random.Random) -> str:
+        """Draw one name according to the Zipf distribution."""
+        cumulative = self._zipf_cumulative()
+        names = self.names()
+        value = rng.random()
+        low, high = 0, len(cumulative) - 1
+        while low < high:
+            middle = (low + high) // 2
+            if cumulative[middle] < value:
+                low = middle + 1
+            else:
+                high = middle
+        return names[low]
+
+    # -- query generation ------------------------------------------------------------
+
+    def iter_queries(self, num_queries: Optional[int] = None) -> Iterator[DnsQuery]:
+        """Lazily generate queries."""
+        count = self.num_queries if num_queries is None else num_queries
+        if count <= 0:
+            raise WorkloadError(f"query count must be positive, got {count}")
+        rng = random.Random(self.seed + 1)
+        for _ in range(count):
+            qtype = _QTYPE_AAAA if rng.random() < self.aaaa_fraction else _QTYPE_A
+            yield DnsQuery(
+                transaction_id=rng.getrandbits(16),
+                name=self._pick_name(rng),
+                qtype=qtype,
+            )
+
+    def queries(self, num_queries: Optional[int] = None) -> List[DnsQuery]:
+        """Eagerly generate a list of queries."""
+        return list(self.iter_queries(num_queries))
+
+    def chunks(self, num_queries: Optional[int] = None) -> List[bytes]:
+        """The 32-byte chunks ZipLine compresses (txid removed)."""
+        return [query.chunk() for query in self.iter_queries(num_queries)]
+
+    def trace(self, num_queries: Optional[int] = None, name: str = "dns") -> ChunkTrace:
+        """A :class:`ChunkTrace` of the filtered queries."""
+        return ChunkTrace(self.chunks(num_queries), name=name)
+
+    def query_bytes(self, num_queries: Optional[int] = None) -> int:
+        """Total size of the unfiltered query messages (34 bytes each)."""
+        count = self.num_queries if num_queries is None else num_queries
+        return count * PAPER_DNS_QUERY_BYTES
+
+    # -- full packets (pcap realism) ----------------------------------------------------
+
+    def packets(
+        self,
+        num_queries: Optional[int] = None,
+        client_mac: Optional[MacAddress] = None,
+        resolver_mac: Optional[MacAddress] = None,
+    ) -> List[bytes]:
+        """Full Ethernet/IPv4/UDP/DNS frames, as a campus capture would contain."""
+        rng = random.Random(self.seed + 2)
+        client_mac = client_mac or MacAddress("02:aa:00:00:00:01")
+        resolver_mac = resolver_mac or MacAddress("02:aa:00:00:00:53")
+        base_octets = self.client_subnet.split(".")
+        frames: List[bytes] = []
+        for query in self.iter_queries(num_queries):
+            client_ip = f"{base_octets[0]}.{base_octets[1]}.{rng.randrange(1, 255)}.{rng.randrange(1, 255)}"
+            packet = build_udp_packet(
+                source_ip=client_ip,
+                destination_ip=self.resolver_ip,
+                source_port=rng.randrange(1024, 65535),
+                destination_port=_DNS_PORT,
+                payload=query.message(),
+                identification=rng.getrandbits(16),
+            )
+            frame = EthernetFrame(
+                destination=resolver_mac,
+                source=client_mac,
+                ethertype=EtherType.IPV4,
+                payload=packet,
+            )
+            frames.append(frame.to_bytes())
+        return frames

@@ -1,0 +1,306 @@
+"""The ZipLine *decoding* switch: the P4-equivalent decompression program.
+
+Implements the Figure 2 workflow on the Tofino model:
+
+1. the parser extracts the Ethernet header and then, depending on the
+   EtherType, the type-3 (compressed) or type-2 (uncompressed) ZipLine
+   header (➊);
+2. for a compressed packet, the identifier → basis table (kept in sync by
+   the control plane) recovers the basis (➋);
+3. the basis is zero-padded and pushed through the same CRC extern as the
+   encoder to recover the parity bits (➌, ➍);
+4. the syndrome → XOR-mask table gives the deviation mask (➎), which is
+   applied to the reassembled codeword (➏) to restore the original chunk
+   (➐);
+5. the packet leaves the switch as a raw chunk packet again.
+
+Frames that are neither type 2 nor type 3 are forwarded untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.bits import mask
+from repro.core.transform import GDTransform
+from repro.exceptions import PipelineError
+from repro.net.ethernet import EtherType
+from repro.sim.simulator import Simulator
+from repro.tofino.constraints import ResourceUsage
+from repro.tofino.counters import NamedCounterSet
+from repro.tofino.crc_extern import CrcExtern, CrcPolynomial
+from repro.tofino.digest import DigestEngine
+from repro.tofino.parser import ACCEPT, Deparser, Header, Parser, ParserState
+from repro.tofino.pipeline import PacketContext, Pipeline
+from repro.tofino.switch import TofinoSwitch
+from repro.tofino.tables import ActionSpec, MatchActionTable
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK, ZipLineHeaderSet
+
+__all__ = ["ZipLineDecoderSwitch"]
+
+#: Counter labels, mirroring the packet classifications of Section 5.
+COUNTER_LABELS = [
+    "compressed_to_raw",
+    "uncompressed_to_raw",
+    "unknown_identifier",
+    "passthrough_other",
+]
+
+
+class ZipLineDecoderSwitch:
+    """A Tofino switch running the ZipLine decoding program.
+
+    The constructor parameters mirror :class:`ZipLineEncoderSwitch`; the
+    decode direction needs the same transform and identifier width so the
+    header formats agree.
+    """
+
+    def __init__(
+        self,
+        name: str = "zipline-decoder",
+        transform: Optional[GDTransform] = None,
+        identifier_bits: int = 15,
+        simulator: Optional[Simulator] = None,
+        forwarding: Optional[Dict[int, int]] = None,
+        default_egress_port: int = 1,
+        digest_engine: Optional[DigestEngine] = None,
+    ):
+        self._transform = transform or GDTransform(order=8)
+        self._identifier_bits = identifier_bits
+        self._headers = ZipLineHeaderSet.build(self._transform, identifier_bits)
+        self._forwarding = dict(forwarding or {})
+        self._default_egress_port = default_egress_port
+        self._simulator = simulator
+
+        code = self._transform.code
+        self._syndrome_bits = code.m
+        self._crc = CrcExtern(CrcPolynomial(coeff=code.crc_parameter, width=code.m))
+
+        self._syndrome_table = self._build_syndrome_table()
+        self._identifier_table = self._build_identifier_table()
+        self.counters = NamedCounterSet(COUNTER_LABELS, name=f"{name}-counters")
+
+        pipeline = Pipeline(
+            name=f"{name}-pipeline",
+            parser=self._build_parser(),
+            ingress=self._ingress,
+            deparser=Deparser(["ethernet", "chunk", "type3", "type2"]),
+        )
+        self._register_resources(pipeline)
+        self.switch = TofinoSwitch(
+            name=name,
+            pipeline=pipeline,
+            simulator=simulator,
+            digest_engine=digest_engine or DigestEngine(simulator),
+        )
+
+    # -- program construction ---------------------------------------------------
+
+    def _build_parser(self) -> Parser:
+        headers = self._headers
+        states = [
+            ParserState(
+                name="start",
+                extract=("ethernet", headers.ethernet),
+                select_field=("ethernet", "ether_type"),
+                transitions={
+                    EtherType.ZIPLINE_UNCOMPRESSED: "parse_type2",
+                    EtherType.ZIPLINE_COMPRESSED: "parse_type3",
+                    ETHERTYPE_RAW_CHUNK: "parse_chunk",
+                },
+                default=ACCEPT,
+            ),
+            ParserState(name="parse_type2", extract=("type2", headers.type2)),
+            ParserState(name="parse_type3", extract=("type3", headers.type3)),
+            ParserState(name="parse_chunk", extract=("chunk", headers.chunk)),
+        ]
+        return Parser(states, start="start")
+
+    def _build_syndrome_table(self) -> MatchActionTable:
+        """Const-entry syndrome → XOR-mask table (shared shape with the encoder)."""
+        code = self._transform.code
+        table = MatchActionTable(
+            name="syndrome_mask",
+            key_bits=code.m,
+            size=1 << code.m,
+            actions=[ActionSpec("set_mask", ("flip_mask",)), ActionSpec("NoAction")],
+            default_action="NoAction",
+        )
+        rows = (
+            (syndrome, "set_mask", {"flip_mask": code.error_mask(syndrome)})
+            for syndrome in range(1 << code.m)
+            if syndrome == 0 or code.error_position(syndrome) is not None
+        )
+        table.add_const_entries(rows)
+        return table
+
+    def _build_identifier_table(self) -> MatchActionTable:
+        """The identifier → basis exact-match table written by the control plane."""
+        return MatchActionTable(
+            name="id_to_basis",
+            key_bits=self._identifier_bits,
+            size=1 << self._identifier_bits,
+            actions=[ActionSpec("set_basis", ("basis",)), ActionSpec("miss")],
+            default_action="miss",
+        )
+
+    def _register_resources(self, pipeline: Pipeline) -> None:
+        tracker = pipeline.resources
+        tracker.register(
+            ResourceUsage(
+                name="syndrome_mask",
+                stage=1,
+                sram_blocks=tracker.sram_blocks_for_table(
+                    entries=1 << self._syndrome_bits,
+                    key_bits=self._syndrome_bits,
+                    action_bits=min(self._transform.code.n, 256),
+                ),
+                entries=1 << self._syndrome_bits,
+            )
+        )
+        tracker.register(
+            ResourceUsage(
+                name="id_to_basis",
+                stage=3,
+                sram_blocks=min(
+                    tracker.profile.sram_blocks_per_stage,
+                    tracker.sram_blocks_for_table(
+                        entries=1 << self._identifier_bits,
+                        key_bits=self._identifier_bits,
+                        action_bits=self._transform.basis_bits,
+                    ),
+                ),
+                entries=1 << self._identifier_bits,
+            )
+        )
+
+    # -- the ingress control block ------------------------------------------------------
+
+    def _ingress(self, context: PacketContext) -> None:
+        packet = context.packet
+        now = self._simulator.now if self._simulator is not None else 0.0
+        ethernet = packet.header("ethernet")
+        frame_bytes = 14 + sum(
+            header.header_type.total_bytes
+            for header in packet.headers.values()
+            if header.valid and header.header_type.name != "ethernet_h"
+        ) + len(packet.payload)
+
+        if packet.has_valid("type3"):
+            self._decode_compressed(context, ethernet, now, frame_bytes)
+        elif packet.has_valid("type2"):
+            self._decode_uncompressed(context, ethernet, frame_bytes)
+        else:
+            self.counters.count("passthrough_other", frame_bytes)
+
+        if not context.drop_flag:
+            context.send_to_port(
+                self._forwarding.get(context.ingress_port, self._default_egress_port)
+            )
+
+    def _decode_compressed(
+        self, context: PacketContext, ethernet: Header, now: float, frame_bytes: int
+    ) -> None:
+        packet = context.packet
+        type3 = packet.header("type3")
+        identifier = type3["identifier"]
+        syndrome = type3["syndrome"]
+        prefix = type3["prefix"] if self._transform.prefix_bits else 0
+
+        lookup = self._identifier_table.lookup(identifier, now=now)
+        if not lookup.hit or lookup.action != "set_basis":
+            # A compressed packet whose mapping is unknown cannot be restored;
+            # the control plane's install ordering should make this impossible.
+            self.counters.count("unknown_identifier", frame_bytes)
+            context.drop()
+            return
+        basis = lookup.params["basis"]
+        type3.valid = False
+        self._emit_chunk(packet, ethernet, prefix, basis, syndrome)
+        self.counters.count("compressed_to_raw", frame_bytes)
+
+    def _decode_uncompressed(
+        self, context: PacketContext, ethernet: Header, frame_bytes: int
+    ) -> None:
+        packet = context.packet
+        type2 = packet.header("type2")
+        basis = type2["basis"]
+        syndrome = type2["syndrome"]
+        prefix = type2["prefix"] if self._transform.prefix_bits else 0
+        type2.valid = False
+        self._emit_chunk(packet, ethernet, prefix, basis, syndrome)
+        self.counters.count("uncompressed_to_raw", frame_bytes)
+
+    def _emit_chunk(
+        self,
+        packet,
+        ethernet: Header,
+        prefix: int,
+        basis: int,
+        syndrome: int,
+    ) -> None:
+        """Rebuild the original chunk from basis + syndrome (Figure 2 ➌–➐)."""
+        code = self._transform.code
+        # Step ➌/➍: zero-pad the basis and recompute the parity bits with the
+        # same CRC extern the encoder used.
+        parity = self._crc.get([(basis, code.k), (0, code.m)])
+        codeword = (basis << code.m) | parity
+        # Steps ➎/➏: the syndrome mask flips the deviated bit back.
+        result = self._syndrome_table.lookup(syndrome)
+        flip_mask = result.params.get("flip_mask", 0)
+        body = codeword ^ flip_mask
+
+        chunk = Header(self._headers.chunk)
+        if self._transform.prefix_bits:
+            chunk["prefix"] = prefix
+        chunk["body"] = body
+        chunk.valid = True
+        packet.headers["chunk"] = chunk
+        ethernet["ether_type"] = ETHERTYPE_RAW_CHUNK
+
+    # -- control-plane interface --------------------------------------------------------
+
+    def install_identifier_mapping(self, identifier: int, basis: Hashable) -> None:
+        """Install (or replace) an identifier → basis entry."""
+        existing = self._identifier_table.get_entry(identifier)
+        if existing is not None:
+            self._identifier_table.modify_entry(identifier, "set_basis", {"basis": basis})
+            return
+        self._identifier_table.add_entry(identifier, "set_basis", {"basis": basis})
+
+    def remove_identifier_mapping(self, identifier: int) -> None:
+        """Remove an identifier → basis entry (no-op when absent)."""
+        if self._identifier_table.get_entry(identifier) is not None:
+            self._identifier_table.delete_entry(identifier)
+
+    # -- convenience ----------------------------------------------------------------------
+
+    @property
+    def transform(self) -> GDTransform:
+        """The GD transform the program was built with."""
+        return self._transform
+
+    @property
+    def headers(self) -> ZipLineHeaderSet:
+        """The header set (payload sizes) of the program."""
+        return self._headers
+
+    @property
+    def identifier_table(self) -> MatchActionTable:
+        """The identifier → basis table (for tests and telemetry)."""
+        return self._identifier_table
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The underlying pipeline."""
+        return self.switch.pipeline
+
+    def set_forwarding(self, ingress_port: int, egress_port: int) -> None:
+        """Add or change a static forwarding entry."""
+        if ingress_port < 0 or egress_port < 0:
+            raise PipelineError("ports must be non-negative")
+        self._forwarding[ingress_port] = egress_port
+
+    def receive(self, frame: bytes, ingress_port: int):
+        """Process one frame (delegates to the underlying switch)."""
+        return self.switch.receive(frame, ingress_port)

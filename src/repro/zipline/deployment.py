@@ -1,0 +1,301 @@
+"""End-to-end ZipLine deployment: hosts, two switches, control plane.
+
+The deployment reproduces the paper's testbed topology in simulated form::
+
+    sender host ──> [ZipLine encoder switch] ──(tapped 100 GbE hop)──>
+                    [ZipLine decoder switch] ──> receiver host
+
+The hop between the two switches is the one whose traffic ZipLine reduces;
+a :class:`~repro.zipline.stats.LinkTap` records every frame crossing it so
+the Figure 3 byte accounting and the dynamic-learning timing can be read
+off directly.  The control plane is attached to the encoder's digest engine
+and writes mappings into both switches with the configured latencies.
+
+Three scenarios map onto the paper's Figure 3 bars:
+
+* ``no_table`` — the control plane never installs mappings (digest handling
+  disabled), every processed packet stays type 2;
+* ``static`` — the mappings for every basis in the trace are installed
+  before the replay starts;
+* ``dynamic`` — mappings are learned from digests during the replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.controlplane.manager import ControlPlaneTimings, ZipLineControlPlane
+from repro.core.transform import GDTransform
+from repro.exceptions import ReproError
+from repro.net.ethernet import EthernetFrame
+from repro.net.mac import MacAddress
+from repro.net.packets import PacketKind, classify_frame
+from repro.sim.simulator import Simulator
+from repro.tofino.digest import DEFAULT_DELIVERY_LATENCY, DigestEngine
+from repro.zipline.decoder_switch import ZipLineDecoderSwitch
+from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+from repro.zipline.stats import CompressionSummary, LinkTap
+
+__all__ = ["DeploymentScenario", "ReceiverHost", "ZipLineDeployment"]
+
+
+class DeploymentScenario(Enum):
+    """Figure 3 scenario selector."""
+
+    NO_TABLE = "no_table"
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+    @classmethod
+    def from_name(cls, name: "str | DeploymentScenario") -> "DeploymentScenario":
+        """Parse a scenario from its name or pass an instance through."""
+        if isinstance(name, DeploymentScenario):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(scenario.value for scenario in cls)
+            raise ReproError(
+                f"unknown scenario {name!r}; valid scenarios: {valid}"
+            ) from None
+
+
+@dataclass
+class ReceivedFrame:
+    """A frame delivered to the receiver host."""
+
+    time: float
+    frame: EthernetFrame
+    kind: PacketKind
+
+
+class ReceiverHost:
+    """The destination server: collects delivered frames and their payloads."""
+
+    def __init__(self, name: str = "receiver"):
+        self.name = name
+        self.frames: List[ReceivedFrame] = []
+
+    def deliver(self, frame_bytes: bytes, time: float) -> None:
+        """Port-sink callback attached to the decoder's host-facing port."""
+        frame = EthernetFrame.from_bytes(frame_bytes)
+        self.frames.append(
+            ReceivedFrame(time=time, frame=frame, kind=classify_frame(frame))
+        )
+
+    def received_chunks(self) -> List[bytes]:
+        """Payloads of every received raw-chunk frame, in arrival order."""
+        return [
+            record.frame.payload
+            for record in self.frames
+            if record.frame.ethertype == ETHERTYPE_RAW_CHUNK
+        ]
+
+    def clear(self) -> None:
+        """Forget every delivered frame."""
+        self.frames.clear()
+
+
+class ZipLineDeployment:
+    """Two ZipLine switches, a control plane and a pair of hosts.
+
+    Parameters
+    ----------
+    scenario:
+        ``no_table``, ``static`` or ``dynamic``.
+    transform:
+        GD transform (defaults to the paper's ``m = 8`` / 256-bit chunks).
+    identifier_bits:
+        Identifier width (15 in the paper).
+    static_bases:
+        Bases to preload when the scenario is ``static``.
+    digest_latency / timings:
+        Latency model of the learning path; the defaults reproduce the
+        paper's 1.77 ms.
+    entry_ttl:
+        Idle TTL for encoder entries (``None`` disables expiry-based
+        recycling; LRU recycling on pool exhaustion still applies).
+    """
+
+    SENDER_PORT = 0          # encoder port facing the sender host
+    INTER_SWITCH_PORT = 1    # encoder port facing the decoder switch
+    DECODER_IN_PORT = 0      # decoder port facing the encoder switch
+    RECEIVER_PORT = 1        # decoder port facing the receiver host
+
+    def __init__(
+        self,
+        scenario: "str | DeploymentScenario" = DeploymentScenario.DYNAMIC,
+        transform: Optional[GDTransform] = None,
+        identifier_bits: int = 15,
+        static_bases: Optional[Iterable[int]] = None,
+        digest_latency: float = DEFAULT_DELIVERY_LATENCY,
+        timings: Optional[ControlPlaneTimings] = None,
+        entry_ttl: Optional[float] = None,
+        seed: Optional[int] = 0,
+    ):
+        self.scenario = DeploymentScenario.from_name(scenario)
+        self.transform = transform or GDTransform(order=8)
+        self.identifier_bits = identifier_bits
+        self.simulator = Simulator()
+
+        self.sender_mac = MacAddress("02:00:00:00:00:01")
+        self.receiver_mac = MacAddress("02:00:00:00:00:02")
+
+        digest_engine = DigestEngine(self.simulator, delivery_latency=digest_latency)
+        self.encoder = ZipLineEncoderSwitch(
+            name="encoder",
+            transform=self.transform,
+            identifier_bits=identifier_bits,
+            simulator=self.simulator,
+            forwarding={self.SENDER_PORT: self.INTER_SWITCH_PORT},
+            default_egress_port=self.INTER_SWITCH_PORT,
+            entry_ttl=entry_ttl,
+            digest_engine=digest_engine,
+        )
+        self.decoder = ZipLineDecoderSwitch(
+            name="decoder",
+            transform=self.transform,
+            identifier_bits=identifier_bits,
+            simulator=self.simulator,
+            forwarding={self.DECODER_IN_PORT: self.RECEIVER_PORT},
+            default_egress_port=self.RECEIVER_PORT,
+        )
+
+        self.link_tap = LinkTap()
+        self.receiver = ReceiverHost()
+        self._wire_topology()
+
+        self.control_plane: Optional[ZipLineControlPlane] = None
+        if self.scenario is not DeploymentScenario.NO_TABLE:
+            self.control_plane = ZipLineControlPlane(
+                digest_engine=digest_engine,
+                encoder_switch=self.encoder,
+                decoder_switch=self.decoder,
+                simulator=self.simulator,
+                identifier_bits=identifier_bits,
+                entry_ttl=entry_ttl,
+                timings=timings,
+                seed=seed,
+            )
+        if self.scenario is DeploymentScenario.STATIC:
+            if static_bases is None:
+                raise ReproError("the static scenario requires static_bases")
+            self.control_plane.preload_static_mappings(static_bases)
+
+        self._chunks_sent = 0
+        self._payload_bytes_sent = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _wire_topology(self) -> None:
+        def inter_switch_link(frame_bytes: bytes, time: float) -> None:
+            self.link_tap.observe(frame_bytes, time)
+            self.decoder.receive(frame_bytes, self.DECODER_IN_PORT)
+
+        self.encoder.switch.attach_port(self.INTER_SWITCH_PORT, inter_switch_link)
+        self.decoder.switch.attach_port(self.RECEIVER_PORT, self.receiver.deliver)
+
+    # -- traffic injection -----------------------------------------------------------
+
+    def build_chunk_frame(self, chunk: bytes) -> EthernetFrame:
+        """Wrap a chunk payload into a raw-chunk Ethernet frame."""
+        if len(chunk) != self.transform.chunk_bytes:
+            raise ReproError(
+                f"chunk of {len(chunk)} bytes does not match the configured "
+                f"{self.transform.chunk_bytes}-byte chunks"
+            )
+        return EthernetFrame(
+            destination=self.receiver_mac,
+            source=self.sender_mac,
+            ethertype=ETHERTYPE_RAW_CHUNK,
+            payload=chunk,
+        )
+
+    def send_chunk(self, chunk: bytes, at_time: Optional[float] = None) -> None:
+        """Schedule the injection of one chunk at ``at_time`` (now by default)."""
+        frame_bytes = self.build_chunk_frame(chunk).to_bytes()
+        self._chunks_sent += 1
+        self._payload_bytes_sent += len(chunk)
+
+        def inject(frame_bytes=frame_bytes) -> None:
+            self.encoder.receive(frame_bytes, self.SENDER_PORT)
+
+        if at_time is None or at_time <= self.simulator.now:
+            self.simulator.schedule_now(inject, description="inject chunk")
+        else:
+            self.simulator.schedule_at(at_time, inject, description="inject chunk")
+
+    def replay_chunks(
+        self,
+        chunks: Sequence[bytes],
+        packet_rate: float,
+        start_time: float = 0.0,
+    ) -> None:
+        """Schedule a constant-rate replay of ``chunks`` (packets per second)."""
+        if packet_rate <= 0:
+            raise ReproError(f"packet rate must be positive, got {packet_rate}")
+        interval = 1.0 / packet_rate
+        for index, chunk in enumerate(chunks):
+            self.send_chunk(chunk, at_time=start_time + index * interval)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation until the event queue drains (or ``until``)."""
+        self.simulator.run(until=until)
+
+    def replay_and_run(
+        self,
+        chunks: Sequence[bytes],
+        packet_rate: float = 1_000_000.0,
+    ) -> CompressionSummary:
+        """Replay a chunk list, run to completion, and summarise the results."""
+        self.replay_chunks(chunks, packet_rate)
+        self.run()
+        return self.summary()
+
+    # -- results -----------------------------------------------------------------------
+
+    def summary(self, dataset: str = "") -> CompressionSummary:
+        """Figure-3 style summary of everything sent so far."""
+        summary = CompressionSummary.from_link_tap(
+            self.link_tap,
+            original_payload_bytes=self._payload_bytes_sent,
+            dataset=dataset,
+            scenario=self.scenario.value,
+        )
+        summary.learning_time = self.learning_time()
+        return summary
+
+    def learning_time(self) -> Optional[float]:
+        """Gap between the first type-2 and the first type-3 frame on the hop.
+
+        This is exactly the paper's dynamic-learning measurement; ``None``
+        when one of the two packet types never appeared.
+        """
+        first_uncompressed = self.link_tap.first_time_of_kind(
+            PacketKind.PROCESSED_UNCOMPRESSED
+        )
+        first_compressed = self.link_tap.first_time_of_kind(
+            PacketKind.PROCESSED_COMPRESSED
+        )
+        if first_uncompressed is None or first_compressed is None:
+            return None
+        return max(0.0, first_compressed - first_uncompressed)
+
+    def verify_lossless(self, original_chunks: Sequence[bytes]) -> bool:
+        """True when the receiver got every chunk back, bit exact and in order."""
+        received = self.receiver.received_chunks()
+        if len(received) != len(original_chunks):
+            return False
+        return all(got == sent for got, sent in zip(received, original_chunks))
+
+    def reset_traffic(self) -> None:
+        """Clear taps, receiver state and counters, keeping learned mappings."""
+        self.link_tap.clear()
+        self.receiver.clear()
+        self._chunks_sent = 0
+        self._payload_bytes_sent = 0

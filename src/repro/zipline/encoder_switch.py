@@ -1,0 +1,348 @@
+"""The ZipLine *encoding* switch: the P4-equivalent compression program.
+
+This module assembles the Figure 1 workflow out of the Tofino primitives
+modelled in :mod:`repro.tofino`:
+
+1. the parser extracts the Ethernet header and, for frames carrying the
+   :data:`~repro.zipline.headers.ETHERTYPE_RAW_CHUNK` EtherType, the raw
+   chunk header (➊);
+2. the CRC extern configured with the Hamming generator polynomial computes
+   the syndrome (➋);
+3. a const-entry table maps the syndrome to the single-bit XOR mask (➌) and
+   the mask is applied to obtain the codeword (➍), whose top ``k`` bits are
+   the basis (➎);
+4. the basis → identifier table is consulted (➏); on a hit the packet is
+   rewritten as a type-3 header (➐,➑); on a miss it becomes a type-2 header
+   and a learn digest is emitted towards the control plane;
+5. already-processed frames (type 2/3) and frames with any other EtherType
+   are forwarded unchanged.
+
+The class exposes the narrow control-plane interface
+(:meth:`install_basis_mapping`, :meth:`remove_basis_mapping`,
+:meth:`expired_bases`) that :class:`repro.controlplane.ZipLineControlPlane`
+drives, plus the per-packet-type counters the paper's statistics rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.controlplane.manager import LEARN_DIGEST
+from repro.core.bits import mask
+from repro.core.transform import GDTransform
+from repro.exceptions import PipelineError
+from repro.net.ethernet import EtherType
+from repro.sim.simulator import Simulator
+from repro.tofino.constraints import ResourceUsage
+from repro.tofino.counters import NamedCounterSet
+from repro.tofino.crc_extern import CrcExtern, CrcPolynomial
+from repro.tofino.digest import DigestEngine
+from repro.tofino.parser import ACCEPT, Deparser, Header, Parser, ParserState
+from repro.tofino.pipeline import PacketContext, Pipeline
+from repro.tofino.switch import TofinoSwitch
+from repro.tofino.tables import ActionSpec, MatchActionTable
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK, ZipLineHeaderSet
+
+__all__ = ["ZipLineEncoderSwitch"]
+
+#: Counter labels, mirroring the packet classifications of Section 5.
+COUNTER_LABELS = [
+    "raw_to_uncompressed",
+    "raw_to_compressed",
+    "passthrough_processed",
+    "passthrough_other",
+]
+
+
+class ZipLineEncoderSwitch:
+    """A Tofino switch running the ZipLine encoding program.
+
+    Parameters
+    ----------
+    name:
+        Switch name.
+    transform:
+        GD transform describing chunk/basis/syndrome widths.
+    identifier_bits:
+        Identifier width ``t`` (dictionary capacity ``2**t``).
+    simulator:
+        Optional shared simulator for latency modelling.
+    forwarding:
+        Static ingress-port → egress-port map (the experiments wire port 0
+        towards the sender and port 1 towards the receiver).
+    default_egress_port:
+        Egress port when the ingress port has no forwarding entry.
+    entry_ttl:
+        Default TTL attached to basis → identifier entries (idle timeout).
+    """
+
+    def __init__(
+        self,
+        name: str = "zipline-encoder",
+        transform: Optional[GDTransform] = None,
+        identifier_bits: int = 15,
+        simulator: Optional[Simulator] = None,
+        forwarding: Optional[Dict[int, int]] = None,
+        default_egress_port: int = 1,
+        entry_ttl: Optional[float] = None,
+        digest_engine: Optional[DigestEngine] = None,
+    ):
+        self._transform = transform or GDTransform(order=8)
+        self._identifier_bits = identifier_bits
+        self._headers = ZipLineHeaderSet.build(self._transform, identifier_bits)
+        self._forwarding = dict(forwarding or {})
+        self._default_egress_port = default_egress_port
+        self._entry_ttl = entry_ttl
+        self._simulator = simulator
+
+        code = self._transform.code
+        self._syndrome_bits = code.m
+        self._basis_shift = code.m
+        self._body_mask = mask(code.n)
+
+        # CRC extern programmed with the Hamming generator polynomial.
+        self._crc = CrcExtern(
+            CrcPolynomial(coeff=code.crc_parameter, width=code.m)
+        )
+
+        self._syndrome_table = self._build_syndrome_table()
+        self._basis_table = self._build_basis_table()
+        self.counters = NamedCounterSet(COUNTER_LABELS, name=f"{name}-counters")
+
+        pipeline = Pipeline(
+            name=f"{name}-pipeline",
+            parser=self._build_parser(),
+            ingress=self._ingress,
+            deparser=Deparser(
+                ["ethernet", "type3", "type2", "chunk"]
+            ),
+        )
+        self._register_resources(pipeline)
+        self.switch = TofinoSwitch(
+            name=name,
+            pipeline=pipeline,
+            simulator=simulator,
+            digest_engine=digest_engine or DigestEngine(simulator),
+        )
+
+    # -- program construction ---------------------------------------------------
+
+    def _build_parser(self) -> Parser:
+        headers = self._headers
+        states = [
+            ParserState(
+                name="start",
+                extract=("ethernet", headers.ethernet),
+                select_field=("ethernet", "ether_type"),
+                transitions={
+                    ETHERTYPE_RAW_CHUNK: "parse_chunk",
+                    EtherType.ZIPLINE_UNCOMPRESSED: "parse_type2",
+                    EtherType.ZIPLINE_COMPRESSED: "parse_type3",
+                },
+                default=ACCEPT,
+            ),
+            ParserState(name="parse_chunk", extract=("chunk", headers.chunk)),
+            ParserState(name="parse_type2", extract=("type2", headers.type2)),
+            ParserState(name="parse_type3", extract=("type3", headers.type3)),
+        ]
+        return Parser(states, start="start")
+
+    def _build_syndrome_table(self) -> MatchActionTable:
+        """The const-entry syndrome → XOR-mask table (step ➌ of Figure 1)."""
+        code = self._transform.code
+        table = MatchActionTable(
+            name="syndrome_mask",
+            key_bits=code.m,
+            size=1 << code.m,
+            actions=[ActionSpec("set_mask", ("flip_mask",)), ActionSpec("NoAction")],
+            default_action="NoAction",
+        )
+        rows = (
+            (syndrome, "set_mask", {"flip_mask": code.error_mask(syndrome)})
+            for syndrome in range(1 << code.m)
+            if syndrome == 0 or code.error_position(syndrome) is not None
+        )
+        table.add_const_entries(rows)
+        return table
+
+    def _build_basis_table(self) -> MatchActionTable:
+        """The basis → identifier exact-match table managed by the control plane."""
+        return MatchActionTable(
+            name="basis_to_id",
+            key_bits=self._transform.basis_bits,
+            size=1 << self._identifier_bits,
+            actions=[ActionSpec("set_identifier", ("identifier",)), ActionSpec("learn")],
+            default_action="learn",
+            support_idle_timeout=True,
+        )
+
+    def _register_resources(self, pipeline: Pipeline) -> None:
+        """Account the program's tables against the Tofino resource budget."""
+        tracker = pipeline.resources
+        tracker.register(
+            ResourceUsage(
+                name="syndrome_mask",
+                stage=1,
+                sram_blocks=tracker.sram_blocks_for_table(
+                    entries=1 << self._syndrome_bits,
+                    key_bits=self._syndrome_bits,
+                    action_bits=min(self._transform.code.n, 256),
+                ),
+                entries=1 << self._syndrome_bits,
+            )
+        )
+        tracker.register(
+            ResourceUsage(
+                name="basis_to_id",
+                stage=3,
+                sram_blocks=min(
+                    tracker.profile.sram_blocks_per_stage,
+                    tracker.sram_blocks_for_table(
+                        entries=1 << self._identifier_bits,
+                        key_bits=self._transform.basis_bits,
+                        action_bits=self._identifier_bits,
+                    ),
+                ),
+                entries=1 << self._identifier_bits,
+            )
+        )
+
+    # -- the ingress control block -----------------------------------------------------
+
+    def _ingress(self, context: PacketContext) -> None:
+        packet = context.packet
+        now = self._simulator.now if self._simulator is not None else 0.0
+        ethernet = packet.header("ethernet")
+        frame_bytes = 14 + sum(
+            header.header_type.total_bytes
+            for header in packet.headers.values()
+            if header.valid and header.header_type.name != "ethernet_h"
+        ) + len(packet.payload)
+
+        if packet.has_valid("chunk"):
+            self._encode_chunk(context, ethernet, now, frame_bytes)
+        elif packet.has_valid("type2") or packet.has_valid("type3"):
+            self.counters.count("passthrough_processed", frame_bytes)
+        else:
+            self.counters.count("passthrough_other", frame_bytes)
+
+        context.send_to_port(
+            self._forwarding.get(context.ingress_port, self._default_egress_port)
+        )
+
+    def _encode_chunk(
+        self,
+        context: PacketContext,
+        ethernet: Header,
+        now: float,
+        frame_bytes: int,
+    ) -> None:
+        packet = context.packet
+        chunk = packet.header("chunk")
+        body = chunk["body"]
+        prefix = chunk["prefix"] if self._transform.prefix_bits else 0
+
+        # Step ➋: syndrome through the CRC extern.
+        syndrome = self._crc.get((body, self._transform.code.n))
+        # Steps ➌/➍: constant table gives the flip mask, XOR restores the codeword.
+        result = self._syndrome_table.lookup(syndrome, now=now)
+        flip_mask = result.params.get("flip_mask", 0)
+        codeword = body ^ flip_mask
+        # Step ➎: the basis is the message part of the codeword.
+        basis = codeword >> self._basis_shift
+
+        chunk.valid = False
+        lookup = self._basis_table.lookup(basis, now=now)
+        if lookup.hit and lookup.action == "set_identifier":
+            identifier = lookup.params["identifier"]
+            type3 = Header(self._headers.type3)
+            if self._transform.prefix_bits:
+                type3["prefix"] = prefix
+            type3["identifier"] = identifier
+            type3["syndrome"] = syndrome
+            type3.valid = True
+            packet.headers["type3"] = type3
+            ethernet["ether_type"] = EtherType.ZIPLINE_COMPRESSED
+            self.counters.count("raw_to_compressed", frame_bytes)
+        else:
+            type2 = Header(self._headers.type2)
+            if self._transform.prefix_bits:
+                type2["prefix"] = prefix
+            type2["basis"] = basis
+            type2["syndrome"] = syndrome
+            type2.valid = True
+            packet.headers["type2"] = type2
+            ethernet["ether_type"] = EtherType.ZIPLINE_UNCOMPRESSED
+            context.emit_digest(LEARN_DIGEST, {"basis": basis})
+            self.counters.count("raw_to_uncompressed", frame_bytes)
+
+    # -- control-plane interface ------------------------------------------------------
+
+    def install_basis_mapping(
+        self, basis: Hashable, identifier: int, ttl: Optional[float] = None
+    ) -> None:
+        """Install (or refresh) a basis → identifier entry."""
+        now = self._simulator.now if self._simulator is not None else 0.0
+        existing = self._basis_table.get_entry(basis)
+        if existing is not None:
+            self._basis_table.modify_entry(
+                basis, "set_identifier", {"identifier": identifier}
+            )
+            return
+        self._basis_table.add_entry(
+            basis,
+            "set_identifier",
+            {"identifier": identifier},
+            ttl=ttl if ttl is not None else self._entry_ttl,
+            now=now,
+        )
+
+    def remove_basis_mapping(self, basis: Hashable) -> None:
+        """Remove a basis → identifier entry (no-op when absent)."""
+        if self._basis_table.get_entry(basis) is not None:
+            self._basis_table.delete_entry(basis)
+
+    def expired_bases(self, now: float) -> List[Hashable]:
+        """Bases whose entries report an idle timeout."""
+        return [entry.key for entry in self._basis_table.expired_entries(now)]
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def transform(self) -> GDTransform:
+        """The GD transform the program was built with."""
+        return self._transform
+
+    @property
+    def headers(self) -> ZipLineHeaderSet:
+        """The header set (payload sizes) of the program."""
+        return self._headers
+
+    @property
+    def basis_table(self) -> MatchActionTable:
+        """The basis → identifier table (for tests and telemetry)."""
+        return self._basis_table
+
+    @property
+    def digest_engine(self) -> DigestEngine:
+        """The digest engine of the underlying switch."""
+        return self.switch.digest_engine
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The underlying pipeline."""
+        return self.switch.pipeline
+
+    def set_forwarding(self, ingress_port: int, egress_port: int) -> None:
+        """Add or change a static forwarding entry."""
+        if ingress_port < 0 or egress_port < 0:
+            raise PipelineError("ports must be non-negative")
+        self._forwarding[ingress_port] = egress_port
+
+    def receive(self, frame: bytes, ingress_port: int):
+        """Process one frame (delegates to the underlying switch)."""
+        return self.switch.receive(frame, ingress_port)
+
+    def known_bases(self) -> List[Hashable]:
+        """Bases currently present in the basis → identifier table."""
+        return [entry.key for entry in self._basis_table.entries()]

@@ -1,0 +1,162 @@
+"""Header definitions shared by the ZipLine encoder and decoder programs.
+
+The wire formats are derived from the GD transform parameters:
+
+* ``ethernet_h`` — the standard 14-byte Ethernet header;
+* ``chunk_h`` — a raw (type-1) chunk: the verbatim prefix bits followed by
+  the ``n`` bits that go through the Hamming code (256 bits total for the
+  paper's parameters);
+* ``type2_h`` — processed, uncompressed: prefix, basis, syndrome, plus the
+  explicit padding bits the byte-alignment constraint requires;
+* ``type3_h`` — processed, compressed: prefix, identifier, syndrome, plus
+  padding when needed (none for the paper's parameters).
+
+Raw chunks travel under the dedicated :data:`ETHERTYPE_RAW_CHUNK` EtherType;
+this is how the trace replays mark packets that the encoder should process
+(any other EtherType is forwarded untouched, like a regular switch would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bits import align_up
+from repro.core.transform import GDTransform
+from repro.exceptions import PacketError
+from repro.net.ethernet import EtherType
+from repro.tofino.parser import HeaderType
+
+__all__ = [
+    "ETHERTYPE_RAW_CHUNK",
+    "ZipLineHeaderSet",
+]
+
+#: EtherType marking a raw, yet-unprocessed chunk payload (packet type 1 in
+#: the paper's terminology, restricted to the payloads ZipLine processes).
+ETHERTYPE_RAW_CHUNK = 0x88B4
+
+
+@dataclass(frozen=True)
+class ZipLineHeaderSet:
+    """The four header types used by the ZipLine programs.
+
+    Built from a :class:`~repro.core.transform.GDTransform` plus the
+    identifier width; exposes the byte sizes the evaluation needs (e.g. the
+    33-byte type-2 and 3-byte type-3 payloads behind Figure 3).
+    """
+
+    ethernet: HeaderType
+    chunk: HeaderType
+    type2: HeaderType
+    type3: HeaderType
+    prefix_bits: int
+    body_bits: int
+    basis_bits: int
+    syndrome_bits: int
+    identifier_bits: int
+    type2_padding_bits: int
+    type3_padding_bits: int
+
+    @classmethod
+    def build(
+        cls,
+        transform: GDTransform,
+        identifier_bits: int = 15,
+        type2_padding_bits: Optional[int] = None,
+    ) -> "ZipLineHeaderSet":
+        """Derive the header set from transform parameters.
+
+        ``type2_padding_bits`` defaults to the minimum padding that byte
+        aligns the type-2 header, with the paper's one extra byte when the
+        fields happen to be aligned already (the measured 3 % overhead).
+        """
+        if identifier_bits <= 0:
+            raise PacketError("identifier_bits must be positive")
+
+        prefix_bits = transform.prefix_bits
+        body_bits = transform.code.n
+        basis_bits = transform.basis_bits
+        syndrome_bits = transform.deviation_bits
+
+        ethernet = HeaderType(
+            "ethernet_h",
+            [("dst_addr", 48), ("src_addr", 48), ("ether_type", 16)],
+        )
+
+        chunk_fields = []
+        if prefix_bits:
+            chunk_fields.append(("prefix", prefix_bits))
+        chunk_fields.append(("body", body_bits))
+        chunk = HeaderType("chunk_h", chunk_fields)
+
+        raw_type2 = prefix_bits + basis_bits + syndrome_bits
+        if type2_padding_bits is None:
+            type2_padding_bits = align_up(raw_type2, 8) - raw_type2
+            if type2_padding_bits == 0:
+                type2_padding_bits = 8
+        if (raw_type2 + type2_padding_bits) % 8:
+            raise PacketError(
+                f"type-2 header of {raw_type2} bits cannot be aligned with "
+                f"{type2_padding_bits} padding bits"
+            )
+        type2_fields = []
+        if prefix_bits:
+            type2_fields.append(("prefix", prefix_bits))
+        type2_fields.extend([("basis", basis_bits), ("syndrome", syndrome_bits)])
+        if type2_padding_bits:
+            type2_fields.append(("pad", type2_padding_bits))
+        type2 = HeaderType("zipline_type2_h", type2_fields)
+
+        raw_type3 = prefix_bits + identifier_bits + syndrome_bits
+        type3_padding_bits = align_up(raw_type3, 8) - raw_type3
+        type3_fields = []
+        if prefix_bits:
+            type3_fields.append(("prefix", prefix_bits))
+        type3_fields.extend(
+            [("identifier", identifier_bits), ("syndrome", syndrome_bits)]
+        )
+        if type3_padding_bits:
+            type3_fields.append(("pad", type3_padding_bits))
+        type3 = HeaderType("zipline_type3_h", type3_fields)
+
+        return cls(
+            ethernet=ethernet,
+            chunk=chunk,
+            type2=type2,
+            type3=type3,
+            prefix_bits=prefix_bits,
+            body_bits=body_bits,
+            basis_bits=basis_bits,
+            syndrome_bits=syndrome_bits,
+            identifier_bits=identifier_bits,
+            type2_padding_bits=type2_padding_bits,
+            type3_padding_bits=type3_padding_bits,
+        )
+
+    # -- payload sizes -----------------------------------------------------------
+
+    @property
+    def chunk_payload_bytes(self) -> int:
+        """Payload bytes of a type-1 (raw chunk) packet."""
+        return self.chunk.total_bytes
+
+    @property
+    def type2_payload_bytes(self) -> int:
+        """Payload bytes of a type-2 packet."""
+        return self.type2.total_bytes
+
+    @property
+    def type3_payload_bytes(self) -> int:
+        """Payload bytes of a type-3 packet."""
+        return self.type3.total_bytes
+
+    def describe(self) -> str:
+        """One-line summary of the wire formats."""
+        return (
+            f"chunk={self.chunk_payload_bytes}B, "
+            f"type2={self.type2_payload_bytes}B "
+            f"(pad {self.type2_padding_bits} bits), "
+            f"type3={self.type3_payload_bytes}B "
+            f"(pad {self.type3_padding_bits} bits)"
+        )

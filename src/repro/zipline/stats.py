@@ -1,0 +1,158 @@
+"""Result containers and byte accounting for ZipLine deployments.
+
+The Figure 3 experiment measures the total payload bytes that cross the
+compressed hop (between the encoding and the decoding switch), classified by
+packet type; this module provides the accounting objects the deployment
+fills in and the reporting helpers the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.packets import PacketKind, classify_frame
+
+__all__ = ["LinkTapRecord", "LinkTap", "CompressionSummary"]
+
+
+@dataclass(frozen=True)
+class LinkTapRecord:
+    """One frame observed on the tapped link."""
+
+    time: float
+    kind: PacketKind
+    frame_bytes: int
+    payload_bytes: int
+
+
+class LinkTap:
+    """Observe every frame crossing a link and keep per-type byte counts.
+
+    The tap sits between the encoding and decoding switches — the network
+    hop whose traffic volume ZipLine reduces — and records what the paper's
+    counters record: how many packets of each type crossed, and how many
+    payload bytes they carried.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[LinkTapRecord] = []
+
+    def observe(self, frame_bytes_raw: bytes, time: float) -> None:
+        """Record one frame (raw bytes as transmitted)."""
+        frame = EthernetFrame.from_bytes(frame_bytes_raw)
+        kind = classify_frame(frame)
+        self.records.append(
+            LinkTapRecord(
+                time=time,
+                kind=kind,
+                frame_bytes=len(frame_bytes_raw),
+                payload_bytes=frame.payload_bytes,
+            )
+        )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def count_by_kind(self) -> Dict[PacketKind, int]:
+        """Number of frames per packet type."""
+        counts: Dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
+        for record in self.records:
+            counts[record.kind] += 1
+        return counts
+
+    def payload_bytes_by_kind(self) -> Dict[PacketKind, int]:
+        """Payload bytes per packet type."""
+        totals: Dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
+        for record in self.records:
+            totals[record.kind] += record.payload_bytes
+        return totals
+
+    def total_payload_bytes(self) -> int:
+        """Payload bytes across every frame."""
+        return sum(record.payload_bytes for record in self.records)
+
+    def total_frames(self) -> int:
+        """Number of frames observed."""
+        return len(self.records)
+
+    def first_time_of_kind(self, kind: PacketKind) -> Optional[float]:
+        """Timestamp of the first frame of the given type, or ``None``.
+
+        The dynamic-learning experiment measures the gap between the first
+        type-2 and the first type-3 frame arriving at the receiver.
+        """
+        for record in self.records:
+            if record.kind is kind:
+                return record.time
+        return None
+
+    def clear(self) -> None:
+        """Drop every recorded frame."""
+        self.records.clear()
+
+
+@dataclass
+class CompressionSummary:
+    """Figure 3 style summary of one trace replay."""
+
+    original_payload_bytes: int
+    transmitted_payload_bytes: int
+    raw_packets: int = 0
+    uncompressed_packets: int = 0
+    compressed_packets: int = 0
+    learning_time: Optional[float] = None
+    dataset: str = ""
+    scenario: str = ""
+
+    @property
+    def total_packets(self) -> int:
+        """Total packets that crossed the compressed hop."""
+        return self.raw_packets + self.uncompressed_packets + self.compressed_packets
+
+    @property
+    def compression_ratio(self) -> float:
+        """Transmitted payload bytes over original payload bytes."""
+        if self.original_payload_bytes == 0:
+            return 0.0
+        return self.transmitted_payload_bytes / self.original_payload_bytes
+
+    @property
+    def savings_percent(self) -> float:
+        """Percentage of payload bytes saved by the compression."""
+        return 100.0 * (1.0 - self.compression_ratio)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "dataset": self.dataset,
+            "scenario": self.scenario,
+            "original_payload_bytes": self.original_payload_bytes,
+            "transmitted_payload_bytes": self.transmitted_payload_bytes,
+            "compression_ratio": self.compression_ratio,
+            "savings_percent": self.savings_percent,
+            "raw_packets": self.raw_packets,
+            "uncompressed_packets": self.uncompressed_packets,
+            "compressed_packets": self.compressed_packets,
+            "learning_time": self.learning_time,
+        }
+
+    @classmethod
+    def from_link_tap(
+        cls,
+        tap: LinkTap,
+        original_payload_bytes: int,
+        dataset: str = "",
+        scenario: str = "",
+    ) -> "CompressionSummary":
+        """Build a summary from a link tap's observations."""
+        counts = tap.count_by_kind()
+        return cls(
+            original_payload_bytes=original_payload_bytes,
+            transmitted_payload_bytes=tap.total_payload_bytes(),
+            raw_packets=counts[PacketKind.RAW],
+            uncompressed_packets=counts[PacketKind.PROCESSED_UNCOMPRESSED],
+            compressed_packets=counts[PacketKind.PROCESSED_COMPRESSED],
+            dataset=dataset,
+            scenario=scenario,
+        )

@@ -1,0 +1,133 @@
+"""Tests for the statistics, experiment-runner and reporting helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiment import ExperimentRunner
+from repro.analysis.reporting import (
+    ComparisonRow,
+    comparison_table,
+    format_table,
+    horizontal_bars,
+    save_results_json,
+)
+from repro.analysis.statistics import (
+    confidence_interval_95,
+    mean,
+    standard_deviation,
+    summarize,
+)
+from repro.exceptions import ReproError
+
+
+class TestStatistics:
+    def test_mean_and_std(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert mean(samples) == 2.5
+        assert standard_deviation(samples) == pytest.approx(1.29099, rel=1e-4)
+
+    def test_single_sample(self):
+        assert standard_deviation([5.0]) == 0.0
+        assert confidence_interval_95([5.0]) == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ReproError):
+            mean([])
+        with pytest.raises(ReproError):
+            standard_deviation([])
+        with pytest.raises(ReproError):
+            confidence_interval_95([])
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_confidence_interval_with_t_quantile(self):
+        # 10 samples -> t(9) = 2.262
+        samples = [10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.0]
+        expected = 2.262 * standard_deviation(samples) / (10 ** 0.5)
+        assert confidence_interval_95(samples) == pytest.approx(expected)
+
+    def test_large_sample_uses_normal_quantile(self):
+        samples = [float(i % 5) for i in range(100)]
+        expected = 1.96 * standard_deviation(samples) / 10.0
+        assert confidence_interval_95(samples) == pytest.approx(expected)
+
+    def test_summary_formatting_and_contains(self):
+        summary = summarize([1.7, 1.8, 1.75, 1.85, 1.72])
+        text = summary.format("ms")
+        assert "±" in text and "ms" in text
+        assert summary.contains(summary.mean)
+        assert not summary.contains(summary.mean + 10 * summary.ci95 + 1)
+        assert summary.as_dict()["count"] == 5
+        assert summary.minimum == 1.7
+        assert summary.maximum == 1.85
+
+
+class TestExperimentRunner:
+    def test_runs_the_paper_repetition_count(self):
+        runner = ExperimentRunner()
+        result = runner.run("probe", lambda index: float(index), unit="s")
+        assert result.summary.count == 10
+        assert len(result.samples) == 10
+        assert "probe" in result.format()
+
+    def test_run_scenarios_and_report(self):
+        runner = ExperimentRunner(repetitions=3)
+        results = runner.run_scenarios(
+            {"a": lambda i: 1.0, "b": lambda i: 2.0}, unit="Gbit/s"
+        )
+        assert [r.name for r in results] == ["a", "b"]
+        report = runner.report()
+        assert "a:" in report and "b:" in report
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ExperimentRunner(repetitions=0)
+        with pytest.raises(ReproError):
+            ExperimentRunner().run("bad", "not callable")
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["alpha", 1.23456], ["b", 2]], title="T")
+        assert "T" in text
+        assert "alpha" in text
+        assert "1.235" in text
+
+    def test_format_table_validation(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+        with pytest.raises(ReproError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_horizontal_bars(self):
+        chart = horizontal_bars(
+            {"Original data": 1.0, "Static table": 0.09},
+            width=20,
+            annotate={"Static table": "(paper: 0.09)"},
+        )
+        assert "Original data" in chart
+        assert "█" in chart
+        assert "(paper: 0.09)" in chart
+        with pytest.raises(ReproError):
+            horizontal_bars({}, width=10)
+        with pytest.raises(ReproError):
+            horizontal_bars({"a": 1.0}, width=0)
+
+    def test_comparison_table(self):
+        rows = [
+            ComparisonRow("static ratio", 0.09, 0.094),
+            ComparisonRow("gzip ratio", 0.09, None),
+            ComparisonRow("n/a paper", None, 1.0),
+        ]
+        text = comparison_table(rows, title="Figure 3")
+        assert "Figure 3" in text
+        assert "+4.4 %" in text
+        assert "n/a" in text
+        assert rows[0].relative_error == pytest.approx(0.0444, rel=0.01)
+        assert rows[1].relative_error is None
+
+    def test_save_results_json(self, tmp_path):
+        path = save_results_json(tmp_path / "out" / "results.json", {"ratio": 0.09})
+        loaded = json.loads(path.read_text())
+        assert loaded["ratio"] == 0.09

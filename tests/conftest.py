@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Most tests use small Hamming orders (m = 3 or 4) so syndrome tables stay
+tiny and failures are easy to read; the paper's configuration (m = 8,
+256-bit chunks, 15-bit identifiers) has its own fixture used by the tests
+that check paper-specific numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hamming import HammingCode
+from repro.core.transform import GDTransform
+
+
+@pytest.fixture(scope="session")
+def hamming_7_4() -> HammingCode:
+    """The (7, 4) Hamming code of Table 2."""
+    return HammingCode(3)
+
+
+@pytest.fixture(scope="session")
+def hamming_15_11() -> HammingCode:
+    """The (15, 11) Hamming code."""
+    return HammingCode(4)
+
+
+@pytest.fixture(scope="session")
+def paper_code() -> HammingCode:
+    """The paper's (255, 247) Hamming code."""
+    return HammingCode(8)
+
+
+@pytest.fixture(scope="session")
+def small_transform() -> GDTransform:
+    """A small GD transform (m = 4, 16-bit chunks) for exhaustive tests."""
+    return GDTransform(order=4)
+
+
+@pytest.fixture(scope="session")
+def paper_transform() -> GDTransform:
+    """The paper's GD transform (m = 8, 256-bit chunks)."""
+    return GDTransform(order=8)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(0xC0FFEE)
+
+
+def make_clustered_chunks(transform: GDTransform, bases, count, seed=0):
+    """Chunks that genuinely share the given bases (codeword ± one bit)."""
+    generator = random.Random(seed)
+    code = transform.code
+    chunks = []
+    for index in range(count):
+        basis = bases[index % len(bases)]
+        codeword = code.encode(basis)
+        position = generator.randrange(code.n + 1)
+        body = codeword if position == code.n else codeword ^ (1 << position)
+        prefix = generator.getrandbits(transform.prefix_bits) if transform.prefix_bits else 0
+        value = (prefix << code.n) | body
+        chunks.append(value.to_bytes(transform.chunk_bytes, "big"))
+    return chunks
+
+
+@pytest.fixture(scope="session")
+def clustered_chunk_factory():
+    """Factory fixture exposing :func:`make_clustered_chunks` to tests."""
+    return make_clustered_chunks

@@ -1,0 +1,91 @@
+"""Tests for the identifier pool."""
+
+import pytest
+
+from repro.controlplane.idpool import IdentifierPool
+from repro.exceptions import ControlPlaneError
+
+
+class TestAllocation:
+    def test_allocates_lowest_free_identifier_first(self):
+        pool = IdentifierPool(4)
+        assert pool.allocate("a").identifier == 0
+        assert pool.allocate("b").identifier == 1
+        assert pool.free_count == 2
+        assert pool.bound_count == 2
+
+    def test_reallocating_same_basis_returns_existing(self):
+        pool = IdentifierPool(4)
+        first = pool.allocate("a")
+        second = pool.allocate("a")
+        assert first.identifier == second.identifier
+        assert not second.recycled
+        assert pool.bound_count == 1
+
+    def test_lru_recycling_when_exhausted(self):
+        pool = IdentifierPool(2)
+        pool.allocate("a")
+        pool.allocate("b")
+        pool.touch_basis("a")  # "b" becomes the least recently used
+        allocation = pool.allocate("c")
+        assert allocation.recycled
+        assert allocation.evicted_basis == "b"
+        assert pool.identifier_for("b") is None
+        assert pool.identifier_for("a") is not None
+        assert pool.recycles == 1
+
+    def test_touch_by_identifier(self):
+        pool = IdentifierPool(2)
+        a = pool.allocate("a").identifier
+        pool.allocate("b")
+        pool.touch(a)
+        assert pool.allocate("c").evicted_basis == "b"
+
+    def test_release_returns_identifier_to_pool(self):
+        pool = IdentifierPool(2)
+        identifier = pool.allocate("a").identifier
+        assert pool.release(identifier) == "a"
+        assert pool.free_count == 2
+        assert pool.release(identifier) is None
+
+    def test_least_recently_used_peek(self):
+        pool = IdentifierPool(4)
+        assert pool.least_recently_used() is None
+        pool.allocate("a")
+        pool.allocate("b")
+        assert pool.least_recently_used()[1] == "a"
+
+    def test_lookups(self):
+        pool = IdentifierPool(4)
+        identifier = pool.allocate("a").identifier
+        assert pool.basis_for(identifier) == "a"
+        assert pool.identifier_for("a") == identifier
+        assert pool.basis_for(3) is None
+        assert pool.bindings() == {identifier: "a"}
+
+    def test_bounds(self):
+        pool = IdentifierPool(4)
+        with pytest.raises(ControlPlaneError):
+            pool.basis_for(4)
+        with pytest.raises(ControlPlaneError):
+            pool.touch(-1)
+        with pytest.raises(ControlPlaneError):
+            IdentifierPool(0)
+
+    def test_clear(self):
+        pool = IdentifierPool(4)
+        pool.allocate("a")
+        pool.clear()
+        assert pool.bound_count == 0
+        assert pool.free_count == 4
+
+    def test_paper_capacity(self):
+        pool = IdentifierPool(1 << 15)
+        assert pool.capacity == 32768
+
+    def test_allocation_counter(self):
+        pool = IdentifierPool(4)
+        pool.allocate("a")
+        pool.allocate("a")
+        pool.allocate("b")
+        assert pool.allocations == 2

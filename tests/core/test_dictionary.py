@@ -1,0 +1,200 @@
+"""Tests for the bounded basis dictionary."""
+
+import pytest
+
+from repro.core.dictionary import BasisDictionary, EvictionPolicy
+from repro.exceptions import DictionaryError
+
+
+class TestBasicMapping:
+    def test_insert_assigns_sequential_identifiers(self):
+        dictionary = BasisDictionary(8)
+        assert dictionary.insert("a") == (0, None)
+        assert dictionary.insert("b") == (1, None)
+        assert dictionary.insert("c") == (2, None)
+        assert len(dictionary) == 3
+
+    def test_lookup_and_reverse_lookup(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert("a")
+        assert dictionary.lookup("a") == 0
+        assert dictionary.reverse_lookup(0) == "a"
+        assert dictionary.lookup("missing") is None
+        assert dictionary.reverse_lookup(5) is None
+
+    def test_reverse_lookup_bounds(self):
+        dictionary = BasisDictionary(8)
+        with pytest.raises(DictionaryError):
+            dictionary.reverse_lookup(8)
+
+    def test_contains_and_peek(self):
+        dictionary = BasisDictionary(4)
+        dictionary.insert("x")
+        assert "x" in dictionary
+        assert "y" not in dictionary
+        assert dictionary.peek("x") == 0
+        # peek must not count as a lookup
+        assert dictionary.stats.lookups == 0
+
+    def test_duplicate_insert_returns_existing_identifier(self):
+        dictionary = BasisDictionary(4)
+        first, _ = dictionary.insert("x")
+        second, evicted = dictionary.insert("x")
+        assert first == second
+        assert evicted is None
+        assert dictionary.stats.rejected_insertions == 1
+
+    def test_identifier_width(self):
+        assert BasisDictionary(2).identifier_width() == 1
+        assert BasisDictionary(32768).identifier_width() == 15
+        assert BasisDictionary(1).identifier_width() == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(DictionaryError):
+            BasisDictionary(0)
+
+    def test_remove_returns_identifier_to_pool(self):
+        dictionary = BasisDictionary(2)
+        dictionary.insert("a")
+        dictionary.insert("b")
+        assert dictionary.is_full()
+        assert dictionary.remove("a") == 0
+        assert not dictionary.is_full()
+        identifier, evicted = dictionary.insert("c")
+        assert identifier == 0
+        assert evicted is None
+
+    def test_remove_missing_key(self):
+        dictionary = BasisDictionary(2)
+        assert dictionary.remove("nope") is None
+
+    def test_clear(self):
+        dictionary = BasisDictionary(4)
+        dictionary.insert("a")
+        dictionary.clear()
+        assert len(dictionary) == 0
+        assert dictionary.insert("b") == (0, None)
+
+
+class TestEvictionPolicies:
+    def test_lru_evicts_least_recently_used(self):
+        dictionary = BasisDictionary(2, policy="lru")
+        dictionary.insert("a")
+        dictionary.insert("b")
+        dictionary.lookup("a")  # refresh "a", so "b" becomes the LRU entry
+        identifier, evicted = dictionary.insert("c")
+        assert evicted == "b"
+        assert dictionary.reverse_lookup(identifier) == "c"
+        assert "a" in dictionary
+
+    def test_fifo_ignores_lookups(self):
+        dictionary = BasisDictionary(2, policy="fifo")
+        dictionary.insert("a")
+        dictionary.insert("b")
+        dictionary.lookup("a")
+        _, evicted = dictionary.insert("c")
+        assert evicted == "a"
+
+    def test_random_eviction_is_deterministic_with_seed(self):
+        first = BasisDictionary(2, policy="random", seed=1)
+        second = BasisDictionary(2, policy="random", seed=1)
+        for dictionary in (first, second):
+            dictionary.insert("a")
+            dictionary.insert("b")
+        assert first.insert("c")[1] == second.insert("c")[1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DictionaryError):
+            BasisDictionary(4, policy="mru")
+
+    def test_policy_from_instance(self):
+        assert EvictionPolicy.from_name(EvictionPolicy.FIFO) is EvictionPolicy.FIFO
+
+    def test_eviction_counts(self):
+        dictionary = BasisDictionary(2)
+        dictionary.insert("a")
+        dictionary.insert("b")
+        dictionary.insert("c")
+        assert dictionary.stats.evictions == 1
+
+    def test_touch_refreshes_recency_without_counting(self):
+        dictionary = BasisDictionary(2)
+        dictionary.insert("a")
+        dictionary.insert("b")
+        assert dictionary.touch("a")
+        assert not dictionary.touch("missing")
+        assert dictionary.stats.lookups == 0
+        _, evicted = dictionary.insert("c")
+        assert evicted == "b"
+
+
+class TestExternalIdentifiers:
+    def test_insert_with_identifier(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert_with_identifier("a", 5)
+        assert dictionary.lookup("a") == 5
+        assert dictionary.reverse_lookup(5) == "a"
+
+    def test_insert_with_identifier_displaces_previous_key(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert_with_identifier("a", 5)
+        dictionary.insert_with_identifier("b", 5)
+        assert dictionary.reverse_lookup(5) == "b"
+        assert dictionary.lookup("a") is None
+
+    def test_insert_with_identifier_conflicting_key(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert_with_identifier("a", 5)
+        with pytest.raises(DictionaryError):
+            dictionary.insert_with_identifier("a", 6)
+
+    def test_insert_with_identifier_out_of_range(self):
+        dictionary = BasisDictionary(8)
+        with pytest.raises(DictionaryError):
+            dictionary.insert_with_identifier("a", 8)
+
+
+class TestPreloadAndStats:
+    def test_preload_deduplicates_keys(self):
+        dictionary = BasisDictionary(8)
+        count = dictionary.preload(iter(["a", "b", "a", "c"]))
+        assert count == 3
+        assert len(dictionary) == 3
+
+    def test_preload_over_capacity_rejected(self):
+        dictionary = BasisDictionary(2)
+        with pytest.raises(DictionaryError):
+            dictionary.preload(iter(["a", "b", "c"]))
+
+    def test_hit_ratio(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert("a")
+        dictionary.lookup("a")
+        dictionary.lookup("b")
+        assert dictionary.stats.hits == 1
+        assert dictionary.stats.misses == 1
+        assert dictionary.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert BasisDictionary(2).stats.hit_ratio == 0.0
+
+    def test_stats_as_dict(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert("a")
+        stats = dictionary.stats.as_dict()
+        assert stats["insertions"] == 1
+        assert "hit_ratio" in stats
+
+    def test_snapshot_and_items(self):
+        dictionary = BasisDictionary(8)
+        dictionary.insert("a")
+        dictionary.insert("b")
+        assert dictionary.snapshot() == {"a": 0, "b": 1}
+        assert dict(dictionary.items()) == {"a": 0, "b": 1}
+        assert set(dictionary.keys()) == {"a", "b"}
+
+    def test_paper_capacity(self):
+        # 15-bit identifiers allow 32,768 cached bases (Section 7).
+        dictionary = BasisDictionary(1 << 15)
+        assert dictionary.capacity == 32768
+        assert dictionary.identifier_width() == 15

@@ -1,0 +1,138 @@
+"""Tests for the ZipLine packet codec (wire formats of type 2/3 packets)."""
+
+import pytest
+
+from repro.core.records import CompressedRecord, RawRecord, UncompressedRecord
+from repro.core.transform import GDTransform
+from repro.exceptions import PacketError
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.mac import MacAddress
+from repro.net.packets import PacketKind, ZipLinePacketCodec, classify_frame
+
+DST = MacAddress("02:00:00:00:00:02")
+SRC = MacAddress("02:00:00:00:00:01")
+
+
+@pytest.fixture(scope="module")
+def paper_codec():
+    return ZipLinePacketCodec(GDTransform(order=8), identifier_bits=15)
+
+
+@pytest.fixture(scope="module")
+def small_codec():
+    return ZipLinePacketCodec(GDTransform(order=4), identifier_bits=6)
+
+
+class TestLayouts:
+    def test_paper_payload_sizes(self, paper_codec):
+        # 33-byte type-2 payloads (3 % overhead) and 3-byte type-3 payloads.
+        assert paper_codec.raw_payload_bytes == 32
+        assert paper_codec.uncompressed_payload_bytes == 33
+        assert paper_codec.compressed_payload_bytes == 3
+        assert paper_codec.uncompressed_padding_bits == 8
+
+    def test_small_codec_layout_is_byte_aligned(self, small_codec):
+        assert small_codec.uncompressed_payload_bytes * 8 >= 16
+        assert small_codec.compressed_payload_bytes >= 1
+
+    def test_explicit_padding_must_align(self):
+        with pytest.raises(PacketError):
+            ZipLinePacketCodec(
+                GDTransform(order=8), identifier_bits=15, uncompressed_padding_bits=3
+            )
+
+    def test_invalid_identifier_bits(self):
+        with pytest.raises(PacketError):
+            ZipLinePacketCodec(GDTransform(order=8), identifier_bits=0)
+
+
+class TestPackUnpack:
+    def test_uncompressed_roundtrip(self, paper_codec, rng):
+        transform = paper_codec.transform
+        chunk = rng.getrandbits(256).to_bytes(32, "big")
+        parts = transform.split(chunk)
+        record = UncompressedRecord(
+            prefix=parts.prefix,
+            basis=parts.basis,
+            deviation=parts.deviation,
+            prefix_bits=parts.prefix_bits,
+            basis_bits=parts.basis_bits,
+            deviation_bits=parts.deviation_bits,
+            alignment_padding_bits=8,
+        )
+        payload = paper_codec.pack_record(record)
+        assert len(payload) == 33
+        unpacked = paper_codec.unpack_uncompressed(payload)
+        assert unpacked.basis == record.basis
+        assert unpacked.deviation == record.deviation
+        assert unpacked.prefix == record.prefix
+
+    def test_compressed_roundtrip(self, paper_codec):
+        record = CompressedRecord(
+            prefix=1,
+            identifier=12345,
+            deviation=0x5A,
+            prefix_bits=1,
+            identifier_bits=15,
+            deviation_bits=8,
+        )
+        payload = paper_codec.pack_record(record)
+        assert len(payload) == 3
+        unpacked = paper_codec.unpack_compressed(payload)
+        assert unpacked.identifier == 12345
+        assert unpacked.deviation == 0x5A
+        assert unpacked.prefix == 1
+
+    def test_pack_rejects_raw_records(self, paper_codec):
+        with pytest.raises(PacketError):
+            paper_codec.pack_record(RawRecord(chunk=0, chunk_bits=256))
+
+    def test_pack_rejects_mismatched_identifier_width(self, paper_codec):
+        record = CompressedRecord(
+            prefix=0, identifier=1, deviation=0,
+            prefix_bits=1, identifier_bits=8, deviation_bits=8,
+        )
+        with pytest.raises(PacketError):
+            paper_codec.pack_record(record)
+
+    def test_unpack_wrong_length(self, paper_codec):
+        with pytest.raises(PacketError):
+            paper_codec.unpack_compressed(b"\x00" * 4)
+        with pytest.raises(PacketError):
+            paper_codec.unpack_uncompressed(b"\x00" * 32)
+
+
+class TestFrames:
+    def test_build_and_classify_frames(self, paper_codec):
+        record = CompressedRecord(
+            prefix=0, identifier=7, deviation=1,
+            prefix_bits=1, identifier_bits=15, deviation_bits=8,
+        )
+        frame = paper_codec.build_frame(record, DST, SRC)
+        assert frame.ethertype == EtherType.ZIPLINE_COMPRESSED
+        assert classify_frame(frame) is PacketKind.PROCESSED_COMPRESSED
+        assert paper_codec.unpack_frame(frame).identifier == 7
+
+    def test_uncompressed_frame_classification(self, paper_codec, rng):
+        transform = paper_codec.transform
+        parts = transform.split(rng.getrandbits(256).to_bytes(32, "big"))
+        record = UncompressedRecord(
+            prefix=parts.prefix, basis=parts.basis, deviation=parts.deviation,
+            prefix_bits=parts.prefix_bits, basis_bits=parts.basis_bits,
+            deviation_bits=parts.deviation_bits, alignment_padding_bits=8,
+        )
+        frame = paper_codec.build_frame(record, DST, SRC)
+        assert classify_frame(frame) is PacketKind.PROCESSED_UNCOMPRESSED
+
+    def test_other_frames_are_raw(self):
+        frame = EthernetFrame(DST, SRC, EtherType.IPV4, b"x" * 20)
+        assert classify_frame(frame) is PacketKind.RAW
+
+    def test_unpack_raw_frame_rejected(self, paper_codec):
+        frame = EthernetFrame(DST, SRC, EtherType.IPV4, b"x" * 20)
+        with pytest.raises(PacketError):
+            paper_codec.unpack_frame(frame)
+
+    def test_ethertype_for_record(self, paper_codec):
+        with pytest.raises(PacketError):
+            paper_codec.ethertype_for_record(RawRecord(chunk=0, chunk_bits=256))

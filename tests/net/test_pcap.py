@@ -1,0 +1,101 @@
+"""Tests for the pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.net.pcap import PcapPacket, PcapReader, PcapWriter, read_pcap, write_pcap
+
+
+def sample_packets():
+    return [
+        PcapPacket(timestamp=0.0, data=b"\x01" * 60),
+        PcapPacket(timestamp=0.000123, data=b"\x02" * 64),
+        PcapPacket(timestamp=1.5, data=b"\x03" * 1514),
+    ]
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        count = write_pcap(path, sample_packets())
+        assert count == 3
+        packets = read_pcap(path)
+        assert len(packets) == 3
+        assert packets[0].data == b"\x01" * 60
+        assert packets[1].timestamp == pytest.approx(0.000123, abs=1e-6)
+        assert packets[2].length == 1514
+
+    def test_stream_roundtrip(self):
+        buffer = io.BytesIO()
+        with PcapWriter(buffer) as writer:
+            writer.write_packets(sample_packets())
+            assert writer.packets_written == 3
+        buffer.seek(0)
+        with PcapReader(buffer) as reader:
+            assert reader.link_type == 1
+            assert len(reader.read_all()) == 3
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = tmp_path / "snap.pcap"
+        with PcapWriter(path, snaplen=16) as writer:
+            writer.write(0.0, b"\xAA" * 100)
+        packets = read_pcap(path)
+        assert packets[0].length == 16
+
+    def test_big_endian_files_are_readable(self, tmp_path):
+        path = tmp_path / "be.pcap"
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 3, 500, 4, 4) + b"abcd"
+        path.write_bytes(header + record)
+        packets = read_pcap(path)
+        assert packets[0].data == b"abcd"
+        assert packets[0].timestamp == pytest.approx(3.0005)
+
+    def test_nanosecond_magic(self, tmp_path):
+        path = tmp_path / "ns.pcap"
+        header = struct.pack("<IHHiIII", 0xA1B23C4D, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack("<IIII", 1, 500_000_000, 2, 2) + b"hi"
+        path.write_bytes(header + record)
+        packets = read_pcap(path)
+        assert packets[0].timestamp == pytest.approx(1.5)
+
+
+class TestValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(TraceError):
+            read_pcap(path)
+
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(TraceError):
+            read_pcap(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [PcapPacket(0.0, b"\x01" * 32)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceError):
+            read_pcap(path)
+
+    def test_negative_timestamp_rejected(self, tmp_path):
+        with PcapWriter(tmp_path / "x.pcap") as writer:
+            with pytest.raises(TraceError):
+                writer.write(-1.0, b"x")
+
+    def test_invalid_snaplen(self, tmp_path):
+        with pytest.raises(TraceError):
+            PcapWriter(tmp_path / "y.pcap", snaplen=0)
+
+    def test_microsecond_rounding_carry(self, tmp_path):
+        path = tmp_path / "carry.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(0.9999999, b"x")
+        packets = read_pcap(path)
+        assert packets[0].timestamp == pytest.approx(1.0, abs=1e-5)

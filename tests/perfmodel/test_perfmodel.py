@@ -1,0 +1,188 @@
+"""Tests for the link/throughput/latency models (Figures 4 and 5)."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perfmodel.latency import LatencyComponents, LatencyModel
+from repro.perfmodel.linkmodel import (
+    LinkModel,
+    PathModel,
+    SwitchModel,
+    TrafficGeneratorModel,
+)
+from repro.perfmodel.throughput import (
+    FIGURE4_FRAME_SIZES,
+    SwitchOperation,
+    ThroughputModel,
+)
+from repro.tofino.parser import Deparser, HeaderType, Parser, ParserState
+from repro.tofino.pipeline import Pipeline
+
+
+class TestLinkModel:
+    def test_line_rate_packet_budgets(self):
+        link = LinkModel(speed_bps=100e9)
+        # Classic 100 GbE numbers: ~148.8 Mpps for minimum-size frames
+        # (60 B + 4 B FCS = 64 B on the wire plus preamble and IFG), and
+        # ~8.1 Mpps for full 1518-byte frames.
+        assert link.max_packet_rate(60) == pytest.approx(148.8e6, rel=0.01)
+        assert link.max_packet_rate(1514) == pytest.approx(8.12e6, rel=0.01)
+
+    def test_wire_bits_includes_overheads(self):
+        link = LinkModel()
+        assert link.wire_bits(60) == 84 * 8
+
+    def test_throughput_and_utilisation(self):
+        link = LinkModel()
+        assert link.throughput_bps(1500, 1e6) == pytest.approx(12e9)
+        assert link.utilisation(1514, link.max_packet_rate(1514)) == pytest.approx(1.0)
+        with pytest.raises(ReproError):
+            link.throughput_bps(1500, -1)
+
+    def test_serialisation_delay(self):
+        # 1514-byte frame + 4 B FCS + 8 B preamble + 12 B IFG = 1538 bytes.
+        assert LinkModel().serialisation_delay(1514) == pytest.approx(
+            1538 * 8 / 100e9
+        )
+
+    def test_invalid_speed(self):
+        with pytest.raises(ReproError):
+            LinkModel(speed_bps=0)
+
+
+class TestGeneratorAndSwitch:
+    def test_generator_small_packet_cap(self):
+        generator = TrafficGeneratorModel()
+        assert generator.max_rate_for_frame(64) == pytest.approx(7e6)
+
+    def test_generator_pcie_cap_for_jumbo(self):
+        generator = TrafficGeneratorModel()
+        assert generator.max_rate_for_frame(9000) < 7e6
+
+    def test_generator_invalid_frame(self):
+        with pytest.raises(ReproError):
+            TrafficGeneratorModel().max_rate_for_frame(0)
+
+    def test_switch_packet_budget(self):
+        switch = SwitchModel()
+        assert switch.max_packet_rate() == pytest.approx(4.7e9)
+        assert switch.max_packet_rate(ports_active=32) == pytest.approx(4.7e9 / 32)
+        with pytest.raises(ReproError):
+            switch.max_packet_rate(0)
+
+
+class TestPathModel:
+    def test_bottlenecks_by_frame_size(self):
+        path = PathModel()
+        assert path.bottleneck(64) == "generator"
+        assert path.bottleneck(1500) == "generator"
+        assert path.bottleneck(9000) == "link"
+
+    def test_small_frames_generator_limited(self):
+        path = PathModel()
+        assert path.achievable_packet_rate(64) == pytest.approx(7e6)
+        assert path.achievable_throughput_bps(64) == pytest.approx(3.584e9)
+
+    def test_jumbo_frames_reach_line_rate(self):
+        path = PathModel()
+        throughput = path.achievable_throughput_bps(9000)
+        assert throughput > 99e9
+        assert throughput < 100e9
+
+    def test_recirculating_program_halves_the_rate(self):
+        path = PathModel(switch=SwitchModel(line_rate_guaranteed=False))
+        assert path.achievable_packet_rate(9000) < PathModel().achievable_packet_rate(9000)
+
+
+def _line_rate_unsafe_pipeline():
+    parser = Parser([ParserState(name="start", extract=("eth", HeaderType("eth", [("x", 112)])))])
+    pipeline = Pipeline("p", parser, lambda ctx: None, Deparser(["eth"]))
+    pipeline.record_recirculation()
+    return pipeline
+
+
+class TestThroughputModel:
+    def test_figure4_shape(self):
+        samples = ThroughputModel().figure4()
+        assert len(samples) == 9
+        by_key = {(s.operation, s.frame_bytes): s for s in samples}
+        # encode and decode are indistinguishable from no_op (paper claim)
+        for frame_bytes in FIGURE4_FRAME_SIZES:
+            no_op = by_key[("no_op", frame_bytes)]
+            assert by_key[("encode", frame_bytes)].throughput_gbps == no_op.throughput_gbps
+            assert by_key[("decode", frame_bytes)].throughput_gbps == no_op.throughput_gbps
+        # 64 B and 1500 B are generator-bound near 7 Mpps; 9 kB reaches line rate
+        assert by_key[("no_op", 64)].packet_rate_mpps == pytest.approx(7.0, rel=0.01)
+        assert by_key[("no_op", 1500)].packet_rate_mpps == pytest.approx(7.0, rel=0.01)
+        assert by_key[("no_op", 9000)].throughput_gbps > 99
+        assert by_key[("no_op", 64)].bottleneck == "generator"
+
+    def test_noisy_measurements_never_exceed_the_model(self):
+        model = ThroughputModel(measurement_noise=0.05, seed=1)
+        samples = model.repeated_measurements(SwitchOperation("no_op"), 1500, repetitions=10)
+        central = model.measure(SwitchOperation("no_op"), 1500)
+        assert len(samples) == 10
+        assert all(s.throughput_gbps <= central.throughput_gbps for s in samples)
+
+    def test_line_rate_model_rejects_recirculating_programs(self):
+        model = ThroughputModel()
+        operation = SwitchOperation("encode", pipeline=_line_rate_unsafe_pipeline())
+        with pytest.raises(ReproError):
+            model.measure(operation, 1500)
+
+    def test_validation(self):
+        model = ThroughputModel()
+        with pytest.raises(ReproError):
+            model.measure(SwitchOperation("no_op"), 0)
+        with pytest.raises(ReproError):
+            model.repeated_measurements(SwitchOperation("no_op"), 64, repetitions=0)
+        with pytest.raises(ReproError):
+            ThroughputModel(measurement_noise=-1)
+
+    def test_sample_as_dict(self):
+        sample = ThroughputModel().measure(SwitchOperation("no_op"), 64)
+        data = sample.as_dict()
+        assert data["operation"] == "no_op"
+        assert data["frame_bytes"] == 64
+
+
+class TestLatencyModel:
+    def test_rtt_in_paper_range(self):
+        model = LatencyModel()
+        rtt = model.round_trip_time_us("no_op")
+        assert 8 < rtt < 16
+
+    def test_operations_indistinguishable_by_default(self):
+        model = LatencyModel()
+        assert model.round_trip_time("encode") == model.round_trip_time("no_op")
+        assert model.round_trip_time("decode") == model.round_trip_time("no_op")
+
+    def test_extra_program_latency_is_visible_but_small(self):
+        model = LatencyModel(extra_program_latency=0.2e-6)
+        delta = model.round_trip_time("encode") - model.round_trip_time("no_op")
+        assert delta == pytest.approx(0.4e-6)
+
+    def test_samples_and_figure5(self):
+        model = LatencyModel(seed=3)
+        samples = model.samples("no_op", count=10)
+        assert len(samples) == 10
+        assert all(s.rtt_us >= model.round_trip_time_us("no_op") for s in samples)
+        figure = model.figure5(count=5)
+        assert set(figure) == {"no_op", "encode", "decode"}
+        assert all(len(values) == 5 for values in figure.values())
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LatencyModel(frame_bytes=0)
+        with pytest.raises(ReproError):
+            LatencyModel(extra_program_latency=-1)
+        with pytest.raises(ReproError):
+            LatencyModel(jitter_fraction=-1)
+        with pytest.raises(ReproError):
+            LatencyModel().samples(count=0)
+
+    def test_components_one_way_cost(self):
+        components = LatencyComponents()
+        assert components.one_way_host_cost() == pytest.approx(
+            components.host_transmit + components.nic_and_pcie + components.host_receive
+        )

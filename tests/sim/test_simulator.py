@@ -1,0 +1,179 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import MICROSECONDS, MILLISECONDS, Simulator
+from repro.sim.events import Event
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(2.0, lambda: order.append("late"))
+        simulator.schedule_at(1.0, lambda: order.append("early"))
+        simulator.schedule_at(1.5, lambda: order.append("middle"))
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+        assert simulator.now == 2.0
+        assert simulator.executed_events == 3
+
+    def test_simultaneous_events_run_in_priority_then_fifo_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(1.0, lambda: order.append("first"), priority=1)
+        simulator.schedule_at(1.0, lambda: order.append("urgent"), priority=0)
+        simulator.schedule_at(1.0, lambda: order.append("second"), priority=1)
+        simulator.run()
+        assert order == ["urgent", "first", "second"]
+
+    def test_schedule_in_and_now(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule_in(5 * MILLISECONDS, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [pytest.approx(0.005)]
+
+    def test_schedule_now_runs_after_current_event(self):
+        simulator = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            simulator.schedule_now(lambda: order.append("inner"))
+
+        simulator.schedule_at(1.0, outer)
+        simulator.run()
+        assert order == ["outer", "inner"]
+        assert simulator.now == 1.0
+
+    def test_cannot_schedule_in_the_past(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_invalid_callback_rejected(self):
+        with pytest.raises(SimulationError):
+            Event.create(0.0, "not callable")
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(start_time=-1.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        simulator = Simulator()
+        ran = []
+        handle = simulator.schedule_at(1.0, lambda: ran.append(True))
+        handle.cancel()
+        assert handle.cancelled
+        simulator.run()
+        assert ran == []
+
+    def test_cancel_is_idempotent(self):
+        simulator = Simulator()
+        handle = simulator.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert simulator.run() == 0
+
+    def test_handle_exposes_metadata(self):
+        simulator = Simulator()
+        handle = simulator.schedule_at(3.0, lambda: None, description="probe")
+        assert handle.time == 3.0
+        assert handle.description == "probe"
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        simulator = Simulator()
+        ran = []
+        simulator.schedule_at(1.0, lambda: ran.append(1))
+        simulator.schedule_at(5.0, lambda: ran.append(5))
+        executed = simulator.run(until=2.0)
+        assert executed == 1
+        assert ran == [1]
+        assert simulator.now == 2.0
+        simulator.run()
+        assert ran == [1, 5]
+
+    def test_run_for_advances_relative_duration(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        simulator.schedule_in(3.0, lambda: None)
+        simulator.run_for(1.0)
+        assert simulator.now == pytest.approx(2.0)
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def reschedule():
+            simulator.schedule_in(0.001, reschedule)
+
+        simulator.schedule_in(0.001, reschedule)
+        executed = simulator.run(max_events=10)
+        assert executed == 10
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_reentrant_run_rejected(self):
+        simulator = Simulator()
+
+        def inner():
+            simulator.run()
+
+        simulator.schedule_at(1.0, inner)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_advance_to(self):
+        simulator = Simulator()
+        simulator.advance_to(4.0)
+        assert simulator.now == 4.0
+        with pytest.raises(SimulationError):
+            simulator.advance_to(1.0)
+
+    def test_advance_past_pending_event_rejected(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.advance_to(2.0)
+
+    def test_reset(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        simulator.schedule_at(9.0, lambda: None)
+        simulator.reset()
+        assert simulator.now == 0.0
+        assert simulator.pending_events == 0
+        assert simulator.executed_events == 0
+
+    def test_units_are_consistent(self):
+        assert MILLISECONDS == pytest.approx(1e-3)
+        assert MICROSECONDS == pytest.approx(1e-6)
+
+    def test_nested_scheduling_chain_latency(self):
+        # Mirrors how the control plane chains processing + 2 table writes.
+        simulator = Simulator()
+        finish_times = []
+
+        def step_one():
+            simulator.schedule_in(0.3e-3, step_two)
+
+        def step_two():
+            simulator.schedule_in(0.3e-3, lambda: finish_times.append(simulator.now))
+
+        simulator.schedule_in(1.17e-3, step_one)
+        simulator.run()
+        assert finish_times[0] == pytest.approx(1.77e-3)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import SyntheticSensorWorkload
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).command == "table1"
+        args = parser.parse_args(["compress", "a", "b", "--order", "4"])
+        assert args.order == 4
+
+
+class TestCompressDecompress:
+    def test_file_roundtrip(self, tmp_path, capsys):
+        workload = SyntheticSensorWorkload(num_chunks=200, distinct_bases=5, seed=1)
+        original = tmp_path / "payload.bin"
+        original.write_bytes(b"".join(workload.chunks()))
+        container = tmp_path / "payload.gdz"
+        restored = tmp_path / "restored.bin"
+
+        assert main(["compress", str(original), str(container)]) == 0
+        assert container.exists()
+        assert main(["decompress", str(container), str(restored)]) == 0
+        assert restored.read_bytes() == original.read_bytes()
+        output = capsys.readouterr().out
+        assert "container ratio" in output
+        assert "restored" in output
+
+    def test_compressed_container_is_smaller_for_clustered_data(self, tmp_path):
+        workload = SyntheticSensorWorkload(num_chunks=500, distinct_bases=4, seed=2)
+        original = tmp_path / "payload.bin"
+        original.write_bytes(b"".join(workload.chunks()))
+        container = tmp_path / "payload.gdz"
+        main(["compress", str(original), str(container)])
+        assert container.stat().st_size < original.stat().st_size / 2
+
+
+class TestTraceCommands:
+    def test_generate_and_replay_synthetic(self, tmp_path, capsys):
+        pcap = tmp_path / "trace.pcap"
+        assert main(
+            ["generate-trace", "synthetic", str(pcap), "--chunks", "300", "--bases", "6"]
+        ) == 0
+        assert pcap.exists()
+        assert main(["replay", str(pcap), "--scenario", "static"]) == 0
+        output = capsys.readouterr().out
+        assert "compression ratio" in output
+        assert "lossless" in output
+
+    def test_generate_dns_trace(self, tmp_path, capsys):
+        pcap = tmp_path / "dns.pcap"
+        assert main(
+            ["generate-trace", "dns", str(pcap), "--chunks", "200", "--names", "20"]
+        ) == 0
+        assert "chunk packets" in capsys.readouterr().out
+
+    def test_replay_dynamic_scenario(self, tmp_path):
+        pcap = tmp_path / "trace.pcap"
+        main(["generate-trace", "synthetic", str(pcap), "--chunks", "200", "--bases", "4"])
+        assert main(["replay", str(pcap), "--scenario", "dynamic",
+                     "--packet-rate", "50000"]) == 0
+
+
+class TestReportingCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "(255, 247)" in output
+        assert "0x1D" in output
+
+    def test_learning_delay(self, capsys):
+        assert main(["learning-delay", "--repetitions", "2", "--packets", "3000"]) == 0
+        output = capsys.readouterr().out
+        assert "learning delay over 2 runs" in output
+        assert "1.77" in output

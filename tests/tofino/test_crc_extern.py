@@ -1,0 +1,65 @@
+"""Tests for the CRC/hash extern model."""
+
+import pytest
+
+from repro.core.bits import BitVector
+from repro.core.hamming import HammingCode
+from repro.exceptions import CodingError
+from repro.tofino.crc_extern import CrcExtern, CrcPolynomial
+
+
+class TestCrcPolynomial:
+    def test_zipline_configuration_is_plain_remainder(self):
+        polynomial = CrcPolynomial(coeff=0x1D, width=8)
+        assert polynomial.width == 8
+        assert polynomial.parameters.augment is False
+        assert polynomial.parameters.is_linear
+
+    def test_rocksoft_options_switch_to_augmented(self):
+        polynomial = CrcPolynomial(coeff=0x07, width=8, init=0xFF)
+        assert polynomial.parameters.augment is True
+
+
+class TestCrcExtern:
+    def test_matches_hamming_syndrome(self, paper_code, rng):
+        extern = CrcExtern(CrcPolynomial(coeff=paper_code.crc_parameter, width=8))
+        for _ in range(50):
+            chunk = rng.getrandbits(paper_code.n)
+            assert extern.get((chunk, paper_code.n)) == paper_code.syndrome(chunk)
+
+    def test_field_concatenation_matches_single_field(self, hamming_7_4):
+        extern = CrcExtern(CrcPolynomial(coeff=hamming_7_4.crc_parameter, width=3))
+        # {3-bit 0b101, 4-bit 0b0110} concatenated is the 7-bit 0b1010110.
+        combined = extern.get([(0b101, 3), (0b0110, 4)])
+        single = extern.get((0b1010110, 7))
+        assert combined == single
+
+    def test_decoder_parity_computation(self, hamming_7_4, rng):
+        # Feeding {basis, m zero bits} reproduces the parity of the basis —
+        # the Figure 2 zero-padding step.
+        extern = CrcExtern(CrcPolynomial(coeff=hamming_7_4.crc_parameter, width=3))
+        for basis in range(1 << hamming_7_4.k):
+            parity = extern.get([(basis, hamming_7_4.k), (0, hamming_7_4.m)])
+            assert parity == hamming_7_4.parity_of_basis(basis)
+
+    def test_bitvector_fields(self, hamming_7_4):
+        extern = CrcExtern(CrcPolynomial(coeff=hamming_7_4.crc_parameter, width=3))
+        assert extern.get(BitVector(0b0001000, 7)) == 0b011
+        assert extern.get([BitVector(0b000, 3), BitVector(0b1000, 4)]) == 0b011
+
+    def test_invocation_counter(self, hamming_7_4):
+        extern = CrcExtern(CrcPolynomial(coeff=hamming_7_4.crc_parameter, width=3))
+        extern.get((1, 7))
+        extern.get((2, 7))
+        assert extern.invocations == 2
+
+    def test_field_validation(self, hamming_7_4):
+        extern = CrcExtern(CrcPolynomial(coeff=hamming_7_4.crc_parameter, width=3))
+        with pytest.raises(CodingError):
+            extern.get((8, 3))  # value does not fit the declared width
+        with pytest.raises(CodingError):
+            extern.get([(1, 0)])
+        with pytest.raises(CodingError):
+            extern.get([])
+        with pytest.raises(CodingError):
+            extern.get(["bad"])

@@ -1,0 +1,192 @@
+"""Tests for the pipeline, digest engine and switch chassis."""
+
+import pytest
+
+from repro.exceptions import ControlPlaneError, PipelineError
+from repro.sim import Simulator
+from repro.tofino.digest import DigestEngine
+from repro.tofino.parser import Deparser, HeaderType, Parser, ParserState
+from repro.tofino.pipeline import PacketContext, Pipeline
+from repro.tofino.switch import TofinoSwitch
+
+ETHERNET = HeaderType("ethernet_h", [("dst", 48), ("src", 48), ("ether_type", 16)])
+
+
+def forwarding_pipeline(egress_port=1, emit_digest=False, drop=False):
+    """A trivial program: parse Ethernet, forward to a fixed port."""
+
+    def ingress(context: PacketContext) -> None:
+        if emit_digest:
+            context.emit_digest("seen", {"ether_type": context.packet.header("ethernet")["ether_type"]})
+        if drop:
+            context.drop()
+        else:
+            context.send_to_port(egress_port)
+
+    parser = Parser([ParserState(name="start", extract=("ethernet", ETHERNET))])
+    return Pipeline(
+        name="forward",
+        parser=parser,
+        ingress=ingress,
+        deparser=Deparser(["ethernet"]),
+    )
+
+
+def frame(ether_type=0x0800, payload=b"x" * 20):
+    return bytes(6) + bytes(6) + ether_type.to_bytes(2, "big") + payload
+
+
+class TestPipeline:
+    def test_forwarding(self):
+        pipeline = forwarding_pipeline()
+        result = pipeline.process(frame(), ingress_port=0)
+        assert result.egress_port == 1
+        assert result.frame == frame()
+        assert not result.dropped
+        assert pipeline.packets_processed == 1
+
+    def test_drop(self):
+        pipeline = forwarding_pipeline(drop=True)
+        result = pipeline.process(frame(), ingress_port=0)
+        assert result.dropped
+        assert pipeline.packets_dropped == 1
+
+    def test_parse_error_drops_without_crashing(self):
+        pipeline = forwarding_pipeline()
+        result = pipeline.process(b"\x00" * 5, ingress_port=0)
+        assert result.dropped
+        assert pipeline.parse_errors == 1
+
+    def test_digest_collection(self):
+        pipeline = forwarding_pipeline(emit_digest=True)
+        result = pipeline.process(frame(0x1234), ingress_port=0)
+        assert result.digests == (("seen", {"ether_type": 0x1234}),)
+
+    def test_forbidden_features_flag(self):
+        pipeline = forwarding_pipeline()
+        assert not pipeline.uses_forbidden_features
+        pipeline.record_recirculation()
+        assert pipeline.uses_forbidden_features
+        assert pipeline.summary()["recirculations"] == 1
+
+    def test_invalid_ports(self):
+        pipeline = forwarding_pipeline()
+        with pytest.raises(PipelineError):
+            pipeline.process(frame(), ingress_port=-1)
+        context = PacketContext(packet=None, ingress_port=0)
+        with pytest.raises(PipelineError):
+            context.send_to_port(-2)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline(
+                name="bad",
+                parser=Parser([ParserState(name="start")]),
+                ingress=lambda ctx: None,
+                deparser=Deparser(["ethernet"]),
+                pipeline_latency=-1.0,
+            )
+
+
+class TestDigestEngine:
+    def test_synchronous_delivery_without_simulator(self):
+        engine = DigestEngine()
+        received = []
+        engine.subscribe("learn", received.append)
+        assert engine.emit("learn", {"basis": 5})
+        assert len(received) == 1
+        assert received[0].data == {"basis": 5}
+        assert engine.delivered == 1
+
+    def test_timed_delivery_with_simulator(self):
+        simulator = Simulator()
+        engine = DigestEngine(simulator, delivery_latency=0.5e-3)
+        times = []
+        engine.subscribe("learn", lambda message: times.append(simulator.now))
+        engine.emit("learn", {"basis": 1})
+        assert times == []  # not yet delivered
+        simulator.run()
+        assert times == [pytest.approx(0.5e-3)]
+
+    def test_queue_overflow_drops(self):
+        simulator = Simulator()
+        engine = DigestEngine(simulator, queue_depth=2)
+        engine.subscribe("learn", lambda message: None)
+        assert engine.emit("learn", {})
+        assert engine.emit("learn", {})
+        assert not engine.emit("learn", {})
+        assert engine.dropped == 1
+        simulator.run()
+        assert engine.in_flight == 0
+
+    def test_unsubscribe_and_validation(self):
+        engine = DigestEngine()
+        engine.subscribe("learn", lambda m: None)
+        engine.unsubscribe_all("learn")
+        engine.emit("learn", {})  # no subscriber, still fine
+        with pytest.raises(ControlPlaneError):
+            engine.subscribe("learn", "not callable")
+        with pytest.raises(ControlPlaneError):
+            DigestEngine(delivery_latency=-1)
+        with pytest.raises(ControlPlaneError):
+            DigestEngine(queue_depth=0)
+
+
+class TestTofinoSwitch:
+    def test_receive_and_deliver(self):
+        delivered = []
+        switch = TofinoSwitch("sw", forwarding_pipeline(egress_port=2))
+        switch.attach_port(2, lambda data, time: delivered.append(data))
+        switch.receive(frame(), ingress_port=0)
+        assert delivered == [frame()]
+        assert switch.port_stats(0).rx_packets == 1
+        assert switch.port_stats(2).tx_packets == 1
+
+    def test_delivery_uses_simulator_latency(self):
+        simulator = Simulator()
+        delivered = []
+        switch = TofinoSwitch("sw", forwarding_pipeline(egress_port=1), simulator=simulator)
+        switch.attach_port(1, lambda data, time: delivered.append(time))
+        switch.receive(frame(), ingress_port=0)
+        assert delivered == []
+        simulator.run()
+        assert delivered[0] == pytest.approx(switch.pipeline.pipeline_latency)
+
+    def test_unattached_port_discards_silently(self):
+        switch = TofinoSwitch("sw", forwarding_pipeline(egress_port=3))
+        switch.receive(frame(), ingress_port=0)
+        assert switch.port_stats(3).tx_packets == 1
+
+    def test_digests_forwarded_to_engine(self):
+        switch = TofinoSwitch("sw", forwarding_pipeline(emit_digest=True))
+        switch.receive(frame(), ingress_port=0)
+        assert switch.digest_engine.emitted == 1
+        assert switch.summary()["digests_emitted"] == 1
+
+    def test_port_validation(self):
+        switch = TofinoSwitch("sw", forwarding_pipeline(), port_count=4)
+        with pytest.raises(PipelineError):
+            switch.receive(frame(), ingress_port=4)
+        with pytest.raises(PipelineError):
+            switch.attach_port(9, lambda d, t: None)
+        with pytest.raises(PipelineError):
+            switch.attach_port(0, "not callable")
+        with pytest.raises(PipelineError):
+            TofinoSwitch("bad", forwarding_pipeline(), port_count=0)
+        with pytest.raises(PipelineError):
+            TofinoSwitch("bad", forwarding_pipeline(), port_speed=0)
+
+    def test_detach_port(self):
+        delivered = []
+        switch = TofinoSwitch("sw", forwarding_pipeline(egress_port=1))
+        switch.attach_port(1, lambda data, time: delivered.append(data))
+        switch.detach_port(1)
+        switch.receive(frame(), ingress_port=0)
+        assert delivered == []
+
+    def test_totals(self):
+        switch = TofinoSwitch("sw", forwarding_pipeline(egress_port=1))
+        switch.receive(frame(), ingress_port=0)
+        switch.receive(frame(), ingress_port=0)
+        assert switch.total_rx_packets() == 2
+        assert switch.total_tx_packets() == 2

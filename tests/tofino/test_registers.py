@@ -1,0 +1,97 @@
+"""Tests for registers and register actions."""
+
+import pytest
+
+from repro.exceptions import RegisterError
+from repro.tofino.registers import Register, RegisterAction, RegisterArray
+
+
+class TestRegister:
+    def test_read_write(self):
+        register = Register(width=16, initial=5)
+        assert register.read() == 5
+        register.write(0xFFFF)
+        assert register.value == 0xFFFF
+
+    def test_width_enforced(self):
+        register = Register(width=4)
+        with pytest.raises(RegisterError):
+            register.write(16)
+        with pytest.raises(RegisterError):
+            Register(width=4, initial=16)
+        with pytest.raises(RegisterError):
+            Register(width=0)
+
+
+class TestRegisterArray:
+    def test_basic_access(self):
+        array = RegisterArray(size=8, width=8, initial=1)
+        assert array.read(0) == 1
+        array.write(3, 200)
+        assert array.read(3) == 200
+        assert array.dump()[3] == 200
+
+    def test_bounds_and_width_checks(self):
+        array = RegisterArray(size=4, width=8)
+        with pytest.raises(RegisterError):
+            array.read(4)
+        with pytest.raises(RegisterError):
+            array.write(0, 256)
+        with pytest.raises(RegisterError):
+            RegisterArray(size=0, width=8)
+        with pytest.raises(RegisterError):
+            RegisterArray(size=4, width=8, initial=300)
+
+    def test_clear(self):
+        array = RegisterArray(size=4, width=8, initial=7)
+        array.clear()
+        assert array.dump() == [0, 0, 0, 0]
+        with pytest.raises(RegisterError):
+            array.clear(value=256)
+
+    def test_execute_counts_data_plane_accesses(self):
+        array = RegisterArray(size=4, width=8)
+        array.execute(0, RegisterAction.increment())
+        array.execute(0, RegisterAction.increment())
+        array.read(0)  # control-plane read, not counted
+        assert array.accesses == 2
+        assert array.read(0) == 2
+
+
+class TestRegisterAction:
+    def test_read_only(self):
+        array = RegisterArray(size=2, width=8, initial=9)
+        assert array.execute(1, RegisterAction.read_only()) == 9
+        assert array.read(1) == 9
+
+    def test_overwrite_returns_previous(self):
+        array = RegisterArray(size=2, width=8, initial=9)
+        assert array.execute(0, RegisterAction.overwrite(42)) == 9
+        assert array.read(0) == 42
+
+    def test_increment_with_modulo(self):
+        array = RegisterArray(size=1, width=8, initial=254)
+        action = RegisterAction.increment(amount=1, modulo=256)
+        assert array.execute(0, action) == 255
+        assert array.execute(0, action) == 0
+
+    def test_custom_action(self):
+        array = RegisterArray(size=1, width=16)
+        saturating_add = RegisterAction(
+            lambda value: (min(value + 1000, 0xFFFF), value), name="sat-add"
+        )
+        array.execute(0, saturating_add)
+        for _ in range(100):
+            array.execute(0, saturating_add)
+        assert array.read(0) == 0xFFFF
+
+    def test_action_result_validation(self):
+        array = RegisterArray(size=1, width=8)
+        bad_shape = RegisterAction(lambda value: value)
+        with pytest.raises(RegisterError):
+            array.execute(0, bad_shape)
+        overflowing = RegisterAction(lambda value: (512, None))
+        with pytest.raises(RegisterError):
+            array.execute(0, overflowing)
+        with pytest.raises(RegisterError):
+            RegisterAction("not callable")

@@ -1,0 +1,198 @@
+"""Tests for match-action tables."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.tofino.tables import ActionSpec, MatchActionTable, MatchKind
+
+
+def make_table(size=8, idle_timeout=False):
+    return MatchActionTable(
+        name="basis_to_id",
+        key_bits=16,
+        size=size,
+        actions=[ActionSpec("set_identifier", ("identifier",)), ActionSpec("learn")],
+        default_action="learn",
+        support_idle_timeout=idle_timeout,
+    )
+
+
+class TestControlPlaneApi:
+    def test_add_and_lookup(self):
+        table = make_table()
+        table.add_entry(0xAB, "set_identifier", {"identifier": 7})
+        result = table.lookup(0xAB)
+        assert result.hit
+        assert result.action == "set_identifier"
+        assert result.params == {"identifier": 7}
+        assert len(table) == 1
+
+    def test_miss_returns_default_action(self):
+        table = make_table()
+        result = table.lookup(0x01)
+        assert not result.hit
+        assert result.action == "learn"
+
+    def test_duplicate_key_rejected(self):
+        table = make_table()
+        table.add_entry(1, "learn")
+        with pytest.raises(TableError):
+            table.add_entry(1, "learn")
+
+    def test_unknown_action_rejected(self):
+        table = make_table()
+        with pytest.raises(TableError):
+            table.add_entry(1, "drop")
+        with pytest.raises(TableError):
+            MatchActionTable("t", 8, 4, [ActionSpec("a")], default_action="missing")
+
+    def test_wrong_action_params_rejected(self):
+        table = make_table()
+        with pytest.raises(TableError):
+            table.add_entry(1, "set_identifier", {"wrong": 1})
+        with pytest.raises(TableError):
+            table.add_entry(1, "set_identifier", {})
+
+    def test_capacity_enforced(self):
+        table = make_table(size=2)
+        table.add_entry(1, "learn")
+        table.add_entry(2, "learn")
+        assert table.is_full()
+        with pytest.raises(TableError):
+            table.add_entry(3, "learn")
+
+    def test_modify_and_delete(self):
+        table = make_table()
+        table.add_entry(1, "set_identifier", {"identifier": 1})
+        table.modify_entry(1, "set_identifier", {"identifier": 2})
+        assert table.lookup(1).params["identifier"] == 2
+        table.delete_entry(1)
+        assert not table.lookup(1).hit
+        with pytest.raises(TableError):
+            table.delete_entry(1)
+
+    def test_const_entries_are_immutable(self):
+        table = make_table()
+        table.add_const_entries(iter([(5, "set_identifier", {"identifier": 9})]))
+        with pytest.raises(TableError):
+            table.modify_entry(5, "learn")
+        with pytest.raises(TableError):
+            table.delete_entry(5)
+        table.clear()
+        assert len(table) == 1  # const entries survive clear()
+        table.clear(include_const=True)
+        assert len(table) == 0
+
+    def test_set_default_action(self):
+        table = make_table()
+        table.set_default_action("set_identifier", {"identifier": 0})
+        result = table.lookup(99)
+        assert result.action == "set_identifier"
+        assert result.params == {"identifier": 0}
+
+    def test_invalid_construction(self):
+        with pytest.raises(TableError):
+            MatchActionTable("t", 8, 0, [ActionSpec("a")], default_action="a")
+        with pytest.raises(TableError):
+            MatchActionTable("t", 0, 4, [ActionSpec("a")], default_action="a")
+
+
+class TestIdleTimeout:
+    def test_ttl_requires_declaration(self):
+        table = make_table(idle_timeout=False)
+        with pytest.raises(TableError):
+            table.add_entry(1, "learn", ttl=1.0)
+
+    def test_expiry_reported_after_idle_period(self):
+        table = make_table(idle_timeout=True)
+        table.add_entry(1, "learn", ttl=1.0, now=0.0)
+        assert table.expired_entries(now=0.5) == []
+        expired = table.expired_entries(now=1.5)
+        assert [entry.key for entry in expired] == [1]
+
+    def test_hit_refreshes_idle_timer(self):
+        table = make_table(idle_timeout=True)
+        table.add_entry(1, "learn", ttl=1.0, now=0.0)
+        table.lookup(1, now=0.9)
+        assert table.expired_entries(now=1.5) == []
+        assert table.expired_entries(now=2.0) != []
+
+    def test_reset_entry_ttl(self):
+        table = make_table(idle_timeout=True)
+        table.add_entry(1, "learn", ttl=1.0, now=0.0)
+        table.reset_entry_ttl(1, now=0.9)
+        assert table.expired_entries(now=1.5) == []
+
+    def test_entries_without_ttl_never_expire(self):
+        table = make_table(idle_timeout=True)
+        table.add_entry(1, "learn", now=0.0)
+        assert table.expired_entries(now=1e9) == []
+
+    def test_hit_statistics(self):
+        table = make_table()
+        table.add_entry(1, "learn")
+        table.lookup(1)
+        table.lookup(1)
+        table.lookup(2)
+        assert table.lookups == 3
+        assert table.hits == 2
+        assert table.get_entry(1).hit_count == 2
+
+
+class TestActionHandlers:
+    def test_apply_invokes_handler(self):
+        seen = []
+        table = MatchActionTable(
+            name="t",
+            key_bits=8,
+            size=4,
+            actions=[
+                ActionSpec("record", ("value",), handler=lambda value, ctx: seen.append((value, ctx))),
+                ActionSpec("NoAction"),
+            ],
+            default_action="NoAction",
+        )
+        table.add_entry(1, "record", {"value": 42})
+        table.apply(1, ctx="context")
+        assert seen == [(42, "context")]
+        table.apply(9, ctx="context")  # miss -> NoAction, no handler
+        assert len(seen) == 1
+
+
+class TestTernaryMatching:
+    def make_ternary(self):
+        return MatchActionTable(
+            name="forward",
+            key_bits=8,
+            size=4,
+            actions=[ActionSpec("to_port", ("port",))],
+            default_action="NoAction",
+            match_kind=MatchKind.TERNARY,
+        )
+
+    def test_priority_order(self):
+        table = self.make_ternary()
+        table.add_entry(0x10, "to_port", {"port": 1}, mask=0xF0, priority=1)
+        table.add_entry(0x12, "to_port", {"port": 2}, mask=0xFF, priority=10)
+        assert table.lookup(0x12).params["port"] == 2
+        assert table.lookup(0x15).params["port"] == 1
+        assert not table.lookup(0x25).hit
+
+    def test_ternary_requires_integer_keys(self):
+        table = self.make_ternary()
+        table.add_entry(0x10, "to_port", {"port": 1}, mask=0xF0)
+        with pytest.raises(TableError):
+            table.lookup("string-key")
+
+    def test_ternary_delete(self):
+        table = self.make_ternary()
+        table.add_entry(0x10, "to_port", {"port": 1}, mask=0xF0)
+        table.delete_entry(0x10)
+        assert len(table) == 0
+        with pytest.raises(TableError):
+            table.delete_entry(0x10)
+
+    def test_get_entry_requires_exact_table(self):
+        table = self.make_ternary()
+        with pytest.raises(TableError):
+            table.get_entry(1)

@@ -1,0 +1,108 @@
+"""Tests for the trace container."""
+
+import pytest
+
+from repro.core.transform import GDTransform
+from repro.exceptions import TraceError
+from repro.workloads.traces import ChunkTrace
+
+
+@pytest.fixture()
+def trace():
+    chunks = [bytes([i]) * 32 for i in range(10)] + [bytes([0]) * 32]
+    return ChunkTrace(chunks, name="unit")
+
+
+class TestConstruction:
+    def test_basic_properties(self, trace):
+        assert len(trace) == 11
+        assert trace.chunk_bytes == 32
+        assert trace.total_bytes == 11 * 32
+        assert trace[0] == bytes(32)
+        assert list(iter(trace))[1] == bytes([1]) * 32
+
+    def test_rejects_empty_and_mixed_sizes(self):
+        with pytest.raises(TraceError):
+            ChunkTrace([])
+        with pytest.raises(TraceError):
+            ChunkTrace([b""])
+        with pytest.raises(TraceError):
+            ChunkTrace([b"\x00" * 32, b"\x00" * 16])
+
+    def test_head(self, trace):
+        assert len(trace.head(3)) == 3
+        with pytest.raises(TraceError):
+            trace.head(0)
+
+    def test_concatenated(self, trace):
+        assert len(trace.concatenated()) == trace.total_bytes
+
+
+class TestStats:
+    def test_distinct_counts(self, trace):
+        stats = trace.stats()
+        assert stats.chunks == 11
+        assert stats.distinct_chunks == 10  # the zero chunk appears twice
+        assert stats.distinct_bases is None
+
+    def test_distinct_bases_with_transform(self, trace):
+        transform = GDTransform(order=8)
+        stats = trace.stats(transform)
+        assert stats.distinct_bases == len(trace.distinct_bases(transform))
+        assert stats.distinct_bases <= stats.distinct_chunks
+
+    def test_distinct_bases_requires_matching_chunk_size(self):
+        trace = ChunkTrace([b"\x00" * 16])
+        with pytest.raises(TraceError):
+            trace.distinct_bases(GDTransform(order=8))
+
+    def test_stats_as_dict(self, trace):
+        assert trace.stats().as_dict()["chunks"] == 11
+
+
+class TestReplayHelpers:
+    def test_timestamps_and_duration(self, trace):
+        stamps = trace.timestamps(packet_rate=1000.0)
+        assert stamps[0] == 0.0
+        assert stamps[1] == pytest.approx(0.001)
+        assert trace.duration(packet_rate=1000.0) == pytest.approx(0.011)
+        with pytest.raises(TraceError):
+            trace.timestamps(0)
+        with pytest.raises(TraceError):
+            trace.duration(0)
+
+
+class TestPcapRoundTrip:
+    def test_to_and_from_pcap(self, trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        count = trace.to_pcap(path, packet_rate=1e6)
+        assert count == len(trace)
+        loaded = ChunkTrace.from_pcap(path)
+        assert loaded.chunks == trace.chunks
+
+    def test_frames_carry_the_raw_chunk_ethertype(self, trace):
+        from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+        frames = trace.to_frames()
+        assert all(frame.ethertype == ETHERTYPE_RAW_CHUNK for frame in frames)
+        assert all(frame.payload_bytes == 32 for frame in frames)
+
+    def test_from_pcap_without_chunks_rejected(self, tmp_path):
+        from repro.net.pcap import PcapPacket, write_pcap
+        from repro.net.ethernet import EthernetFrame, EtherType
+        from repro.net.mac import MacAddress
+
+        path = tmp_path / "nochunks.pcap"
+        frame = EthernetFrame(
+            MacAddress("02:00:00:00:00:01"),
+            MacAddress("02:00:00:00:00:02"),
+            EtherType.IPV4,
+            b"x",
+        )
+        write_pcap(path, [PcapPacket(0.0, frame.to_bytes())])
+        with pytest.raises(TraceError):
+            ChunkTrace.from_pcap(path)
+
+    def test_invalid_pcap_rate(self, trace, tmp_path):
+        with pytest.raises(TraceError):
+            trace.to_pcap(tmp_path / "x.pcap", packet_rate=0)

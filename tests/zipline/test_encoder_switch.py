@@ -1,0 +1,168 @@
+"""Tests for the ZipLine encoder switch program."""
+
+import pytest
+
+from repro.core.transform import GDTransform
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.mac import MacAddress
+from repro.net.packets import ZipLinePacketCodec
+from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+DST = MacAddress("02:00:00:00:00:02")
+SRC = MacAddress("02:00:00:00:00:01")
+
+
+@pytest.fixture()
+def encoder():
+    return ZipLineEncoderSwitch(
+        transform=GDTransform(order=8),
+        identifier_bits=15,
+        forwarding={0: 1},
+    )
+
+
+def chunk_frame(chunk: bytes) -> bytes:
+    return EthernetFrame(DST, SRC, ETHERTYPE_RAW_CHUNK, chunk).to_bytes()
+
+
+def make_chunk(transform, basis, position=None, prefix=0):
+    codeword = transform.code.encode(basis)
+    body = codeword if position is None else codeword ^ (1 << position)
+    return ((prefix << transform.code.n) | body).to_bytes(transform.chunk_bytes, "big")
+
+
+class TestEncoding:
+    def test_unknown_basis_produces_type2_and_digest(self, encoder, rng):
+        chunk = make_chunk(encoder.transform, rng.getrandbits(247), position=10)
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        result = encoder.receive(chunk_frame(chunk), ingress_port=0)
+        assert result.egress_port == 1
+        frame = EthernetFrame.from_bytes(outputs[0])
+        assert frame.ethertype == EtherType.ZIPLINE_UNCOMPRESSED
+        assert len(frame.payload) == 33
+        assert encoder.digest_engine.emitted == 1
+        assert encoder.counters.read("raw_to_uncompressed").packets == 1
+
+    def test_known_basis_produces_type3(self, encoder, rng):
+        basis = rng.getrandbits(247)
+        encoder.install_basis_mapping(basis, identifier=77)
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        chunk = make_chunk(encoder.transform, basis, position=42, prefix=1)
+        encoder.receive(chunk_frame(chunk), ingress_port=0)
+        frame = EthernetFrame.from_bytes(outputs[0])
+        assert frame.ethertype == EtherType.ZIPLINE_COMPRESSED
+        assert len(frame.payload) == 3
+        codec = ZipLinePacketCodec(encoder.transform, identifier_bits=15)
+        record = codec.unpack_compressed(frame.payload)
+        assert record.identifier == 77
+        assert record.prefix == 1
+        assert encoder.counters.read("raw_to_compressed").packets == 1
+        assert encoder.digest_engine.emitted == 0
+
+    def test_type2_packet_content_reconstructs_the_chunk(self, encoder, rng):
+        chunk = make_chunk(encoder.transform, rng.getrandbits(247), position=3, prefix=1)
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        encoder.receive(chunk_frame(chunk), ingress_port=0)
+        frame = EthernetFrame.from_bytes(outputs[0])
+        codec = ZipLinePacketCodec(encoder.transform, identifier_bits=15)
+        record = codec.unpack_uncompressed(frame.payload)
+        rebuilt = encoder.transform.join_fields(record.prefix, record.basis, record.deviation)
+        assert rebuilt.to_bytes(32, "big") == chunk
+
+    def test_same_basis_maps_to_same_identifier_after_install(self, encoder, rng):
+        basis = rng.getrandbits(247)
+        encoder.install_basis_mapping(basis, identifier=3)
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        codec = ZipLinePacketCodec(encoder.transform, identifier_bits=15)
+        identifiers = set()
+        for position in (0, 50, 100, 200, None):
+            chunk = make_chunk(encoder.transform, basis, position=position)
+            encoder.receive(chunk_frame(chunk), ingress_port=0)
+            identifiers.add(codec.unpack_compressed(
+                EthernetFrame.from_bytes(outputs[-1]).payload
+            ).identifier)
+        assert identifiers == {3}
+
+    def test_non_chunk_traffic_is_forwarded_unchanged(self, encoder):
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        raw = EthernetFrame(DST, SRC, EtherType.IPV4, b"not a chunk").to_bytes()
+        encoder.receive(raw, ingress_port=0)
+        assert outputs == [raw]
+        assert encoder.counters.read("passthrough_other").packets == 1
+
+    def test_already_processed_traffic_is_forwarded_unchanged(self, encoder, rng):
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        codec = ZipLinePacketCodec(encoder.transform, identifier_bits=15)
+        from repro.core.records import CompressedRecord
+
+        record = CompressedRecord(
+            prefix=0, identifier=1, deviation=2,
+            prefix_bits=1, identifier_bits=15, deviation_bits=8,
+        )
+        frame = codec.build_frame(record, DST, SRC).to_bytes()
+        encoder.receive(frame, ingress_port=0)
+        assert outputs == [frame]
+        assert encoder.counters.read("passthrough_processed").packets == 1
+
+
+class TestControlPlaneInterface:
+    def test_install_modify_remove(self, encoder, rng):
+        basis = rng.getrandbits(247)
+        encoder.install_basis_mapping(basis, identifier=1)
+        assert basis in encoder.known_bases()
+        encoder.install_basis_mapping(basis, identifier=2)  # modify
+        assert encoder.basis_table.get_entry(basis).params["identifier"] == 2
+        encoder.remove_basis_mapping(basis)
+        assert basis not in encoder.known_bases()
+        encoder.remove_basis_mapping(basis)  # idempotent
+
+    def test_expired_bases(self, rng):
+        encoder = ZipLineEncoderSwitch(transform=GDTransform(order=8), entry_ttl=1.0)
+        basis = rng.getrandbits(247)
+        encoder.install_basis_mapping(basis, identifier=1, ttl=1.0)
+        assert encoder.expired_bases(now=0.5) == []
+        assert encoder.expired_bases(now=2.0) == [basis]
+
+    def test_forwarding_configuration(self, encoder):
+        encoder.set_forwarding(2, 3)
+        with pytest.raises(Exception):
+            encoder.set_forwarding(-1, 2)
+
+
+class TestProgramProperties:
+    def test_no_recirculation_or_duplication(self, encoder, rng):
+        for _ in range(20):
+            chunk = make_chunk(encoder.transform, rng.getrandbits(247), position=1)
+            encoder.receive(chunk_frame(chunk), ingress_port=0)
+        assert not encoder.pipeline.uses_forbidden_features
+
+    def test_syndrome_table_is_fully_populated(self, encoder):
+        # 2^m const entries: one per syndrome, including the zero syndrome.
+        assert len(encoder._syndrome_table) == 256
+
+    def test_resources_registered(self, encoder):
+        summary = encoder.pipeline.resources.stage_summary()
+        assert summary  # at least one stage used
+        total_entries = sum(stage["entries"] for stage in summary.values())
+        assert total_entries >= 256 + (1 << 15)
+
+    def test_small_order_switch_roundtrip(self, rng):
+        transform = GDTransform(order=4)
+        encoder = ZipLineEncoderSwitch(
+            transform=transform, identifier_bits=6, forwarding={0: 1}
+        )
+        outputs = []
+        encoder.switch.attach_port(1, lambda data, time: outputs.append(data))
+        basis = rng.getrandbits(transform.basis_bits)
+        chunk = make_chunk(transform, basis, position=2)
+        frame = EthernetFrame(DST, SRC, ETHERTYPE_RAW_CHUNK, chunk).to_bytes()
+        encoder.receive(frame, ingress_port=0)
+        parsed = EthernetFrame.from_bytes(outputs[0])
+        assert parsed.ethertype == EtherType.ZIPLINE_UNCOMPRESSED

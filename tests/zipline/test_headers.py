@@ -1,0 +1,67 @@
+"""Tests for the ZipLine header set."""
+
+import pytest
+
+from repro.core.transform import GDTransform
+from repro.exceptions import PacketError
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK, ZipLineHeaderSet
+
+
+class TestPaperHeaderSet:
+    @pytest.fixture(scope="class")
+    def headers(self):
+        return ZipLineHeaderSet.build(GDTransform(order=8), identifier_bits=15)
+
+    def test_payload_sizes_match_the_paper(self, headers):
+        assert headers.chunk_payload_bytes == 32
+        assert headers.type2_payload_bytes == 33   # the 1.03 overhead
+        assert headers.type3_payload_bytes == 3    # the 0.09 compressed size
+
+    def test_field_widths(self, headers):
+        assert headers.prefix_bits == 1
+        assert headers.basis_bits == 247
+        assert headers.syndrome_bits == 8
+        assert headers.identifier_bits == 15
+        assert headers.type2_padding_bits == 8
+        assert headers.type3_padding_bits == 0
+
+    def test_header_types_are_byte_aligned(self, headers):
+        assert headers.chunk.total_bits % 8 == 0
+        assert headers.type2.total_bits % 8 == 0
+        assert headers.type3.total_bits % 8 == 0
+        assert headers.ethernet.total_bytes == 14
+
+    def test_describe(self, headers):
+        text = headers.describe()
+        assert "type2=33B" in text
+        assert "type3=3B" in text
+
+    def test_raw_chunk_ethertype_is_experimental(self):
+        assert ETHERTYPE_RAW_CHUNK == 0x88B4
+
+
+class TestOtherOrders:
+    def test_order_4_layout(self):
+        headers = ZipLineHeaderSet.build(GDTransform(order=4), identifier_bits=6)
+        assert headers.chunk_payload_bytes == 2
+        # 1 + 11 + 4 = 16 bits, already aligned -> one modelled padding byte.
+        assert headers.type2_payload_bytes == 3
+        # 1 + 6 + 4 = 11 bits -> padded to 16 bits.
+        assert headers.type3_payload_bytes == 2
+        assert headers.type3_padding_bits == 5
+
+    def test_explicit_type2_padding(self):
+        headers = ZipLineHeaderSet.build(
+            GDTransform(order=8), identifier_bits=15, type2_padding_bits=0
+        )
+        assert headers.type2_payload_bytes == 32
+
+    def test_unalignable_padding_rejected(self):
+        with pytest.raises(PacketError):
+            ZipLineHeaderSet.build(
+                GDTransform(order=8), identifier_bits=15, type2_padding_bits=3
+            )
+
+    def test_invalid_identifier_bits(self):
+        with pytest.raises(PacketError):
+            ZipLineHeaderSet.build(GDTransform(order=8), identifier_bits=0)

@@ -1,0 +1,79 @@
+"""Tests for the link tap and compression summary."""
+
+import pytest
+
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.mac import MacAddress
+from repro.net.packets import PacketKind
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+from repro.zipline.stats import CompressionSummary, LinkTap
+
+DST = MacAddress("02:00:00:00:00:02")
+SRC = MacAddress("02:00:00:00:00:01")
+
+
+def frame_bytes(ethertype, payload_len):
+    return EthernetFrame(DST, SRC, ethertype, b"\x00" * payload_len).to_bytes()
+
+
+class TestLinkTap:
+    def test_classification_and_byte_accounting(self):
+        tap = LinkTap()
+        tap.observe(frame_bytes(EtherType.ZIPLINE_UNCOMPRESSED, 33), time=0.0)
+        tap.observe(frame_bytes(EtherType.ZIPLINE_COMPRESSED, 3), time=0.001)
+        tap.observe(frame_bytes(EtherType.ZIPLINE_COMPRESSED, 3), time=0.002)
+        tap.observe(frame_bytes(ETHERTYPE_RAW_CHUNK, 32), time=0.003)
+        counts = tap.count_by_kind()
+        assert counts[PacketKind.PROCESSED_UNCOMPRESSED] == 1
+        assert counts[PacketKind.PROCESSED_COMPRESSED] == 2
+        assert counts[PacketKind.RAW] == 1
+        assert tap.total_payload_bytes() == 33 + 3 + 3 + 32
+        assert tap.total_frames() == 4
+        by_kind = tap.payload_bytes_by_kind()
+        assert by_kind[PacketKind.PROCESSED_COMPRESSED] == 6
+
+    def test_first_time_of_kind(self):
+        tap = LinkTap()
+        tap.observe(frame_bytes(EtherType.ZIPLINE_UNCOMPRESSED, 33), time=0.5)
+        tap.observe(frame_bytes(EtherType.ZIPLINE_COMPRESSED, 3), time=2.27)
+        assert tap.first_time_of_kind(PacketKind.PROCESSED_UNCOMPRESSED) == 0.5
+        assert tap.first_time_of_kind(PacketKind.PROCESSED_COMPRESSED) == 2.27
+        assert tap.first_time_of_kind(PacketKind.RAW) is None
+
+    def test_clear(self):
+        tap = LinkTap()
+        tap.observe(frame_bytes(EtherType.IPV4, 10), time=0.0)
+        tap.clear()
+        assert tap.total_frames() == 0
+
+
+class TestCompressionSummary:
+    def test_ratio_and_savings(self):
+        summary = CompressionSummary(
+            original_payload_bytes=3200,
+            transmitted_payload_bytes=320,
+            compressed_packets=90,
+            uncompressed_packets=10,
+        )
+        assert summary.compression_ratio == pytest.approx(0.1)
+        assert summary.savings_percent == pytest.approx(90.0)
+        assert summary.total_packets == 100
+
+    def test_empty_summary(self):
+        summary = CompressionSummary(original_payload_bytes=0, transmitted_payload_bytes=0)
+        assert summary.compression_ratio == 0.0
+
+    def test_from_link_tap(self):
+        tap = LinkTap()
+        tap.observe(frame_bytes(EtherType.ZIPLINE_UNCOMPRESSED, 33), time=0.0)
+        tap.observe(frame_bytes(EtherType.ZIPLINE_COMPRESSED, 3), time=0.1)
+        summary = CompressionSummary.from_link_tap(
+            tap, original_payload_bytes=64, dataset="unit", scenario="dynamic"
+        )
+        assert summary.transmitted_payload_bytes == 36
+        assert summary.uncompressed_packets == 1
+        assert summary.compressed_packets == 1
+        assert summary.dataset == "unit"
+        data = summary.as_dict()
+        assert data["scenario"] == "dynamic"
+        assert data["compression_ratio"] == pytest.approx(36 / 64)
