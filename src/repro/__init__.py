@@ -11,18 +11,24 @@ evaluation.
 
 Quickstart::
 
-    from repro import GDCodec
+    from repro import GDCodec, registry
 
     codec = GDCodec(order=8, identifier_bits=15)
     result = codec.compress(payload_bytes, pad=True)
     print(result.compression_ratio)
     restored = codec.decompress_records(result.records, len(payload_bytes))
+
+    # Streaming, bounded-memory, any registered codec (gd/gzip/dedup/null):
+    compressor = registry.get("gd")
+    blob = b"".join(compressor.compress_stream(blocks))
 """
 
+from repro import registry
 from repro.core import (
     BasisDictionary,
     BitVector,
     CompressionResult,
+    Compressor,
     CrcEngine,
     CrcParameters,
     EncoderMode,
@@ -35,12 +41,13 @@ from repro.core import (
     syndrome_crc,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BasisDictionary",
     "BitVector",
     "CompressionResult",
+    "Compressor",
     "CrcEngine",
     "CrcParameters",
     "EncoderMode",
@@ -50,6 +57,7 @@ __all__ = [
     "GDEncoder",
     "GDTransform",
     "HammingCode",
+    "registry",
     "syndrome_crc",
     "__version__",
 ]

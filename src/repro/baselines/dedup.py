@@ -59,6 +59,9 @@ class ExactDedupBaseline:
     alignment_padding_bits:
         Padding added to the not-deduplicated representation, mirroring the
         type-2 padding of ZipLine so byte accounting is comparable.
+    eviction_seed:
+        Seed for the dictionary's eviction randomness (``random`` policy
+        only); pass one to make ablation runs reproducible.
     """
 
     def __init__(
@@ -66,6 +69,7 @@ class ExactDedupBaseline:
         identifier_bits: int = 15,
         eviction_policy: "str | EvictionPolicy" = EvictionPolicy.LRU,
         alignment_padding_bits: int = 0,
+        eviction_seed: Optional[int] = None,
     ):
         if identifier_bits <= 0:
             raise ReproError(f"identifier_bits must be positive, got {identifier_bits}")
@@ -73,7 +77,9 @@ class ExactDedupBaseline:
             raise ReproError("alignment padding cannot be negative")
         self.identifier_bits = identifier_bits
         self.alignment_padding_bits = alignment_padding_bits
-        self._dictionary = BasisDictionary(1 << identifier_bits, eviction_policy)
+        self._dictionary = BasisDictionary(
+            1 << identifier_bits, eviction_policy, seed=eviction_seed
+        )
 
     @property
     def dictionary(self) -> BasisDictionary:

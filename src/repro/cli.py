@@ -2,8 +2,11 @@
 
 Exposes the pieces a user reaches for most often without writing Python:
 
-* ``compress`` / ``decompress`` — file compression with the GD codec and the
-  self-contained ``GDZ1`` container;
+* ``compress`` / ``decompress`` — streaming file compression with any codec
+  in the registry (GD with its self-describing ``GDZ1`` container, gzip,
+  classic dedup, null), processed in bounded memory so file size does not
+  matter; decompression detects the format from the file's magic;
+* ``codecs`` — list the registered compressors;
 * ``generate-trace`` — write a synthetic-sensor or DNS chunk trace as a pcap
   file ready to replay;
 * ``replay`` — run a pcap chunk trace through the simulated two-switch
@@ -12,7 +15,8 @@ Exposes the pieces a user reaches for most often without writing Python:
 * ``learning-delay`` — measure the dynamic-learning delay (the paper's
   1.77 ms experiment).
 
-Invoke with ``python -m repro ...`` or look at ``repro.cli.main``.
+Invoke with ``repro ...`` (the console script), ``python -m repro ...``, or
+look at ``repro.cli.main``.
 """
 
 from __future__ import annotations
@@ -22,10 +26,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import registry
 from repro.analysis.reporting import format_table
 from repro.analysis.statistics import summarize
-from repro.core.codec import GDCodec
+from repro.core.engine import DEFAULT_BLOCK_SIZE, compress_file, decompress_file
 from repro.core.polynomials import render_table_1
+from repro.exceptions import ReproError
 from repro.workloads import ChunkTrace, DnsQueryWorkload, SyntheticSensorWorkload
 from repro.zipline import DeploymentScenario, ZipLineDeployment
 
@@ -41,20 +47,41 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     compress = subparsers.add_parser(
-        "compress", help="compress a file into a GDZ1 container"
+        "compress", help="stream-compress a file with a registered codec"
     )
     compress.add_argument("input", type=Path, help="file to compress")
-    compress.add_argument("output", type=Path, help="container to write")
-    compress.add_argument("--order", type=int, default=8, help="Hamming order m (default 8)")
+    compress.add_argument("output", type=Path, help="compressed stream to write")
     compress.add_argument(
-        "--identifier-bits", type=int, default=15, help="identifier width t (default 15)"
+        "--codec",
+        choices=registry.names(),
+        default="gd",
+        help="compressor from the registry (default: gd)",
+    )
+    compress.add_argument("--order", type=int, default=8, help="Hamming order m (default 8, gd only)")
+    compress.add_argument(
+        "--identifier-bits", type=int, default=15,
+        help="identifier width t (default 15, gd/dedup)",
+    )
+    compress.add_argument(
+        "--level", type=int, default=6, help="DEFLATE level 1-9 (default 6, gzip only)"
+    )
+    compress.add_argument(
+        "--block-size", type=int, default=DEFAULT_BLOCK_SIZE,
+        help=f"streaming read size in bytes (default {DEFAULT_BLOCK_SIZE})",
     )
 
     decompress = subparsers.add_parser(
-        "decompress", help="decompress a GDZ1 container back into a file"
+        "decompress",
+        help="decompress a stream back into a file (format detected from magic)",
     )
-    decompress.add_argument("input", type=Path, help="container to read")
+    decompress.add_argument("input", type=Path, help="compressed stream to read")
     decompress.add_argument("output", type=Path, help="file to write")
+    decompress.add_argument(
+        "--block-size", type=int, default=DEFAULT_BLOCK_SIZE,
+        help=f"streaming read size in bytes (default {DEFAULT_BLOCK_SIZE})",
+    )
+
+    subparsers.add_parser("codecs", help="list the registered compressors")
 
     generate = subparsers.add_parser(
         "generate-trace", help="generate a chunk trace and write it as a pcap"
@@ -93,29 +120,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _compressor_parameters(args: argparse.Namespace) -> dict:
+    """Forward only the options the selected codec understands."""
+    if args.codec == "gd":
+        return {"order": args.order, "identifier_bits": args.identifier_bits}
+    if args.codec == "dedup":
+        return {"identifier_bits": args.identifier_bits}
+    if args.codec == "gzip":
+        return {"level": args.level}
+    return {}
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
-    data = args.input.read_bytes()
-    codec = GDCodec(
-        order=args.order,
-        identifier_bits=args.identifier_bits,
-        alignment_padding_bits=0,
+    compressor = registry.get(args.codec, **_compressor_parameters(args))
+    read, written = compress_file(
+        compressor, args.input, args.output, block_size=args.block_size
     )
-    blob = codec.compress_to_container(data, pad=True)
-    args.output.write_bytes(blob)
-    ratio = len(blob) / len(data) if data else 0.0
+    ratio = written / read if read else 0.0
     print(
-        f"{args.input} ({len(data):,} B) -> {args.output} ({len(blob):,} B), "
-        f"container ratio {ratio:.3f}"
+        f"{args.input} ({read:,} B) -> {args.output} ({written:,} B, "
+        f"codec {args.codec}), container ratio {ratio:.3f}"
     )
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    blob = args.input.read_bytes()
-    codec = GDCodec.from_container_header(blob)
-    data = codec.decompress_container(blob)
-    args.output.write_bytes(data)
-    print(f"{args.input} -> {args.output} ({len(data):,} B restored)")
+    with open(args.input, "rb") as stream:
+        header = stream.read(8)
+    compressor = registry.get_for_header(header)
+    _read, written = decompress_file(
+        compressor, args.input, args.output, block_size=args.block_size
+    )
+    print(
+        f"{args.input} -> {args.output} ({written:,} B restored, "
+        f"codec {compressor.name})"
+    )
+    return 0
+
+
+def _cmd_codecs(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, registry.magic_for(name).hex() or "-"]
+        for name in registry.names()
+    ]
+    print(format_table(["codec", "magic"], rows, title="registered compressors"))
     return 0
 
 
@@ -196,6 +244,7 @@ def _cmd_learning_delay(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
+    "codecs": _cmd_codecs,
     "generate-trace": _cmd_generate_trace,
     "replay": _cmd_replay,
     "table1": _cmd_table1,
@@ -208,7 +257,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except (ReproError, OSError) as error:
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ This subpackage is the paper's primary contribution in library form:
 * :mod:`repro.core.transform` — the chunk ⇄ (prefix, basis, deviation) split;
 * :mod:`repro.core.dictionary` — the bounded basis ↔ identifier mapping;
 * :mod:`repro.core.encoder` / :mod:`repro.core.decoder` — record-level GD;
-* :mod:`repro.core.codec` — the one-call byte-stream compressor.
+* :mod:`repro.core.codec` — the one-call byte-stream compressor;
+* :mod:`repro.core.engine` — the streaming :class:`Compressor` protocol
+  unifying the GD codec and every baseline (see also :mod:`repro.registry`).
 """
 
 from repro.core.bits import BitVector
@@ -21,7 +23,20 @@ from repro.core.crc import (
     CRC32_ETHERNET,
     CrcEngine,
     CrcParameters,
+    crc_table,
+    poly_mod_table,
     syndrome_crc,
+)
+from repro.core.engine import (
+    Compressor,
+    DedupStreamCompressor,
+    GDStreamCompressor,
+    GzipStreamCompressor,
+    NullStreamCompressor,
+    compress_bytes,
+    compress_file,
+    decompress_bytes,
+    decompress_file,
 )
 from repro.core.decoder import DecoderStats, GDDecoder
 from repro.core.dictionary import BasisDictionary, DictionaryStats, EvictionPolicy
@@ -53,7 +68,18 @@ __all__ = [
     "CRC32_ETHERNET",
     "CrcEngine",
     "CrcParameters",
+    "crc_table",
+    "poly_mod_table",
     "syndrome_crc",
+    "Compressor",
+    "DedupStreamCompressor",
+    "GDStreamCompressor",
+    "GzipStreamCompressor",
+    "NullStreamCompressor",
+    "compress_bytes",
+    "compress_file",
+    "decompress_bytes",
+    "decompress_file",
     "DecoderStats",
     "GDDecoder",
     "BasisDictionary",

@@ -21,6 +21,7 @@ one machine can be decompressed on another with no shared state.
 
 from __future__ import annotations
 
+import random
 import struct
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
@@ -37,10 +38,28 @@ from repro.core.records import (
 from repro.core.transform import GDTransform
 from repro.exceptions import ChunkSizeError, CodingError
 
-__all__ = ["CompressionResult", "GDCodec"]
+__all__ = [
+    "CompressionResult",
+    "GDCodec",
+    "CONTAINER_MAGIC",
+    "CONTAINER_HEADER",
+    "FLAG_STREAMED",
+]
 
 _MAGIC = b"GDZ1"
-_HEADER = struct.Struct(">4sBHBBIxxx")  # magic, order, chunk_bits, id_bits, flags, records
+# magic, order, chunk_bits, id_bits, flags, records, alignment_padding_bits.
+# The padding byte sits in what used to be reserved-zero space, so headers
+# written by earlier versions (always padding 0) parse identically.
+_HEADER = struct.Struct(">4sBHBBIBxx")
+
+#: Public aliases used by the streaming engine (:mod:`repro.core.engine`).
+CONTAINER_MAGIC = _MAGIC
+CONTAINER_HEADER = _HEADER
+
+#: Header flag: the record count field is 0 and records run until an
+#: end-of-stream tag (0x00) followed by the 8-byte original length — the
+#: layout the incremental container writer produces.
+FLAG_STREAMED = 0x01
 
 
 @dataclass(frozen=True)
@@ -112,6 +131,13 @@ class GDCodec:
         alignment (8 in the paper).  Set to 0 for the pure software codec.
     static_bases:
         Iterable of basis values to preload when ``mode="static"``.
+    eviction_seed:
+        Seed for the dictionaries' eviction randomness.  Only the ``random``
+        policy draws from it; passing a seed makes ablation runs
+        reproducible.  Encoder and decoder dictionaries always share one
+        seed — when none is given and the policy is ``random``, a seed is
+        sampled once so both sides still evict in lock-step (required for
+        lossless round trips under dictionary pressure).
     """
 
     def __init__(
@@ -124,9 +150,14 @@ class GDCodec:
         alignment_padding_bits: int = 0,
         static_bases: Optional[Iterable[int]] = None,
         learning_delay_chunks: int = 0,
+        eviction_seed: Optional[int] = None,
     ):
         if identifier_bits <= 0:
             raise CodingError(f"identifier_bits must be positive, got {identifier_bits}")
+        if not 0 <= alignment_padding_bits <= 255:
+            raise CodingError(
+                f"alignment_padding_bits must be in 0..255, got {alignment_padding_bits}"
+            )
         self._transform = GDTransform(order=order, chunk_bits=chunk_bits)
         self._identifier_bits = identifier_bits
         self._mode = EncoderMode.from_name(mode)
@@ -134,13 +165,23 @@ class GDCodec:
         self._alignment_padding_bits = alignment_padding_bits
         self._learning_delay_chunks = learning_delay_chunks
         self._static_bases = list(static_bases) if static_bases is not None else None
+        if eviction_seed is None and self._eviction_policy is EvictionPolicy.RANDOM:
+            # Both dictionaries must draw the same eviction sequence or the
+            # decoder resolves identifiers to the wrong bases once the
+            # dictionary fills; sample one seed and share it.
+            eviction_seed = random.randrange(1 << 63)
+        self._eviction_seed = eviction_seed
 
         capacity = 1 << identifier_bits
         self._encoder_dictionary: Optional[BasisDictionary] = None
         self._decoder_dictionary: Optional[BasisDictionary] = None
         if self._mode is not EncoderMode.NO_TABLE:
-            self._encoder_dictionary = BasisDictionary(capacity, eviction_policy)
-            self._decoder_dictionary = BasisDictionary(capacity, eviction_policy)
+            self._encoder_dictionary = BasisDictionary(
+                capacity, eviction_policy, seed=eviction_seed
+            )
+            self._decoder_dictionary = BasisDictionary(
+                capacity, eviction_policy, seed=eviction_seed
+            )
             if self._mode is EncoderMode.STATIC:
                 if self._static_bases is None:
                     raise CodingError("static mode requires static_bases")
@@ -190,14 +231,11 @@ class GDCodec:
 
     # -- chunking ---------------------------------------------------------------
 
-    def chunk_data(self, data: bytes, pad: bool = False) -> List[bytes]:
-        """Split ``data`` into codec-sized chunks.
+    def _padded(self, data: bytes, pad: bool) -> bytes:
+        """``data`` zero-padded to a whole number of chunks.
 
-        When ``pad`` is true a short final chunk is zero-padded on the right;
-        the original length is restored by :meth:`decompress` via the header,
-        so padding is safe for container round trips.  Without ``pad``, the
-        data length must be an exact multiple of the chunk size (the paper's
-        traces always are).
+        Without ``pad``, a ragged length raises instead (the paper's traces
+        are always exact chunk multiples).
         """
         size = self.chunk_bytes
         if len(data) % size:
@@ -207,14 +245,24 @@ class GDCodec:
                     f"{size}; pass pad=True to zero-pad the final chunk"
                 )
             data = data + b"\x00" * (size - len(data) % size)
+        return data
+
+    def chunk_data(self, data: bytes, pad: bool = False) -> List[bytes]:
+        """Split ``data`` into codec-sized chunks.
+
+        When ``pad`` is true a short final chunk is zero-padded on the right;
+        the original length is restored by :meth:`decompress` via the header,
+        so padding is safe for container round trips.
+        """
+        data = self._padded(data, pad)
+        size = self.chunk_bytes
         return [data[offset : offset + size] for offset in range(0, len(data), size)]
 
     # -- compression -------------------------------------------------------------
 
     def compress(self, data: bytes, pad: bool = False) -> CompressionResult:
         """Compress a byte string into GD records."""
-        chunks = self.chunk_data(data, pad=pad)
-        records = self._encoder.encode_all(chunks)
+        records = self._encoder.encode_buffer(self._padded(data, pad))
         payload_bytes = sum(record.payload_bytes for record in records)
         # Container layout: fixed header, 8-byte original length, then one
         # type tag plus the payload per record (see ``to_container``).
@@ -239,17 +287,21 @@ class GDCodec:
 
     # -- container serialisation ------------------------------------------------------
 
-    def to_container(self, result: CompressionResult) -> bytes:
-        """Serialise a compression result into the ``GDZ1`` container format."""
-        flags = 0
-        header = _HEADER.pack(
+    def container_header(self, record_count: int = 0, streamed: bool = False) -> bytes:
+        """The 16-byte ``GDZ1`` header for this codec's parameters."""
+        return _HEADER.pack(
             _MAGIC,
             self._transform.order,
             self._transform.chunk_bits,
             self._identifier_bits,
-            flags,
-            len(result.records),
+            FLAG_STREAMED if streamed else 0,
+            record_count,
+            self._alignment_padding_bits,
         )
+
+    def to_container(self, result: CompressionResult) -> bytes:
+        """Serialise a compression result into the ``GDZ1`` container format."""
+        header = self.container_header(record_count=len(result.records))
         parts: List[bytes] = [header, struct.pack(">Q", result.original_bytes)]
         for record in result.records:
             parts.append(bytes([int(record.record_type)]))
@@ -267,6 +319,7 @@ class GDCodec:
             alignment_padding_bits=self._alignment_padding_bits,
             static_bases=self._static_bases,
             learning_delay_chunks=self._learning_delay_chunks,
+            eviction_seed=self._eviction_seed,
         )
 
     def compress_to_container(self, data: bytes, pad: bool = True) -> bytes:
@@ -285,8 +338,8 @@ class GDCodec:
         """Build a codec matching the parameters stored in a container."""
         if len(blob) < _HEADER.size:
             raise CodingError("container too short to hold a header")
-        magic, order, chunk_bits, identifier_bits, _flags, _count = _HEADER.unpack(
-            blob[: _HEADER.size]
+        magic, order, chunk_bits, identifier_bits, _flags, _count, padding = (
+            _HEADER.unpack(blob[: _HEADER.size])
         )
         if magic != _MAGIC:
             raise CodingError(f"bad container magic {magic!r}")
@@ -295,17 +348,23 @@ class GDCodec:
             chunk_bits=chunk_bits,
             identifier_bits=identifier_bits,
             mode=EncoderMode.DYNAMIC,
+            alignment_padding_bits=padding,
         )
 
     def decompress_container(self, blob: bytes) -> bytes:
         """Parse a ``GDZ1`` container and reconstruct the original bytes."""
         if len(blob) < _HEADER.size + 8:
             raise CodingError("container too short")
-        magic, order, chunk_bits, identifier_bits, _flags, count = _HEADER.unpack(
-            blob[: _HEADER.size]
+        magic, order, chunk_bits, identifier_bits, flags, count, padding = (
+            _HEADER.unpack(blob[: _HEADER.size])
         )
         if magic != _MAGIC:
             raise CodingError(f"bad container magic {magic!r}")
+        if flags & FLAG_STREAMED:
+            raise CodingError(
+                "streamed container: decode it with "
+                "repro.core.engine.GDStreamCompressor.decompress_stream"
+            )
         if order != self._transform.order or chunk_bits != self._transform.chunk_bits:
             raise CodingError(
                 "container was produced with different GD parameters "
@@ -316,12 +375,20 @@ class GDCodec:
                 f"container identifier width {identifier_bits} does not match "
                 f"codec width {self._identifier_bits}"
             )
+        # Header padding 0 also covers containers written before the header
+        # recorded the padding width (the byte was reserved-zero); those
+        # decode with the codec's own setting, exactly as they always did.
+        if padding and padding != self._alignment_padding_bits:
+            raise CodingError(
+                f"container alignment padding {padding} does not match "
+                f"codec padding {self._alignment_padding_bits}"
+            )
         offset = _HEADER.size
         (original_bytes,) = struct.unpack_from(">Q", blob, offset)
         offset += 8
         records: List[GDRecord] = []
         for _ in range(count):
-            record, offset = self._parse_record(blob, offset)
+            record, offset = self.parse_record(blob, offset)
             records.append(record)
         # Containers are self-contained: decode with a fresh dictionary so
         # that identifiers resolve exactly as the producing encoder assigned
@@ -329,24 +396,22 @@ class GDCodec:
         fresh = self.clone()
         return fresh.decompress_records(records, original_bytes=original_bytes)
 
-    def _parse_record(self, blob: bytes, offset: int) -> Tuple[GDRecord, int]:
-        """Parse one tagged record from a container blob."""
+    def parse_record(self, blob: bytes, offset: int) -> Tuple[GDRecord, int]:
+        """Parse one tagged record from a container blob.
+
+        Returns ``(record, next_offset)``; raises :class:`CodingError` when
+        the blob is truncated.  The streaming container reader in
+        :mod:`repro.core.engine` uses this with its own buffering, checking
+        :meth:`record_wire_size` first so a short buffer means "wait for
+        more bytes" rather than an error.
+        """
         if offset >= len(blob):
             raise CodingError("container truncated: missing record tag")
         tag = blob[offset]
         offset += 1
         transform = self._transform
         if tag == int(RecordType.UNCOMPRESSED):
-            template = UncompressedRecord(
-                prefix=0,
-                basis=0,
-                deviation=0,
-                prefix_bits=transform.prefix_bits,
-                basis_bits=transform.basis_bits,
-                deviation_bits=transform.deviation_bits,
-                alignment_padding_bits=self._encoder.alignment_padding_bits,
-            )
-            size = template.payload_bytes
+            size = self.record_wire_size(tag)
             payload = blob[offset : offset + size]
             if len(payload) != size:
                 raise CodingError("container truncated: short type-2 record")
@@ -367,10 +432,7 @@ class GDCodec:
             )
             return record, offset + size
         if tag == int(RecordType.COMPRESSED):
-            total_bits = (
-                transform.prefix_bits + self._identifier_bits + transform.deviation_bits
-            )
-            size = (total_bits + 7) // 8
+            size = self.record_wire_size(tag)
             payload = blob[offset : offset + size]
             if len(payload) != size:
                 raise CodingError("container truncated: short type-3 record")
@@ -391,7 +453,23 @@ class GDCodec:
             return record, offset + size
         raise CodingError(f"unknown record tag {tag} at offset {offset - 1}")
 
-    # -- convenience -------------------------------------------------------------
+    def record_wire_size(self, tag: int) -> int:
+        """Payload bytes that follow a record tag in the container encoding."""
+        transform = self._transform
+        if tag == int(RecordType.UNCOMPRESSED):
+            total_bits = (
+                transform.prefix_bits
+                + transform.basis_bits
+                + transform.deviation_bits
+                + self._encoder.alignment_padding_bits
+            )
+        elif tag == int(RecordType.COMPRESSED):
+            total_bits = (
+                transform.prefix_bits + self._identifier_bits + transform.deviation_bits
+            )
+        else:
+            raise CodingError(f"unknown record tag {tag}")
+        return (total_bits + 7) // 8
 
     def roundtrip(self, data: bytes, pad: bool = True) -> bytes:
         """Compress then decompress ``data`` (used heavily by tests)."""

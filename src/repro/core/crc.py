@@ -12,21 +12,26 @@ This module provides:
 * :class:`CrcParameters` — the full parameter set of a CRC (polynomial,
   width, init, reflect-in/out, xor-out, augmentation), mirroring what the
   Tofino CRC extern exposes to P4 programs;
-* :class:`CrcEngine` — polynomial-remainder fast path for the linear modes
-  used by GD, a bit-serial Rocksoft-model reference for protocol CRCs
-  (Ethernet FCS), and a byte-table-driven path for byte-aligned data;
+* :class:`CrcEngine` — a table-driven, byte-at-a-time fast path (the
+  software analogue of the per-word XOR networks in hardware CRC engines),
+  a bit-serial Rocksoft-model reference implementation, and direct GF(2)
+  division for short messages;
+* :func:`crc_table` / :func:`poly_mod_table` — the process-wide registry of
+  256-entry lookup tables, keyed by polynomial parameters and shared between
+  every engine instance (including the Tofino CRC extern model);
 * :func:`syndrome_crc` — the convenience constructor used by the GD code
   (plain remainder mode).
 
 The different code paths are cross-checked in the test suite, including
 property-based tests of CRC linearity (``crc(a ^ b) == crc(a) ^ crc(b)`` in
-the linear modes).
+the linear modes) and table-vs-bitwise equivalence across random
+polynomials and non-byte-aligned message widths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bits import BitVector, mask
 from repro.exceptions import CodingError
@@ -43,6 +48,8 @@ __all__ = [
     "poly_mulmod",
     "poly_gcd",
     "is_primitive_polynomial",
+    "crc_table",
+    "poly_mod_table",
     "CRC32_ETHERNET",
     "CRC16_CCITT",
     "CRC8_ATM",
@@ -170,6 +177,96 @@ def _prime_factors(value: int) -> List[int]:
     return factors
 
 
+# -- table-driven fast path ---------------------------------------------------
+#
+# A hardware CRC engine (the Tofino extern, the LiteEth/MiSoC MAC cores)
+# reduces a full data word per clock through a precomputed XOR network.  The
+# software equivalent is byte-at-a-time reduction through a 256-entry lookup
+# table: entry ``i`` holds ``(i * x**width) mod g(x)``, so absorbing one
+# message byte costs one table lookup instead of eight shift/XOR steps.
+# Tables are cached process-wide, keyed by the polynomial parameters, and
+# shared by every consumer (Hamming codes, the codec, the Tofino extern
+# model) — building one costs 256 polynomial divisions, using it is O(1).
+
+#: Process-wide table registry: (polynomial-without-leading-term, width) ->
+#: 256-entry tuple.
+_TABLE_REGISTRY: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+#: Bit-reversal of every byte value, used by the reflected input/output modes.
+_BYTE_REFLECT: Tuple[int, ...] = tuple(
+    sum(((i >> bit) & 1) << (7 - bit) for bit in range(8)) for i in range(256)
+)
+
+#: Messages shorter than this stay on the direct-division path: for a couple
+#: of bytes the table set-up (``int.to_bytes`` plus loop overhead) costs more
+#: than it saves.
+_TABLE_MIN_BITS = 16
+
+
+def crc_table(polynomial: int, width: int) -> Tuple[int, ...]:
+    """The shared 256-entry lookup table for a CRC polynomial.
+
+    ``polynomial`` is given without the implicit leading ``x**width`` term
+    (the Table 1 convention).  Entry ``i`` equals
+    ``(i << width) mod full_polynomial`` — the remainder contributed by a
+    message byte ``i`` that still has ``width`` bits following it.  Tables
+    are built once per parameter pair and shared process-wide, exactly like
+    the single CRC unit that all ZipLine pipeline stages share on the ASIC.
+    """
+    key = (polynomial, width)
+    table = _TABLE_REGISTRY.get(key)
+    if table is None:
+        if width <= 0:
+            raise CodingError(f"CRC width must be positive, got {width}")
+        if polynomial <= 0 or polynomial >> width:
+            raise CodingError(
+                f"polynomial {polynomial:#x} must be non-zero and fit in "
+                f"{width} bits (leading term is implicit)"
+            )
+        full = (1 << width) | polynomial
+        table = tuple(poly_mod(index << width, full) for index in range(256))
+        _TABLE_REGISTRY[key] = table
+    return table
+
+
+def _table_remainder(value: int, table: Sequence[int], width: int) -> int:
+    """GF(2) remainder of ``value`` via byte-wise table reduction.
+
+    Equivalent to ``poly_mod(value, (1 << width) | polynomial)`` for the
+    table built by :func:`crc_table`.  Handles non-byte-aligned messages for
+    free: leading zero bits contribute nothing to the remainder, so the
+    integer is simply serialised from its own most significant byte (a
+    255-bit chunk becomes 32 bytes whose top bit is zero).
+    """
+    if value <= 0:
+        if value == 0:
+            return 0
+        raise CodingError(f"value must be non-negative, got {value}")
+    data = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    register = 0
+    if width == 8:
+        # The GD hot path (order-8 Hamming syndromes): the generic recurrence
+        # collapses to a single lookup per byte.
+        for byte in data:
+            register = table[register] ^ byte
+        return register
+    reg_mask = mask(width)
+    for byte in data:
+        shifted = (register << 8) ^ byte
+        register = table[shifted >> width] ^ (shifted & reg_mask)
+    return register
+
+
+def poly_mod_table(value: int, polynomial: int, width: int) -> int:
+    """Table-accelerated GF(2) remainder modulo ``(1 << width) | polynomial``.
+
+    Drop-in replacement for ``poly_mod(value, full_polynomial)`` on hot
+    paths; the Hamming decode direction uses it to recover parity bits from
+    a 247-bit basis in 31 table lookups instead of ~250 shift/XOR rounds.
+    """
+    return _table_remainder(value, crc_table(polynomial, width), width)
+
+
 @dataclass(frozen=True)
 class CrcParameters:
     """Complete description of a CRC variant.
@@ -290,19 +387,20 @@ class CrcEngine:
 
     Three code paths, cross-validated by the test suite:
 
-    * linear modes (``init == 0``, no reflection, no final XOR) use direct
-      GF(2) polynomial division over Python integers — this covers the GD
-      syndrome computation on arbitrary, non byte-aligned widths;
-    * the general Rocksoft model (init/reflect/xorout) uses a bit-serial
-      reference implementation — this covers protocol CRCs such as the
-      Ethernet frame check sequence;
-    * byte-aligned data in the standard augmented mode can additionally use
-      a byte-at-a-time lookup table (:meth:`compute_bytes`).
+    * the **table fast path** (:meth:`compute_bits_table`) reduces the
+      message byte-at-a-time through the shared 256-entry table registry —
+      it handles arbitrary, non byte-aligned widths (255/511-bit chunks) and
+      the full Rocksoft parameter model, and is what :meth:`compute_bits`
+      dispatches to for anything longer than a couple of bytes;
+    * short messages use direct GF(2) polynomial division over Python
+      integers, where table set-up overhead would dominate;
+    * the bit-serial Rocksoft reference (:meth:`compute_bits_reference`)
+      exists purely for cross-validation.
     """
 
     def __init__(self, parameters: CrcParameters):
         self._parameters = parameters
-        self._table: Optional[List[int]] = None
+        self._table: Optional[Tuple[int, ...]] = None
 
     @property
     def parameters(self) -> CrcParameters:
@@ -358,22 +456,39 @@ class CrcEngine:
     def _reflect_bytes(value: int, width: int) -> int:
         """Reflect each byte of a byte-aligned message independently."""
         data = value.to_bytes(width // 8, "big")
-        reflected = bytes(reflect_bits(byte, 8) for byte in data)
+        reflected = bytes(_BYTE_REFLECT[byte] for byte in data)
         return int.from_bytes(reflected, "big")
 
     # -- fast paths -----------------------------------------------------------
+
+    @property
+    def lookup_table(self) -> Tuple[int, ...]:
+        """The shared 256-entry table for this engine's polynomial.
+
+        Comes from the process-wide registry, so every engine (and the
+        Tofino CRC extern model) built with the same polynomial parameters
+        sees the exact same tuple.
+        """
+        if self._table is None:
+            self._table = crc_table(self._parameters.polynomial, self._parameters.width)
+        return self._table
 
     def compute_bits(self, value: int, width: int) -> int:
         """CRC of a ``width``-bit message given as an integer (MSB first).
 
         This is the path the GD transformation uses (e.g. 255-bit chunks);
-        it supports arbitrary, non byte-aligned widths.
+        it supports arbitrary, non byte-aligned widths.  Messages of
+        ``_TABLE_MIN_BITS`` bits or more go through the byte-wise lookup
+        table; shorter ones use direct division or the bit-serial reference.
         """
         params = self._parameters
         if value < 0:
             raise CodingError(f"value must be non-negative, got {value}")
         if value >> width:
             raise CodingError(f"value {value:#x} does not fit in {width} bits")
+
+        if width >= _TABLE_MIN_BITS and not (params.reflect_in and width % 8):
+            return self.compute_bits_table(value, width)
 
         if params.reflect_in or params.reflect_out or params.init or params.xor_out:
             return self.compute_bits_reference(value, width)
@@ -382,54 +497,46 @@ class CrcEngine:
             return poly_mod(value << params.width, params.full_polynomial)
         return poly_mod(value, params.full_polynomial)
 
-    def _build_table(self) -> List[int]:
-        """Byte-at-a-time lookup table (standard augmented MSB-first CRC)."""
+    def compute_bits_table(self, value: int, width: int) -> int:
+        """Table-driven CRC of a ``width``-bit message (full parameter model).
+
+        Bit-identical to :meth:`compute_bits_reference` for every parameter
+        set.  The Rocksoft register model reduces to one plain polynomial
+        remainder: running the LFSR with initial register ``I`` over a
+        ``W``-bit message ``M`` computes ``(M * x**m  ^  I * x**W) mod g``,
+        so the init term is folded into the message before a single
+        table-driven division, and reflection/xorout are cheap pre/post
+        steps.  Non-byte-aligned widths need no special casing because
+        leading zero bits do not change a remainder.
+        """
         params = self._parameters
-        if params.width < 8:
-            raise CodingError("table-driven path requires CRC width >= 8")
-        table: List[int] = []
-        reg_mask = mask(params.width)
-        top_bit = 1 << (params.width - 1)
-        for byte in range(256):
-            register = byte << (params.width - 8)
-            for _ in range(8):
-                if register & top_bit:
-                    register = ((register << 1) & reg_mask) ^ params.polynomial
-                else:
-                    register = (register << 1) & reg_mask
-            table.append(register)
-        return table
+        if value < 0:
+            raise CodingError(f"value must be non-negative, got {value}")
+        if value >> width:
+            raise CodingError(f"value {value:#x} does not fit in {width} bits")
+        if params.reflect_in:
+            if width % 8:
+                raise CodingError(
+                    f"reflect_in requires byte-aligned input (got width {width})"
+                )
+            value = self._reflect_bytes(value, width)
+        if params.augment:
+            value = (value << params.width) ^ (params.init << width)
+        register = _table_remainder(value, self.lookup_table, params.width)
+        if params.reflect_out:
+            register = reflect_bits(register, params.width)
+        return register ^ params.xor_out
 
     def compute_bytes(self, data: bytes) -> int:
         """CRC of a byte string (message width = ``len(data) * 8``).
 
-        Uses the byte-at-a-time table when the parameter set allows it,
-        falling back to the generic paths otherwise.
+        Always table-driven: byte strings are byte aligned by construction,
+        so every parameter variant (including the reflected Ethernet FCS)
+        takes the fast path.
         """
-        params = self._parameters
-        usable_table = (
-            params.augment
-            and params.width >= 8
-            and not params.reflect_in
-            and not params.reflect_out
-            and params.xor_out == 0
-        )
-        if not usable_table:
-            value = int.from_bytes(data, "big")
-            if params.augment:
-                return self.compute_bits_reference(value, len(data) * 8)
-            return poly_mod(value, params.full_polynomial)
-
-        if self._table is None:
-            self._table = self._build_table()
-        table = self._table
-        reg_mask = mask(params.width)
-        shift = params.width - 8
-        register = params.init
-        for byte in data:
-            index = ((register >> shift) ^ byte) & 0xFF
-            register = ((register << 8) & reg_mask) ^ table[index]
-        return register
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        return self.compute_bits_table(int.from_bytes(data, "big"), len(data) * 8)
 
     def compute(
         self, message: "BitVector | bytes | int", width: Optional[int] = None

@@ -119,11 +119,57 @@ class GDDecoder:
 
     def decode_all(self, records: Iterable[GDRecord]) -> List[int]:
         """Eagerly decode an iterable of records."""
-        return list(self.decode_stream(records))
+        return self.decode_batch(records)
 
     def decode_to_bytes(self, records: Iterable[GDRecord]) -> bytes:
         """Decode an iterable of records and concatenate the chunk bytes."""
-        return b"".join(self.decode_record_to_bytes(record) for record in records)
+        return self.decode_batch_to_bytes(records)
+
+    def decode_batch(self, records: Iterable[GDRecord]) -> List[int]:
+        """Decode many records with the per-record accounting amortized.
+
+        Produces exactly the chunks (and final statistics) of repeated
+        :meth:`decode_record` calls, but batches the counter updates and
+        hoists the per-record attribute lookups out of the loop.
+        """
+        stats = self.stats
+        decode_uncompressed = self._decode_uncompressed
+        decode_compressed = self._decode_compressed
+        chunks: List[int] = []
+        append = chunks.append
+        count = 0
+        raw = 0
+        raw_bits = 0
+        for record in records:
+            count += 1
+            if isinstance(record, UncompressedRecord):
+                append(decode_uncompressed(record))
+            elif isinstance(record, CompressedRecord):
+                append(decode_compressed(record))
+            elif isinstance(record, RawRecord):
+                raw += 1
+                raw_bits += record.chunk_bits
+                append(record.chunk)
+            else:
+                stats.records += count
+                stats.raw_records += raw
+                stats.output_bits += raw_bits
+                raise CodingError(
+                    f"unsupported record type {type(record).__name__}"
+                )
+        stats.records += count
+        stats.raw_records += raw
+        stats.output_bits += raw_bits
+        return chunks
+
+    def decode_batch_to_bytes(self, records: Iterable[GDRecord]) -> bytes:
+        """Decode a record batch and concatenate the serialised chunks."""
+        transform = self._transform
+        chunks = self.decode_batch(records)
+        if transform.chunk_bits % 8 == 0:
+            chunk_bytes = transform.chunk_bytes
+            return b"".join(chunk.to_bytes(chunk_bytes, "big") for chunk in chunks)
+        return b"".join(transform.chunk_to_bytes(chunk) for chunk in chunks)
 
     # -- internals ------------------------------------------------------------
 

@@ -95,6 +95,13 @@ class BasisDictionary:
     least recently used one").
 
     Keys can be any hashable value; ZipLine uses ``(prefix, basis)`` tuples.
+
+    The ``random`` eviction policy draws from a private
+    :class:`random.Random` instance seeded with ``seed`` — never from the
+    module-global RNG — so ablation runs are reproducible end to end when
+    callers inject a seed (see ``GDCodec(eviction_seed=...)`` and
+    ``ExactDedupBaseline(eviction_seed=...)``) and two dictionaries given
+    the same seed and call sequence evict identically.
     """
 
     def __init__(
@@ -112,7 +119,14 @@ class BasisDictionary:
         # LRU, insertion order for FIFO.
         self._key_to_id: "OrderedDict[Hashable, int]" = OrderedDict()
         self._id_to_key: Dict[int, Hashable] = {}
-        self._free_ids: List[int] = list(range(capacity - 1, -1, -1))
+        # Identifier allocation is lazy: never-used identifiers are handed
+        # out in increasing order from a counter, and explicitly removed
+        # ones are recycled from a small list.  Memory therefore scales
+        # with the entries actually mapped, not with the capacity — a
+        # dictionary sized from an untrusted container header must not
+        # allocate ``capacity`` list slots up front.
+        self._freed_ids: List[int] = []
+        self._next_unused_id = 0
         self.stats = DictionaryStats()
 
     # -- introspection -----------------------------------------------------
@@ -209,14 +223,32 @@ class BasisDictionary:
             return existing, None
 
         evicted_key: Optional[Hashable] = None
-        if self._free_ids:
-            identifier = self._free_ids.pop()
-        else:
+        identifier = self._allocate_identifier()
+        if identifier is None:
             evicted_key, identifier = self._evict()
         self._key_to_id[key] = identifier
         self._id_to_key[identifier] = key
         self.stats.insertions += 1
         return identifier, evicted_key
+
+    def _allocate_identifier(self) -> Optional[int]:
+        """Next free identifier, or ``None`` when the pool is exhausted.
+
+        Recycled identifiers are preferred; fresh ones come from the
+        counter in increasing order ("the lowest never-used identifier
+        first").  Identifiers installed externally via
+        :meth:`insert_with_identifier` are skipped in both sources.
+        """
+        while self._freed_ids:
+            identifier = self._freed_ids.pop()
+            if identifier not in self._id_to_key:
+                return identifier
+        while self._next_unused_id < self._capacity:
+            identifier = self._next_unused_id
+            self._next_unused_id += 1
+            if identifier not in self._id_to_key:
+                return identifier
+        return None
 
     def insert_with_identifier(self, key: Hashable, identifier: int) -> None:
         """Install an externally chosen mapping (used by the decoder side).
@@ -235,8 +267,6 @@ class BasisDictionary:
         if previous_key is not None and previous_key != key:
             del self._key_to_id[previous_key]
             self.stats.evictions += 1
-        if identifier in self._free_ids:
-            self._free_ids.remove(identifier)
         self._key_to_id[key] = identifier
         self._id_to_key[identifier] = key
         self.stats.insertions += 1
@@ -261,14 +291,15 @@ class BasisDictionary:
         if identifier is None:
             return None
         del self._id_to_key[identifier]
-        self._free_ids.append(identifier)
+        self._freed_ids.append(identifier)
         return identifier
 
     def clear(self) -> None:
         """Forget every mapping and return all identifiers to the pool."""
         self._key_to_id.clear()
         self._id_to_key.clear()
-        self._free_ids = list(range(self._capacity - 1, -1, -1))
+        self._freed_ids = []
+        self._next_unused_id = 0
 
     # -- bulk helpers -----------------------------------------------------------
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bits import BitVector, mask
-from repro.core.crc import CrcEngine, poly_mod, syndrome_crc
+from repro.core.crc import CrcEngine, poly_mod, poly_mod_table, syndrome_crc
 from repro.core.polynomials import HammingPolynomial, polynomial_for_order
 from repro.exceptions import CodingError
 
@@ -255,10 +255,12 @@ class HammingCode:
 
         Equals the augmented CRC of the basis — i.e. the remainder of
         ``basis(x) * x**m`` — which is what feeding the zero-padded basis
-        through the switch CRC unit computes.
+        through the switch CRC unit computes.  Uses the shared lookup table
+        (this is the decode-direction hot path, a 247-bit division per
+        chunk for the paper's parameters).
         """
         self._check_basis(basis)
-        return poly_mod(basis << self._m, self._full_polynomial)
+        return poly_mod_table(basis << self._m, self.crc_parameter, self._m)
 
     # -- classic codeword operations ------------------------------------------
 

@@ -265,16 +265,53 @@ class GDTransform:
         callers that need tail padding handle it at the framing layer (the
         trace generators always emit whole chunks, as in the paper).
         """
+        return self.split_batch(data)
+
+    def split_batch(self, data: bytes) -> List[GDParts]:
+        """Transform a contiguous buffer of whole chunks in one pass.
+
+        Semantically equal to calling :meth:`split` on every
+        :attr:`chunk_bytes`-sized slice, but with the per-chunk type
+        dispatch and attribute lookups hoisted out of the loop — this is
+        the batch entry point the encoder fast path builds on.
+        """
         chunk_bytes = self.chunk_bytes
         if len(data) % chunk_bytes:
             raise ChunkSizeError(
                 f"data length {len(data)} is not a multiple of the chunk size "
                 f"{chunk_bytes}"
             )
-        return [
-            self.split(data[offset : offset + chunk_bytes])
-            for offset in range(0, len(data), chunk_bytes)
-        ]
+        code = self._code
+        n = code.n
+        k = code.k
+        m = code.m
+        prefix_bits = self._prefix_bits
+        chunk_bits = self._chunk_bits
+        body_mask = mask(n)
+        chunk_to_basis = code.chunk_to_basis
+        from_bytes = int.from_bytes
+        aligned = chunk_bits == chunk_bytes * 8
+        view = memoryview(data)
+        parts_list: List[GDParts] = []
+        append = parts_list.append
+        for offset in range(0, len(data), chunk_bytes):
+            value = from_bytes(view[offset : offset + chunk_bytes], "big")
+            if not aligned and value >> chunk_bits:
+                raise ChunkSizeError(
+                    f"chunk value does not fit in {chunk_bits} bits"
+                )
+            basis, deviation = chunk_to_basis(value & body_mask)
+            append(
+                GDParts(
+                    prefix=value >> n,
+                    basis=basis,
+                    deviation=deviation,
+                    prefix_bits=prefix_bits,
+                    basis_bits=k,
+                    deviation_bits=m,
+                )
+            )
+        return parts_list
 
     def iter_split(self, chunks: Iterable[ChunkLike]) -> Iterator[GDParts]:
         """Lazily transform an iterable of chunks."""

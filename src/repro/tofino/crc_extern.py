@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence, Tuple, Union
 
 from repro.core.bits import BitVector
-from repro.core.crc import CrcEngine, CrcParameters
+from repro.core.crc import CrcEngine, CrcParameters, crc_table
 from repro.exceptions import CodingError
 
 __all__ = ["CrcPolynomial", "CrcExtern"]
@@ -77,6 +77,17 @@ class CrcExtern:
     def width(self) -> int:
         """Output width in bits."""
         return self._polynomial.width
+
+    @property
+    def lookup_table(self) -> "tuple[int, ...]":
+        """The byte-wise XOR-network table this extern reduces words with.
+
+        Drawn from the same process-wide registry as every
+        :class:`~repro.core.crc.CrcEngine`, so the software model shares one
+        table per polynomial exactly like the ASIC shares one CRC unit.
+        """
+        params = self._polynomial.parameters
+        return crc_table(params.polynomial, params.width)
 
     @property
     def invocations(self) -> int:

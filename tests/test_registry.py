@@ -1,0 +1,100 @@
+"""Name-based compressor registry: lookup, sniffing, extension."""
+
+import pytest
+
+from repro import registry
+from repro.core.engine import (
+    Compressor,
+    DedupStreamCompressor,
+    GDStreamCompressor,
+    GzipStreamCompressor,
+    NullStreamCompressor,
+    compress_bytes,
+    decompress_bytes,
+)
+from repro.exceptions import ReproError
+
+
+class TestLookup:
+    def test_all_builtins_registered(self):
+        assert registry.names() == ["dedup", "gd", "gzip", "null"]
+
+    @pytest.mark.parametrize("name", ["gd", "gzip", "dedup", "null"])
+    def test_get_constructs_a_compressor(self, name):
+        compressor = registry.get(name)
+        assert isinstance(compressor, Compressor)
+        assert compressor.name == name
+
+    def test_get_is_case_insensitive(self):
+        assert isinstance(registry.get("GD"), GDStreamCompressor)
+
+    def test_get_forwards_parameters(self):
+        compressor = registry.get("gzip", level=9)
+        assert compressor.level == 9
+        codec = registry.get("gd", identifier_bits=10).codec()
+        assert codec.identifier_bits == 10
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ReproError, match="gd, gzip"):
+            registry.get("zstd")
+
+    def test_every_builtin_roundtrips_via_registry(self):
+        data = bytes(range(256)) * 128
+        for name in registry.names():
+            blob = compress_bytes(registry.get(name), data)
+            assert decompress_bytes(registry.get(name), blob) == data, name
+
+
+class TestSniffing:
+    @pytest.mark.parametrize(
+        "name,factory",
+        [
+            ("gd", GDStreamCompressor),
+            ("gzip", GzipStreamCompressor),
+            ("dedup", DedupStreamCompressor),
+            ("null", NullStreamCompressor),
+        ],
+    )
+    def test_sniff_identifies_own_output(self, name, factory):
+        blob = compress_bytes(factory(), b"hello world" * 10)
+        assert registry.sniff(blob[:8]) == name
+
+    def test_sniff_unknown_returns_none(self):
+        assert registry.sniff(b"\x00\x01\x02\x03") is None
+
+    def test_get_for_header_roundtrip(self):
+        data = b"payload" * 100
+        blob = compress_bytes(GzipStreamCompressor(), data)
+        compressor = registry.get_for_header(blob[:8])
+        assert decompress_bytes(compressor, blob) == data
+
+    def test_get_for_header_unknown_raises(self):
+        with pytest.raises(ReproError, match="unrecognised"):
+            registry.get_for_header(b"\x00\x00\x00\x00")
+
+    def test_magic_for(self):
+        assert registry.magic_for("gzip") == b"\x1f\x8b"
+        with pytest.raises(ReproError):
+            registry.magic_for("zstd")
+
+
+class TestExtension:
+    def test_register_and_replace(self):
+        class Custom(NullStreamCompressor):
+            name = "custom"
+            magic = b"CUST"
+
+        registry.register("custom", Custom)
+        try:
+            assert "custom" in registry.names()
+            assert registry.sniff(b"CUSTxxxx") == "custom"
+            with pytest.raises(ReproError, match="already registered"):
+                registry.register("custom", Custom)
+            registry.register("custom", Custom, replace=True)
+        finally:
+            registry._FACTORIES.pop("custom", None)
+            registry._MAGICS.pop("custom", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            registry.register("", NullStreamCompressor)
