@@ -9,8 +9,10 @@ Exposes the pieces a user reaches for most often without writing Python:
 * ``codecs`` — list the registered compressors;
 * ``generate-trace`` — write a synthetic-sensor or DNS chunk trace as a pcap
   file ready to replay;
-* ``replay`` — run a pcap chunk trace through the simulated two-switch
-  deployment and report the Figure 3 style accounting;
+* ``replay`` — run a pcap trace through an emulated ZipLine topology
+  (encoder → link(s) → decoder, with optional loss/reordering/queueing)
+  and report compression ratio, latency percentiles and per-component
+  counters; see :mod:`repro.replay`;
 * ``table1`` — print the reproduced Table 1;
 * ``learning-delay`` — measure the dynamic-learning delay (the paper's
   1.77 ms experiment).
@@ -27,12 +29,14 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro import registry
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_table, save_results_json
 from repro.analysis.statistics import summarize
 from repro.core.engine import DEFAULT_BLOCK_SIZE, compress_file, decompress_file
 from repro.core.polynomials import render_table_1
 from repro.exceptions import ReproError
-from repro.workloads import ChunkTrace, DnsQueryWorkload, SyntheticSensorWorkload
+from repro.perfmodel.linkmodel import ImpairmentModel
+from repro.replay import PcapTraceSource, ReplayHarness, ReplayTopology, pacing_from_name
+from repro.workloads import DnsQueryWorkload, SyntheticSensorWorkload
 from repro.zipline import DeploymentScenario, ZipLineDeployment
 
 __all__ = ["build_parser", "main"]
@@ -96,9 +100,32 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=2020, help="generator seed")
 
     replay = subparsers.add_parser(
-        "replay", help="replay a chunk-trace pcap through the simulated deployment"
+        "replay",
+        help="replay a pcap trace through an emulated ZipLine topology",
+        description=(
+            "Stream a pcap trace through traffic source -> encoder switch -> "
+            "emulated link(s) -> decoder switch -> sink, verify end-to-end "
+            "payload integrity, and report compression ratio, latency "
+            "percentiles and the full counter breakdown."
+        ),
     )
-    replay.add_argument("input", type=Path, help="pcap produced by generate-trace")
+    replay.add_argument(
+        "input", type=Path, nargs="?", default=None,
+        help="pcap trace to replay (alternative to --trace)",
+    )
+    replay.add_argument(
+        "--trace", type=Path, default=None, help="pcap trace to replay"
+    )
+    replay.add_argument(
+        "--topology",
+        choices=[topology.value for topology in ReplayTopology],
+        default="encoder-link-decoder",
+        help="replay topology (default: encoder-link-decoder)",
+    )
+    replay.add_argument(
+        "--hops", type=int, default=1,
+        help="number of emulated links in series (default 1)",
+    )
     replay.add_argument(
         "--scenario",
         choices=[scenario.value for scenario in DeploymentScenario],
@@ -106,7 +133,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="dictionary scenario (default: dynamic)",
     )
     replay.add_argument(
-        "--packet-rate", type=float, default=1e6, help="replay rate in packets/s"
+        "--pacing",
+        choices=("recorded", "rate", "back-to-back"),
+        default="rate",
+        help="injection pacing: as-recorded timestamps, fixed rate, or "
+             "back-to-back (default: rate)",
+    )
+    replay.add_argument(
+        "--packet-rate", type=float, default=1e6,
+        help="replay rate in packets/s (pacing=rate; default 1e6)",
+    )
+    replay.add_argument(
+        "--speedup", type=float, default=1.0,
+        help="time-compression factor for pacing=recorded (default 1.0)",
+    )
+    replay.add_argument(
+        "--bandwidth-gbps", type=float, default=100.0,
+        help="emulated link bandwidth in Gbit/s (default 100)",
+    )
+    replay.add_argument(
+        "--propagation-us", type=float, default=0.5,
+        help="one-way propagation delay per hop in microseconds (default 0.5)",
+    )
+    replay.add_argument(
+        "--queue-capacity", type=int, default=0,
+        help="bounded link queue in frames, 0 = unbounded (default 0)",
+    )
+    replay.add_argument(
+        "--loss", type=float, default=0.0,
+        help="per-packet loss probability on each hop (default 0)",
+    )
+    replay.add_argument(
+        "--reorder", type=float, default=0.0,
+        help="per-packet reorder probability on each hop (default 0)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=0, help="impairment RNG seed (default 0)"
+    )
+    replay.add_argument(
+        "--counters", action="store_true",
+        help="print the full per-component counter breakdown",
+    )
+    replay.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the full report as JSON",
     )
 
     subparsers.add_parser("table1", help="print the reproduced Table 1")
@@ -188,34 +258,92 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_distinct_bases(trace_path: Path) -> List[int]:
+    """Bases of every chunk-carrying frame in a pcap, in one streaming pass.
+
+    Handles raw-chunk (type-1) frames and processed type-2 frames (whose
+    payload carries the basis explicitly, so a decoder-only replay of a
+    processed trace can preinstall its mappings).  Type-3 frames carry only
+    an identifier, so their bases cannot be recovered from the wire.
+    Unlike ``ChunkTrace.from_pcap(...).distinct_bases(...)`` this never
+    materialises the trace, so large pcaps stay in bounded memory.
+    """
+    from repro.core.transform import GDTransform
+    from repro.net.ethernet import EtherType
+    from repro.net.packets import ZipLinePacketCodec
+    from repro.zipline.headers import raw_chunk_payload
+
+    transform = GDTransform(order=8)
+    codec = ZipLinePacketCodec(transform)
+    type2_ethertype = EtherType.ZIPLINE_UNCOMPRESSED.to_bytes(2, "big")
+    bases: dict = {}
+    chunks = 0
+    for frame in PcapTraceSource(trace_path).frames():
+        payload = raw_chunk_payload(frame.data)
+        if payload is not None and len(payload) == transform.chunk_bytes:
+            chunks += 1
+            bases.setdefault(transform.split(payload).basis, None)
+            continue
+        if frame.data[12:14] == type2_ethertype:
+            record = codec.unpack_uncompressed(frame.data[14:])
+            chunks += 1
+            bases.setdefault(record.basis, None)
+    if not chunks:
+        raise ReproError(
+            f"pcap {trace_path} contains no ZipLine chunk or type-2 frames"
+        )
+    return list(bases)
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
-    trace = ChunkTrace.from_pcap(args.input)
+    if (args.input is None) == (args.trace is None):
+        raise ReproError("give the trace exactly once: positionally or via --trace")
+    trace_path = args.trace if args.trace is not None else args.input
+
     scenario = DeploymentScenario.from_name(args.scenario)
     static_bases = None
     if scenario is DeploymentScenario.STATIC:
-        from repro.core.transform import GDTransform
+        static_bases = _stream_distinct_bases(trace_path)
 
-        static_bases = trace.distinct_bases(GDTransform(order=8))
-    deployment = ZipLineDeployment(scenario=scenario, static_bases=static_bases)
-    summary = deployment.replay_and_run(trace.chunks, packet_rate=args.packet_rate)
-    lossless = deployment.verify_lossless(trace.chunks)
-    rows = [
-        ["chunks replayed", f"{len(trace):,}"],
-        ["type-2 packets", f"{summary.uncompressed_packets:,}"],
-        ["type-3 packets", f"{summary.compressed_packets:,}"],
-        ["bytes on the compressed hop", f"{summary.transmitted_payload_bytes:,}"],
-        ["compression ratio", f"{summary.compression_ratio:.4f}"],
-        ["savings", f"{summary.savings_percent:.1f} %"],
-        [
-            "learning delay",
-            "n/a"
-            if summary.learning_time is None
-            else f"{summary.learning_time * 1e3:.3f} ms",
-        ],
-        ["lossless", "yes" if lossless else "NO"],
-    ]
-    print(format_table(["metric", "value"], rows, title=f"replay ({scenario.value})"))
-    return 0 if lossless else 1
+    impairments = None
+    if args.loss != 0 or args.reorder != 0:
+        # ImpairmentModel validates the probabilities, so a negative typo
+        # fails loudly instead of silently running an ideal link.
+        impairments = ImpairmentModel(
+            loss_probability=args.loss,
+            reorder_probability=args.reorder,
+            seed=args.seed,
+        )
+    harness = ReplayHarness(
+        topology=args.topology,
+        scenario=scenario,
+        static_bases=static_bases,
+        hops=args.hops,
+        bandwidth_bps=args.bandwidth_gbps * 1e9,
+        propagation_delay=args.propagation_us * 1e-6,
+        queue_capacity=args.queue_capacity or None,
+        impairments=impairments,
+        seed=args.seed,
+    )
+    pacing = pacing_from_name(
+        args.pacing, packet_rate=args.packet_rate, speedup=args.speedup
+    )
+    report = harness.run(PcapTraceSource(trace_path), pacing)
+    print(report.render(include_counters=args.counters))
+    if args.json is not None:
+        save_results_json(args.json, report.as_dict())
+        print(f"report written to {args.json}")
+    if report.integrity is None:
+        # No chunk-level integrity (e.g. decoder-only over a processed
+        # trace) — but a decode that dropped packets on unknown identifiers
+        # must not report success.
+        unknown = report.metrics.counter("decoder.unknown_identifier")
+        return 1 if unknown > 0 else 0
+    # An impaired or queue-bounded link loses or reorders chunks by design;
+    # those are counted failure modes.  Corruption is never acceptable.
+    if impairments is None and not args.queue_capacity:
+        return 0 if report.integrity.lossless_in_order else 1
+    return 0 if report.integrity.intact else 1
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:

@@ -62,3 +62,7 @@ class TraceError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload-generation parameters."""
+
+
+class ReplayError(ReproError):
+    """Raised for invalid replay/emulation configurations or runs."""

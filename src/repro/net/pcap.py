@@ -3,9 +3,10 @@
 The paper converts its datasets into pcap traces of Ethernet packets and
 replays them through the switch.  The reproduction does the same: the
 workload generators can persist traces as standard pcap files (readable by
-tcpdump/Wireshark), and the replay machinery can load them back.  Only the
-classic little-endian microsecond format with the Ethernet link type is
-produced; both endiannesses and nanosecond variants are accepted on read.
+tcpdump/Wireshark), and the replay machinery can load them back.  Writing produces the classic
+little-endian format with the Ethernet link type, in either microsecond or
+nanosecond resolution; both endiannesses and both resolutions are accepted
+on read.
 """
 
 from __future__ import annotations
@@ -46,16 +47,35 @@ class PcapPacket:
 class PcapWriter:
     """Write packets into a classic pcap file.
 
+    ``nanosecond=True`` selects the nanosecond-resolution variant of the
+    format (magic ``0xA1B23C4D``, as produced by ``tcpdump --nano``); the
+    sub-second field of every record then carries nanoseconds instead of
+    microseconds.  Readers — including :class:`PcapReader` — detect the
+    variant from the magic.
+
+    Timestamps are float64 seconds, so full nanosecond precision is only
+    available for timestamps below ~10^7 s (float64 resolves ~238 ns at
+    epoch scale).  The replay machinery stamps traces from t = 0, where
+    the precision is exact; rewriting epoch-stamped captures keeps the
+    classic format's microsecond fidelity.
+
     Usage::
 
         with PcapWriter(path) as writer:
             writer.write(timestamp, frame_bytes)
     """
 
-    def __init__(self, target: Union[str, Path, BinaryIO], snaplen: int = 65535):
+    def __init__(
+        self,
+        target: Union[str, Path, BinaryIO],
+        snaplen: int = 65535,
+        nanosecond: bool = False,
+    ):
         if snaplen <= 0:
             raise TraceError(f"snaplen must be positive, got {snaplen}")
         self._snaplen = snaplen
+        self._nanosecond = nanosecond
+        self._fraction_scale = 1_000_000_000 if nanosecond else 1_000_000
         self._owns_handle = isinstance(target, (str, Path))
         self._handle: BinaryIO = (
             open(target, "wb") if self._owns_handle else target  # type: ignore[arg-type]
@@ -65,7 +85,7 @@ class PcapWriter:
 
     def _write_global_header(self) -> None:
         header = _GLOBAL_HEADER.pack(
-            _MAGIC_US,
+            _MAGIC_NS if self._nanosecond else _MAGIC_US,
             2,  # version major
             4,  # version minor
             0,  # thiszone
@@ -80,18 +100,23 @@ class PcapWriter:
         """Number of packet records written so far."""
         return self._packets_written
 
+    @property
+    def nanosecond(self) -> bool:
+        """True when the writer produces the nanosecond-resolution format."""
+        return self._nanosecond
+
     def write(self, timestamp: float, data: bytes) -> None:
         """Append one packet record."""
         if timestamp < 0:
             raise TraceError(f"timestamp must be non-negative, got {timestamp}")
         seconds = int(timestamp)
-        microseconds = int(round((timestamp - seconds) * 1_000_000))
-        if microseconds >= 1_000_000:
+        fraction = int(round((timestamp - seconds) * self._fraction_scale))
+        if fraction >= self._fraction_scale:
             seconds += 1
-            microseconds -= 1_000_000
+            fraction -= self._fraction_scale
         captured = data[: self._snaplen]
         self._handle.write(
-            _RECORD_HEADER.pack(seconds, microseconds, len(captured), len(data))
+            _RECORD_HEADER.pack(seconds, fraction, len(captured), len(data))
         )
         self._handle.write(captured)
         self._packets_written += 1
@@ -126,6 +151,11 @@ class PcapReader:
             open(source, "rb") if self._owns_handle else source  # type: ignore[arg-type]
         )
         self._byte_order, self._nanoseconds, self.link_type = self._read_global_header()
+
+    @property
+    def nanosecond(self) -> bool:
+        """True when the file uses the nanosecond-resolution magic."""
+        return self._nanoseconds
 
     def _read_global_header(self) -> Tuple[str, bool, int]:
         raw = self._handle.read(_GLOBAL_HEADER.size)
@@ -177,10 +207,13 @@ class PcapReader:
 
 
 def write_pcap(
-    path: Union[str, Path], packets: Iterable[PcapPacket], snaplen: int = 65535
+    path: Union[str, Path],
+    packets: Iterable[PcapPacket],
+    snaplen: int = 65535,
+    nanosecond: bool = False,
 ) -> int:
     """Write an iterable of packets to ``path``; returns the packet count."""
-    with PcapWriter(path, snaplen=snaplen) as writer:
+    with PcapWriter(path, snaplen=snaplen, nanosecond=nanosecond) as writer:
         return writer.write_packets(packets)
 
 

@@ -7,6 +7,7 @@ from repro.perfmodel.latency import (
     LatencySample,
 )
 from repro.perfmodel.linkmodel import (
+    ImpairmentModel,
     LinkModel,
     PathModel,
     SwitchModel,
@@ -24,6 +25,7 @@ __all__ = [
     "LatencyComponents",
     "LatencyModel",
     "LatencySample",
+    "ImpairmentModel",
     "LinkModel",
     "PathModel",
     "SwitchModel",

@@ -1,0 +1,62 @@
+"""End-to-end trace replay and network emulation.
+
+This package turns the repository's components (pcap I/O, the Tofino switch
+model, the control plane, the discrete-event simulator, the link models)
+into one experimentable system: stream a trace from a pcap file or workload
+generator, pace it, push it through an emulated topology of ZipLine
+switches and impaired links, and collect every counter into one report.
+
+Quick start::
+
+    from repro.replay import (
+        FixedRatePacing, PcapTraceSource, ReplayHarness,
+    )
+
+    harness = ReplayHarness(topology="encoder-link-decoder", scenario="dynamic")
+    report = harness.run(
+        PcapTraceSource("trace.pcap"), FixedRatePacing(packet_rate=1e6)
+    )
+    print(report.render())
+"""
+
+from repro.replay.harness import ReplayHarness, ReplayTopology
+from repro.replay.link import EmulatedLink, LinkStats
+from repro.replay.metrics import (
+    Distribution,
+    IntegrityResult,
+    MetricsRegistry,
+    ReplayReport,
+)
+from repro.replay.sources import (
+    BackToBackPacing,
+    ChunkTraceSource,
+    FixedRatePacing,
+    Pacing,
+    PcapTraceSource,
+    RecordedPacing,
+    TimedFrame,
+    TraceSource,
+    WorkloadTraceSource,
+    pacing_from_name,
+)
+
+__all__ = [
+    "ReplayHarness",
+    "ReplayTopology",
+    "EmulatedLink",
+    "LinkStats",
+    "Distribution",
+    "IntegrityResult",
+    "MetricsRegistry",
+    "ReplayReport",
+    "BackToBackPacing",
+    "ChunkTraceSource",
+    "FixedRatePacing",
+    "Pacing",
+    "PcapTraceSource",
+    "RecordedPacing",
+    "TimedFrame",
+    "TraceSource",
+    "WorkloadTraceSource",
+    "pacing_from_name",
+]

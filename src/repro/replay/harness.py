@@ -1,0 +1,455 @@
+"""Topology wiring and the end-to-end replay harness.
+
+:class:`ReplayHarness` assembles a complete experiment from the existing
+components — ZipLine encoder/decoder switches, the control plane, the
+discrete-event simulator — plus the new :class:`~repro.replay.link.EmulatedLink`
+and :class:`~repro.replay.sources.TraceSource` layers::
+
+    source ──> [encoder switch] ──tap──> link₀ ─ … ─ linkₙ ──> [decoder switch] ──> sink
+
+Three topologies are supported (:class:`ReplayTopology`):
+
+* ``encoder-link-decoder`` — the paper's testbed; ``hops`` > 1 chains
+  several emulated links into a multi-hop path;
+* ``encoder-only`` — the sink receives the processed (type-2/3) packets,
+  for wire-format and byte-accounting experiments without decoding;
+* ``decoder-only`` — the source feeds the link directly; raw frames pass
+  through the decoder untouched, processed frames are decoded (requires
+  preinstalled mappings via ``static_bases``).
+
+The harness verifies **end-to-end payload integrity** by content-matching
+every delivered raw chunk against the multiset of injected chunks (in FIFO
+order per distinct content), which stays meaningful under loss, reordering
+and duplicate chunks: losses become *counted* ``missing`` chunks, never
+silent corruption.  All component counters, link statistics and the
+end-to-end latency distribution land in one
+:class:`~repro.replay.metrics.MetricsRegistry`, returned as a
+:class:`~repro.replay.metrics.ReplayReport`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.controlplane.manager import ControlPlaneTimings, ZipLineControlPlane
+from repro.core.transform import GDTransform
+from repro.exceptions import ReplayError
+from repro.perfmodel.linkmodel import ImpairmentModel
+from repro.replay.link import EmulatedLink
+from repro.replay.metrics import IntegrityResult, MetricsRegistry, ReplayReport
+from repro.replay.sources import FixedRatePacing, Pacing, TraceSource
+from repro.sim.simulator import Simulator
+from repro.tofino.digest import DEFAULT_DELIVERY_LATENCY, DigestEngine
+from repro.zipline.decoder_switch import ZipLineDecoderSwitch
+from repro.zipline.deployment import DeploymentScenario
+from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+from repro.zipline.headers import raw_chunk_payload
+from repro.zipline.stats import LinkTap
+from repro.net.packets import PacketKind
+
+__all__ = ["ReplayTopology", "ReplayHarness"]
+
+
+class ReplayTopology(Enum):
+    """Which components sit between the traffic source and the sink."""
+
+    ENCODER_LINK_DECODER = "encoder-link-decoder"
+    ENCODER_ONLY = "encoder-only"
+    DECODER_ONLY = "decoder-only"
+
+    @classmethod
+    def from_name(cls, name: "str | ReplayTopology") -> "ReplayTopology":
+        """Parse a topology from its name or pass an instance through."""
+        if isinstance(name, ReplayTopology):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(topology.value for topology in cls)
+            raise ReplayError(
+                f"unknown topology {name!r}; valid topologies: {valid}"
+            ) from None
+
+
+class _SinkCollector:
+    """The receiving host: counts — and optionally stores — delivered frames."""
+
+    def __init__(self, store: bool = True) -> None:
+        self.store = store
+        self.delivered = 0
+        self.arrivals: List[Tuple[float, bytes]] = []
+
+    def deliver(self, frame_bytes: bytes, time: float) -> None:
+        self.delivered += 1
+        if self.store:
+            self.arrivals.append((time, frame_bytes))
+
+
+class ReplayHarness:
+    """Drive a trace through an emulated ZipLine topology and measure it.
+
+    Parameters
+    ----------
+    topology:
+        One of :class:`ReplayTopology` (or its string name).
+    scenario:
+        Dictionary scenario, as in
+        :class:`~repro.zipline.deployment.ZipLineDeployment`.
+    transform / identifier_bits:
+        GD configuration shared by both switches.
+    static_bases:
+        Bases to preload (required for the ``static`` scenario and for
+        decoding processed traces in ``decoder-only`` topologies).
+    hops:
+        Number of emulated links in series (multi-hop path when > 1).
+    bandwidth_bps / propagation_delay / queue_capacity:
+        Per-link emulation parameters (every hop gets the same ones).
+    impairments:
+        Seeded loss/reorder model; each hop receives an independent
+        deterministic fork, so runs are exactly reproducible.
+    digest_latency / timings / entry_ttl / seed:
+        Learning-path configuration, as in the deployment.
+    verify_integrity:
+        When true (the default), every injected chunk and every delivered
+        frame is retained for the end-to-end integrity check and latency
+        percentiles — O(trace) memory.  Set false for counters-only runs
+        of very large traces; injection then stays in bounded memory and
+        the report's ``integrity`` is ``None``.
+    """
+
+    SENDER_PORT = 0
+    WIRE_PORT = 1
+    DECODER_IN_PORT = 0
+    SINK_PORT = 1
+
+    def __init__(
+        self,
+        topology: "str | ReplayTopology" = ReplayTopology.ENCODER_LINK_DECODER,
+        scenario: "str | DeploymentScenario" = DeploymentScenario.DYNAMIC,
+        transform: Optional[GDTransform] = None,
+        identifier_bits: int = 15,
+        static_bases: Optional[Iterable[int]] = None,
+        hops: int = 1,
+        bandwidth_bps: float = 100e9,
+        propagation_delay: float = 0.5e-6,
+        queue_capacity: Optional[int] = None,
+        impairments: Optional[ImpairmentModel] = None,
+        digest_latency: float = DEFAULT_DELIVERY_LATENCY,
+        timings: Optional[ControlPlaneTimings] = None,
+        entry_ttl: Optional[float] = None,
+        seed: Optional[int] = 0,
+        verify_integrity: bool = True,
+    ):
+        if hops <= 0:
+            raise ReplayError(f"hops must be positive, got {hops}")
+        self.topology = ReplayTopology.from_name(topology)
+        self.scenario = DeploymentScenario.from_name(scenario)
+        self.transform = transform or GDTransform(order=8)
+        self.identifier_bits = identifier_bits
+        self.simulator = Simulator()
+        self.link_tap = LinkTap(store_records=verify_integrity)
+        self.verify_integrity = verify_integrity
+        self.sink = _SinkCollector(store=verify_integrity)
+        self.impairments = impairments
+
+        has_encoder = self.topology is not ReplayTopology.DECODER_ONLY
+        has_decoder = self.topology is not ReplayTopology.ENCODER_ONLY
+
+        digest_engine = DigestEngine(self.simulator, delivery_latency=digest_latency)
+        self.encoder: Optional[ZipLineEncoderSwitch] = None
+        if has_encoder:
+            self.encoder = ZipLineEncoderSwitch(
+                name="encoder",
+                transform=self.transform,
+                identifier_bits=identifier_bits,
+                simulator=self.simulator,
+                forwarding={self.SENDER_PORT: self.WIRE_PORT},
+                default_egress_port=self.WIRE_PORT,
+                entry_ttl=entry_ttl,
+                digest_engine=digest_engine,
+            )
+        self.decoder: Optional[ZipLineDecoderSwitch] = None
+        if has_decoder:
+            self.decoder = ZipLineDecoderSwitch(
+                name="decoder",
+                transform=self.transform,
+                identifier_bits=identifier_bits,
+                simulator=self.simulator,
+                forwarding={self.DECODER_IN_PORT: self.SINK_PORT},
+                default_egress_port=self.SINK_PORT,
+            )
+
+        self.links: List[EmulatedLink] = [
+            EmulatedLink(
+                simulator=self.simulator,
+                name=f"link{index}",
+                bandwidth_bps=bandwidth_bps,
+                propagation_delay=propagation_delay,
+                queue_capacity=queue_capacity,
+                impairments=None
+                if impairments is None
+                else impairments.fork(index),
+                record_delays=verify_integrity,
+            )
+            for index in range(hops)
+        ]
+        self._wire()
+
+        self.control_plane: Optional[ZipLineControlPlane] = None
+        if self.scenario is not DeploymentScenario.NO_TABLE and (
+            has_encoder or static_bases is not None
+        ):
+            self.control_plane = ZipLineControlPlane(
+                digest_engine=digest_engine,
+                encoder_switch=self.encoder,
+                decoder_switch=self.decoder,
+                simulator=self.simulator,
+                identifier_bits=identifier_bits,
+                entry_ttl=entry_ttl,
+                timings=timings,
+                seed=seed,
+            )
+        if self.scenario is DeploymentScenario.STATIC:
+            if static_bases is None:
+                raise ReplayError("the static scenario requires static_bases")
+            self.control_plane.preload_static_mappings(static_bases)
+        elif static_bases is not None:
+            if self.control_plane is not None:
+                # Decoder-only runs decode processed traces with preinstalled
+                # mappings regardless of the scenario name.
+                self.control_plane.preload_static_mappings(static_bases)
+            elif self.decoder is not None and self.encoder is None:
+                # no_table + decoder-only: install the reverse mappings
+                # directly, in the same sequential identifier order the
+                # control plane's pool would assign.
+                for identifier, basis in enumerate(static_bases):
+                    self.decoder.install_identifier_mapping(identifier, basis)
+            else:
+                # An explicit argument must never be silently ignored: with
+                # an encoder present, no_table means "no mappings, ever".
+                raise ReplayError(
+                    "static_bases conflicts with the no_table scenario; use "
+                    "the static or dynamic scenario instead"
+                )
+
+        # Injection-side accounting; the per-chunk state only exists when
+        # the integrity check is enabled (it is O(trace) memory).
+        self._chunks_sent = 0
+        self._chunk_bytes_sent = 0
+        self._sent_chunks: List[bytes] = []
+        self._sent_times: List[float] = []
+        self._pending_by_content: Dict[bytes, Deque[int]] = {}
+        self._frames_sent = 0
+        self._source_description = ""
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _wire(self) -> None:
+        def into_first_link(frame_bytes: bytes, time: float) -> None:
+            self.link_tap.observe(frame_bytes, time)
+            self.links[0].send(frame_bytes, time)
+
+        self._entry_point = into_first_link
+        if self.encoder is not None:
+            self.encoder.switch.attach_port(self.WIRE_PORT, into_first_link)
+
+        for upstream, downstream in zip(self.links, self.links[1:]):
+            upstream.attach(downstream.send)
+
+        if self.decoder is not None:
+            self.links[-1].attach(
+                lambda frame_bytes, time: self.decoder.receive(
+                    frame_bytes, self.DECODER_IN_PORT
+                )
+            )
+            self.decoder.switch.attach_port(self.SINK_PORT, self.sink.deliver)
+        else:
+            self.links[-1].attach(self.sink.deliver)
+
+    # -- injection ----------------------------------------------------------------
+
+    def _inject(self, frame_bytes: bytes) -> None:
+        self._frames_sent += 1
+        payload = raw_chunk_payload(frame_bytes)
+        if payload is not None:
+            self._chunks_sent += 1
+            self._chunk_bytes_sent += len(payload)
+            if self.verify_integrity:
+                index = len(self._sent_chunks)
+                self._sent_chunks.append(payload)
+                self._sent_times.append(self.simulator.now)
+                self._pending_by_content.setdefault(payload, deque()).append(index)
+        if self.encoder is not None:
+            self.encoder.receive(frame_bytes, self.SENDER_PORT)
+        else:
+            self._entry_point(frame_bytes, self.simulator.now)
+
+    def _schedule_source(self, source: TraceSource, pacing: Pacing) -> None:
+        """Pull frames from the source one at a time.
+
+        Injection itself is streaming — only one pending frame is ever
+        scheduled; total memory is bounded unless ``verify_integrity``
+        retains per-chunk state for the end-to-end check.
+        """
+        pacing.reset()
+        iterator = source.frames()
+        counter = {"index": 0}
+
+        def schedule_next() -> None:
+            timed = next(iterator, None)
+            if timed is None:
+                return
+            index = counter["index"]
+            counter["index"] = index + 1
+            at = pacing.inject_at(index, timed.recorded_time, len(timed.data))
+            at = max(at, self.simulator.now)
+
+            def fire(data=timed.data) -> None:
+                self._inject(data)
+                schedule_next()
+
+            self.simulator.schedule_at(at, fire, description="replay:inject")
+
+        schedule_next()
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        source: TraceSource,
+        pacing: Optional[Pacing] = None,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> ReplayReport:
+        """Replay ``source`` through the topology and return the report.
+
+        ``pacing`` defaults to a fixed 1 Mpkt/s (the rate the evaluation
+        replays at).  ``until``/``max_events`` bound the simulation for
+        open-ended sources.
+        """
+        self._source_description = source.description
+        self._schedule_source(source, pacing or FixedRatePacing(packet_rate=1e6))
+        self.simulator.run(until=until, max_events=max_events)
+        return self.report()
+
+    # -- results ------------------------------------------------------------------
+
+    def _check_integrity(
+        self, metrics: MetricsRegistry
+    ) -> Optional[IntegrityResult]:
+        """Match delivered raw chunks against injected ones by content."""
+        if not self.verify_integrity or self.decoder is None or not self._sent_chunks:
+            return None
+        pending = {
+            content: deque(indices)
+            for content, indices in self._pending_by_content.items()
+        }
+        latency = metrics.distribution("endtoend.latency")
+        matched = corrupted = out_of_order = 0
+        received = 0
+        highest_index = -1
+        for time, frame_bytes in self.sink.arrivals:
+            payload = raw_chunk_payload(frame_bytes)
+            if payload is None:
+                continue
+            received += 1
+            queue = pending.get(payload)
+            if not queue:
+                corrupted += 1
+                continue
+            index = queue.popleft()
+            matched += 1
+            if index < highest_index:
+                out_of_order += 1
+            highest_index = max(highest_index, index)
+            latency.add(time - self._sent_times[index])
+        missing = len(self._sent_chunks) - matched
+        return IntegrityResult(
+            sent=len(self._sent_chunks),
+            received=received,
+            matched=matched,
+            corrupted=corrupted,
+            missing=missing,
+            out_of_order=out_of_order,
+        )
+
+    def _collect_metrics(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        if self.encoder is not None:
+            for label, sample in self.encoder.counters.as_dict().items():
+                metrics.increment(f"encoder.{label}", sample.packets)
+                metrics.increment(f"encoder.{label}_bytes", sample.bytes)
+            hits = self.encoder.counters.read("raw_to_compressed").packets
+            misses = self.encoder.counters.read("raw_to_uncompressed").packets
+            if hits + misses:
+                metrics.set_gauge("encoder.dictionary_hit_rate", hits / (hits + misses))
+            metrics.set_gauge(
+                "encoder.dictionary_entries", len(self.encoder.known_bases())
+            )
+            engine = self.encoder.digest_engine
+            metrics.increment("encoder.digests_emitted", engine.emitted)
+            metrics.increment("encoder.digests_dropped", engine.dropped)
+        if self.decoder is not None:
+            for label, sample in self.decoder.counters.as_dict().items():
+                metrics.increment(f"decoder.{label}", sample.packets)
+                metrics.increment(f"decoder.{label}_bytes", sample.bytes)
+            metrics.set_gauge(
+                "decoder.dictionary_entries",
+                sum(1 for _ in self.decoder.identifier_table.entries()),
+            )
+        for link in self.links:
+            metrics.merge_counters(link.name, link.stats.as_dict())
+            metrics.distribution(f"{link.name}.queueing_delay").extend(
+                link.stats.queueing_delays
+            )
+        if self.control_plane is not None:
+            metrics.merge_counters("controlplane", self.control_plane.stats.as_dict())
+        counts = self.link_tap.count_by_kind()
+        payload = self.link_tap.payload_bytes_by_kind()
+        metrics.increment("wire.raw_packets", counts[PacketKind.RAW])
+        metrics.increment(
+            "wire.uncompressed_packets", counts[PacketKind.PROCESSED_UNCOMPRESSED]
+        )
+        metrics.increment(
+            "wire.compressed_packets", counts[PacketKind.PROCESSED_COMPRESSED]
+        )
+        metrics.increment("wire.raw_payload_bytes", payload[PacketKind.RAW])
+        metrics.increment(
+            "wire.uncompressed_payload_bytes",
+            payload[PacketKind.PROCESSED_UNCOMPRESSED],
+        )
+        metrics.increment(
+            "wire.compressed_payload_bytes", payload[PacketKind.PROCESSED_COMPRESSED]
+        )
+        return metrics
+
+    def learning_time(self) -> Optional[float]:
+        """Gap between the first type-2 and type-3 frame on the wire."""
+        first_uncompressed = self.link_tap.first_time_of_kind(
+            PacketKind.PROCESSED_UNCOMPRESSED
+        )
+        first_compressed = self.link_tap.first_time_of_kind(
+            PacketKind.PROCESSED_COMPRESSED
+        )
+        if first_uncompressed is None or first_compressed is None:
+            return None
+        return max(0.0, first_compressed - first_uncompressed)
+
+    def report(self) -> ReplayReport:
+        """Build the replay report from everything measured so far."""
+        metrics = self._collect_metrics()
+        integrity = self._check_integrity(metrics)
+        return ReplayReport(
+            topology=self.topology.value,
+            scenario=self.scenario.value,
+            source=self._source_description,
+            chunks_sent=self._chunks_sent,
+            payload_bytes_sent=self._chunk_bytes_sent,
+            wire_payload_bytes=self.link_tap.total_payload_bytes(),
+            duration=self.simulator.now,
+            integrity=integrity,
+            metrics=metrics,
+            learning_time=self.learning_time(),
+        )

@@ -1,0 +1,215 @@
+"""An emulated network hop on the discrete-event simulator.
+
+:class:`EmulatedLink` is the piece the original two-switch deployment was
+missing: the wire itself.  It models what a real hop does to a frame —
+
+* **serialisation**: a store-and-forward output queue drained at
+  ``bandwidth_bps``; wire occupancy (preamble, padding, FCS, inter-frame
+  gap) is taken from :func:`repro.net.ethernet.frame_wire_bytes`, the same
+  accounting :class:`repro.perfmodel.linkmodel.LinkModel` uses;
+* **propagation**: a constant one-way delay;
+* **bounded queueing**: drop-tail when more than ``queue_capacity`` frames
+  are in the output queue (``None`` = unbounded);
+* **seeded impairments**: loss and reordering drawn from a deterministic
+  :class:`repro.perfmodel.linkmodel.ImpairmentModel`, so replays are
+  exactly reproducible.
+
+Every frame that enters the link is accounted in :class:`LinkStats`
+(offered/delivered/dropped, queue occupancy peaks, per-frame queueing
+delay), which the metrics registry folds into the replay report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ReplayError
+from repro.net.ethernet import frame_wire_bytes
+from repro.perfmodel.linkmodel import ImpairmentModel, LinkModel
+from repro.sim.simulator import Simulator
+
+__all__ = ["LinkStats", "EmulatedLink"]
+
+#: ``sink(frame_bytes, time)`` — same shape as a switch port sink.
+LinkSink = Callable[[bytes, float], None]
+
+
+@dataclass
+class LinkStats:
+    """Counters and samples describing one link's behaviour during a run."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_queue: int = 0
+    reordered: int = 0
+    offered_bytes: int = 0
+    delivered_bytes: int = 0
+    max_queue_depth: int = 0
+    busy_time: float = 0.0
+    queueing_delays: List[float] = field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        """Total frames lost on this link, for any reason."""
+        return self.dropped_loss + self.dropped_queue
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the metrics registry."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_queue": self.dropped_queue,
+            "reordered": self.reordered,
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "max_queue_depth": self.max_queue_depth,
+            "busy_time": self.busy_time,
+        }
+
+
+class EmulatedLink:
+    """A one-directional emulated hop: queue → serialise → propagate → sink.
+
+    Parameters
+    ----------
+    simulator:
+        Shared discrete-event simulator (the link schedules deliveries on
+        it, so it must be the same instance the switches use).
+    sink:
+        Where delivered frames go; settable later via :meth:`attach`.
+    name:
+        Link name for event descriptions and reports.
+    bandwidth_bps:
+        Drain rate of the output queue (100 GbE by default).
+    propagation_delay:
+        One-way propagation delay in seconds.
+    queue_capacity:
+        Maximum frames queued or in serialisation before drop-tail kicks
+        in; ``None`` disables the bound.
+    impairments:
+        Seeded loss/reorder model; ``None`` means an ideal link.
+    record_delays:
+        Keep the per-frame queueing-delay samples (O(frames) memory) for
+        the percentile report.  Counters-only replays of very large traces
+        disable this; the scalar counters always stay.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        sink: Optional[LinkSink] = None,
+        name: str = "link",
+        bandwidth_bps: float = 100e9,
+        propagation_delay: float = 0.5e-6,
+        queue_capacity: Optional[int] = None,
+        impairments: Optional[ImpairmentModel] = None,
+        record_delays: bool = True,
+    ):
+        if bandwidth_bps <= 0:
+            raise ReplayError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if propagation_delay < 0:
+            raise ReplayError(
+                f"propagation delay cannot be negative, got {propagation_delay}"
+            )
+        if queue_capacity is not None and queue_capacity <= 0:
+            raise ReplayError(
+                f"queue capacity must be positive or None, got {queue_capacity}"
+            )
+        self.simulator = simulator
+        self.name = name
+        self.model = LinkModel(speed_bps=bandwidth_bps)
+        self.propagation_delay = propagation_delay
+        self.queue_capacity = queue_capacity
+        self.impairments = impairments
+        self.record_delays = record_delays
+        self.stats = LinkStats()
+        self._sink = sink
+        self._busy_until = 0.0
+        self._queue_depth = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, sink: LinkSink) -> None:
+        """Attach (or replace) the receiving end of the link."""
+        if not callable(sink):
+            raise ReplayError("link sink must be callable")
+        self._sink = sink
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently queued or being serialised."""
+        return self._queue_depth
+
+    # -- data path ------------------------------------------------------------
+
+    def send(self, frame: bytes, time: float) -> None:
+        """Offer one frame to the link at simulated ``time``.
+
+        Matches the :data:`~repro.tofino.switch.PortSink` signature, so a
+        switch egress port can be attached directly to the link.
+        """
+        if self._sink is None:
+            raise ReplayError(f"link {self.name!r} has no sink attached")
+        now = max(self.simulator.now, time)
+        self.stats.offered += 1
+        self.stats.offered_bytes += len(frame)
+
+        if self.impairments is not None and self.impairments.should_drop():
+            self.stats.dropped_loss += 1
+            return
+        if (
+            self.queue_capacity is not None
+            and self._queue_depth >= self.queue_capacity
+        ):
+            self.stats.dropped_queue += 1
+            return
+
+        serialisation = self.model.serialisation_delay(len(frame))
+        start = max(now, self._busy_until)
+        done = start + serialisation
+        self.stats.busy_time += serialisation
+        self._busy_until = done
+        self._queue_depth += 1
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue_depth)
+        if self.record_delays:
+            self.stats.queueing_delays.append(start - now)
+
+        penalty = 0.0
+        if self.impairments is not None:
+            penalty = self.impairments.reorder_penalty()
+            if penalty > 0.0:
+                self.stats.reordered += 1
+        deliver_at = done + self.propagation_delay + penalty
+
+        self.simulator.schedule_at(
+            done,
+            self._serialisation_done,
+            description=f"{self.name}:serialised",
+        )
+
+        def deliver(frame=frame, deliver_at=deliver_at) -> None:
+            self.stats.delivered += 1
+            self.stats.delivered_bytes += len(frame)
+            self._sink(frame, deliver_at)
+
+        self.simulator.schedule_at(
+            deliver_at, deliver, description=f"{self.name}:deliver"
+        )
+
+    def _serialisation_done(self) -> None:
+        self._queue_depth -= 1
+
+    # -- derived measures -------------------------------------------------------
+
+    def utilisation(self, duration: float) -> float:
+        """Fraction of ``duration`` the link spent serialising frames."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / duration)
+
+    def reset_stats(self) -> None:
+        """Clear the counters (topology and impairment stream stay put)."""
+        self.stats = LinkStats()

@@ -1,0 +1,370 @@
+"""Metrics collection for replay runs: one registry, one report.
+
+Every component of a replayed topology already counts things — switch
+counter sets, link taps, link stats, control-plane stats, match-action
+table occupancy.  :class:`MetricsRegistry` is the funnel that collects all
+of them under namespaced keys (``encoder.raw_to_compressed``,
+``link0.dropped_loss``, …) together with value *distributions* (end-to-end
+latency, queueing delay) whose percentiles the report prints.
+
+:class:`ReplayReport` is the single result object a replay run returns:
+compression accounting (the Figure 3 numbers), latency percentiles, the
+integrity verdict, and the full counter breakdown — renderable as text via
+:func:`repro.analysis.reporting.format_table` and serialisable as JSON via
+:func:`repro.analysis.reporting.save_results_json`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.reporting import format_table
+from repro.exceptions import ReplayError
+
+__all__ = ["Distribution", "MetricsRegistry", "IntegrityResult", "ReplayReport"]
+
+Number = Union[int, float]
+
+#: Percentiles every distribution summary reports.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Distribution:
+    """A sample collection with percentile summaries.
+
+    Percentiles use linear interpolation between closest ranks (the same
+    convention as ``numpy.percentile``'s default), computed lazily over a
+    cached sort.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def add(self, value: Number) -> None:
+        """Record one sample."""
+        self._samples.append(float(value))
+        self._sorted = None
+
+    def extend(self, values: Sequence[Number]) -> None:
+        """Record many samples."""
+        self._samples.extend(float(value) for value in values)
+        if values:
+            self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        """True when no sample has been recorded."""
+        return not self._samples
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self._samples:
+            raise ReplayError(f"distribution {self.name!r} has no samples")
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100) of the samples."""
+        if not self._samples:
+            raise ReplayError(f"distribution {self.name!r} has no samples")
+        if not 0.0 <= p <= 100.0:
+            raise ReplayError(f"percentile must be within [0, 100], got {p}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def summary(
+        self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> Dict[str, float]:
+        """Count, mean, min/max and the requested percentiles."""
+        if not self._samples:
+            return {"count": 0}
+        result: Dict[str, float] = {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "min": min(self._samples),
+            "max": max(self._samples),
+        }
+        for p in percentiles:
+            key = f"p{p:g}"
+            result[key] = self.percentile(p)
+        return result
+
+
+class MetricsRegistry:
+    """Namespaced counters, gauges and distributions from many components.
+
+    Counter keys are ``component.metric`` strings; :meth:`merge_counters`
+    bulk-imports a component's counter dict under its namespace, which is
+    how switch counter sets, link stats and control-plane stats land here
+    without those components knowing about the registry.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._distributions: Dict[str, Distribution] = {}
+
+    # -- counters ------------------------------------------------------------
+
+    def increment(self, name: str, amount: Number = 1) -> None:
+        """Add ``amount`` to a counter (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def merge_counters(self, namespace: str, counters: Mapping[str, Number]) -> None:
+        """Import a component's counters under ``namespace.*`` (additive)."""
+        for key, value in counters.items():
+            if value is None:
+                continue
+            self.increment(f"{namespace}.{key}", value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never touched)."""
+        return self._counters.get(name, 0)
+
+    # -- gauges ---------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Record a point-in-time value (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of a gauge, or ``None``."""
+        return self._gauges.get(name)
+
+    # -- distributions ----------------------------------------------------------
+
+    def distribution(self, name: str) -> Distribution:
+        """The named distribution, created on first use."""
+        if name not in self._distributions:
+            self._distributions[name] = Distribution(name)
+        return self._distributions[name]
+
+    def distributions(self) -> Dict[str, Distribution]:
+        """All registered distributions by name."""
+        return dict(self._distributions)
+
+    # -- export -----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Everything the registry holds, as plain JSON-friendly data."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "distributions": {
+                name: dist.summary()
+                for name, dist in sorted(self._distributions.items())
+            },
+        }
+
+    def counter_rows(self, prefix: str = "") -> List[List[object]]:
+        """``[name, value]`` rows (optionally filtered by prefix) for tables."""
+        return [
+            [name, int(value) if float(value).is_integer() else value]
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        ]
+
+    def render(self, title: str = "metrics") -> str:
+        """Counters and gauges as one fixed-width table."""
+        rows: List[List[object]] = self.counter_rows()
+        rows.extend(
+            [name, value] for name, value in sorted(self._gauges.items())
+        )
+        return format_table(["metric", "value"], rows, title=title)
+
+
+@dataclass(frozen=True)
+class IntegrityResult:
+    """Outcome of the end-to-end payload verification.
+
+    ``matched`` received chunks were byte-identical to a sent chunk;
+    ``corrupted`` received chunks matched nothing that was sent;
+    ``missing`` sent chunks never arrived (loss); ``out_of_order`` counts
+    received chunks that arrived after a chunk sent later than them.
+
+    ``intact`` is the replay-level verdict: nothing arrived corrupted.
+    Losses are a *documented, counted* failure mode of a lossy link, not a
+    corruption — the acceptance distinction the lossy-link tests assert.
+
+    When the trace contains duplicate chunk contents *and* frames were
+    lost, the FIFO content matcher can attribute a surviving duplicate to
+    an earlier lost copy, so ``out_of_order`` is exact on loss-free runs
+    but an upper bound on lossy ones.
+    """
+
+    sent: int
+    received: int
+    matched: int
+    corrupted: int
+    missing: int
+    out_of_order: int
+
+    @property
+    def intact(self) -> bool:
+        """True when every delivered chunk was byte-identical to a sent one."""
+        return self.corrupted == 0
+
+    @property
+    def lossless_in_order(self) -> bool:
+        """True for the strict loss-free verdict: all chunks back, in order."""
+        return (
+            self.corrupted == 0
+            and self.missing == 0
+            and self.out_of_order == 0
+            and self.sent == self.received
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "sent": self.sent,
+            "received": self.received,
+            "matched": self.matched,
+            "corrupted": self.corrupted,
+            "missing": self.missing,
+            "out_of_order": self.out_of_order,
+            "intact": self.intact,
+            "lossless_in_order": self.lossless_in_order,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay run produced.
+
+    ``metrics`` holds the raw registry; the named fields are the headline
+    numbers every experiment wants without digging through it.
+    """
+
+    topology: str
+    scenario: str
+    source: str
+    chunks_sent: int
+    payload_bytes_sent: int
+    wire_payload_bytes: int
+    duration: float
+    integrity: Optional[IntegrityResult]
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    learning_time: Optional[float] = None
+
+    @property
+    def compression_ratio(self) -> Optional[float]:
+        """Payload bytes on the compressed hop over original payload bytes.
+
+        ``None`` when no raw chunks were injected (e.g. a decoder-only
+        replay of a processed trace) — there is no meaningful ratio then.
+        """
+        if self.payload_bytes_sent == 0:
+            return None
+        return self.wire_payload_bytes / self.payload_bytes_sent
+
+    @property
+    def savings_percent(self) -> Optional[float]:
+        """Percentage of payload bytes the compression removed (or ``None``)."""
+        ratio = self.compression_ratio
+        if ratio is None:
+            return None
+        return 100.0 * (1.0 - ratio)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """End-to-end latency percentiles in seconds (empty dict when unknown)."""
+        dist = self.metrics.distributions().get("endtoend.latency")
+        if dist is None or dist.empty:
+            return {}
+        return dist.summary()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the whole report."""
+        return {
+            "topology": self.topology,
+            "scenario": self.scenario,
+            "source": self.source,
+            "chunks_sent": self.chunks_sent,
+            "payload_bytes_sent": self.payload_bytes_sent,
+            "wire_payload_bytes": self.wire_payload_bytes,
+            "compression_ratio": self.compression_ratio,
+            "savings_percent": self.savings_percent,
+            "duration": self.duration,
+            "learning_time": self.learning_time,
+            "integrity": None if self.integrity is None else self.integrity.as_dict(),
+            "latency": self.latency_summary(),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def headline_rows(self) -> List[List[object]]:
+        """The summary rows the CLI prints (metric, value pairs)."""
+        rows: List[List[object]] = [
+            ["topology", self.topology],
+            ["scenario", self.scenario],
+            ["source", self.source],
+            ["chunks sent", f"{self.chunks_sent:,}"],
+            ["payload bytes sent", f"{self.payload_bytes_sent:,}"],
+            ["bytes on the wire hop", f"{self.wire_payload_bytes:,}"],
+            [
+                "compression ratio",
+                "n/a"
+                if self.compression_ratio is None
+                else f"{self.compression_ratio:.4f}",
+            ],
+            [
+                "savings",
+                "n/a"
+                if self.savings_percent is None
+                else f"{self.savings_percent:.1f} %",
+            ],
+            ["replay duration", f"{self.duration * 1e3:.3f} ms"],
+            [
+                "learning delay",
+                "n/a"
+                if self.learning_time is None
+                else f"{self.learning_time * 1e3:.3f} ms",
+            ],
+        ]
+        latency = self.latency_summary()
+        if latency:
+            for key in ("p50", "p90", "p99", "max"):
+                if key in latency:
+                    rows.append(
+                        [f"latency {key}", f"{latency[key] * 1e6:.3f} us"]
+                    )
+        if self.integrity is not None:
+            rows.append(
+                ["lossless", "yes" if self.integrity.lossless_in_order else "NO"]
+            )
+            rows.append(["integrity intact", "yes" if self.integrity.intact else "NO"])
+            rows.append(["chunks lost", f"{self.integrity.missing:,}"])
+            rows.append(["chunks corrupted", f"{self.integrity.corrupted:,}"])
+            rows.append(["chunks out of order", f"{self.integrity.out_of_order:,}"])
+        return rows
+
+    def render(self, include_counters: bool = True) -> str:
+        """Human-readable report (headline + counter breakdown)."""
+        parts = [
+            format_table(
+                ["metric", "value"],
+                self.headline_rows(),
+                title=f"replay ({self.scenario}, {self.topology})",
+            )
+        ]
+        if include_counters:
+            counter_rows = self.metrics.counter_rows()
+            if counter_rows:
+                parts.append(
+                    format_table(
+                        ["counter", "value"], counter_rows, title="counter breakdown"
+                    )
+                )
+        return "\n\n".join(parts)

@@ -266,9 +266,18 @@ class DnsQueryWorkload:
         """Eagerly generate a list of queries."""
         return list(self.iter_queries(num_queries))
 
+    def iter_chunks(self, num_queries: Optional[int] = None) -> Iterator[bytes]:
+        """Lazily generate the 32-byte chunks ZipLine compresses (txid removed).
+
+        Shared generator interface with
+        :meth:`~repro.workloads.synthetic.SyntheticSensorWorkload.iter_chunks`,
+        used by the streaming trace sources in :mod:`repro.replay`.
+        """
+        return (query.chunk() for query in self.iter_queries(num_queries))
+
     def chunks(self, num_queries: Optional[int] = None) -> List[bytes]:
         """The 32-byte chunks ZipLine compresses (txid removed)."""
-        return [query.chunk() for query in self.iter_queries(num_queries)]
+        return list(self.iter_chunks(num_queries))
 
     def trace(self, num_queries: Optional[int] = None, name: str = "dns") -> ChunkTrace:
         """A :class:`ChunkTrace` of the filtered queries."""

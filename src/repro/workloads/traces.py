@@ -176,8 +176,14 @@ class ChunkTrace:
         packet_rate: float = 1_000_000.0,
         source: MacAddress = _DEFAULT_SOURCE,
         destination: MacAddress = _DEFAULT_DESTINATION,
+        nanosecond: bool = False,
     ) -> int:
-        """Write the trace as a pcap of Ethernet frames; returns the packet count."""
+        """Write the trace as a pcap of Ethernet frames; returns the packet count.
+
+        ``nanosecond`` selects the nanosecond-resolution pcap variant, which
+        preserves sub-microsecond inter-packet gaps (a 1 Mpkt/s replay rate
+        quantises to nothing under the classic microsecond format).
+        """
         if packet_rate <= 0:
             raise TraceError(f"packet rate must be positive, got {packet_rate}")
         interval = 1.0 / packet_rate
@@ -185,7 +191,7 @@ class ChunkTrace:
             PcapPacket(timestamp=index * interval, data=frame.to_bytes())
             for index, frame in enumerate(self.to_frames(source, destination))
         )
-        return write_pcap(path, packets)
+        return write_pcap(path, packets, nanosecond=nanosecond)
 
     @classmethod
     def from_pcap(

@@ -29,12 +29,29 @@ from repro.tofino.parser import HeaderType
 
 __all__ = [
     "ETHERTYPE_RAW_CHUNK",
+    "RAW_CHUNK_ETHERTYPE_BYTES",
+    "raw_chunk_payload",
     "ZipLineHeaderSet",
 ]
 
 #: EtherType marking a raw, yet-unprocessed chunk payload (packet type 1 in
 #: the paper's terminology, restricted to the payloads ZipLine processes).
 ETHERTYPE_RAW_CHUNK = 0x88B4
+
+#: The same EtherType as the two wire bytes of an Ethernet header.
+RAW_CHUNK_ETHERTYPE_BYTES = ETHERTYPE_RAW_CHUNK.to_bytes(2, "big")
+
+
+def raw_chunk_payload(frame_bytes: bytes) -> Optional[bytes]:
+    """Payload of a raw-chunk frame, or ``None`` for any other frame.
+
+    The one place that knows how a raw chunk sits inside an Ethernet frame;
+    the replay accounting, integrity matching and CLI base extraction all
+    parse through here so the layout cannot silently diverge.
+    """
+    if frame_bytes[12:14] != RAW_CHUNK_ETHERTYPE_BYTES:
+        return None
+    return frame_bytes[14:]
 
 
 @dataclass(frozen=True)

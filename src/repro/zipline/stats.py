@@ -34,47 +34,59 @@ class LinkTap:
     hop whose traffic volume ZipLine reduces — and records what the paper's
     counters record: how many packets of each type crossed, and how many
     payload bytes they carried.
+
+    Aggregates (counts, byte totals, first-arrival times) are maintained
+    incrementally, so they stay O(1) in memory.  The per-frame ``records``
+    list is kept only when ``store_records`` is true (the default); the
+    replay subsystem's counters-only mode disables it so taps on huge
+    traces stay bounded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store_records: bool = True) -> None:
+        self.store_records = store_records
         self.records: List[LinkTapRecord] = []
+        self._counts: Dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
+        self._payload_bytes: Dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
+        self._first_times: Dict[PacketKind, float] = {}
+        self._total_frames = 0
+        self._total_payload_bytes = 0
 
     def observe(self, frame_bytes_raw: bytes, time: float) -> None:
         """Record one frame (raw bytes as transmitted)."""
         frame = EthernetFrame.from_bytes(frame_bytes_raw)
         kind = classify_frame(frame)
-        self.records.append(
-            LinkTapRecord(
-                time=time,
-                kind=kind,
-                frame_bytes=len(frame_bytes_raw),
-                payload_bytes=frame.payload_bytes,
+        self._counts[kind] += 1
+        self._payload_bytes[kind] += frame.payload_bytes
+        self._total_frames += 1
+        self._total_payload_bytes += frame.payload_bytes
+        self._first_times.setdefault(kind, time)
+        if self.store_records:
+            self.records.append(
+                LinkTapRecord(
+                    time=time,
+                    kind=kind,
+                    frame_bytes=len(frame_bytes_raw),
+                    payload_bytes=frame.payload_bytes,
+                )
             )
-        )
 
     # -- aggregation ---------------------------------------------------------
 
     def count_by_kind(self) -> Dict[PacketKind, int]:
         """Number of frames per packet type."""
-        counts: Dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
-        for record in self.records:
-            counts[record.kind] += 1
-        return counts
+        return dict(self._counts)
 
     def payload_bytes_by_kind(self) -> Dict[PacketKind, int]:
         """Payload bytes per packet type."""
-        totals: Dict[PacketKind, int] = {kind: 0 for kind in PacketKind}
-        for record in self.records:
-            totals[record.kind] += record.payload_bytes
-        return totals
+        return dict(self._payload_bytes)
 
     def total_payload_bytes(self) -> int:
         """Payload bytes across every frame."""
-        return sum(record.payload_bytes for record in self.records)
+        return self._total_payload_bytes
 
     def total_frames(self) -> int:
         """Number of frames observed."""
-        return len(self.records)
+        return self._total_frames
 
     def first_time_of_kind(self, kind: PacketKind) -> Optional[float]:
         """Timestamp of the first frame of the given type, or ``None``.
@@ -82,14 +94,16 @@ class LinkTap:
         The dynamic-learning experiment measures the gap between the first
         type-2 and the first type-3 frame arriving at the receiver.
         """
-        for record in self.records:
-            if record.kind is kind:
-                return record.time
-        return None
+        return self._first_times.get(kind)
 
     def clear(self) -> None:
-        """Drop every recorded frame."""
+        """Drop every recorded frame and reset the aggregates."""
         self.records.clear()
+        self._counts = {kind: 0 for kind in PacketKind}
+        self._payload_bytes = {kind: 0 for kind in PacketKind}
+        self._first_times = {}
+        self._total_frames = 0
+        self._total_payload_bytes = 0
 
 
 @dataclass

@@ -99,3 +99,53 @@ class TestValidation:
             writer.write(0.9999999, b"x")
         packets = read_pcap(path)
         assert packets[0].timestamp == pytest.approx(1.0, abs=1e-5)
+
+
+class TestNanosecondFormat:
+    def test_write_uses_nanosecond_magic(self, tmp_path):
+        path = tmp_path / "nano.pcap"
+        with PcapWriter(path, nanosecond=True) as writer:
+            assert writer.nanosecond
+            writer.write(0.0, b"x" * 60)
+        (magic,) = struct.unpack("<I", path.read_bytes()[:4])
+        assert magic == 0xA1B23C4D
+
+    def test_round_trip_preserves_nanosecond_timestamps(self, tmp_path):
+        path = tmp_path / "nano.pcap"
+        # 1.5 us offsets collapse under microsecond quantisation but not
+        # under nanosecond resolution.
+        timestamps = [0.0, 1.5e-6, 123.000000789]
+        with PcapWriter(path, nanosecond=True) as writer:
+            for timestamp in timestamps:
+                writer.write(timestamp, b"y" * 60)
+        with PcapReader(path) as reader:
+            assert reader.nanosecond
+            read_back = [packet.timestamp for packet in reader]
+        for expected, actual in zip(timestamps, read_back):
+            assert actual == pytest.approx(expected, abs=1e-9)
+
+    def test_microsecond_writer_quantises_where_nanosecond_does_not(self, tmp_path):
+        fine = 0.000000250  # 250 ns
+        nano_path = tmp_path / "n.pcap"
+        micro_path = tmp_path / "u.pcap"
+        with PcapWriter(nano_path, nanosecond=True) as writer:
+            writer.write(fine, b"z" * 60)
+        with PcapWriter(micro_path) as writer:
+            assert not writer.nanosecond
+            writer.write(fine, b"z" * 60)
+        assert read_pcap(nano_path)[0].timestamp == pytest.approx(fine, abs=1e-9)
+        assert read_pcap(micro_path)[0].timestamp != pytest.approx(fine, abs=1e-9)
+
+    def test_write_pcap_helper_forwards_nanosecond_flag(self, tmp_path):
+        path = tmp_path / "helper.pcap"
+        write_pcap(path, sample_packets(), nanosecond=True)
+        with PcapReader(path) as reader:
+            assert reader.nanosecond
+            assert len(reader.read_all()) == 3
+
+    def test_nanosecond_rounding_carry(self, tmp_path):
+        path = tmp_path / "carry.pcap"
+        with PcapWriter(path, nanosecond=True) as writer:
+            writer.write(0.9999999999, b"x")
+        packets = read_pcap(path)
+        assert packets[0].timestamp == pytest.approx(1.0, abs=1e-9)

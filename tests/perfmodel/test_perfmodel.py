@@ -5,6 +5,7 @@ import pytest
 from repro.exceptions import ReproError
 from repro.perfmodel.latency import LatencyComponents, LatencyModel
 from repro.perfmodel.linkmodel import (
+    ImpairmentModel,
     LinkModel,
     PathModel,
     SwitchModel,
@@ -186,3 +187,55 @@ class TestLatencyModel:
         assert components.one_way_host_cost() == pytest.approx(
             components.host_transmit + components.nic_and_pcie + components.host_receive
         )
+
+
+class TestImpairmentModel:
+    def test_same_seed_same_decisions(self):
+        first = ImpairmentModel(loss_probability=0.3, reorder_probability=0.2, seed=11)
+        second = ImpairmentModel(loss_probability=0.3, reorder_probability=0.2, seed=11)
+        decisions = [
+            (first.should_drop(), first.reorder_penalty()) for _ in range(500)
+        ]
+        assert decisions == [
+            (second.should_drop(), second.reorder_penalty()) for _ in range(500)
+        ]
+        assert any(drop for drop, _ in decisions)
+        assert any(penalty > 0 for _, penalty in decisions)
+
+    def test_different_seeds_diverge(self):
+        first = ImpairmentModel(loss_probability=0.5, seed=1)
+        second = ImpairmentModel(loss_probability=0.5, seed=2)
+        assert [first.should_drop() for _ in range(200)] != [
+            second.should_drop() for _ in range(200)
+        ]
+
+    def test_reset_rewinds_the_stream(self):
+        model = ImpairmentModel(loss_probability=0.4, seed=5)
+        first_pass = [model.should_drop() for _ in range(100)]
+        model.reset()
+        assert [model.should_drop() for _ in range(100)] == first_pass
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = ImpairmentModel(loss_probability=0.4, seed=9)
+        fork_a = base.fork(0)
+        fork_b = base.fork(1)
+        fork_a_again = ImpairmentModel(loss_probability=0.4, seed=9).fork(0)
+        stream_a = [fork_a.should_drop() for _ in range(200)]
+        assert stream_a == [fork_a_again.should_drop() for _ in range(200)]
+        assert stream_a != [fork_b.should_drop() for _ in range(200)]
+        with pytest.raises(ReproError):
+            base.fork(-1)
+
+    def test_lossless_shortcut_never_draws(self):
+        model = ImpairmentModel(seed=3)
+        assert model.lossless
+        assert not model.should_drop()
+        assert model.reorder_penalty() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ImpairmentModel(loss_probability=1.5)
+        with pytest.raises(ReproError):
+            ImpairmentModel(reorder_probability=-0.1)
+        with pytest.raises(ReproError):
+            ImpairmentModel(reorder_delay=-1e-6)

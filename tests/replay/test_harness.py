@@ -1,0 +1,330 @@
+"""End-to-end tests for the replay harness and its topologies."""
+
+import pytest
+
+from repro.exceptions import ReplayError
+from repro.net.ethernet import EthernetFrame
+from repro.perfmodel.linkmodel import ImpairmentModel
+from repro.replay import (
+    BackToBackPacing,
+    ChunkTraceSource,
+    FixedRatePacing,
+    PcapTraceSource,
+    ReplayHarness,
+    ReplayTopology,
+)
+from repro.workloads import SyntheticSensorWorkload
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+
+@pytest.fixture()
+def workload():
+    # 4000 chunks at the 1 Mpkt/s replay rate give a 4 ms trace — comfortably
+    # longer than the ~1.77 ms learning delay, so dynamic runs do compress.
+    return SyntheticSensorWorkload(num_chunks=4000, distinct_bases=6, seed=21)
+
+
+@pytest.fixture()
+def trace(workload):
+    return workload.trace()
+
+
+class TestLossFreeRoundTrip:
+    def test_static_scenario_is_byte_identical_in_order(self, trace):
+        harness = ReplayHarness(
+            scenario="static", static_bases=trace.distinct_bases(
+                ReplayHarness().transform
+            )
+        )
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity.lossless_in_order
+        assert report.chunks_sent == len(trace)
+        # Static table: almost everything crosses as 3-byte type-3 packets.
+        assert report.compression_ratio < 0.15
+        received = [
+            EthernetFrame.from_bytes(frame).payload
+            for _, frame in harness.sink.arrivals
+        ]
+        assert received == trace.chunks
+
+    def test_dynamic_scenario_learns_then_compresses(self, trace):
+        harness = ReplayHarness(scenario="dynamic")
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity.lossless_in_order
+        assert report.learning_time is not None
+        assert report.learning_time > 0
+        assert report.metrics.counter("encoder.raw_to_compressed") > 0
+        assert report.metrics.counter("encoder.raw_to_uncompressed") > 0
+
+    def test_no_table_scenario_never_compresses(self, trace):
+        harness = ReplayHarness(scenario="no_table")
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity.lossless_in_order
+        assert report.metrics.counter("wire.compressed_packets") == 0
+        assert report.compression_ratio > 1.0
+
+    def test_latency_percentiles_present(self, trace):
+        harness = ReplayHarness(scenario="no_table")
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        latency = report.latency_summary()
+        assert latency["count"] == len(trace)
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+
+
+class TestLossyLink:
+    """Satellite: dropped type-2 packets must not corrupt later decodes."""
+
+    def test_dropped_misses_do_not_corrupt_subsequent_hits(self, trace):
+        harness = ReplayHarness(
+            scenario="dynamic",
+            impairments=ImpairmentModel(loss_probability=0.05, seed=97),
+        )
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        integrity = report.integrity
+        # Loss is a counted failure mode, never silent corruption: every
+        # delivered chunk is byte-identical to a sent one.
+        assert integrity.corrupted == 0
+        assert integrity.intact
+        dropped = report.metrics.counter("link0.dropped_loss")
+        assert dropped > 0
+        # Every loss is accounted: missing chunks == frames the link dropped.
+        assert integrity.missing == dropped
+        # The learning path is unaffected by wire loss (digests travel from
+        # the encoder), so compression still kicks in.
+        assert report.metrics.counter("wire.compressed_packets") > 0
+        assert integrity.matched == integrity.sent - dropped
+
+    def test_lossy_run_is_deterministic_for_a_seed(self, trace):
+        def run():
+            harness = ReplayHarness(
+                scenario="dynamic",
+                impairments=ImpairmentModel(loss_probability=0.08, seed=5),
+            )
+            report = harness.run(
+                ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+            )
+            return (
+                report.integrity.missing,
+                report.metrics.counter("link0.dropped_loss"),
+                report.wire_payload_bytes,
+            )
+
+        assert run() == run()
+
+    def test_reordering_is_counted(self, trace):
+        harness = ReplayHarness(
+            scenario="static",
+            static_bases=trace.distinct_bases(ReplayHarness().transform),
+            impairments=ImpairmentModel(
+                reorder_probability=0.2, reorder_delay=50e-6, seed=13
+            ),
+        )
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity.corrupted == 0
+        assert report.integrity.missing == 0
+        assert report.integrity.out_of_order > 0
+        assert not report.integrity.lossless_in_order
+
+
+class TestBoundedQueue:
+    def test_back_to_back_overload_drops_at_the_queue(self, trace):
+        harness = ReplayHarness(
+            scenario="no_table",
+            bandwidth_bps=1e9,
+            queue_capacity=16,
+        )
+        report = harness.run(ChunkTraceSource(trace), BackToBackPacing())
+        assert report.metrics.counter("link0.dropped_queue") > 0
+        assert report.integrity.corrupted == 0
+        assert report.integrity.missing == report.metrics.counter(
+            "link0.dropped_queue"
+        )
+        assert report.metrics.counter("link0.max_queue_depth") == 16
+
+
+class TestTopologies:
+    def test_multi_hop_stays_lossless(self, trace):
+        harness = ReplayHarness(scenario="dynamic", hops=3)
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity.lossless_in_order
+        assert report.metrics.counter("link2.delivered") > 0
+
+    def test_multi_hop_forks_independent_impairment_streams(self, trace):
+        harness = ReplayHarness(
+            scenario="no_table",
+            hops=2,
+            impairments=ImpairmentModel(loss_probability=0.05, seed=3),
+        )
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        first = report.metrics.counter("link0.dropped_loss")
+        second = report.metrics.counter("link1.dropped_loss")
+        assert first > 0 and second > 0
+        # The second hop only sees what survived the first.
+        assert report.metrics.counter("link1.offered") == report.metrics.counter(
+            "link0.delivered"
+        )
+
+    def test_encoder_only_delivers_processed_packets(self, trace):
+        harness = ReplayHarness(topology="encoder-only", scenario="no_table")
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity is None
+        kinds = {
+            EthernetFrame.from_bytes(frame).ethertype
+            for _, frame in harness.sink.arrivals
+        }
+        assert ETHERTYPE_RAW_CHUNK not in kinds
+        assert len(harness.sink.arrivals) == len(trace)
+
+    def test_decoder_only_passes_raw_chunks_through(self, trace):
+        harness = ReplayHarness(topology="decoder-only", scenario="no_table")
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity.lossless_in_order
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ReplayError):
+            ReplayHarness(topology="ring")
+        assert ReplayTopology.from_name("encoder-only") is ReplayTopology.ENCODER_ONLY
+
+    def test_static_requires_bases(self):
+        with pytest.raises(ReplayError):
+            ReplayHarness(scenario="static")
+
+    def test_hops_must_be_positive(self):
+        with pytest.raises(ReplayError):
+            ReplayHarness(hops=0)
+
+
+class TestPcapDriven:
+    def test_pcap_round_trip_through_harness(self, trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        trace.to_pcap(path, packet_rate=500_000.0)
+        harness = ReplayHarness(scenario="dynamic")
+        report = harness.run(PcapTraceSource(path), FixedRatePacing(packet_rate=1e6))
+        assert report.integrity.lossless_in_order
+        assert report.chunks_sent == len(trace)
+        assert report.source.startswith("pcap:")
+
+
+class TestCountersOnlyMode:
+    def test_verify_integrity_false_keeps_no_per_chunk_state(self, trace):
+        harness = ReplayHarness(scenario="no_table", verify_integrity=False)
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.integrity is None
+        assert report.latency_summary() == {}
+        # Counters and byte accounting still work.
+        assert report.chunks_sent == len(trace)
+        assert report.payload_bytes_sent == trace.total_bytes
+        assert report.compression_ratio > 1.0
+        # No retained payloads or frames.
+        assert harness.sink.arrivals == []
+        assert harness.sink.delivered == len(trace)
+        assert harness._sent_chunks == []
+
+
+class TestDnsWorkloadSource:
+    def test_dns_workload_streams_through_harness(self):
+        from repro.replay import WorkloadTraceSource
+        from repro.workloads import DnsQueryWorkload
+
+        workload = DnsQueryWorkload(num_queries=300, distinct_names=20, seed=6)
+        harness = ReplayHarness(scenario="no_table")
+        report = harness.run(
+            WorkloadTraceSource(workload, num_chunks=300),
+            FixedRatePacing(packet_rate=1e6),
+        )
+        assert report.chunks_sent == 300
+        assert report.integrity.lossless_in_order
+
+
+class TestStaticBasesContract:
+    def test_no_table_with_encoder_rejects_static_bases(self, trace):
+        with pytest.raises(ReplayError):
+            ReplayHarness(scenario="no_table", static_bases=[1, 2, 3])
+
+    def test_decoder_only_no_table_preinstalls_mappings(self, trace, tmp_path):
+        from repro.net.pcap import PcapPacket, write_pcap
+
+        transform = ReplayHarness().transform
+        bases = trace.distinct_bases(transform)
+
+        # Produce a processed trace with an encoder-only run.
+        encode = ReplayHarness(
+            topology="encoder-only", scenario="static", static_bases=bases
+        )
+        encode.run(ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6))
+        processed = tmp_path / "processed.pcap"
+        write_pcap(
+            processed,
+            (PcapPacket(time, frame) for time, frame in encode.sink.arrivals),
+        )
+
+        # Decode it with a decoder-only topology and preinstalled mappings
+        # (same basis order -> same sequential identifier assignment).
+        decode = ReplayHarness(
+            topology="decoder-only", scenario="no_table", static_bases=bases
+        )
+        report = decode.run(
+            PcapTraceSource(processed), FixedRatePacing(packet_rate=1e6)
+        )
+        assert report.metrics.counter("decoder.unknown_identifier") == 0
+        assert report.metrics.counter("decoder.compressed_to_raw") == len(trace)
+        received = [
+            EthernetFrame.from_bytes(frame).payload
+            for _, frame in decode.sink.arrivals
+        ]
+        assert received == trace.chunks
+
+    def test_counters_only_mode_records_no_queueing_delays(self, trace):
+        harness = ReplayHarness(scenario="no_table", verify_integrity=False)
+        harness.run(ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6))
+        assert harness.links[0].stats.queueing_delays == []
+        assert harness.links[0].stats.delivered == len(trace)
+
+    def test_decoder_only_processed_trace_reports_na_ratio(self, trace, tmp_path):
+        from repro.net.pcap import PcapPacket, write_pcap
+
+        encode = ReplayHarness(topology="encoder-only", scenario="no_table")
+        encode.run(ChunkTraceSource(trace.head(50)), FixedRatePacing(packet_rate=1e6))
+        processed = tmp_path / "t2.pcap"
+        write_pcap(
+            processed,
+            (PcapPacket(time, frame) for time, frame in encode.sink.arrivals),
+        )
+        decode = ReplayHarness(topology="decoder-only", scenario="no_table")
+        report = decode.run(
+            PcapTraceSource(processed), FixedRatePacing(packet_rate=1e6)
+        )
+        # No raw chunks were injected: there is no compression ratio.
+        assert report.compression_ratio is None
+        assert report.savings_percent is None
+        assert "n/a" in report.render(include_counters=False)
+
+    def test_counters_only_link_tap_keeps_aggregates_not_records(self, trace):
+        harness = ReplayHarness(scenario="no_table", verify_integrity=False)
+        report = harness.run(ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6))
+        assert harness.link_tap.records == []
+        assert harness.link_tap.total_frames() == len(trace)
+        assert report.learning_time is None  # first-times still tracked
+        assert report.wire_payload_bytes > 0

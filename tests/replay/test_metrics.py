@@ -1,0 +1,143 @@
+"""Tests for the metrics registry, distributions and the replay report."""
+
+import pytest
+
+from repro.exceptions import ReplayError
+from repro.replay import Distribution, IntegrityResult, MetricsRegistry, ReplayReport
+
+
+class TestDistribution:
+    def test_percentile_interpolation(self):
+        dist = Distribution("latency")
+        dist.extend([1.0, 2.0, 3.0, 4.0])
+        assert dist.percentile(0) == 1.0
+        assert dist.percentile(100) == 4.0
+        assert dist.percentile(50) == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        dist = Distribution()
+        dist.add(5.0)
+        assert dist.percentile(99) == 5.0
+
+    def test_summary_keys(self):
+        dist = Distribution()
+        dist.extend(range(100))
+        summary = dist.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(49.5)
+        assert summary["p99"] == pytest.approx(98.01)
+        assert summary["min"] == 0.0
+        assert summary["max"] == 99.0
+
+    def test_empty_distribution(self):
+        dist = Distribution("empty")
+        assert dist.empty
+        assert dist.summary() == {"count": 0}
+        with pytest.raises(ReplayError):
+            dist.percentile(50)
+
+    def test_percentile_bounds(self):
+        dist = Distribution()
+        dist.add(1.0)
+        with pytest.raises(ReplayError):
+            dist.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.increment("a.x")
+        metrics.increment("a.x", 4)
+        assert metrics.counter("a.x") == 5
+        assert metrics.counter("never") == 0
+
+    def test_merge_counters_namespaces(self):
+        metrics = MetricsRegistry()
+        metrics.merge_counters("link0", {"offered": 10, "dropped": 2, "skip": None})
+        assert metrics.counter("link0.offered") == 10
+        assert metrics.counter("link0.skip") == 0
+
+    def test_gauges_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("occupancy", 3)
+        metrics.set_gauge("occupancy", 7)
+        assert metrics.gauge("occupancy") == 7.0
+        assert metrics.gauge("missing") is None
+
+    def test_render_and_as_dict(self):
+        metrics = MetricsRegistry()
+        metrics.increment("encoder.hits", 12)
+        metrics.set_gauge("encoder.entries", 3)
+        metrics.distribution("lat").extend([1.0, 2.0])
+        text = metrics.render()
+        assert "encoder.hits" in text
+        data = metrics.as_dict()
+        assert data["counters"]["encoder.hits"] == 12
+        assert data["distributions"]["lat"]["count"] == 2
+
+
+class TestIntegrityResult:
+    def test_lossless_in_order(self):
+        result = IntegrityResult(
+            sent=5, received=5, matched=5, corrupted=0, missing=0, out_of_order=0
+        )
+        assert result.intact and result.lossless_in_order
+
+    def test_loss_is_counted_not_corruption(self):
+        result = IntegrityResult(
+            sent=5, received=3, matched=3, corrupted=0, missing=2, out_of_order=0
+        )
+        assert result.intact
+        assert not result.lossless_in_order
+
+    def test_corruption_breaks_intact(self):
+        result = IntegrityResult(
+            sent=5, received=5, matched=4, corrupted=1, missing=1, out_of_order=0
+        )
+        assert not result.intact
+
+
+class TestReplayReport:
+    def make_report(self, **overrides):
+        values = dict(
+            topology="encoder-link-decoder",
+            scenario="static",
+            source="test",
+            chunks_sent=100,
+            payload_bytes_sent=3200,
+            wire_payload_bytes=320,
+            duration=1e-3,
+            integrity=IntegrityResult(
+                sent=100, received=100, matched=100, corrupted=0,
+                missing=0, out_of_order=0,
+            ),
+        )
+        values.update(overrides)
+        return ReplayReport(**values)
+
+    def test_compression_ratio(self):
+        report = self.make_report()
+        assert report.compression_ratio == pytest.approx(0.1)
+        assert report.savings_percent == pytest.approx(90.0)
+
+    def test_render_contains_headline(self):
+        report = self.make_report()
+        report.metrics.increment("encoder.raw_to_compressed", 100)
+        text = report.render()
+        assert "compression ratio" in text
+        assert "lossless" in text
+        assert "encoder.raw_to_compressed" in text
+
+    def test_latency_summary_from_metrics(self):
+        report = self.make_report()
+        report.metrics.distribution("endtoend.latency").extend([1e-6, 2e-6])
+        assert report.latency_summary()["count"] == 2
+        assert "latency p50" in str(report.headline_rows())
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        report = self.make_report()
+        report.metrics.distribution("endtoend.latency").add(1e-6)
+        encoded = json.dumps(report.as_dict())
+        assert "compression_ratio" in encoded

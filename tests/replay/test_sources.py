@@ -1,0 +1,148 @@
+"""Tests for trace sources and pacing policies."""
+
+import pytest
+
+from repro.exceptions import ReplayError
+from repro.net.ethernet import EthernetFrame
+from repro.net.pcap import PcapPacket, write_pcap
+from repro.replay import (
+    BackToBackPacing,
+    ChunkTraceSource,
+    FixedRatePacing,
+    PcapTraceSource,
+    RecordedPacing,
+    WorkloadTraceSource,
+    pacing_from_name,
+)
+from repro.workloads import ChunkTrace, SyntheticSensorWorkload
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+
+class TestRecordedPacing:
+    def test_keeps_recorded_gaps(self):
+        pacing = RecordedPacing()
+        assert pacing.inject_at(0, 10.0, 64) == 0.0
+        assert pacing.inject_at(1, 10.5, 64) == pytest.approx(0.5)
+        assert pacing.inject_at(2, 12.0, 64) == pytest.approx(2.0)
+
+    def test_speedup_compresses_time(self):
+        pacing = RecordedPacing(speedup=2.0)
+        pacing.inject_at(0, 0.0, 64)
+        assert pacing.inject_at(1, 1.0, 64) == pytest.approx(0.5)
+
+    def test_non_monotonic_timestamps_are_clamped(self):
+        pacing = RecordedPacing()
+        pacing.inject_at(0, 5.0, 64)
+        later = pacing.inject_at(1, 6.0, 64)
+        clamped = pacing.inject_at(2, 4.0, 64)  # goes backwards in the capture
+        assert clamped == later
+
+    def test_reset_forgets_origin(self):
+        pacing = RecordedPacing()
+        pacing.inject_at(0, 100.0, 64)
+        pacing.reset()
+        assert pacing.inject_at(0, 200.0, 64) == 0.0
+
+    def test_rejects_bad_speedup(self):
+        with pytest.raises(ReplayError):
+            RecordedPacing(speedup=0.0)
+
+
+class TestFixedRatePacing:
+    def test_packet_rate_spacing(self):
+        pacing = FixedRatePacing(packet_rate=1000.0)
+        times = [pacing.inject_at(i, 0.0, 64) for i in range(3)]
+        assert times == pytest.approx([0.0, 1e-3, 2e-3])
+
+    def test_bandwidth_spacing_depends_on_frame_size(self):
+        pacing = FixedRatePacing(bandwidth_bps=1e9)
+        first = pacing.inject_at(0, 0.0, 1500)
+        second = pacing.inject_at(1, 0.0, 1500)
+        assert first == 0.0
+        # 1500 B frame occupies (1500+4+8+12)*8 bits on the wire.
+        assert second == pytest.approx(1524 * 8 / 1e9)
+
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(ReplayError):
+            FixedRatePacing()
+        with pytest.raises(ReplayError):
+            FixedRatePacing(packet_rate=1.0, bandwidth_bps=1.0)
+
+
+class TestBackToBackPacing:
+    def test_everything_at_start(self):
+        pacing = BackToBackPacing(start=1.5)
+        assert pacing.inject_at(0, 0.0, 64) == 1.5
+        assert pacing.inject_at(9, 42.0, 1500) == 1.5
+
+
+class TestPacingFromName:
+    @pytest.mark.parametrize("name,kind", [
+        ("recorded", RecordedPacing),
+        ("rate", FixedRatePacing),
+        ("back-to-back", BackToBackPacing),
+    ])
+    def test_known_names(self, name, kind):
+        assert isinstance(pacing_from_name(name), kind)
+
+    def test_unknown_name(self):
+        with pytest.raises(ReplayError):
+            pacing_from_name("warp")
+
+
+@pytest.fixture()
+def small_trace():
+    return SyntheticSensorWorkload(num_chunks=20, distinct_bases=3, seed=11).trace()
+
+
+class TestChunkTraceSource:
+    def test_frames_wrap_chunks(self, small_trace):
+        source = ChunkTraceSource(small_trace)
+        frames = list(source.frames())
+        assert len(frames) == len(small_trace)
+        parsed = EthernetFrame.from_bytes(frames[0].data)
+        assert parsed.ethertype == ETHERTYPE_RAW_CHUNK
+        assert parsed.payload == small_trace[0]
+
+    def test_restartable(self, small_trace):
+        source = ChunkTraceSource(small_trace)
+        assert [f.data for f in source.frames()] == [f.data for f in source.frames()]
+
+
+class TestPcapTraceSource:
+    def test_streams_recorded_timestamps(self, small_trace, tmp_path):
+        path = tmp_path / "trace.pcap"
+        small_trace.to_pcap(path, packet_rate=1000.0)
+        source = PcapTraceSource(path)
+        frames = list(source.frames())
+        assert len(frames) == len(small_trace)
+        assert frames[1].recorded_time == pytest.approx(1e-3)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReplayError):
+            PcapTraceSource(tmp_path / "nope.pcap")
+
+    def test_reads_any_frames_not_only_chunks(self, tmp_path):
+        frame = EthernetFrame(
+            destination="02:00:00:00:00:02",
+            source="02:00:00:00:00:01",
+            ethertype=0x0800,
+            payload=b"x" * 40,
+        )
+        path = tmp_path / "other.pcap"
+        write_pcap(path, [PcapPacket(timestamp=0.0, data=frame.to_bytes())])
+        frames = list(PcapTraceSource(path).frames())
+        assert len(frames) == 1
+
+
+class TestWorkloadTraceSource:
+    def test_streams_lazily_from_generator(self):
+        workload = SyntheticSensorWorkload(num_chunks=50, distinct_bases=3, seed=4)
+        source = WorkloadTraceSource(workload, num_chunks=10)
+        frames = list(source.frames())
+        assert len(frames) == 10
+        assert EthernetFrame.from_bytes(frames[0].data).payload == workload.chunks(10)[0]
+
+    def test_requires_iter_chunks(self):
+        with pytest.raises(ReplayError):
+            WorkloadTraceSource(object())

@@ -118,3 +118,90 @@ class TestReportingCommands:
         output = capsys.readouterr().out
         assert "learning delay over 2 runs" in output
         assert "1.77" in output
+
+
+class TestReplayEmulation:
+    @pytest.fixture()
+    def pcap(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        main(["generate-trace", "synthetic", str(path), "--chunks", "400", "--bases", "5"])
+        return path
+
+    def test_trace_flag_and_topology(self, pcap, capsys):
+        assert main(
+            ["replay", "--trace", str(pcap), "--topology", "encoder-link-decoder",
+             "--scenario", "static"]
+        ) == 0
+        import re
+
+        output = capsys.readouterr().out
+        assert "compression ratio" in output
+        assert "latency p99" in output
+        assert re.search(r"lossless\s+yes", output)
+
+    def test_trace_must_be_given_exactly_once(self, pcap, capsys):
+        assert main(["replay"]) == 1
+        assert main(["replay", str(pcap), "--trace", str(pcap)]) == 1
+        err = capsys.readouterr().err
+        assert "exactly once" in err
+
+    def test_lossy_replay_counts_drops_without_corruption(self, pcap, capsys):
+        assert main(
+            ["replay", str(pcap), "--scenario", "static", "--loss", "0.05",
+             "--seed", "3", "--counters"]
+        ) == 0
+        import re
+
+        output = capsys.readouterr().out
+        assert re.search(r"integrity intact\s+yes", output)
+        assert "link0.dropped_loss" in output
+
+    def test_multi_hop_and_back_to_back(self, pcap):
+        assert main(
+            ["replay", str(pcap), "--scenario", "static", "--hops", "2",
+             "--pacing", "back-to-back", "--bandwidth-gbps", "10"]
+        ) == 0
+
+    def test_encoder_only_topology(self, pcap, capsys):
+        assert main(
+            ["replay", str(pcap), "--topology", "encoder-only",
+             "--scenario", "no_table"]
+        ) == 0
+        assert "encoder-only" in capsys.readouterr().out
+
+    def test_json_report(self, pcap, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(
+            ["replay", str(pcap), "--scenario", "static", "--json", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["integrity"]["lossless_in_order"] is True
+        assert "metrics" in data
+
+    def test_decoder_only_replays_processed_type2_trace(self, tmp_path, capsys):
+        # Build a processed (all type-2) trace with an encoder-only harness,
+        # then decode it from the CLI with a decoder-only topology.
+        from repro.net.pcap import PcapPacket, write_pcap
+        from repro.replay import ChunkTraceSource, FixedRatePacing, ReplayHarness
+
+        trace = SyntheticSensorWorkload(
+            num_chunks=300, distinct_bases=5, seed=8
+        ).trace()
+        encode = ReplayHarness(topology="encoder-only", scenario="no_table")
+        encode.run(ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6))
+        processed = tmp_path / "processed.pcap"
+        write_pcap(
+            processed,
+            (PcapPacket(time, frame) for time, frame in encode.sink.arrivals),
+        )
+
+        assert main(
+            ["replay", str(processed), "--topology", "decoder-only",
+             "--scenario", "static", "--counters"]
+        ) == 0
+        import re
+
+        output = capsys.readouterr().out
+        assert re.search(r"decoder\.uncompressed_to_raw\s+300\b", output)

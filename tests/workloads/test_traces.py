@@ -119,3 +119,17 @@ class TestPcapRoundTrip:
     def test_invalid_pcap_rate(self, trace, tmp_path):
         with pytest.raises(TraceError):
             trace.to_pcap(tmp_path / "x.pcap", packet_rate=0)
+
+    def test_nanosecond_pcap_preserves_replay_rate(self, trace, tmp_path):
+        from repro.net.pcap import PcapReader
+
+        path = tmp_path / "nano.pcap"
+        trace.to_pcap(path, packet_rate=1e6, nanosecond=True)
+        with PcapReader(path) as reader:
+            assert reader.nanosecond
+            packets = reader.read_all()
+        # 1 Mpkt/s spacing (1 us) survives exactly under nanosecond stamps.
+        assert packets[1].timestamp - packets[0].timestamp == pytest.approx(
+            1e-6, abs=1e-9
+        )
+        assert ChunkTrace.from_pcap(path).chunks == trace.chunks
