@@ -1,0 +1,123 @@
+"""Sharded experiment-matrix runner: speedup and byte-identity.
+
+Runs an 8-scenario sweep (dictionary scenario × loss regime × identifier
+width over the synthetic workload) twice — sequentially and sharded across
+worker processes — and verifies the two sweeps produce **byte-identical**
+serialised reports, the determinism contract of
+:class:`repro.experiments.MatrixRunner`.  The wall-clock ratio of the two
+runs is the headline number: scenario fan-out is embarrassingly parallel,
+so the sweep should approach linear speedup in the worker count (minus
+process start-up and result pickling).
+
+Results land in ``benchmarks/results/experiment_matrix.{txt,json}``.  Set
+``REPRO_BENCH_SMOKE=1`` for the scaled-down CI smoke mode; byte-identity is
+asserted in both modes, the speedup floor only in full mode (CI runners
+have noisy, sometimes single-core CPU budgets).  The benchmarked hot path
+is one sharded sweep end to end.
+"""
+
+import multiprocessing
+import os
+import time
+
+from repro.analysis.reporting import format_table, save_results_json
+from repro.experiments import ExperimentSpec, MatrixRunner
+
+from benchmarks.conftest import RESULTS_DIR, emit_result
+
+#: Scaled down when REPRO_BENCH_SMOKE is set (CI smoke mode).
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+CHUNKS = 300 if SMOKE else 4000
+#: At least 2 workers so the sharded (process-pool) path is always the one
+#: measured and byte-compared, even on single-core CI runners.
+WORKERS = min(4, max(2, multiprocessing.cpu_count()))
+
+#: 2 scenarios x 2 loss regimes x 2 identifier widths = 8 scenarios.
+SPEC = {
+    "name": "bench-matrix",
+    "base": {
+        "workload": "synthetic",
+        "chunks": CHUNKS,
+        "bases": 8,
+        "seed": 2020,
+    },
+    "axes": {
+        "scenario": ["static", "dynamic"],
+        "loss": [0.0, 0.02],
+        "identifier_bits": [8, 15],
+    },
+}
+
+
+def _timed_sweep(spec: ExperimentSpec, workers: int):
+    started = time.perf_counter()
+    result = MatrixRunner(spec, workers=workers).run()
+    return result, time.perf_counter() - started
+
+
+def test_experiment_matrix_sharding(benchmark):
+    """Sequential vs sharded sweep: identical bytes, reported speedup."""
+    spec = ExperimentSpec.from_dict(SPEC)
+    assert spec.matrix_size == 8
+
+    sequential, sequential_seconds = _timed_sweep(spec, workers=1)
+    sharded, sharded_seconds = _timed_sweep(spec, workers=WORKERS)
+
+    # The determinism contract: sharding must not change a single byte.
+    sequential_bytes = sequential.json_text()
+    sharded_bytes = sharded.json_text()
+    assert sequential_bytes == sharded_bytes, (
+        "sharded sweep diverged from the sequential one"
+    )
+    assert sequential.intact and sharded.intact
+
+    speedup = sequential_seconds / sharded_seconds if sharded_seconds else 0.0
+    if not SMOKE and multiprocessing.cpu_count() >= 2:
+        # Generous floor: scenario fan-out is embarrassingly parallel, so
+        # even half-linear scaling clears this easily on 2+ cores.
+        assert speedup > 1.2, (
+            f"sharded sweep not measurably faster: {speedup:.2f}x with "
+            f"{WORKERS} workers"
+        )
+
+    rows = [
+        ["scenarios", f"{spec.matrix_size}"],
+        ["chunks per scenario", f"{CHUNKS:,}"],
+        ["workers", f"{WORKERS}"],
+        ["sequential [s]", f"{sequential_seconds:.3f}"],
+        [f"sharded x{WORKERS} [s]", f"{sharded_seconds:.3f}"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["byte-identical", "yes"],
+    ]
+    table_text = format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"experiment-matrix sharding ({'smoke' if SMOKE else 'full'} mode)"
+        ),
+    )
+    emit_result("experiment_matrix", table_text)
+    save_results_json(
+        RESULTS_DIR / "experiment_matrix.json",
+        {
+            "scenarios": spec.matrix_size,
+            "chunks": CHUNKS,
+            "workers": WORKERS,
+            "sequential_seconds": sequential_seconds,
+            "sharded_seconds": sharded_seconds,
+            "speedup": speedup,
+            "byte_identical": True,
+            "ratios": {
+                result.scenario_id: result.metric("compression_ratio")
+                for result in sequential.results
+            },
+        },
+    )
+
+    # Hot path under benchmark: one complete sharded sweep.
+    def sweep_once():
+        result = MatrixRunner(spec, workers=WORKERS).run()
+        assert result.intact
+        return len(result)
+
+    benchmark(sweep_once)

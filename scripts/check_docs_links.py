@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo resolves.
+
+Scans the tracked ``*.md`` files (repo root and ``docs/``) for inline links
+``[text](target)`` and verifies that every *relative* target exists on
+disk, resolved against the linking file's directory.  External links
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors (``#...``)
+are skipped — no network access, so CI stays hermetic.
+
+    python scripts/check_docs_links.py            # exit 1 on any broken link
+    python scripts/check_docs_links.py --verbose  # also list every checked link
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links; reference-style links are not used in this repo.
+#: Image embeds (``![alt](target)``) are excluded — the scraped related-work
+#: files reference figures that were intentionally never vendored.
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> List[Path]:
+    """Every markdown file the repo ships (root + docs/, sorted)."""
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(REPO_ROOT.glob("docs/**/*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    """``(line_number, target)`` for every inline link in a file."""
+    in_code_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check(verbose: bool = False) -> int:
+    broken: List[str] = []
+    checked = 0
+    for path in markdown_files():
+        for line_number, target in iter_links(path):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            # Strip an in-page anchor from a file target.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            checked += 1
+            if verbose:
+                print(f"  {path.relative_to(REPO_ROOT)}:{line_number} -> {file_part}")
+            if not resolved.exists():
+                broken.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                    f"broken link -> {target}"
+                )
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken link(s) out of {checked} checked")
+        return 1
+    print(f"all {checked} relative links resolve across {len(markdown_files())} files")
+    return 0
+
+
+def main(argv=None) -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument("--verbose", action="store_true", help="list every checked link")
+    args = cli.parse_args(argv)
+    return check(verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,11 @@
 """Experiment methodology helpers: statistics, repetition, reporting."""
 
-from repro.analysis.experiment import ExperimentResult, ExperimentRunner, PAPER_REPETITIONS
+from repro.analysis.experiment import (
+    ExperimentResult,
+    ExperimentRunner,
+    PAPER_REPETITIONS,
+    summarize_groups,
+)
 from repro.analysis.reporting import (
     ComparisonRow,
     comparison_table,
@@ -20,6 +25,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "PAPER_REPETITIONS",
+    "summarize_groups",
     "ComparisonRow",
     "comparison_table",
     "format_table",

@@ -1,22 +1,37 @@
-"""Repeated-measurement experiment runner.
+"""Experiment summarisation: repeated measurements and matrix group-bys.
 
 The evaluation methodology of the paper is uniform: "each measurement is
 repeated 10 times, and we show the average and the 95 % confidence
-interval".  :class:`ExperimentRunner` packages that methodology so every
-benchmark harness uses the same loop: run a callable ``repetitions`` times
-(optionally with a per-repetition seed), collect one scalar per run, and
-summarise.
+interval".  This module packages that methodology for both ways the
+repository produces samples:
+
+* :class:`ExperimentRunner` — the repeated-measurement loop: run a callable
+  ``repetitions`` times (optionally with a per-repetition seed), collect
+  one scalar per run, and summarise;
+* :func:`summarize_groups` — the matrix side: fold labelled samples (one
+  per scenario of a :class:`~repro.experiments.runner.MatrixResult` sweep)
+  into per-group mean ± 95 % CI summaries, preserving first-seen group
+  order so sweep tables are deterministic.
+
+Both paths produce :class:`ExperimentResult` objects, so a sweep's per-axis
+group-bys render exactly like a repeated benchmark measurement:
+
+>>> results = summarize_groups(
+...     [("static", 0.09), ("static", 0.10), ("dynamic", 0.11)]
+... )
+>>> [(r.name, round(r.summary.mean, 3), r.summary.count) for r in results]
+[('static', 0.095, 2), ('dynamic', 0.11, 1)]
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.statistics import MeasurementSummary, summarize
 from repro.exceptions import ReproError
 
-__all__ = ["ExperimentResult", "ExperimentRunner"]
+__all__ = ["ExperimentResult", "ExperimentRunner", "summarize_groups"]
 
 #: The paper's repetition count.
 PAPER_REPETITIONS = 10
@@ -78,3 +93,30 @@ class ExperimentRunner:
     def report(self, precision: int = 2) -> str:
         """Multi-line report of every result recorded so far."""
         return "\n".join(result.format(precision) for result in self.results)
+
+
+def summarize_groups(
+    labeled_samples: Iterable[Tuple[object, Union[int, float]]],
+    unit: str = "",
+) -> List[ExperimentResult]:
+    """Fold ``(label, value)`` pairs into one summary per distinct label.
+
+    The workhorse behind per-axis group-bys of an experiment matrix: every
+    scenario contributes one sample labelled with its axis value, and each
+    group is summarised with the paper's mean ± 95 % CI methodology
+    (single-sample groups report a zero-width interval).  Group order is
+    first-seen order, so callers that iterate scenarios deterministically
+    get deterministic tables.
+    """
+    groups: Dict[str, List[float]] = {}
+    for label, value in labeled_samples:
+        groups.setdefault(str(label), []).append(float(value))
+    return [
+        ExperimentResult(
+            name=label,
+            samples=tuple(samples),
+            summary=summarize(samples),
+            unit=unit,
+        )
+        for label, samples in groups.items()
+    ]

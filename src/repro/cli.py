@@ -13,6 +13,11 @@ Exposes the pieces a user reaches for most often without writing Python:
   (encoder → link(s) → decoder, with optional loss/reordering/queueing)
   and report compression ratio, latency percentiles and per-component
   counters; see :mod:`repro.replay`;
+* ``experiment`` — expand a declarative scenario-matrix spec (JSON/TOML)
+  into a cross-product of replay runs, execute them — optionally sharded
+  across worker processes — and fold the reports into one aggregate table
+  with per-axis group-bys and CSV/JSON export; see :mod:`repro.experiments`
+  and ``docs/experiments.md``;
 * ``table1`` — print the reproduced Table 1;
 * ``learning-delay`` — measure the dynamic-learning delay (the paper's
   1.77 ms experiment).
@@ -35,7 +40,14 @@ from repro.core.engine import DEFAULT_BLOCK_SIZE, compress_file, decompress_file
 from repro.core.polynomials import render_table_1
 from repro.exceptions import ReproError
 from repro.perfmodel.linkmodel import ImpairmentModel
-from repro.replay import PcapTraceSource, ReplayHarness, ReplayTopology, pacing_from_name
+from repro.experiments import ExperimentSpec, MatrixRunner
+from repro.replay import (
+    PcapTraceSource,
+    ReplayHarness,
+    ReplayTopology,
+    pacing_from_name,
+    stream_distinct_bases,
+)
 from repro.workloads import DnsQueryWorkload, SyntheticSensorWorkload
 from repro.zipline import DeploymentScenario, ZipLineDeployment
 
@@ -179,6 +191,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full report as JSON",
     )
 
+    experiment = subparsers.add_parser(
+        "experiment",
+        help="run a scenario-matrix sweep from a declarative spec",
+        description=(
+            "Expand a JSON/TOML experiment spec (base parameters + swept "
+            "axes) into the cross-product of replay scenarios, execute them "
+            "-- sharded across worker processes when --workers > 1, with "
+            "byte-identical reports either way -- and print the aggregate "
+            "table. See docs/experiments.md for the spec format."
+        ),
+    )
+    experiment.add_argument(
+        "--spec", type=Path, required=True, help="experiment spec (.json or .toml)"
+    )
+    experiment.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sharded execution (default 1 = sequential)",
+    )
+    experiment.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write the full result set (spec + every report) as JSON",
+    )
+    experiment.add_argument(
+        "--csv", type=Path, default=None, metavar="PATH",
+        help="write the per-scenario summary table as CSV",
+    )
+    experiment.add_argument(
+        "--group-by", action="append", default=None, metavar="AXIS",
+        help="print a mean +/- 95%% CI summary per value of AXIS (repeatable)",
+    )
+    experiment.add_argument(
+        "--metric", default="compression_ratio",
+        help="metric the group-by tables summarise (default: compression_ratio)",
+    )
+    experiment.add_argument(
+        "--list", action="store_true",
+        help="list the expanded scenarios without running them",
+    )
+    experiment.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-scenario progress lines",
+    )
+
     subparsers.add_parser("table1", help="print the reproduced Table 1")
 
     learning = subparsers.add_parser(
@@ -258,43 +313,6 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _stream_distinct_bases(trace_path: Path) -> List[int]:
-    """Bases of every chunk-carrying frame in a pcap, in one streaming pass.
-
-    Handles raw-chunk (type-1) frames and processed type-2 frames (whose
-    payload carries the basis explicitly, so a decoder-only replay of a
-    processed trace can preinstall its mappings).  Type-3 frames carry only
-    an identifier, so their bases cannot be recovered from the wire.
-    Unlike ``ChunkTrace.from_pcap(...).distinct_bases(...)`` this never
-    materialises the trace, so large pcaps stay in bounded memory.
-    """
-    from repro.core.transform import GDTransform
-    from repro.net.ethernet import EtherType
-    from repro.net.packets import ZipLinePacketCodec
-    from repro.zipline.headers import raw_chunk_payload
-
-    transform = GDTransform(order=8)
-    codec = ZipLinePacketCodec(transform)
-    type2_ethertype = EtherType.ZIPLINE_UNCOMPRESSED.to_bytes(2, "big")
-    bases: dict = {}
-    chunks = 0
-    for frame in PcapTraceSource(trace_path).frames():
-        payload = raw_chunk_payload(frame.data)
-        if payload is not None and len(payload) == transform.chunk_bytes:
-            chunks += 1
-            bases.setdefault(transform.split(payload).basis, None)
-            continue
-        if frame.data[12:14] == type2_ethertype:
-            record = codec.unpack_uncompressed(frame.data[14:])
-            chunks += 1
-            bases.setdefault(record.basis, None)
-    if not chunks:
-        raise ReproError(
-            f"pcap {trace_path} contains no ZipLine chunk or type-2 frames"
-        )
-    return list(bases)
-
-
 def _cmd_replay(args: argparse.Namespace) -> int:
     if (args.input is None) == (args.trace is None):
         raise ReproError("give the trace exactly once: positionally or via --trace")
@@ -303,7 +321,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     scenario = DeploymentScenario.from_name(args.scenario)
     static_bases = None
     if scenario is DeploymentScenario.STATIC:
-        static_bases = _stream_distinct_bases(trace_path)
+        static_bases = stream_distinct_bases(trace_path)
 
     impairments = None
     if args.loss != 0 or args.reorder != 0:
@@ -346,6 +364,59 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.integrity.intact else 1
 
 
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.spec)
+    if args.list:
+        rows = [
+            [scenario.index, scenario.scenario_id, scenario.seed]
+            for scenario in spec.expand()
+        ]
+        print(
+            format_table(
+                ["#", "scenario", "seed"],
+                rows,
+                title=f"experiment {spec.name}: {spec.matrix_size} scenarios",
+            )
+        )
+        return 0
+
+    # Reject group-by typos before the (possibly long) sweep runs, not
+    # after, so a bad flag cannot discard hours of results.
+    for axis in args.group_by or ():
+        if axis not in spec.axes:
+            raise ReproError(
+                f"unknown group-by axis {axis!r}; "
+                f"axes: {', '.join(spec.axis_names) or 'none'}"
+            )
+
+    total = spec.matrix_size
+    progress = None
+    if not args.quiet:
+        def progress(result) -> None:
+            ratio = result.metric("compression_ratio")
+            rendered = "n/a" if ratio is None else f"{ratio:.4f}"
+            print(f"  done {result.scenario_id} (ratio {rendered})", flush=True)
+
+    print(f"experiment {spec.name}: {total} scenarios, {args.workers} worker(s)")
+    result = MatrixRunner(spec, workers=args.workers).run(progress=progress)
+    # Persist exports before rendering: a bad --metric must not discard a
+    # finished sweep.
+    if args.csv is not None:
+        result.to_csv(args.csv)
+    if args.out is not None:
+        result.to_json(args.out)
+    print()
+    print(result.render(group_axes=args.group_by, metric=args.metric))
+    if args.csv is not None:
+        print(f"summary CSV written to {args.csv}")
+    if args.out is not None:
+        print(f"full report written to {args.out}")
+    if not result.intact:
+        print("error: at least one scenario delivered corrupted chunks", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     print(render_table_1(include_validity=True))
     return 0
@@ -375,6 +446,7 @@ _HANDLERS = {
     "codecs": _cmd_codecs,
     "generate-trace": _cmd_generate_trace,
     "replay": _cmd_replay,
+    "experiment": _cmd_experiment,
     "table1": _cmd_table1,
     "learning-delay": _cmd_learning_delay,
 }

@@ -18,6 +18,11 @@ whole-buffer layout produced by :meth:`GDCodec.to_container`.
 
 Name-based construction lives in :mod:`repro.registry`; this module holds
 the implementations.
+
+>>> compressor = GzipStreamCompressor()
+>>> stream = compressor.compress_stream([b"chunk one, ", b"chunk two"])
+>>> b"".join(compressor.decompress_stream(stream))
+b'chunk one, chunk two'
 """
 
 from __future__ import annotations

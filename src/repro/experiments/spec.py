@@ -1,0 +1,424 @@
+"""Declarative scenario matrices: axes in, a cross-product of runs out.
+
+The paper's headline results are *sweeps* — compression ratio and learning
+delay across traces, table sizes, chunk sizes and loss regimes.  An
+:class:`ExperimentSpec` captures one sweep declaratively instead of as a
+shell loop:
+
+* ``base`` — parameter values shared by every scenario (workload, chunk
+  count, replay rate, …);
+* ``axes`` — the swept dimensions, each a parameter name mapped to the list
+  of values it takes; the matrix is the cross-product of all axes;
+* ``overrides`` — targeted adjustments (``when`` an axis point matches,
+  ``set`` these parameters), for the handful of combinations that need a
+  tweak without adding a whole axis.
+
+Every parameter is validated against the known parameter table
+(:data:`PARAMETERS`), so a typo like ``"los": [0.1]`` is rejected at load
+time rather than silently running an ideal link.  Expansion is fully
+deterministic: axes are iterated in sorted name order, values in listed
+order, and every scenario derives a stable seed from the spec seed and its
+own identifier — the property the sharded runner relies on to make parallel
+and sequential sweeps byte-identical.
+
+>>> spec = ExperimentSpec.from_dict({
+...     "name": "demo",
+...     "base": {"workload": "synthetic", "chunks": 100, "bases": 4},
+...     "axes": {"scenario": ["static", "dynamic"], "loss": [0.0, 0.02]},
+... })
+>>> spec.matrix_size
+4
+>>> [s.scenario_id for s in spec.expand()][:2]
+['loss=0.0/scenario=static', 'loss=0.0/scenario=dynamic']
+>>> spec.expand()[0].params["chunks"]
+100
+
+Specs load from JSON always and from TOML when the interpreter ships
+``tomllib`` (Python ≥ 3.11); see :meth:`ExperimentSpec.from_file`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.replay.harness import ReplayTopology
+from repro.zipline.deployment import DeploymentScenario
+
+__all__ = [
+    "ExperimentSpecError",
+    "ParameterSpec",
+    "PARAMETERS",
+    "DEFAULT_PARAMETERS",
+    "Scenario",
+    "ExperimentSpec",
+]
+
+
+class ExperimentSpecError(ReproError):
+    """An experiment spec failed validation."""
+
+
+def _positive_int(name: str, value: Any) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ExperimentSpecError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def _non_negative_int(name: str, value: Any) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ExperimentSpecError(
+            f"{name} must be a non-negative integer, got {value!r}"
+        )
+    return value
+
+
+def _positive_number(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ExperimentSpecError(f"{name} must be a positive number, got {value!r}")
+    return float(value)
+
+
+def _non_negative_number(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value < 0:
+        raise ExperimentSpecError(
+            f"{name} must be a non-negative number, got {value!r}"
+        )
+    return float(value)
+
+
+def _probability(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExperimentSpecError(f"{name} must be a number in [0, 1], got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ExperimentSpecError(f"{name} must be within [0, 1], got {value!r}")
+    return float(value)
+
+
+def _choice(options: Sequence[str]):
+    def validate(name: str, value: Any) -> str:
+        if not isinstance(value, str) or value not in options:
+            raise ExperimentSpecError(
+                f"{name} must be one of {', '.join(options)}; got {value!r}"
+            )
+        return value
+
+    return validate
+
+
+def _string(name: str, value: Any) -> str:
+    if not isinstance(value, str) or not value:
+        raise ExperimentSpecError(f"{name} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _seed(name: str, value: Any) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ExperimentSpecError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One known scenario parameter: its validator and its default."""
+
+    name: str
+    validate: Any
+    default: Any
+    help: str
+
+
+#: Every parameter a scenario understands.  ``base``, every axis and every
+#: override may only use these names; anything else is rejected at load time.
+PARAMETERS: Dict[str, ParameterSpec] = {
+    spec.name: spec
+    for spec in (
+        ParameterSpec(
+            "workload", _choice(("synthetic", "dns")), "synthetic",
+            "trace generator (ignored when `trace` points at a pcap)",
+        ),
+        ParameterSpec("trace", _string, None, "pcap file to replay instead of a workload"),
+        ParameterSpec("chunks", _positive_int, 1000, "chunks (synthetic) or queries (dns) per scenario"),
+        ParameterSpec("bases", _positive_int, 16, "distinct bases of the synthetic workload"),
+        ParameterSpec("names", _positive_int, 300, "distinct names of the dns workload"),
+        ParameterSpec(
+            "scenario",
+            _choice(tuple(s.value for s in DeploymentScenario)),
+            "dynamic",
+            "dictionary scenario",
+        ),
+        ParameterSpec(
+            "topology",
+            _choice(tuple(t.value for t in ReplayTopology)),
+            "encoder-link-decoder",
+            "replay topology",
+        ),
+        ParameterSpec("hops", _positive_int, 1, "emulated links in series"),
+        ParameterSpec(
+            "pacing", _choice(("recorded", "rate", "back-to-back")), "rate",
+            "injection pacing policy",
+        ),
+        ParameterSpec("packet_rate", _positive_number, 1e6, "replay rate in packets/s (pacing=rate)"),
+        ParameterSpec("speedup", _positive_number, 1.0, "time compression for pacing=recorded"),
+        ParameterSpec("bandwidth_gbps", _positive_number, 100.0, "per-hop link bandwidth in Gbit/s"),
+        ParameterSpec("propagation_us", _non_negative_number, 0.5, "per-hop propagation delay in µs"),
+        ParameterSpec("queue_capacity", _non_negative_int, 0, "bounded link queue in frames (0 = unbounded)"),
+        ParameterSpec("loss", _probability, 0.0, "per-packet loss probability per hop"),
+        ParameterSpec("reorder", _probability, 0.0, "per-packet reorder probability per hop"),
+        ParameterSpec("identifier_bits", _positive_int, 15, "identifier width t (table size 2^t)"),
+        ParameterSpec("order", _positive_int, 8, "Hamming order m (chunk size)"),
+        ParameterSpec("seed", _seed, 0, "spec-level seed every scenario seed derives from"),
+    )
+}
+
+#: The fully-defaulted parameter dictionary a scenario starts from.
+DEFAULT_PARAMETERS: Dict[str, Any] = {
+    name: spec.default for name, spec in PARAMETERS.items()
+}
+
+
+def _validate_parameters(
+    mapping: Mapping[str, Any], where: str
+) -> Dict[str, Any]:
+    """Validate a parameter mapping, returning normalised values."""
+    if not isinstance(mapping, Mapping):
+        raise ExperimentSpecError(f"{where} must be a mapping, got {mapping!r}")
+    validated: Dict[str, Any] = {}
+    for name, value in mapping.items():
+        if name not in PARAMETERS:
+            known = ", ".join(sorted(PARAMETERS))
+            raise ExperimentSpecError(
+                f"{where}: unknown parameter {name!r}; known parameters: {known}"
+            )
+        if name == "trace" and value is None:
+            validated[name] = None
+            continue
+        validated[name] = PARAMETERS[name].validate(name, value)
+    return validated
+
+
+def _scenario_seed(spec_name: str, spec_seed: int, scenario_id: str) -> int:
+    """Stable per-scenario seed: spec seed mixed with the scenario identity.
+
+    Uses CRC-32 (stable across processes, platforms and Python versions, so
+    sharded workers derive the same seed the sequential runner does) and
+    keeps the result in the non-negative 31-bit range every consumer
+    accepts.
+    """
+    digest = zlib.crc32(f"{spec_name}:{scenario_id}".encode("utf-8"))
+    return (digest ^ (spec_seed & 0xFFFFFFFF)) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-resolved point of the experiment matrix.
+
+    ``axes`` holds only the swept values (the columns of the aggregate
+    table); ``params`` is the complete parameter dictionary the runner
+    executes; ``seed`` is the derived per-scenario seed.
+    """
+
+    index: int
+    scenario_id: str
+    axes: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (used by exports and the ``--list`` mode)."""
+        return {
+            "index": self.index,
+            "scenario_id": self.scenario_id,
+            "axes": dict(self.axes),
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class _Override:
+    """``set`` these parameters ``when`` the axis point matches."""
+
+    when: Dict[str, Any]
+    set: Dict[str, Any]
+
+    def matches(self, axes: Mapping[str, Any]) -> bool:
+        return all(axes.get(name) == value for name, value in self.when.items())
+
+
+class ExperimentSpec:
+    """A named, validated scenario matrix.
+
+    Build one with :meth:`from_dict` / :meth:`from_file`, or directly::
+
+        ExperimentSpec(name, base={...}, axes={...}, overrides=[...])
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: Optional[Mapping[str, Any]] = None,
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        overrides: Optional[Iterable[Mapping[str, Any]]] = None,
+    ):
+        self.name = _string("spec name", name)
+        self.base = _validate_parameters(base or {}, "base")
+        self.axes: Dict[str, List[Any]] = {}
+        for axis, values in (axes or {}).items():
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise ExperimentSpecError(
+                    f"axis {axis!r} must map to a list of values, got {values!r}"
+                )
+            if not values:
+                raise ExperimentSpecError(f"axis {axis!r} has no values")
+            if axis not in PARAMETERS:
+                known = ", ".join(sorted(PARAMETERS))
+                raise ExperimentSpecError(
+                    f"unknown axis {axis!r}; known parameters: {known}"
+                )
+            # Validate before deduplicating so values that normalise to the
+            # same point (0 vs 0.0) cannot expand into duplicate scenarios.
+            validated_values = []
+            seen = set()
+            for value in values:
+                validated = PARAMETERS[axis].validate(axis, value)
+                key = repr(validated)
+                if key in seen:
+                    raise ExperimentSpecError(
+                        f"axis {axis!r} lists the value {value!r} twice"
+                    )
+                seen.add(key)
+                validated_values.append(validated)
+            self.axes[axis] = validated_values
+        self.overrides: List[_Override] = []
+        for index, entry in enumerate(overrides or []):
+            if not isinstance(entry, Mapping) or set(entry) - {"when", "set"}:
+                raise ExperimentSpecError(
+                    f"override {index} must be a mapping with 'when' and 'set' keys"
+                )
+            when = _validate_parameters(entry.get("when", {}), f"override {index} when")
+            for axis in when:
+                if axis not in self.axes:
+                    raise ExperimentSpecError(
+                        f"override {index} matches on {axis!r}, which is not an axis"
+                    )
+            if not entry.get("set"):
+                raise ExperimentSpecError(f"override {index} sets nothing")
+            assigned = _validate_parameters(entry["set"], f"override {index} set")
+            self.overrides.append(_Override(when=when, set=assigned))
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a plain dictionary (the JSON/TOML document)."""
+        if not isinstance(data, Mapping):
+            raise ExperimentSpecError(f"spec must be a mapping, got {data!r}")
+        unknown = set(data) - {"name", "base", "axes", "overrides"}
+        if unknown:
+            raise ExperimentSpecError(
+                f"unknown spec keys: {', '.join(sorted(unknown))} "
+                "(expected name, base, axes, overrides)"
+            )
+        return cls(
+            name=data.get("name", "experiment"),
+            base=data.get("base"),
+            axes=data.get("axes"),
+            overrides=data.get("overrides"),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        target = Path(path)
+        if not target.exists():
+            raise ExperimentSpecError(f"spec file {target} does not exist")
+        text = target.read_bytes()
+        if target.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError:  # Python < 3.11: JSON is the portable format.
+                raise ExperimentSpecError(
+                    "TOML specs need Python >= 3.11 (tomllib); use JSON instead"
+                ) from None
+            try:
+                document = tomllib.loads(text.decode("utf-8"))
+            except tomllib.TOMLDecodeError as error:
+                raise ExperimentSpecError(f"invalid TOML in {target}: {error}") from None
+        else:
+            try:
+                document = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ExperimentSpecError(f"invalid JSON in {target}: {error}") from None
+        return cls.from_dict(document)
+
+    # -- expansion -------------------------------------------------------------
+
+    @property
+    def axis_names(self) -> List[str]:
+        """The swept parameter names, sorted (the expansion order)."""
+        return sorted(self.axes)
+
+    @property
+    def matrix_size(self) -> int:
+        """Number of scenarios the cross-product expands into."""
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def expand(self) -> List[Scenario]:
+        """The full scenario matrix, in deterministic order.
+
+        Axes iterate in sorted name order with the *last* axis varying
+        fastest (row-major over the sorted axes), so the expansion order —
+        and therefore every scenario index and seed — is a pure function of
+        the spec.
+        """
+        names = self.axis_names
+        points: List[Tuple[Tuple[str, Any], ...]] = [()]
+        for axis in names:
+            points = [
+                point + ((axis, value),)
+                for point in points
+                for value in self.axes[axis]
+            ]
+        spec_seed = self.base.get("seed", DEFAULT_PARAMETERS["seed"])
+        scenarios: List[Scenario] = []
+        for index, point in enumerate(points):
+            axes = dict(point)
+            params = dict(DEFAULT_PARAMETERS)
+            params.update(self.base)
+            params.update(axes)
+            for override in self.overrides:
+                if override.matches(axes):
+                    params.update(override.set)
+            scenario_id = (
+                "/".join(f"{axis}={value}" for axis, value in sorted(axes.items()))
+                or "point"
+            )
+            scenarios.append(
+                Scenario(
+                    index=index,
+                    scenario_id=scenario_id,
+                    axes=axes,
+                    params=params,
+                    seed=_scenario_seed(self.name, spec_seed, scenario_id),
+                )
+            )
+        return scenarios
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The validated spec as a plain dictionary (round-trips to JSON)."""
+        return {
+            "name": self.name,
+            "base": dict(self.base),
+            "axes": {axis: list(values) for axis, values in self.axes.items()},
+            "overrides": [
+                {"when": dict(o.when), "set": dict(o.set)} for o in self.overrides
+            ],
+        }

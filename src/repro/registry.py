@@ -16,6 +16,15 @@ name — this is how ``repro decompress`` picks the right decoder without a
 
 The registry ships with the four built-ins (``gd``, ``gzip``, ``dedup``,
 ``null``); downstream code can :func:`register` additional factories.
+
+>>> from repro import registry
+>>> registry.names()
+['dedup', 'gd', 'gzip', 'null']
+>>> registry.sniff(registry.magic_for("gd") + b"...")
+'gd'
+>>> blocks = registry.get("null").compress_stream([b"payload"])
+>>> b"".join(registry.get("null").decompress_stream(blocks))
+b'payload'
 """
 
 from __future__ import annotations

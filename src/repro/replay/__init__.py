@@ -38,6 +38,7 @@ from repro.replay.sources import (
     TraceSource,
     WorkloadTraceSource,
     pacing_from_name,
+    stream_distinct_bases,
 )
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "TraceSource",
     "WorkloadTraceSource",
     "pacing_from_name",
+    "stream_distinct_bases",
 ]

@@ -36,6 +36,13 @@ class Distribution:
     Percentiles use linear interpolation between closest ranks (the same
     convention as ``numpy.percentile``'s default), computed lazily over a
     cached sort.
+
+    >>> latency = Distribution("endtoend.latency")
+    >>> latency.extend([1.0, 2.0, 3.0, 4.0])
+    >>> latency.percentile(50)
+    2.5
+    >>> latency.summary()["max"]
+    4.0
     """
 
     def __init__(self, name: str = ""):

@@ -43,6 +43,7 @@ __all__ = [
     "ChunkTraceSource",
     "WorkloadTraceSource",
     "pacing_from_name",
+    "stream_distinct_bases",
 ]
 
 _DEFAULT_SOURCE_MAC = MacAddress("02:00:00:00:00:01")
@@ -122,6 +123,10 @@ class FixedRatePacing(Pacing):
     Exactly one of ``packet_rate`` (packets per second) and
     ``bandwidth_bps`` (offered load as wire bits per second, so frame sizes
     matter) must be given.
+
+    >>> pacing = FixedRatePacing(packet_rate=2.0)
+    >>> [pacing.inject_at(i, 0.0, 64) for i in range(3)]
+    [0.0, 0.5, 1.0]
     """
 
     def __init__(
@@ -304,3 +309,49 @@ class WorkloadTraceSource(TraceSource):
                 payload=chunk,
             )
             yield TimedFrame(recorded_time=index * interval, data=frame.to_bytes())
+
+
+# ---------------------------------------------------------------------------
+# trace inspection
+# ---------------------------------------------------------------------------
+
+
+def stream_distinct_bases(trace_path: Union[str, Path], order: int = 8) -> list:
+    """Bases of every chunk-carrying frame in a pcap, in one streaming pass.
+
+    Handles raw-chunk (type-1) frames and processed type-2 frames (whose
+    payload carries the basis explicitly, so a decoder-only replay of a
+    processed trace can preinstall its mappings).  Type-3 frames carry only
+    an identifier, so their bases cannot be recovered from the wire.
+    Unlike ``ChunkTrace.from_pcap(...).distinct_bases(...)`` this never
+    materialises the trace, so large pcaps stay in bounded memory.  Bases
+    are returned in first-appearance order — the order the control plane's
+    identifier pool would assign them in, which static preloading must
+    reproduce exactly.
+    """
+    from repro.core.transform import GDTransform
+    from repro.exceptions import ReproError
+    from repro.net.ethernet import EtherType
+    from repro.net.packets import ZipLinePacketCodec
+    from repro.zipline.headers import raw_chunk_payload
+
+    transform = GDTransform(order=order)
+    codec = ZipLinePacketCodec(transform)
+    type2_ethertype = EtherType.ZIPLINE_UNCOMPRESSED.to_bytes(2, "big")
+    bases: dict = {}
+    chunks = 0
+    for frame in PcapTraceSource(trace_path).frames():
+        payload = raw_chunk_payload(frame.data)
+        if payload is not None and len(payload) == transform.chunk_bytes:
+            chunks += 1
+            bases.setdefault(transform.split(payload).basis, None)
+            continue
+        if frame.data[12:14] == type2_ethertype:
+            record = codec.unpack_uncompressed(frame.data[14:])
+            chunks += 1
+            bases.setdefault(record.basis, None)
+    if not chunks:
+        raise ReproError(
+            f"pcap {trace_path} contains no ZipLine chunk or type-2 frames"
+        )
+    return list(bases)

@@ -1,0 +1,230 @@
+"""Matrix execution: sharded equivalence, aggregation, exports."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    ExperimentSpec,
+    MatrixRunner,
+    run_scenario,
+    scenario_metric,
+)
+from repro.workloads import SyntheticSensorWorkload
+
+
+def _spec(**overrides):
+    document = {
+        "name": "runner-test",
+        "base": {"workload": "synthetic", "chunks": 150, "bases": 4, "seed": 2020},
+        "axes": {"scenario": ["no_table", "static"], "loss": [0.0, 0.02]},
+    }
+    document.update(overrides)
+    return ExperimentSpec.from_dict(document)
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return MatrixRunner(_spec(), workers=1).run()
+
+
+class TestSequentialRun:
+    def test_every_scenario_reported_in_order(self, sequential_result):
+        assert len(sequential_result) == 4
+        assert [r.index for r in sequential_result.results] == [0, 1, 2, 3]
+
+    def test_figure3_shape(self, sequential_result):
+        by_id = {r.scenario_id: r for r in sequential_result.results}
+        static = by_id["loss=0.0/scenario=static"].metric("compression_ratio")
+        no_table = by_id["loss=0.0/scenario=no_table"].metric("compression_ratio")
+        assert static < 0.15
+        assert no_table > 1.0
+
+    def test_loss_is_counted_never_corrupting(self, sequential_result):
+        lossy = {
+            r.scenario_id: r
+            for r in sequential_result.results
+        }["loss=0.02/scenario=static"]
+        assert lossy.metric("integrity.missing") > 0
+        assert lossy.metric("integrity.corrupted") == 0
+        assert sequential_result.intact
+
+    def test_progress_callback_fires_per_scenario(self):
+        seen = []
+        MatrixRunner(_spec(), workers=1).run(progress=seen.append)
+        assert sorted(result.index for result in seen) == [0, 1, 2, 3]
+
+
+class TestShardedEquivalence:
+    def test_parallel_equals_sequential(self, sequential_result):
+        sharded = MatrixRunner(_spec(), workers=2).run()
+        assert sharded.json_text() == sequential_result.json_text()
+
+    def test_parallel_csv_equals_sequential(self, sequential_result):
+        sharded = MatrixRunner(_spec(), workers=3).run()
+        assert sharded.csv_text() == sequential_result.csv_text()
+
+    def test_more_workers_than_scenarios(self):
+        spec = _spec(axes={"scenario": ["static", "dynamic"]})
+        result = MatrixRunner(spec, workers=16).run()
+        assert len(result) == 2
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ReproError, match="positive"):
+            MatrixRunner(_spec(), workers=0)
+
+
+class TestAggregation:
+    def test_group_by_axis(self, sequential_result):
+        groups = sequential_result.group_by("scenario", "compression_ratio")
+        names = [group.name for group in groups]
+        assert names == ["scenario=no_table", "scenario=static"]
+        assert all(group.summary.count == 2 for group in groups)
+
+    def test_group_by_unknown_axis(self, sequential_result):
+        with pytest.raises(ReproError, match="unknown group-by axis"):
+            sequential_result.group_by("hops")
+
+    def test_render_contains_axes_and_groups(self, sequential_result):
+        text = sequential_result.render(group_axes=["loss"], metric="compression_ratio")
+        assert "experiment runner-test (4 scenarios)" in text
+        assert "compression_ratio by loss" in text
+        assert "loss=0.02" in text
+
+    def test_csv_header_and_rows(self, sequential_result):
+        lines = sequential_result.csv_text().strip().splitlines()
+        assert lines[0].startswith("loss,scenario,ratio,savings_%")
+        assert len(lines) == 5
+
+    def test_json_export_round_trips(self, sequential_result, tmp_path):
+        import json
+
+        target = sequential_result.to_json(tmp_path / "out" / "matrix.json")
+        loaded = json.loads(target.read_text())
+        assert loaded["spec"]["name"] == "runner-test"
+        assert len(loaded["scenarios"]) == 4
+
+    def test_csv_export_writes_file(self, sequential_result, tmp_path):
+        target = sequential_result.to_csv(tmp_path / "out" / "matrix.csv")
+        assert target.read_text() == sequential_result.csv_text()
+
+
+class TestIntactVerdict:
+    @staticmethod
+    def _fabricated(report):
+        from repro.experiments.runner import MatrixResult, ScenarioResult
+
+        spec = _spec(axes={"scenario": ["no_table"]})
+        result = ScenarioResult(
+            index=0, scenario_id="scenario=no_table", axes={"scenario": "no_table"},
+            seed=0, report=report,
+        )
+        return MatrixResult(spec, [result])
+
+    def test_corruption_breaks_intact(self):
+        assert not self._fabricated({"integrity": {"corrupted": 1}}).intact
+
+    def test_no_integrity_falls_back_to_unknown_identifiers(self):
+        # Decoder-only over a processed trace: no chunk-level integrity,
+        # but unresolved identifiers mean dropped packets, not success.
+        report = {
+            "integrity": None,
+            "metrics": {"counters": {"decoder.unknown_identifier": 7}},
+        }
+        assert not self._fabricated(report).intact
+
+    def test_no_integrity_and_clean_decode_is_intact(self):
+        report = {
+            "integrity": None,
+            "metrics": {"counters": {"decoder.unknown_identifier": 0}},
+        }
+        assert self._fabricated(report).intact
+
+
+class TestCsvQuoting:
+    def test_comma_in_axis_value_is_quoted(self, tmp_path):
+        from repro.experiments.runner import MatrixResult, ScenarioResult
+
+        trace = str(tmp_path / "run,v2.pcap")
+        spec = ExperimentSpec.from_dict(
+            {"name": "csv-test", "axes": {"trace": [trace, "other.pcap"]}}
+        )
+        results = [
+            ScenarioResult(
+                index=index, scenario_id=f"trace={value}",
+                axes={"trace": value}, seed=0, report={},
+            )
+            for index, value in enumerate(spec.axes["trace"])
+        ]
+        import csv as csv_module
+        import io
+
+        text = MatrixResult(spec, results).csv_text()
+        rows = list(csv_module.reader(io.StringIO(text)))
+        assert rows[1][0] == trace
+        assert len(rows[1]) == len(rows[0])
+
+
+class TestScenarioMetric:
+    def test_dotted_paths(self, sequential_result):
+        report = sequential_result.results[0].report
+        assert scenario_metric(report, "compression_ratio") == report["compression_ratio"]
+        assert scenario_metric(report, "latency.p50") == report["latency"]["p50"]
+        assert scenario_metric(report, "integrity.sent") == 150
+
+    def test_counter_path(self, sequential_result):
+        report = sequential_result.results[0].report
+        assert (
+            scenario_metric(report, "metrics.counters.wire.uncompressed_packets")
+            == 150.0
+        )
+
+    def test_missing_path_is_none(self, sequential_result):
+        report = sequential_result.results[0].report
+        assert scenario_metric(report, "latency.p12345") is None
+        assert scenario_metric(report, "no.such.path") is None
+
+    def test_non_numeric_path_rejected(self, sequential_result):
+        report = sequential_result.results[0].report
+        with pytest.raises(ReproError, match="not numeric"):
+            scenario_metric(report, "topology")
+
+
+class TestWorkloadsAndTraces:
+    def test_dns_static_scenario(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "dns-test",
+                "base": {
+                    "workload": "dns",
+                    "chunks": 120,
+                    "names": 20,
+                    "scenario": "static",
+                    "seed": 2016,
+                },
+            }
+        )
+        result = run_scenario(spec.expand()[0])
+        assert result.report["integrity"]["lossless_in_order"]
+        assert result.metric("compression_ratio") < 0.5
+
+    def test_pcap_trace_scenario(self, tmp_path):
+        workload = SyntheticSensorWorkload(num_chunks=80, distinct_bases=4, seed=7)
+        trace_path = tmp_path / "trace.pcap"
+        workload.trace().to_pcap(trace_path)
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "trace-test",
+                "base": {"trace": str(trace_path), "chunks": 80},
+                "axes": {"scenario": ["no_table", "static"]},
+            }
+        )
+        result = MatrixRunner(spec, workers=1).run()
+        by_id = {r.scenario_id: r for r in result.results}
+        assert by_id["scenario=static"].metric("compression_ratio") < 0.2
+        assert by_id["scenario=no_table"].metric("compression_ratio") > 1.0
+
+    def test_run_scenario_is_deterministic(self):
+        scenario = _spec().expand()[2]
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.as_dict() == second.as_dict()

@@ -205,3 +205,92 @@ class TestReplayEmulation:
 
         output = capsys.readouterr().out
         assert re.search(r"decoder\.uncompressed_to_raw\s+300\b", output)
+
+
+class TestExperimentCommand:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-test",
+                    "base": {
+                        "workload": "synthetic",
+                        "chunks": 120,
+                        "bases": 4,
+                        "seed": 2020,
+                    },
+                    "axes": {
+                        "scenario": ["no_table", "static"],
+                        "loss": [0.0, 0.02],
+                    },
+                }
+            )
+        )
+        return path
+
+    def test_sweep_runs_and_prints_aggregate(self, spec_path, capsys):
+        assert main(["experiment", "--spec", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "experiment cli-test: 4 scenarios" in output
+        assert "done loss=0.02/scenario=static" in output
+        # One aggregate row per scenario, axis columns first.
+        assert "loss  scenario" in output
+
+    def test_sharded_sweep_matches_sequential_json(self, spec_path, tmp_path, capsys):
+        sequential = tmp_path / "seq.json"
+        sharded = tmp_path / "par.json"
+        assert main(
+            ["experiment", "--spec", str(spec_path), "--quiet",
+             "--out", str(sequential)]
+        ) == 0
+        assert main(
+            ["experiment", "--spec", str(spec_path), "--quiet",
+             "--workers", "2", "--out", str(sharded)]
+        ) == 0
+        assert sequential.read_bytes() == sharded.read_bytes()
+        capsys.readouterr()
+
+    def test_group_by_and_csv(self, spec_path, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(
+            ["experiment", "--spec", str(spec_path), "--quiet",
+             "--group-by", "scenario", "--metric", "compression_ratio",
+             "--csv", str(csv_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "compression_ratio by scenario" in output
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("loss,scenario,")
+        assert len(lines) == 5
+
+    def test_list_mode_does_not_run(self, spec_path, capsys):
+        assert main(["experiment", "--spec", str(spec_path), "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "4 scenarios" in output
+        assert "done " not in output
+
+    def test_missing_spec_errors(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["experiment", "--spec", str(missing)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_invalid_axis_errors(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "bad", "axes": {"los": [0.1]}}))
+        assert main(["experiment", "--spec", str(path)]) == 1
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_group_by_typo_fails_before_running(self, spec_path, capsys):
+        assert main(
+            ["experiment", "--spec", str(spec_path), "--group-by", "los"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "unknown group-by axis" in captured.err
+        # The sweep must not have started.
+        assert "done " not in captured.out
