@@ -28,7 +28,7 @@ from repro.zipline.decoder_switch import ZipLineDecoderSwitch
 from repro.zipline.encoder_switch import ZipLineEncoderSwitch
 from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
 
-from benchmarks.conftest import RESULTS_DIR, emit_result
+from benchmarks.conftest import RESULTS_DIR, emit_result, environment_info
 
 DST = MacAddress("02:00:00:00:00:02")
 SRC = MacAddress("02:00:00:00:00:01")
@@ -54,7 +54,9 @@ def test_figure4_throughput_series(benchmark):
     runner = ExperimentRunner(repetitions=10)
 
     rows = []
-    results = {}
+    # Absolute numbers are machine-bound; note the environment in the JSON
+    # so trajectories across commits stay comparable.
+    results = {"environment": environment_info()}
     for operation in operations:
         for frame_bytes in (64, 1500, 9000):
             gbps_result = runner.run(

@@ -14,7 +14,7 @@ from repro.analysis.reporting import format_table, horizontal_bars, save_results
 from repro.analysis.statistics import summarize
 from repro.perfmodel import LatencyModel
 
-from benchmarks.conftest import RESULTS_DIR, emit_result
+from benchmarks.conftest import RESULTS_DIR, emit_result, environment_info
 
 #: The paper's Figure 5 axis spans roughly 0–15 µs with all operations
 #: landing in the same band; use the band centre as the reference point.
@@ -27,7 +27,8 @@ def test_figure5_latency_series(benchmark):
     figure = model.figure5(count=10)
 
     rows = []
-    results = {}
+    # Machine/Python noted in the JSON so trajectories stay comparable.
+    results = {"environment": environment_info()}
     for operation, samples in figure.items():
         summary = summarize([sample.rtt_us for sample in samples])
         rows.append(
@@ -47,7 +48,7 @@ def test_figure5_latency_series(benchmark):
         title="Figure 5 — end-to-end RTT with the programmable switch in the path",
     )
     bars = horizontal_bars(
-        {operation: results[operation]["mean"] for operation in results},
+        {operation: results[operation]["mean"] for operation in figure},
         unit="µs",
         maximum=15.0,
     )

@@ -1,0 +1,253 @@
+"""Hot-path trajectory benchmark: the fused GD fast path, tracked PR over PR.
+
+The paper's whole pitch is compression *at line speed*; this benchmark is
+the reproduction's speedometer.  It measures the layers the fused fast path
+rebuilt and asserts both directions of the contract:
+
+* **correctness** — the fast path is bit-identical to the reference path
+  (``GDTransform(fast=False)`` / the interpreted switch pipeline) on every
+  workload it times;
+* **performance** — machine-independent *speedup ratios* (fast vs reference
+  on the same machine, same run) must not regress.  Absolute numbers go
+  into the results JSON next to the machine/Python metadata; the committed
+  trajectory lives in ``BENCH_hotpath.json`` at the repository root, and
+  the assertions fail when a ratio drops more than 30 % below the
+  committed baseline.
+
+Measured stages:
+
+1. *transform microbench* — ``split_batch_fields`` (lane-fused) vs the
+   reference per-chunk ``split`` (the pre-PR hot loop);
+2. *codec end to end* — ``GDCodec.compress``/``decompress_records`` over
+   the synthetic sensor workload, with a round-trip assertion;
+3. *switch encode* — the Figure 4 functional scenario (raw-chunk frames
+   through ``ZipLineEncoderSwitch``), compiled fast path vs interpreted
+   pipeline, with byte-identical output asserted.
+
+``REPRO_BENCH_SMOKE=1`` scales the workloads down for CI; the equivalence
+checks and the regression guard hold in both modes.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import format_table, save_results_json
+from repro.core.codec import GDCodec
+from repro.core.transform import GDTransform
+from repro.net.ethernet import EthernetFrame
+from repro.net.mac import MacAddress
+from repro.workloads import SyntheticSensorWorkload
+from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+from benchmarks.conftest import RESULTS_DIR, emit_result, environment_info
+
+#: Scaled down when REPRO_BENCH_SMOKE is set (CI smoke mode).
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+CHUNKS = 4_000 if SMOKE else 20_000
+FRAMES = 200  # the Figure 4 functional batch size
+FRAME_ROUNDS = 3 if SMOKE else 10
+REPEATS = 3
+
+#: Committed speedup trajectory (see docs/performance.md).
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: A current ratio below ``(1 - TOLERANCE) * baseline`` fails the bench.
+REGRESSION_TOLERANCE = 0.30
+
+#: Machine-independent hard floors, far below the measured ratios, so a
+#: fast path that silently stops being fast fails even without a baseline.
+MIN_TRANSFORM_SPEEDUP = 3.0
+MIN_SWITCH_SPEEDUP = 1.8
+
+DST = MacAddress("02:00:00:00:00:02")
+SRC = MacAddress("02:00:00:00:00:01")
+
+
+def _best_seconds(function, repeats=REPEATS):
+    """Best-of-N wall time of ``function()``, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _chunk_buffer():
+    """The synthetic sensor trace as one contiguous chunk buffer."""
+    workload = SyntheticSensorWorkload(
+        num_chunks=CHUNKS, distinct_bases=32, seed=2020
+    )
+    return b"".join(workload.chunks())
+
+
+def _chunk_frames(transform, count):
+    """Raw-chunk Ethernet frames, as in the Figure 4 functional benchmark."""
+    rng = random.Random(7)
+    code = transform.code
+    frames = []
+    for _ in range(count):
+        basis = rng.getrandbits(code.k)
+        body = code.encode(basis) ^ (1 << rng.randrange(code.n))
+        chunk = ((rng.getrandbits(1) << code.n) | body).to_bytes(32, "big")
+        frames.append(EthernetFrame(DST, SRC, ETHERTYPE_RAW_CHUNK, chunk).to_bytes())
+    return frames
+
+
+def _load_baseline():
+    """The committed trajectory baseline, or ``None`` when absent."""
+    if not TRAJECTORY_PATH.exists():
+        return None
+    data = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    return data.get("baseline")
+
+
+def _guard(label, current, baseline_value):
+    """Fail when ``current`` regressed >30 % below the committed baseline."""
+    if baseline_value is None:
+        return
+    floor = (1.0 - REGRESSION_TOLERANCE) * baseline_value
+    assert current >= floor, (
+        f"{label} regressed: {current:.2f} vs committed baseline "
+        f"{baseline_value:.2f} (floor {floor:.2f})"
+    )
+
+
+def test_hotpath_trajectory():
+    """Measure fast vs reference, assert equivalence and guard the ratios."""
+    data = _chunk_buffer()
+    total_bytes = len(data)
+    fast_transform = GDTransform(order=8, fast=True)
+    reference_transform = GDTransform(order=8, fast=False)
+    chunk_bytes = fast_transform.chunk_bytes
+
+    # -- 1. transform microbench (encode direction) ------------------------
+    fast_fields = fast_transform.split_batch_fields(data)
+    reference_fields = [
+        reference_transform.split_fields(data[offset : offset + chunk_bytes])
+        for offset in range(0, total_bytes, chunk_bytes)
+    ]
+    assert fast_fields == reference_fields, "fast transform diverged from reference"
+
+    fast_seconds = _best_seconds(lambda: fast_transform.split_batch_fields(data))
+    reference_seconds = _best_seconds(
+        lambda: [
+            reference_transform.split_fields(data[offset : offset + chunk_bytes])
+            for offset in range(0, total_bytes, chunk_bytes)
+        ],
+        repeats=1 if SMOKE else 2,
+    )
+    transform_fast_mbps = total_bytes / fast_seconds / 1e6
+    transform_reference_mbps = total_bytes / reference_seconds / 1e6
+    transform_speedup = transform_fast_mbps / transform_reference_mbps
+
+    # decode direction: join the whole batch back, both paths, and verify
+    # the transform round-trips bit for bit.
+    rejoined = b"".join(
+        fast_transform.join_fields_fast(prefix, basis, deviation).to_bytes(
+            chunk_bytes, "big"
+        )
+        for prefix, basis, deviation in fast_fields
+    )
+    assert rejoined == data, "fast round trip is not bit-identical"
+    join_fast_seconds = _best_seconds(
+        lambda: [
+            fast_transform.join_fields_fast(prefix, basis, deviation)
+            for prefix, basis, deviation in fast_fields
+        ]
+    )
+    join_fast_mbps = total_bytes / join_fast_seconds / 1e6
+
+    # -- 2. codec end to end ----------------------------------------------
+    codec = GDCodec(order=8, identifier_bits=15)
+    compress_seconds = _best_seconds(
+        lambda: GDCodec(order=8, identifier_bits=15).compress(data), repeats=REPEATS
+    )
+    result = codec.compress(data)
+    decoder_codec = codec.clone()
+    decompress_seconds = _best_seconds(
+        lambda: codec.clone().decompress_records(
+            result.records, original_bytes=total_bytes
+        )
+    )
+    restored = decoder_codec.decompress_records(
+        result.records, original_bytes=total_bytes
+    )
+    assert restored == data, "codec round trip is not bit-identical"
+    codec_compress_mbps = total_bytes / compress_seconds / 1e6
+    codec_decompress_mbps = total_bytes / decompress_seconds / 1e6
+
+    # -- 3. switch encode (the Figure 4 functional scenario) ---------------
+    frames = _chunk_frames(fast_transform, FRAMES)
+
+    def run_switch(fast):
+        switch = ZipLineEncoderSwitch(
+            transform=GDTransform(order=8), forwarding={0: 1}, fast=fast
+        )
+        outputs = []
+        switch.switch.attach_port(1, lambda frame, _time: outputs.append(frame))
+
+        def push_all():
+            for frame in frames:
+                switch.receive(frame, ingress_port=0)
+
+        seconds = _best_seconds(push_all, repeats=FRAME_ROUNDS) / 1  # per round
+        return outputs[: len(frames)], len(frames) / seconds
+
+    fast_outputs, switch_fast_pps = run_switch(True)
+    reference_outputs, switch_reference_pps = run_switch(False)
+    assert fast_outputs == reference_outputs, "switch fast path diverged"
+    switch_speedup = switch_fast_pps / switch_reference_pps
+
+    # -- report -------------------------------------------------------------
+    results = {
+        "environment": environment_info(),
+        "smoke": SMOKE,
+        "chunks": CHUNKS,
+        "transform_fast_mbps": transform_fast_mbps,
+        "transform_reference_mbps": transform_reference_mbps,
+        "transform_speedup": transform_speedup,
+        "join_fast_mbps": join_fast_mbps,
+        "codec_compress_mbps": codec_compress_mbps,
+        "codec_decompress_mbps": codec_decompress_mbps,
+        "switch_fast_pps": switch_fast_pps,
+        "switch_reference_pps": switch_reference_pps,
+        "switch_speedup": switch_speedup,
+    }
+    rows = [
+        ["transform split (fused)", f"{transform_fast_mbps:.1f} MB/s",
+         f"{transform_speedup:.1f}x vs reference"],
+        ["transform split (reference)", f"{transform_reference_mbps:.1f} MB/s", "1.0x"],
+        ["transform join (fused)", f"{join_fast_mbps:.1f} MB/s", ""],
+        ["codec compress", f"{codec_compress_mbps:.1f} MB/s", ""],
+        ["codec decompress", f"{codec_decompress_mbps:.1f} MB/s", ""],
+        ["switch encode (compiled)", f"{switch_fast_pps:,.0f} pkt/s",
+         f"{switch_speedup:.1f}x vs interpreted"],
+        ["switch encode (interpreted)", f"{switch_reference_pps:,.0f} pkt/s", "1.0x"],
+    ]
+    table = format_table(
+        ["stage", "throughput", "speedup"],
+        rows,
+        title="hot path — fused fast path vs reference",
+    )
+    emit_result("hotpath", table)
+    save_results_json(RESULTS_DIR / "hotpath.json", results)
+
+    # -- guards -------------------------------------------------------------
+    assert transform_speedup >= MIN_TRANSFORM_SPEEDUP, (
+        f"transform fast path only {transform_speedup:.2f}x over the reference "
+        f"(floor {MIN_TRANSFORM_SPEEDUP}x)"
+    )
+    assert switch_speedup >= MIN_SWITCH_SPEEDUP, (
+        f"switch fast path only {switch_speedup:.2f}x over the interpreted "
+        f"pipeline (floor {MIN_SWITCH_SPEEDUP}x)"
+    )
+    baseline = _load_baseline()
+    if baseline is not None:
+        ratios = baseline.get("speedups", {})
+        _guard("transform speedup", transform_speedup, ratios.get("transform"))
+        _guard("switch speedup", switch_speedup, ratios.get("switch"))

@@ -10,6 +10,8 @@ and written to ``benchmarks/results/`` as both text and JSON.
 
 from __future__ import annotations
 
+import os
+import platform
 import sys
 from pathlib import Path
 
@@ -34,6 +36,22 @@ DNS_BENCH_NAMES = 400
 #: Replay rate that preserves the paper's trace duration (3.124 M chunks at
 #: the observed ~7 Mpkt/s take ≈ 446 ms on the wire).
 PAPER_TRACE_DURATION_S = 3_124_000 / 7.0e6
+
+
+def environment_info() -> dict:
+    """Machine/interpreter metadata embedded in benchmark result JSONs.
+
+    Absolute throughput numbers only mean something next to the machine
+    that produced them; every perf-tracking benchmark notes this alongside
+    its results so trajectories across commits are comparable.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def emit_result(name: str, text: str) -> None:

@@ -18,6 +18,9 @@ Exposes the pieces a user reaches for most often without writing Python:
   across worker processes — and fold the reports into one aggregate table
   with per-axis group-bys and CSV/JSON export; see :mod:`repro.experiments`
   and ``docs/experiments.md``;
+* ``bench`` — run any of the ``benchmarks/bench_*.py`` files in the CI's
+  smoke mode (or ``--full``), or ``--profile`` the GD encode/decode hot
+  paths with cProfile; see ``docs/performance.md``;
 * ``table1`` — print the reproduced Table 1;
 * ``learning-delay`` — measure the dynamic-learning delay (the paper's
   1.77 ms experiment).
@@ -29,6 +32,7 @@ look at ``repro.cli.main``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -234,6 +238,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-scenario progress lines",
     )
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the reproduction benchmarks (smoke mode by default)",
+        description=(
+            "Run benchmarks/bench_*.py from a source checkout without "
+            "hand-typed PYTHONPATH incantations. Defaults to the scaled-down "
+            "smoke mode CI uses (REPRO_BENCH_SMOKE=1); results land in "
+            "benchmarks/results/. With --profile, instead profile the GD "
+            "encode and decode hot paths with cProfile and print the top 25 "
+            "functions by cumulative time."
+        ),
+    )
+    bench.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="benchmarks to run, e.g. 'hotpath' or 'fig4_throughput' "
+             "(default: all)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list available benchmarks and exit"
+    )
+    bench.add_argument(
+        "--full", action="store_true",
+        help="run at full scale instead of the smoke-mode default",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="profile the codec encode/decode hot paths instead of running "
+             "benchmark files",
+    )
+    bench.add_argument(
+        "--profile-chunks", type=int, default=20_000,
+        help="chunks in the --profile workload (default 20000)",
+    )
+
     subparsers.add_parser("table1", help="print the reproduced Table 1")
 
     learning = subparsers.add_parser(
@@ -417,6 +455,112 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _benchmarks_dir() -> Path:
+    """The benchmarks/ tree of the source checkout this package runs from."""
+    candidate = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not candidate.is_dir():
+        raise ReproError(
+            "benchmarks directory not found; 'repro bench' needs a source "
+            "checkout (pip install -e .)"
+        )
+    return candidate
+
+
+def _resolve_benchmarks(names: Sequence[str], directory: Path) -> List[Path]:
+    """Map short names ('hotpath') to benchmark files, validating each."""
+    available = sorted(directory.glob("bench_*.py"))
+    if not names:
+        return available
+    by_stem = {path.stem: path for path in available}
+    resolved: List[Path] = []
+    for name in names:
+        stem = name[: -len(".py")] if name.endswith(".py") else name
+        if not stem.startswith("bench_"):
+            stem = f"bench_{stem}"
+        path = by_stem.get(stem)
+        if path is None:
+            known = ", ".join(p.stem[len("bench_"):] for p in available)
+            raise ReproError(f"unknown benchmark {name!r}; available: {known}")
+        resolved.append(path)
+    return resolved
+
+
+def _profile_hot_paths(chunks: int) -> int:
+    """cProfile the GD encode/decode hot paths; print top-25 cumulative."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.core.codec import GDCodec
+    from repro.workloads import SyntheticSensorWorkload
+
+    workload = SyntheticSensorWorkload(
+        num_chunks=max(1, chunks), distinct_bases=32, seed=2020
+    )
+    data = b"".join(workload.chunks())
+    codec = GDCodec(order=8, identifier_bits=15)
+
+    def top25(profile: "cProfile.Profile") -> str:
+        stream = io.StringIO()
+        pstats.Stats(profile, stream=stream).sort_stats("cumulative").print_stats(25)
+        return stream.getvalue()
+
+    encode_profile = cProfile.Profile()
+    encode_profile.enable()
+    result = codec.compress(data)
+    encode_profile.disable()
+
+    decoder = codec.clone()
+    decode_profile = cProfile.Profile()
+    decode_profile.enable()
+    restored = decoder.decompress_records(result.records, original_bytes=len(data))
+    decode_profile.disable()
+    if restored != data:
+        raise ReproError("profile round trip corrupted the data (fast-path bug?)")
+
+    print(f"=== encode: GDCodec.compress of {len(data):,} bytes "
+          f"({chunks:,} chunks) ===")
+    print(top25(encode_profile))
+    print(f"=== decode: decompress_records of {len(result.records):,} records ===")
+    print(top25(decode_profile))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.profile:
+        return _profile_hot_paths(args.profile_chunks)
+    directory = _benchmarks_dir()
+    selected = _resolve_benchmarks(args.names, directory)
+    if args.list:
+        rows = [[path.stem[len("bench_"):], str(path.name)] for path in selected]
+        print(format_table(["name", "file"], rows, title="available benchmarks"))
+        return 0
+
+    import subprocess
+
+    repo_root = directory.parent
+    environment = dict(os.environ)
+    environment["REPRO_BENCH_SMOKE"] = "0" if args.full else "1"
+    # Make `import benchmarks.conftest` and `import repro` work regardless
+    # of how the console script was installed.
+    extra_paths = [str(repo_root), str(repo_root / "src")]
+    current = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = os.pathsep.join(
+        extra_paths + ([current] if current else [])
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        *[str(path) for path in selected],
+        "-q", "--benchmark-disable",
+    ]
+    mode = "full" if args.full else "smoke"
+    print(f"running {len(selected)} benchmark file(s) in {mode} mode")
+    completed = subprocess.run(command, env=environment, cwd=repo_root)
+    if completed.returncode == 0:
+        print(f"results written to {directory / 'results'}")
+    return completed.returncode
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     print(render_table_1(include_validity=True))
     return 0
@@ -447,6 +591,7 @@ _HANDLERS = {
     "generate-trace": _cmd_generate_trace,
     "replay": _cmd_replay,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
     "table1": _cmd_table1,
     "learning-delay": _cmd_learning_delay,
 }

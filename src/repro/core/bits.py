@@ -31,13 +31,20 @@ __all__ = [
     "flip_bit",
     "get_bit",
     "popcount",
+    "popcount_portable",
     "iter_bits_msb",
     "bits_from_iterable",
     "bitstring_to_int",
     "int_to_bitstring",
     "align_up",
     "padding_bits_for_alignment",
+    "HAS_INT_BIT_COUNT",
 ]
+
+#: True when the running interpreter provides ``int.bit_count`` (3.10+); the
+#: fast-path popcount uses it, older interpreters fall back to the portable
+#: string-count implementation.
+HAS_INT_BIT_COUNT = hasattr(int, "bit_count")
 
 
 def mask(width: int) -> int:
@@ -143,11 +150,27 @@ def extract_bits(value: int, high: int, low: int) -> int:
     return (value >> low) & mask(width)
 
 
-def popcount(value: int) -> int:
-    """Number of set bits in ``value`` (Hamming weight)."""
+def popcount_portable(value: int) -> int:
+    """Portable popcount (string count), kept as the pre-3.10 fallback.
+
+    Also retained so the test suite can cross-check the ``int.bit_count``
+    fast path against an independent implementation.
+    """
     if value < 0:
         raise CodingError(f"popcount of negative value {value}")
     return bin(value).count("1")
+
+
+if HAS_INT_BIT_COUNT:
+
+    def popcount(value: int) -> int:
+        """Number of set bits in ``value`` (Hamming weight)."""
+        if value < 0:
+            raise CodingError(f"popcount of negative value {value}")
+        return value.bit_count()
+
+else:  # pragma: no cover - exercised only on Python < 3.10
+    popcount = popcount_portable
 
 
 def iter_bits_msb(value: int, width: int) -> Iterator[int]:

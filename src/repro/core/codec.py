@@ -262,13 +262,16 @@ class GDCodec:
 
     def compress(self, data: bytes, pad: bool = False) -> CompressionResult:
         """Compress a byte string into GD records."""
+        padded_bits_before = self._encoder.stats.output_padded_bits
         records = self._encoder.encode_buffer(self._padded(data, pad))
-        payload_bytes = sum(record.payload_bytes for record in records)
+        # Padded record payloads are byte aligned, so the wire volume is the
+        # encoder's padded-bit delta — no per-record property walk needed.
+        payload_bytes = (
+            self._encoder.stats.output_padded_bits - padded_bits_before
+        ) // 8
         # Container layout: fixed header, 8-byte original length, then one
         # type tag plus the payload per record (see ``to_container``).
-        container_bytes = (
-            _HEADER.size + 8 + sum(1 + record.payload_bytes for record in records)
-        )
+        container_bytes = _HEADER.size + 8 + len(records) + payload_bytes
         return CompressionResult(
             records=tuple(records),
             original_bytes=len(data),

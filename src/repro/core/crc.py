@@ -50,6 +50,9 @@ __all__ = [
     "is_primitive_polynomial",
     "crc_table",
     "poly_mod_table",
+    "byte_remainder_function",
+    "lane_tables",
+    "prefix_syndrome_table",
     "CRC32_ETHERNET",
     "CRC16_CCITT",
     "CRC8_ATM",
@@ -265,6 +268,124 @@ def poly_mod_table(value: int, polynomial: int, width: int) -> int:
     a 247-bit basis in 31 table lookups instead of ~250 shift/XOR rounds.
     """
     return _table_remainder(value, crc_table(polynomial, width), width)
+
+
+#: Per-byte-lane contribution tables: (polynomial, width) -> list where entry
+#: ``d`` is a 256-byte translation table mapping a message byte to its
+#: remainder contribution when ``d`` whole bytes follow it in the message.
+#: Grown lazily as longer messages are seen; shared process-wide like the
+#: 256-entry tables above.
+_LANE_REGISTRY: Dict[Tuple[int, int], List[bytes]] = {}
+
+
+def lane_tables(polynomial: int, width: int, length: int) -> Sequence[bytes]:
+    """Per-position byte→remainder translation tables for bulk reduction.
+
+    For a CRC of ``width`` ≤ 8 bits, the remainder of every fixed-size
+    record in a large buffer can be computed with C-speed primitives only:
+    slice the buffer into its byte lanes (``buf[p::record_len]``), map each
+    lane through the matching translation table (``bytes.translate``), and
+    XOR the mapped lanes together as big integers.  Lane ``p`` of an
+    ``L``-byte record uses table ``lane_tables(poly, width, L)[p]`` — entry
+    ``d = L - 1 - p`` of the registry, the contribution of a byte followed
+    by ``d`` more bytes:  ``table_d[b] = (b * x**(8*d)) mod g(x)``.
+
+    This is the software shape of the per-lane XOR networks hardware CRC
+    engines reduce whole words with; the GD batch fast path uses it to
+    compute the syndromes of every chunk in a buffer in one pass.  Only
+    widths up to 8 are supported (the remainder must fit one byte so it can
+    live in a ``bytes`` lane); wider CRCs stay on
+    :func:`byte_remainder_function`.
+    """
+    if not 1 <= width <= 8:
+        raise CodingError(
+            f"lane tables require a CRC width in 1..8, got {width}"
+        )
+    if length <= 0:
+        raise CodingError(f"message length must be positive, got {length}")
+    key = (polynomial, width)
+    tables = _LANE_REGISTRY.get(key)
+    if tables is None:
+        full = (1 << width) | polynomial
+        # Distance 0: a byte with nothing after it contributes itself mod g.
+        tables = [bytes(poly_mod(byte, full) for byte in range(256))]
+        _LANE_REGISTRY[key] = tables
+    if len(tables) < length:
+        # Extend: multiplying a residue by x**8 is one step of the shared
+        # byte table — residue << (8 - width) indexes it directly.
+        table = crc_table(polynomial, width)
+        shift = 8 - width
+        while len(tables) < length:
+            previous = tables[-1]
+            tables.append(bytes(table[residue << shift] for residue in previous))
+    return [tables[length - 1 - position] for position in range(length)]
+
+
+#: (full polynomial, body length, prefix width) -> per-prefix syndrome
+#: corrections, shared by every transform/switch built on the same code.
+_PREFIX_SYNDROME_REGISTRY: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+
+
+def prefix_syndrome_table(
+    full_polynomial: int, body_bits: int, prefix_bits: int
+) -> Tuple[int, ...]:
+    """Syndrome contribution of every prefix value sitting above the body.
+
+    Entry ``p`` equals ``(p * x**body_bits) mod g(x)``.  Because syndromes
+    are linear, ``syndrome(chunk) = syndrome(body) ^ table[prefix]`` — the
+    fast paths reduce a chunk's raw bytes (prefix included) and cancel the
+    prefix contribution with this one lookup.  Cached process-wide.
+    """
+    if prefix_bits < 0:
+        raise CodingError(f"prefix width must be non-negative, got {prefix_bits}")
+    key = (full_polynomial, body_bits, prefix_bits)
+    table = _PREFIX_SYNDROME_REGISTRY.get(key)
+    if table is None:
+        table = tuple(
+            poly_mod(prefix << body_bits, full_polynomial)
+            for prefix in range(1 << prefix_bits)
+        )
+        _PREFIX_SYNDROME_REGISTRY[key] = table
+    return table
+
+
+def byte_remainder_function(polynomial: int, width: int):
+    """A fused ``remainder(data) -> int`` closure over raw message bytes.
+
+    The returned callable computes the plain GF(2) remainder of a
+    bytes-like message (``bytes``/``bytearray``/``memoryview``) modulo
+    ``(1 << width) | polynomial`` — the Hamming-syndrome mode — with the
+    shared 256-entry table bound into the closure, so per-call cost is one
+    tight loop with zero attribute lookups or integer re-serialisation.
+    This is the entry point the fused GD fast path (transform batch split,
+    switch models) reduces chunks through; equivalence with
+    :func:`poly_mod_table` over the serialised integer is property-tested.
+
+    Leading zero bytes contribute nothing to a remainder, so feeding whole
+    byte-aligned buffers of non-aligned messages (a 255-bit chunk in 32
+    bytes) is exact.
+    """
+    table = crc_table(polynomial, width)
+    if width == 8:
+        # The GD hot path (order-8 syndromes): one lookup + XOR per byte.
+        def remainder8(data) -> int:
+            register = 0
+            for byte in data:
+                register = table[register] ^ byte
+            return register
+
+        return remainder8
+
+    reg_mask = mask(width)
+
+    def remainder(data) -> int:
+        register = 0
+        for byte in data:
+            shifted = (register << 8) ^ byte
+            register = table[shifted >> width] ^ (shifted & reg_mask)
+        return register
+
+    return remainder
 
 
 @dataclass(frozen=True)

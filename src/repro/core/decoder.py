@@ -22,7 +22,7 @@ from repro.core.records import (
     RecordType,
     UncompressedRecord,
 )
-from repro.core.transform import GDParts, GDTransform
+from repro.core.transform import GDTransform
 from repro.exceptions import CodingError, DictionaryError
 
 __all__ = ["DecoderStats", "GDDecoder"]
@@ -129,23 +129,82 @@ class GDDecoder:
         """Decode many records with the per-record accounting amortized.
 
         Produces exactly the chunks (and final statistics) of repeated
-        :meth:`decode_record` calls, but batches the counter updates and
-        hoists the per-record attribute lookups out of the loop.
+        :meth:`decode_record` calls, but runs in two fused passes: the
+        first resolves every record to ``(prefix, basis, deviation)`` in
+        order (dictionary learning and identifier resolution are strictly
+        sequential — a type-3 record may reference a basis introduced by
+        an earlier type-2 record in the same batch), the second rebuilds
+        all chunks at once, recovering the parity bits of the whole batch
+        through the bulk lane reduction instead of one CRC pass per record.
         """
         stats = self.stats
-        decode_uncompressed = self._decode_uncompressed
-        decode_compressed = self._decode_compressed
+        transform = self._transform
+        dictionary = self._dictionary
+        learn = self._learn
+        chunk_bits = transform.chunk_bits
+        prefix_width = transform.prefix_bits
+        basis_width = transform.basis_bits
+        deviation_width = transform.deviation_bits
+
         chunks: List[int] = []
         append = chunks.append
+        slots: List[int] = []
+        prefixes: List[int] = []
+        bases: List[int] = []
+        deviations: List[int] = []
         count = 0
         raw = 0
         raw_bits = 0
         for record in records:
             count += 1
             if isinstance(record, UncompressedRecord):
-                append(decode_uncompressed(record))
+                stats.uncompressed_records += 1
+                if (
+                    record.prefix_bits != prefix_width
+                    or record.basis_bits != basis_width
+                    or record.deviation_bits != deviation_width
+                ):
+                    self._check_widths(
+                        record.prefix_bits, record.basis_bits, record.deviation_bits
+                    )
+                basis = record.basis
+                if learn and dictionary is not None:
+                    dictionary.insert(basis)
+                stats.output_bits += chunk_bits
+                slots.append(len(chunks))
+                prefixes.append(record.prefix)
+                bases.append(basis)
+                deviations.append(record.deviation)
+                append(0)
             elif isinstance(record, CompressedRecord):
-                append(decode_compressed(record))
+                stats.compressed_records += 1
+                if dictionary is None:
+                    raise DictionaryError(
+                        "cannot decode a compressed record without a dictionary"
+                    )
+                basis = dictionary.reverse_lookup(record.identifier)
+                if basis is None:
+                    stats.unknown_identifiers += 1
+                    raise DictionaryError(
+                        f"identifier {record.identifier} is not mapped to any basis"
+                    )
+                if learn:
+                    dictionary.touch(basis)
+                if (
+                    record.prefix_bits != prefix_width
+                    or record.deviation_bits != deviation_width
+                ):
+                    self._check_widths(record.prefix_bits, None, record.deviation_bits)
+                if not isinstance(basis, int) or basis < 0 or basis >> basis_width:
+                    raise CodingError(
+                        f"basis {basis!r} does not fit in {basis_width} bits"
+                    )
+                stats.output_bits += chunk_bits
+                slots.append(len(chunks))
+                prefixes.append(record.prefix)
+                bases.append(basis)
+                deviations.append(record.deviation)
+                append(0)
             elif isinstance(record, RawRecord):
                 raw += 1
                 raw_bits += record.chunk_bits
@@ -160,6 +219,25 @@ class GDDecoder:
         stats.records += count
         stats.raw_records += raw
         stats.output_bits += raw_bits
+
+        if slots:
+            code = transform.code
+            if transform.fast:
+                parities = code.parities_of_bases(bases)
+                masks = code.error_masks
+                m = code.m
+                n = code.n
+                for position, slot in enumerate(slots):
+                    codeword = (bases[position] << m) | parities[position]
+                    chunks[slot] = (prefixes[position] << n) | (
+                        codeword ^ masks[deviations[position]]
+                    )
+            else:
+                join = transform.join_fields_fast  # reference path when fast=False
+                for position, slot in enumerate(slots):
+                    chunks[slot] = join(
+                        prefixes[position], bases[position], deviations[position]
+                    )
         return chunks
 
     def decode_batch_to_bytes(self, records: Iterable[GDRecord]) -> bytes:
@@ -178,7 +256,9 @@ class GDDecoder:
         self._check_widths(record.prefix_bits, record.basis_bits, record.deviation_bits)
         if self._learn and self._dictionary is not None:
             self._dictionary.insert(record.dedup_key)
-        chunk = self._transform.join_fields(
+        # Record fields are width-validated at construction and the widths
+        # match the transform (checked above), so the fused join is safe.
+        chunk = self._transform.join_fields_fast(
             record.prefix, record.basis, record.deviation
         )
         self.stats.output_bits += self._transform.chunk_bits
@@ -201,7 +281,13 @@ class GDDecoder:
             # both sides evict the same entries under dictionary pressure.
             self._dictionary.touch(basis)
         self._check_widths(record.prefix_bits, None, record.deviation_bits)
-        chunk = self._transform.join_fields(record.prefix, basis, record.deviation)
+        # The basis came from the dictionary, which external installs can
+        # feed — keep the width guard the checked join used to provide.
+        if not isinstance(basis, int) or basis < 0 or basis >> self._transform.basis_bits:
+            raise CodingError(
+                f"basis {basis!r} does not fit in {self._transform.basis_bits} bits"
+            )
+        chunk = self._transform.join_fields_fast(record.prefix, basis, record.deviation)
         self.stats.output_bits += self._transform.chunk_bits
         return chunk
 

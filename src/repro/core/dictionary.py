@@ -32,6 +32,9 @@ __all__ = [
     "BasisDictionary",
 ]
 
+#: Sentinel marking an empty hot-entry cache (``None`` is a legal key).
+_NO_HOT = object()
+
 
 class EvictionPolicy(Enum):
     """Replacement policy applied when the identifier pool is exhausted."""
@@ -127,6 +130,14 @@ class BasisDictionary:
         # allocate ``capacity`` list slots up front.
         self._freed_ids: List[int] = []
         self._next_unused_id = 0
+        # Hot-entry cache: the key whose recency metadata is already
+        # up to date (the most recently looked-up/inserted/touched key).
+        # Bursty traces hit the same basis many times in a row; the cache
+        # turns those repeat hits into one equality check — no OrderedDict
+        # probe, no move_to_end.  Invalidated whenever the entry could be
+        # displaced (eviction, removal, external install, clear).
+        self._hot_key: Hashable = _NO_HOT
+        self._hot_id: int = -1
         self.stats = DictionaryStats()
 
     # -- introspection -----------------------------------------------------
@@ -166,15 +177,34 @@ class BasisDictionary:
     # -- lookups -------------------------------------------------------------
 
     def lookup(self, key: Hashable, touch: bool = True) -> Optional[int]:
-        """Identifier for ``key`` or ``None``; optionally refresh recency."""
-        self.stats.lookups += 1
+        """Identifier for ``key`` or ``None``; optionally refresh recency.
+
+        Repeat lookups of the hottest entry short-circuit through the
+        hot-entry cache: the common dedup hit of a bursty trace costs one
+        equality check instead of a dict probe plus a recency update.
+        """
+        stats = self.stats
+        stats.lookups += 1
+        if key == self._hot_key:
+            # The hot key's recency is up to date by construction, so both
+            # the touching and the non-touching variants are satisfied.
+            stats.hits += 1
+            return self._hot_id
         identifier = self._key_to_id.get(key)
         if identifier is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
-        if touch and self._policy is EvictionPolicy.LRU:
-            self._key_to_id.move_to_end(key)
+        stats.hits += 1
+        if self._policy is EvictionPolicy.LRU:
+            if touch:
+                self._key_to_id.move_to_end(key)
+                self._hot_key = key
+                self._hot_id = identifier
+        else:
+            # FIFO/random lookups have no recency side effect, so the hot
+            # cache is unconditionally safe to arm.
+            self._hot_key = key
+            self._hot_id = identifier
         return identifier
 
     def peek(self, key: Hashable) -> Optional[int]:
@@ -188,10 +218,15 @@ class BasisDictionary:
         keep its recency order in lock-step with the encoder so that both
         dictionaries make identical eviction decisions.
         """
-        if key not in self._key_to_id:
+        if key == self._hot_key:
+            return True
+        identifier = self._key_to_id.get(key)
+        if identifier is None:
             return False
         if self._policy is EvictionPolicy.LRU:
             self._key_to_id.move_to_end(key)
+            self._hot_key = key
+            self._hot_id = identifier
         return True
 
     def reverse_lookup(self, identifier: int) -> Optional[Hashable]:
@@ -220,6 +255,8 @@ class BasisDictionary:
             self.stats.rejected_insertions += 1
             if self._policy is EvictionPolicy.LRU:
                 self._key_to_id.move_to_end(key)
+                self._hot_key = key
+                self._hot_id = existing
             return existing, None
 
         evicted_key: Optional[Hashable] = None
@@ -228,6 +265,8 @@ class BasisDictionary:
             evicted_key, identifier = self._evict()
         self._key_to_id[key] = identifier
         self._id_to_key[identifier] = key
+        self._hot_key = key
+        self._hot_id = identifier
         self.stats.insertions += 1
         return identifier, evicted_key
 
@@ -266,9 +305,19 @@ class BasisDictionary:
         previous_key = self._id_to_key.get(identifier)
         if previous_key is not None and previous_key != key:
             del self._key_to_id[previous_key]
+            if previous_key == self._hot_key:
+                self._hot_key = _NO_HOT
             self.stats.evictions += 1
+        is_new_key = key not in self._key_to_id
         self._key_to_id[key] = identifier
         self._id_to_key[identifier] = key
+        if is_new_key:
+            # The freshly appended key is now the most recent entry, so the
+            # previous hot key is no longer MRU — arm the cache on the new
+            # key instead (an existing key keeps its position, so the cache
+            # stays valid as-is).
+            self._hot_key = key
+            self._hot_id = identifier
         self.stats.insertions += 1
 
     def _evict(self) -> Tuple[Hashable, int]:
@@ -282,6 +331,8 @@ class BasisDictionary:
             identifier = self._key_to_id[key]
         del self._key_to_id[key]
         del self._id_to_key[identifier]
+        if key == self._hot_key:
+            self._hot_key = _NO_HOT
         self.stats.evictions += 1
         return key, identifier
 
@@ -291,6 +342,8 @@ class BasisDictionary:
         if identifier is None:
             return None
         del self._id_to_key[identifier]
+        if key == self._hot_key:
+            self._hot_key = _NO_HOT
         self._freed_ids.append(identifier)
         return identifier
 
@@ -300,6 +353,7 @@ class BasisDictionary:
         self._id_to_key.clear()
         self._freed_ids = []
         self._next_unused_id = 0
+        self._hot_key = _NO_HOT
 
     # -- bulk helpers -----------------------------------------------------------
 

@@ -21,9 +21,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.core.bits import align_up
 from repro.core.dictionary import BasisDictionary, EvictionPolicy
 from repro.core.records import CompressedRecord, GDRecord, RecordType, UncompressedRecord
-from repro.core.transform import ChunkLike, GDParts, GDTransform
+from repro.core.transform import ChunkLike, GDFields, GDTransform
 from repro.exceptions import CodingError, DictionaryError
 
 __all__ = ["EncoderMode", "EncoderStats", "GDEncoder"]
@@ -175,6 +176,14 @@ class GDEncoder:
         self._learning_delay_chunks = learning_delay_chunks
         # (prefix, basis) -> chunk index at which the mapping becomes usable.
         self._pending_activation: Dict[object, int] = {}
+        # Per-type payload sizes are constants of the configuration; the
+        # batch loop accumulates them instead of asking every record.
+        t2_bits = transform.prefix_bits + transform.basis_bits + transform.deviation_bits
+        self._t2_bits = t2_bits
+        self._t2_padded = align_up(t2_bits + alignment_padding_bits, 8)
+        t3_bits = transform.prefix_bits + identifier_bits + transform.deviation_bits
+        self._t3_bits = t3_bits
+        self._t3_padded = align_up(t3_bits, 8)
         self.stats = EncoderStats()
 
     # -- accessors ---------------------------------------------------------
@@ -208,10 +217,7 @@ class GDEncoder:
 
     def encode_chunk(self, chunk: ChunkLike) -> GDRecord:
         """Encode one chunk into a type-2 or type-3 record."""
-        parts = self._transform.split(chunk)
-        record = self._build_record(parts, self.stats.chunks)
-        self.stats.record(record, self._transform.chunk_bits)
-        return record
+        return self._encode_fields([self._transform.split_fields(chunk)])[0]
 
     def encode_stream(self, chunks: Iterable[ChunkLike]) -> Iterator[GDRecord]:
         """Lazily encode an iterable of chunks."""
@@ -229,75 +235,114 @@ class GDEncoder:
         :meth:`encode_chunk` calls, but updates :attr:`stats` once at the
         end instead of six counter writes per chunk.
         """
-        return self._encode_parts(map(self._transform.split, chunks))
+        return self._encode_fields(map(self._transform.split_fields, chunks))
 
-    def encode_buffer(self, data: bytes) -> List[GDRecord]:
+    def encode_buffer(self, data: "bytes | bytearray | memoryview") -> List[GDRecord]:
         """Encode a contiguous buffer of whole chunks (the fastest path).
 
-        Combines :meth:`GDTransform.split_batch` with the amortized record
-        loop; this is what :meth:`GDCodec.compress` feeds whole payloads
-        through.
+        Combines :meth:`GDTransform.split_batch_fields` with the amortized
+        record loop; this is what :meth:`GDCodec.compress` feeds whole
+        payloads through.
         """
-        return self._encode_parts(self._transform.split_batch(data))
+        return self._encode_fields(self._transform.split_batch_fields(data))
+
+    def encode_chunks(
+        self, chunks: "bytes | bytearray | memoryview | Iterable[ChunkLike]"
+    ) -> List[GDRecord]:
+        """Batch entry point for either framing of *many chunks*.
+
+        A contiguous bytes-like buffer takes the fused zero-copy batch path
+        (identical to :meth:`encode_buffer`); any other iterable is encoded
+        chunk by chunk through the same amortized record loop.  Streaming
+        codecs and the replay tooling call this instead of dispatching one
+        chunk at a time.
+        """
+        if isinstance(chunks, (bytes, bytearray, memoryview)):
+            return self._encode_fields(self._transform.split_batch_fields(chunks))
+        return self.encode_batch(chunks)
 
     # -- internals -----------------------------------------------------------------
 
-    def _encode_parts(self, parts_iterable: Iterable[GDParts]) -> List[GDRecord]:
-        """Record-building loop shared by the batch entry points."""
+    def _encode_fields(self, fields_iterable: Iterable[GDFields]) -> List[GDRecord]:
+        """Record-building loop shared by the batch entry points.
+
+        Operates on plain ``(prefix, basis, deviation)`` triples, with the
+        dictionary probe, mode dispatch and per-type payload sizes bound
+        into locals — one pass, no intermediate part objects.
+        """
         stats = self.stats
-        build = self._build_record
+        transform = self._transform
+        prefix_bits = transform.prefix_bits
+        basis_bits = transform.basis_bits
+        deviation_bits = transform.deviation_bits
+        identifier_bits = self._identifier_bits
+        padding = self._alignment_padding_bits
+        t2_bits = self._t2_bits
+        t2_padded = self._t2_padded
+        t3_bits = self._t3_bits
+        t3_padded = self._t3_padded
+        dictionary = self._dictionary
+        no_table = self._mode is EncoderMode.NO_TABLE or dictionary is None
+        dynamic = self._mode is EncoderMode.DYNAMIC
+        lookup = None if no_table else dictionary.lookup
+        insert = None if no_table else dictionary.insert
+        learning_delay = self._learning_delay_chunks
+        pending = self._pending_activation
+        is_active = self._is_active
+
         index = stats.chunks
         compressed = 0
         output_bits = 0
         output_padded_bits = 0
         records: List[GDRecord] = []
         append = records.append
-        for parts in parts_iterable:
-            record = build(parts, index)
-            index += 1
-            output_bits += record.payload_bits
-            output_padded_bits += record.padded_bits
-            if record.record_type is RecordType.COMPRESSED:
+        for prefix, basis, deviation in fields_iterable:
+            identifier = None if no_table else lookup(basis)
+            if identifier is not None and (not pending or is_active(basis, index)):
+                append(
+                    CompressedRecord(
+                        prefix=prefix,
+                        identifier=identifier,
+                        deviation=deviation,
+                        prefix_bits=prefix_bits,
+                        identifier_bits=identifier_bits,
+                        deviation_bits=deviation_bits,
+                        alignment_padding_bits=0,
+                    )
+                )
                 compressed += 1
-            append(record)
+                output_bits += t3_bits
+                output_padded_bits += t3_padded
+            else:
+                if identifier is None and dynamic:
+                    insert(basis)
+                    if learning_delay:
+                        # ``index`` counts the chunks *before* this one; the
+                        # mapping becomes usable after the current chunk plus
+                        # the configured number of delayed chunks.
+                        pending[basis] = index + 1 + learning_delay
+                append(
+                    UncompressedRecord(
+                        prefix=prefix,
+                        basis=basis,
+                        deviation=deviation,
+                        prefix_bits=prefix_bits,
+                        basis_bits=basis_bits,
+                        deviation_bits=deviation_bits,
+                        alignment_padding_bits=padding,
+                    )
+                )
+                output_bits += t2_bits
+                output_padded_bits += t2_padded
+            index += 1
         count = index - stats.chunks
         stats.chunks = index
-        stats.input_bits += count * self._transform.chunk_bits
+        stats.input_bits += count * transform.chunk_bits
         stats.output_bits += output_bits
         stats.output_padded_bits += output_padded_bits
         stats.compressed_records += compressed
         stats.uncompressed_records += count - compressed
         return records
-
-    def _build_record(self, parts: GDParts, chunk_index: int) -> GDRecord:
-        """Build the record for one chunk; ``chunk_index`` counts prior chunks."""
-        if self._mode is EncoderMode.NO_TABLE or self._dictionary is None:
-            return self._uncompressed(parts)
-
-        key = parts.dedup_key
-        identifier = self._dictionary.lookup(key)
-
-        if identifier is not None and self._is_active(key, chunk_index):
-            return CompressedRecord(
-                prefix=parts.prefix,
-                identifier=identifier,
-                deviation=parts.deviation,
-                prefix_bits=parts.prefix_bits,
-                identifier_bits=self._identifier_bits,
-                deviation_bits=parts.deviation_bits,
-                alignment_padding_bits=0,
-            )
-
-        if identifier is None and self._mode is EncoderMode.DYNAMIC:
-            self._dictionary.insert(key)
-            if self._learning_delay_chunks:
-                # ``chunk_index`` counts the chunks *before* this one; the
-                # mapping becomes usable after the current chunk plus the
-                # configured number of delayed chunks have gone through.
-                self._pending_activation[key] = (
-                    chunk_index + 1 + self._learning_delay_chunks
-                )
-        return self._uncompressed(parts)
 
     def _is_active(self, key: object, chunk_index: int) -> bool:
         """True when a learned mapping has passed its activation delay."""
@@ -308,17 +353,6 @@ class GDEncoder:
             del self._pending_activation[key]
             return True
         return False
-
-    def _uncompressed(self, parts: GDParts) -> UncompressedRecord:
-        return UncompressedRecord(
-            prefix=parts.prefix,
-            basis=parts.basis,
-            deviation=parts.deviation,
-            prefix_bits=parts.prefix_bits,
-            basis_bits=parts.basis_bits,
-            deviation_bits=parts.deviation_bits,
-            alignment_padding_bits=self._alignment_padding_bits,
-        )
 
     def reset_stats(self) -> None:
         """Zero the accounting counters without touching the dictionary."""

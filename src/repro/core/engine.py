@@ -296,12 +296,12 @@ class GDStreamCompressor:
             pending += block
             usable = len(pending) - len(pending) % chunk_size
             if usable:
-                records = encoder.encode_buffer(bytes(pending[:usable]))
+                records = encoder.encode_chunks(bytes(pending[:usable]))
                 del pending[:usable]
                 yield self._serialise(records)
         if pending:
             pending += b"\x00" * (chunk_size - len(pending))
-            yield self._serialise(encoder.encode_buffer(bytes(pending)))
+            yield self._serialise(encoder.encode_chunks(bytes(pending)))
         yield bytes([_END_TAG]) + struct.pack(">Q", total)
 
     def decompress_stream(self, blocks: Iterable[bytes]) -> Iterator[bytes]:

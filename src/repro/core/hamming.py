@@ -30,7 +30,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bits import BitVector, mask
-from repro.core.crc import CrcEngine, poly_mod, poly_mod_table, syndrome_crc
+from repro.core.crc import (
+    CrcEngine,
+    byte_remainder_function,
+    lane_tables,
+    poly_mod,
+    poly_mod_table,
+    syndrome_crc,
+)
 from repro.core.polynomials import HammingPolynomial, polynomial_for_order
 from repro.exceptions import CodingError
 
@@ -122,6 +129,15 @@ class HammingCode:
         self._table_entry = entry
         self._crc = syndrome_crc(polynomial ^ (1 << m), m)
         self._syndrome_table = self._build_syndrome_table()
+        # Precomputed hot-path state: the error-mask array indexed directly
+        # by syndrome and a fused bytes→remainder closure over the shared
+        # 256-entry CRC table.  The GD fast path (transform batch split and
+        # the switch models) reduces whole chunks through these without
+        # re-entering the checked CrcEngine/SyndromeTable layers.
+        self._error_masks: Tuple[int, ...] = self._syndrome_table.masks
+        self._byte_remainder = byte_remainder_function(polynomial ^ (1 << m), m)
+        self._parity_bytes = (n + 7) // 8
+        self._parity_lanes: Optional[List[bytes]] = None  # built on first bulk use
 
     # -- construction -----------------------------------------------------
 
@@ -192,6 +208,61 @@ class HammingCode:
     def syndrome_table(self) -> SyndromeTable:
         """The syndrome → error-position lookup table."""
         return self._syndrome_table
+
+    @property
+    def error_masks(self) -> Tuple[int, ...]:
+        """The n-bit XOR masks indexed by syndrome (``error_mask`` sans checks)."""
+        return self._error_masks
+
+    @property
+    def byte_remainder(self):
+        """Fused ``remainder(data) -> int`` over raw bytes (syndrome mode).
+
+        Equals :meth:`syndrome` of the integer the bytes spell, for any
+        byte-aligned buffer whose value fits in ``n`` bits; the fast paths
+        bind this closure locally instead of calling :meth:`syndrome` per
+        chunk.
+        """
+        return self._byte_remainder
+
+    def parity_of_basis_fast(self, basis: int) -> int:
+        """Unchecked :meth:`parity_of_basis` (decode-direction hot path).
+
+        Serialises ``basis * x**m`` to a fixed ``ceil(n / 8)`` bytes (leading
+        zeros do not change a remainder) and reduces it through the fused
+        byte loop.
+        """
+        return self._byte_remainder((basis << self._m).to_bytes(self._parity_bytes, "big"))
+
+    def parities_of_bases(self, bases: Sequence[int]) -> Sequence[int]:
+        """Parity bits of many bases in one bulk pass (decode hot path).
+
+        For orders up to 8 the parities of the whole batch come out of the
+        C-speed lane reduction (serialise every ``basis * x**m`` into one
+        buffer, translate its byte lanes, XOR them together); wider orders
+        fall back to the per-basis fused loop.  Element ``i`` equals
+        :meth:`parity_of_basis` of ``bases[i]``.
+        """
+        if self._m > 8:
+            fast = self.parity_of_basis_fast
+            return [fast(basis) for basis in bases]
+        if not bases:
+            return b""
+        length = self._parity_bytes
+        m = self._m
+        buffer = b"".join((basis << m).to_bytes(length, "big") for basis in bases)
+        lanes = self._parity_lanes
+        if lanes is None:
+            lanes = self._parity_lanes = list(
+                lane_tables(self.crc_parameter, m, length)
+            )
+        accumulator = 0
+        from_bytes = int.from_bytes
+        for position, lane_table in enumerate(lanes):
+            accumulator ^= from_bytes(
+                buffer[position::length].translate(lane_table), "big"
+            )
+        return accumulator.to_bytes(len(bases), "big")
 
     def __repr__(self) -> str:
         return (

@@ -16,8 +16,9 @@ reassembles them exactly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.bits import (
     BitVector,
@@ -26,12 +27,33 @@ from repro.core.bits import (
     mask,
     padding_bits_for_alignment,
 )
+from repro.core.crc import lane_tables, prefix_syndrome_table
 from repro.core.hamming import HammingCode
 from repro.exceptions import ChunkSizeError, CodingError
 
-__all__ = ["GDParts", "GDTransform", "ChunkLike"]
+__all__ = ["GDParts", "GDTransform", "ChunkLike", "GDFields", "fast_path_default"]
 
 ChunkLike = Union[int, bytes, bytearray, memoryview, BitVector]
+
+#: The allocation-free representation the fast path works in:
+#: ``(prefix, basis, deviation)`` as plain integers.
+GDFields = Tuple[int, int, int]
+
+#: Environment switch: set ``REPRO_GD_FAST=0`` to force the reference
+#: (checked, layer-by-layer) transform everywhere, e.g. while bisecting a
+#: suspected fast-path bug.  Any other value (or absence) keeps the fused
+#: table-driven path on.
+_FAST_ENV = "REPRO_GD_FAST"
+
+#: Largest prefix width for which the per-prefix syndrome-correction table
+#: is precomputed (2**bits entries).  Wider prefixes — far beyond anything
+#: the paper's framing uses — fall back to re-serialising the body.
+_MAX_PREFIX_TABLE_BITS = 12
+
+
+def fast_path_default() -> bool:
+    """The process-wide fast-path default (``REPRO_GD_FAST``, on unless 0)."""
+    return os.environ.get(_FAST_ENV, "1").strip().lower() not in ("0", "false", "no")
 
 
 @dataclass(frozen=True)
@@ -113,6 +135,12 @@ class GDTransform:
     polynomial:
         Optional generator polynomial override (full form, with leading
         term).  Defaults to the Table 1 entry for the order.
+    fast:
+        Selects the fused, table-driven fast path (the default).  Pass
+        ``False`` to force the reference implementation — one checked layer
+        per step — which the property tests compare the fast path against
+        bit for bit.  ``None`` defers to the ``REPRO_GD_FAST`` environment
+        variable (see :func:`fast_path_default`).
     """
 
     def __init__(
@@ -120,6 +148,7 @@ class GDTransform:
         order: int = 8,
         chunk_bits: int | None = None,
         polynomial: int | None = None,
+        fast: Optional[bool] = None,
     ):
         self._code = HammingCode(order, polynomial)
         n = self._code.n
@@ -131,6 +160,22 @@ class GDTransform:
             )
         self._chunk_bits = chunk_bits
         self._prefix_bits = chunk_bits - n
+        self._fast = fast_path_default() if fast is None else bool(fast)
+        # Fused-path constants, bound once: the shared byte→remainder
+        # closure, the syndrome→XOR-mask array, and the per-prefix syndrome
+        # correction.  A whole chunk's remainder splits linearly as
+        # ``syndrome(chunk) = syndrome(body) ^ syndrome(prefix << n)``, so
+        # reducing the chunk's own bytes plus one table lookup recovers the
+        # body syndrome without isolating (re-serialising) the body.
+        self._body_mask = mask(n)
+        self._remainder = self._code.byte_remainder
+        self._error_masks = self._code.error_masks
+        self._prefix_syndromes: Optional[Tuple[int, ...]] = None
+        if self._fast and 0 < self._prefix_bits <= _MAX_PREFIX_TABLE_BITS:
+            self._prefix_syndromes = prefix_syndrome_table(
+                self._code.full_polynomial, n, self._prefix_bits
+            )
+        self._lanes: Optional[Tuple[bytes, ...]] = None  # built on first batch
 
     # -- accessors -----------------------------------------------------------
 
@@ -168,6 +213,11 @@ class GDTransform:
     def deviation_bits(self) -> int:
         """Deviation (syndrome) width ``m`` in bits."""
         return self._code.m
+
+    @property
+    def fast(self) -> bool:
+        """True when the fused table-driven fast path is active."""
+        return self._fast
 
     @property
     def uncompressed_bits(self) -> int:
@@ -223,10 +273,7 @@ class GDTransform:
     def split(self, chunk: ChunkLike) -> GDParts:
         """Apply the GD transformation to one chunk (Figure 1, steps ➊–➎)."""
         value = self._chunk_to_int(chunk)
-        n = self._code.n
-        prefix = value >> n
-        body = value & mask(n)
-        basis, deviation = self._code.chunk_to_basis(body)
+        prefix, basis, deviation = self._split_value(value)
         return GDParts(
             prefix=prefix,
             basis=basis,
@@ -235,6 +282,28 @@ class GDTransform:
             basis_bits=self._code.k,
             deviation_bits=self._code.m,
         )
+
+    def split_fields(self, chunk: ChunkLike) -> GDFields:
+        """Transform one chunk into plain ``(prefix, basis, deviation)`` ints.
+
+        The allocation-free twin of :meth:`split`: no :class:`GDParts`
+        object, no per-field width re-validation.  Input validation is the
+        same as :meth:`split`.
+        """
+        return self._split_value(self._chunk_to_int(chunk))
+
+    def _split_value(self, value: int) -> GDFields:
+        """Fused (or reference) split of an already-validated chunk value."""
+        n = self._code.n
+        body = value & self._body_mask
+        if not self._fast:
+            basis, deviation = self._code.chunk_to_basis(body)
+            return value >> n, basis, deviation
+        deviation = self._remainder(
+            body.to_bytes((n + 7) // 8, "big")
+        )
+        basis = (body ^ self._error_masks[deviation]) >> self._code.m
+        return value >> n, basis, deviation
 
     def join(self, parts: GDParts) -> int:
         """Invert the GD transformation (Figure 2, steps ➌–➐)."""
@@ -254,6 +323,22 @@ class GDTransform:
         )
         return self.join(parts)
 
+    def join_fields_fast(self, prefix: int, basis: int, deviation: int) -> int:
+        """Fused, unchecked inverse: callers guarantee the field widths.
+
+        The decode-direction hot path: parity bits through the shared CRC
+        byte loop, one XOR-mask lookup to flip the deviated bit back.  Used
+        by the batch decoder after it has validated record widths once per
+        run; :meth:`join_fields` remains the checked entry point.  With
+        ``fast=False`` it goes through the reference
+        :meth:`~repro.core.hamming.HammingCode.basis_to_chunk` layer.
+        """
+        code = self._code
+        if not self._fast:
+            return (prefix << code.n) | code.basis_to_chunk(basis, deviation)
+        codeword = (basis << code.m) | code.parity_of_basis_fast(basis)
+        return (prefix << code.n) | (codeword ^ self._error_masks[deviation])
+
     def join_to_bytes(self, parts: GDParts) -> bytes:
         """Invert the transformation and serialise the chunk to bytes."""
         return int_to_bytes(self.join(parts), self._chunk_bits)
@@ -267,51 +352,134 @@ class GDTransform:
         """
         return self.split_batch(data)
 
-    def split_batch(self, data: bytes) -> List[GDParts]:
+    def split_batch(self, data: "bytes | bytearray | memoryview") -> List[GDParts]:
         """Transform a contiguous buffer of whole chunks in one pass.
 
         Semantically equal to calling :meth:`split` on every
-        :attr:`chunk_bytes`-sized slice, but with the per-chunk type
-        dispatch and attribute lookups hoisted out of the loop — this is
-        the batch entry point the encoder fast path builds on.
+        :attr:`chunk_bytes`-sized slice, but running the fused field loop
+        of :meth:`split_batch_fields` and wrapping each result once.
+        """
+        prefix_bits = self._prefix_bits
+        k = self._code.k
+        m = self._code.m
+        return [
+            GDParts(
+                prefix=prefix,
+                basis=basis,
+                deviation=deviation,
+                prefix_bits=prefix_bits,
+                basis_bits=k,
+                deviation_bits=m,
+            )
+            for prefix, basis, deviation in self.split_batch_fields(data)
+        ]
+
+    def split_batch_fields(
+        self, data: "bytes | bytearray | memoryview"
+    ) -> List[GDFields]:
+        """The fused hot loop: buffer of whole chunks → list of field triples.
+
+        One table-driven pass per chunk — ``int.from_bytes`` for the value,
+        the shared CRC byte loop over the chunk's own bytes for the
+        syndrome (corrected for the prefix bits by one lookup), one
+        XOR-mask lookup for the codeword — with zero per-chunk object
+        allocation.  ``data`` is sliced through a :class:`memoryview`, so
+        callers can pass views of larger buffers without copying.
+
+        With ``fast=False`` every chunk instead goes through the reference
+        :meth:`~repro.core.hamming.HammingCode.chunk_to_basis` layer; the
+        property suite asserts both paths agree bit for bit.
         """
         chunk_bytes = self.chunk_bytes
-        if len(data) % chunk_bytes:
+        total = len(data)
+        if total % chunk_bytes:
             raise ChunkSizeError(
-                f"data length {len(data)} is not a multiple of the chunk size "
+                f"data length {total} is not a multiple of the chunk size "
                 f"{chunk_bytes}"
             )
         code = self._code
         n = code.n
-        k = code.k
         m = code.m
-        prefix_bits = self._prefix_bits
         chunk_bits = self._chunk_bits
-        body_mask = mask(n)
-        chunk_to_basis = code.chunk_to_basis
+        body_mask = self._body_mask
         from_bytes = int.from_bytes
         aligned = chunk_bits == chunk_bytes * 8
         view = memoryview(data)
-        parts_list: List[GDParts] = []
-        append = parts_list.append
-        for offset in range(0, len(data), chunk_bytes):
-            value = from_bytes(view[offset : offset + chunk_bytes], "big")
+        fields: List[GDFields] = []
+        append = fields.append
+
+        if not self._fast:
+            chunk_to_basis = code.chunk_to_basis
+            for offset in range(0, total, chunk_bytes):
+                value = from_bytes(view[offset : offset + chunk_bytes], "big")
+                if not aligned and value >> chunk_bits:
+                    raise ChunkSizeError(
+                        f"chunk value does not fit in {chunk_bits} bits"
+                    )
+                basis, deviation = chunk_to_basis(value & body_mask)
+                append((value >> n, basis, deviation))
+            return fields
+
+        masks = self._error_masks
+        prefix_syndromes = self._prefix_syndromes
+        lane_eligible = m <= 8 and (
+            self._prefix_bits == 0 or prefix_syndromes is not None
+        )
+        if lane_eligible and total:
+            # Bulk lane pass: every chunk's raw-buffer syndrome at once, at
+            # C speed — slice the buffer into its byte lanes, translate each
+            # lane through its contribution table, XOR the lanes as big
+            # integers.  The per-chunk Python work then collapses to one
+            # ``int.from_bytes`` plus a handful of arithmetic ops.
+            buf = data if isinstance(data, (bytes, bytearray)) else bytes(view)
+            lanes = self._lanes
+            if lanes is None:
+                lanes = self._lanes = tuple(
+                    lane_tables(self._code.crc_parameter, m, chunk_bytes)
+                )
+            accumulator = 0
+            for position, lane_table in enumerate(lanes):
+                accumulator ^= from_bytes(
+                    buf[position::chunk_bytes].translate(lane_table), "big"
+                )
+            raw_syndromes = accumulator.to_bytes(total // chunk_bytes, "big")
+            index = 0
+            for offset in range(0, total, chunk_bytes):
+                value = from_bytes(buf[offset : offset + chunk_bytes], "big")
+                if not aligned and value >> chunk_bits:
+                    raise ChunkSizeError(
+                        f"chunk value does not fit in {chunk_bits} bits"
+                    )
+                prefix = value >> n
+                deviation = raw_syndromes[index]
+                index += 1
+                if prefix:
+                    # syndrome(chunk) = syndrome(body) ^ syndrome(prefix<<n)
+                    deviation ^= prefix_syndromes[prefix]
+                append(
+                    (prefix, ((value & body_mask) ^ masks[deviation]) >> m, deviation)
+                )
+            return fields
+
+        remainder = self._remainder
+        body_bytes = (n + 7) // 8
+        for offset in range(0, total, chunk_bytes):
+            piece = view[offset : offset + chunk_bytes]
+            value = from_bytes(piece, "big")
             if not aligned and value >> chunk_bits:
                 raise ChunkSizeError(
                     f"chunk value does not fit in {chunk_bits} bits"
                 )
-            basis, deviation = chunk_to_basis(value & body_mask)
-            append(
-                GDParts(
-                    prefix=value >> n,
-                    basis=basis,
-                    deviation=deviation,
-                    prefix_bits=prefix_bits,
-                    basis_bits=k,
-                    deviation_bits=m,
-                )
-            )
-        return parts_list
+            prefix = value >> n
+            body = value & body_mask
+            if prefix_syndromes is not None:
+                deviation = remainder(piece) ^ prefix_syndromes[prefix]
+            elif prefix:
+                deviation = remainder(body.to_bytes(body_bytes, "big"))
+            else:
+                deviation = remainder(piece)
+            append((prefix, (body ^ masks[deviation]) >> m, deviation))
+        return fields
 
     def iter_split(self, chunks: Iterable[ChunkLike]) -> Iterator[GDParts]:
         """Lazily transform an iterable of chunks."""

@@ -45,7 +45,7 @@ from repro.tofino.digest import DEFAULT_DELIVERY_LATENCY, DigestEngine
 from repro.zipline.decoder_switch import ZipLineDecoderSwitch
 from repro.zipline.deployment import DeploymentScenario
 from repro.zipline.encoder_switch import ZipLineEncoderSwitch
-from repro.zipline.headers import raw_chunk_payload
+from repro.zipline.headers import RAW_CHUNK_ETHERTYPE_BYTES, raw_chunk_payload
 from repro.zipline.stats import LinkTap
 from repro.net.packets import PacketKind
 
@@ -272,11 +272,14 @@ class ReplayHarness:
 
     def _inject(self, frame_bytes: bytes) -> None:
         self._frames_sent += 1
-        payload = raw_chunk_payload(frame_bytes)
-        if payload is not None:
+        # Same layout test as raw_chunk_payload(); the payload itself is
+        # only sliced out when the integrity check retains it, so the
+        # counters-only path does no per-packet payload allocation.
+        if frame_bytes[12:14] == RAW_CHUNK_ETHERTYPE_BYTES:
             self._chunks_sent += 1
-            self._chunk_bytes_sent += len(payload)
+            self._chunk_bytes_sent += len(frame_bytes) - 14
             if self.verify_integrity:
+                payload = frame_bytes[14:]
                 index = len(self._sent_chunks)
                 self._sent_chunks.append(payload)
                 self._sent_times.append(self.simulator.now)

@@ -22,6 +22,7 @@ delay), which the metrics registry folds into the replay report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import ReplayError
@@ -129,6 +130,9 @@ class EmulatedLink:
         self._sink = sink
         self._busy_until = 0.0
         self._queue_depth = 0
+        # Event descriptions are constant; format them once, not per frame.
+        self._serialised_label = f"{name}:serialised"
+        self._deliver_label = f"{name}:deliver"
 
     # -- wiring ---------------------------------------------------------------
 
@@ -187,17 +191,20 @@ class EmulatedLink:
         self.simulator.schedule_at(
             done,
             self._serialisation_done,
-            description=f"{self.name}:serialised",
+            description=self._serialised_label,
         )
-
-        def deliver(frame=frame, deliver_at=deliver_at) -> None:
-            self.stats.delivered += 1
-            self.stats.delivered_bytes += len(frame)
-            self._sink(frame, deliver_at)
-
+        # A bound-method partial instead of a fresh closure per frame — the
+        # link sits on every replayed packet's path.
         self.simulator.schedule_at(
-            deliver_at, deliver, description=f"{self.name}:deliver"
+            deliver_at,
+            partial(self._deliver, frame, deliver_at),
+            description=self._deliver_label,
         )
+
+    def _deliver(self, frame: bytes, deliver_at: float) -> None:
+        self.stats.delivered += 1
+        self.stats.delivered_bytes += len(frame)
+        self._sink(frame, deliver_at)
 
     def _serialisation_done(self) -> None:
         self._queue_depth -= 1

@@ -94,6 +94,15 @@ class CrcExtern:
         """How many times the extern has been invoked (for pipeline accounting)."""
         return self._invocations
 
+    def record_invocation(self) -> None:
+        """Count one invocation performed by a compiled fast path.
+
+        The ZipLine switch fast paths compute the same CRC through the
+        fused byte loop; calling this keeps the extern's accounting
+        identical to the interpreted pipeline.
+        """
+        self._invocations += 1
+
     def get(self, fields: "FieldLike | Sequence[FieldLike]") -> int:
         """Compute the CRC of the concatenation of ``fields``.
 
@@ -101,6 +110,23 @@ class CrcExtern:
         :class:`BitVector`, or a sequence of either (concatenated
         most-significant first).
         """
+        if (
+            type(fields) is tuple
+            and len(fields) == 2
+            and type(fields[0]) is int
+            and type(fields[1]) is int
+        ):
+            # Hot path: a single (value, width) pair — the shape the ZipLine
+            # programs invoke the extern with on every chunk.
+            value, width = fields
+            if width <= 0:
+                raise CodingError(f"field width must be positive, got {width}")
+            if value < 0 or value >> width:
+                raise CodingError(
+                    f"field value {value:#x} does not fit in {width} bits"
+                )
+            self._invocations += 1
+            return self._engine.compute_bits(value, width)
         normalised = self._normalise(fields)
         value = 0
         total_width = 0

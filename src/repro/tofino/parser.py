@@ -53,23 +53,29 @@ class HeaderType:
         self.fields: Tuple[Tuple[str, int], ...] = tuple(
             (str(field_name), int(width)) for field_name, width in fields
         )
+        # Width lookups sit on the per-packet hot path; precompute them.
+        self._widths: Dict[str, int] = dict(self.fields)
+        self._total_bits = sum(width for _, width in self.fields)
+        self._total_bytes = self._total_bits // 8
 
     @property
     def total_bits(self) -> int:
         """Total header width in bits (always a multiple of 8)."""
-        return sum(width for _, width in self.fields)
+        return self._total_bits
 
     @property
     def total_bytes(self) -> int:
         """Total header width in bytes."""
-        return self.total_bits // 8
+        return self._total_bytes
 
     def field_width(self, field_name: str) -> int:
         """Width of one field."""
-        for name, width in self.fields:
-            if name == field_name:
-                return width
-        raise ParserError(f"header type {self.name!r} has no field {field_name!r}")
+        try:
+            return self._widths[field_name]
+        except KeyError:
+            raise ParserError(
+                f"header type {self.name!r} has no field {field_name!r}"
+            ) from None
 
     def instantiate(self, **values: int) -> "Header":
         """Create a valid header instance with the given field values."""
@@ -86,7 +92,7 @@ class Header:
     def __init__(self, header_type: HeaderType):
         self.header_type = header_type
         self.valid = False
-        self._values: Dict[str, int] = {name: 0 for name, _ in header_type.fields}
+        self._values: Dict[str, int] = dict.fromkeys(header_type._widths, 0)
 
     def __getitem__(self, field_name: str) -> int:
         if field_name not in self._values:

@@ -132,6 +132,21 @@ class TofinoSwitch:
             self._transmit(result.egress_port, result.frame, result.latency)
         return result
 
+    def record_rx(self, ingress_port: int, frame_length: int) -> None:
+        """Account one received frame (fast-path twin of :meth:`receive`).
+
+        Compiled program fast paths that bypass the generic pipeline call
+        this so port counters stay identical to the interpreted path.
+        """
+        self._check_port(ingress_port)
+        stats = self._port_stats[ingress_port]
+        stats.rx_packets += 1
+        stats.rx_bytes += frame_length
+
+    def transmit(self, port: int, frame: bytes, latency: float) -> None:
+        """Deliver ``frame`` on ``port`` after ``latency`` (public fast-path hook)."""
+        self._transmit(port, frame, latency)
+
     def _transmit(self, port: int, frame: bytes, latency: float) -> None:
         self._check_port(port)
         stats = self._port_stats[port]

@@ -306,6 +306,23 @@ class MatchActionTable:
         entry.hit_count += 1
         return MatchResult(hit=True, action=entry.action, params=dict(entry.params), entry=entry)
 
+    def lookup_ref(self, key: Hashable, now: float = 0.0) -> Optional[TableEntry]:
+        """Hit-path lookup returning the live entry without copying params.
+
+        Same counter and hit-metadata side effects as :meth:`lookup`, but a
+        miss returns ``None`` and a hit returns the :class:`TableEntry`
+        itself — callers on the per-packet fast path read
+        ``entry.params[...]`` directly and must not mutate it.
+        """
+        self.lookups += 1
+        entry = self._find(key)
+        if entry is None:
+            return None
+        self.hits += 1
+        entry.last_hit = now
+        entry.hit_count += 1
+        return entry
+
     def apply(self, key: Hashable, now: float = 0.0, **handler_kwargs: Any) -> MatchResult:
         """Look up ``key`` and invoke the matched action's handler, if any.
 

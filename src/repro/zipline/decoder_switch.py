@@ -31,7 +31,7 @@ from repro.tofino.counters import NamedCounterSet
 from repro.tofino.crc_extern import CrcExtern, CrcPolynomial
 from repro.tofino.digest import DigestEngine
 from repro.tofino.parser import ACCEPT, Deparser, Header, Parser, ParserState
-from repro.tofino.pipeline import PacketContext, Pipeline
+from repro.tofino.pipeline import PacketContext, Pipeline, PipelineResult
 from repro.tofino.switch import TofinoSwitch
 from repro.tofino.tables import ActionSpec, MatchActionTable
 from repro.zipline.headers import ETHERTYPE_RAW_CHUNK, ZipLineHeaderSet
@@ -64,6 +64,7 @@ class ZipLineDecoderSwitch:
         forwarding: Optional[Dict[int, int]] = None,
         default_egress_port: int = 1,
         digest_engine: Optional[DigestEngine] = None,
+        fast: Optional[bool] = None,
     ):
         self._transform = transform or GDTransform(order=8)
         self._identifier_bits = identifier_bits
@@ -93,6 +94,41 @@ class ZipLineDecoderSwitch:
             simulator=simulator,
             digest_engine=digest_engine or DigestEngine(simulator),
         )
+        self._build_fast_path(fast)
+
+    def _build_fast_path(self, fast: Optional[bool]) -> None:
+        """Precompute the compiled decode fast path (see the encoder twin)."""
+        transform = self._transform
+        code = transform.code
+        if fast is None:
+            fast = transform.fast
+        headers = self._headers
+        syndrome_entries = [
+            self._syndrome_table.get_entry(syndrome)
+            for syndrome in range(1 << code.m)
+        ]
+        self._fast_enabled = bool(
+            fast
+            and transform.prefix_bits <= 8
+            and all(entry is not None for entry in syndrome_entries)
+        )
+        if not self._fast_enabled:
+            return
+        self._fast_syndrome_entries = syndrome_entries
+        self._fast_flip_masks = tuple(
+            entry.params.get("flip_mask", 0) for entry in syndrome_entries
+        )
+        self._fast_eth_raw = ETHERTYPE_RAW_CHUNK.to_bytes(2, "big")
+        self._fast_eth_type2 = int(EtherType.ZIPLINE_UNCOMPRESSED).to_bytes(2, "big")
+        self._fast_eth_type3 = int(EtherType.ZIPLINE_COMPRESSED).to_bytes(2, "big")
+        self._fast_chunk_bytes = headers.chunk.total_bytes
+        self._fast_type2_bytes = headers.type2.total_bytes
+        self._fast_type3_bytes = headers.type3.total_bytes
+        self._fast_type2_pad = headers.type2_padding_bits
+        self._fast_type3_pad = headers.type3_padding_bits
+        self._fast_syndrome_mask = mask(code.m)
+        self._fast_basis_mask = mask(code.k)
+        self._fast_identifier_mask = mask(self._identifier_bits)
 
     # -- program construction ---------------------------------------------------
 
@@ -302,5 +338,133 @@ class ZipLineDecoderSwitch:
         self._forwarding[ingress_port] = egress_port
 
     def receive(self, frame: bytes, ingress_port: int):
-        """Process one frame (delegates to the underlying switch)."""
+        """Process one frame.
+
+        Well-formed type-2/type-3 frames go through the compiled fast path
+        (fused integer decode, identical counters/table metadata); anything
+        else falls back to the interpreted pipeline.
+        """
+        if self._fast_enabled:
+            result = self._fast_receive(frame, ingress_port)
+            if result is not None:
+                return result
         return self.switch.receive(frame, ingress_port)
+
+    def _fast_receive(self, frame: bytes, ingress_port: int):
+        """Compiled per-frame path; returns ``None`` to defer to the pipeline."""
+        switch = self.switch
+        if not 0 <= ingress_port < switch.port_count:
+            return None
+        length = len(frame)
+        if length < 14:
+            return None
+        ethertype = frame[12:14]
+        pipeline = switch.pipeline
+        simulator = self._simulator
+        now = simulator.now if simulator is not None else 0.0
+        transform = self._transform
+        code = transform.code
+        m = code.m
+
+        if ethertype == self._fast_eth_type3:
+            header_end = 14 + self._fast_type3_bytes
+            if length < header_end:
+                return None
+            value = int.from_bytes(frame[14:header_end], "big") >> self._fast_type3_pad
+            syndrome = value & self._fast_syndrome_mask
+            identifier = (value >> m) & self._fast_identifier_mask
+            prefix = (
+                value >> (m + self._identifier_bits) if transform.prefix_bits else 0
+            )
+            # Peek without counters first: if the installed basis is not a
+            # plain in-range int, the frame must take the interpreted path,
+            # and bailing out after a counting lookup would double-count
+            # this frame's table metadata.
+            table = self._identifier_table
+            entry = table.get_entry(identifier)
+            if entry is not None and entry.action == "set_basis":
+                basis = entry.params["basis"]
+                if not isinstance(basis, int) or basis < 0 or basis >> code.k:
+                    return None  # oddly-typed install: interpreted path
+            table.lookups += 1
+            if entry is None or entry.action != "set_basis":
+                if entry is not None:
+                    table.hits += 1
+                    entry.last_hit = now
+                    entry.hit_count += 1
+                self.counters.count("unknown_identifier", length)
+                switch.record_rx(ingress_port, length)
+                pipeline.packets_processed += 1
+                pipeline.parser.packets_parsed += 1
+                pipeline.packets_dropped += 1
+                return PipelineResult(
+                    egress_port=None,
+                    frame=None,
+                    digests=(),
+                    latency=pipeline.pipeline_latency,
+                )
+            table.hits += 1
+            entry.last_hit = now
+            entry.hit_count += 1
+            out = self._fast_emit_chunk(frame, header_end, prefix, basis, syndrome)
+            self.counters.count("compressed_to_raw", length)
+        elif ethertype == self._fast_eth_type2:
+            header_end = 14 + self._fast_type2_bytes
+            if length < header_end:
+                return None
+            value = int.from_bytes(frame[14:header_end], "big") >> self._fast_type2_pad
+            syndrome = value & self._fast_syndrome_mask
+            basis = (value >> m) & self._fast_basis_mask
+            prefix = value >> (m + code.k) if transform.prefix_bits else 0
+            out = self._fast_emit_chunk(frame, header_end, prefix, basis, syndrome)
+            self.counters.count("uncompressed_to_raw", length)
+        elif ethertype == self._fast_eth_raw:
+            if length < 14 + self._fast_chunk_bytes:
+                return None
+            out = frame
+            self.counters.count("passthrough_other", length)
+        else:
+            out = frame
+            self.counters.count("passthrough_other", length)
+
+        switch.record_rx(ingress_port, length)
+        pipeline.packets_processed += 1
+        pipeline.parser.packets_parsed += 1
+        egress = self._forwarding.get(ingress_port, self._default_egress_port)
+        latency = pipeline.pipeline_latency
+        switch.transmit(egress, out, latency)
+        return PipelineResult(
+            egress_port=egress, frame=out, digests=(), latency=latency
+        )
+
+    def _fast_emit_chunk(
+        self,
+        frame: bytes,
+        header_end: int,
+        prefix: int,
+        basis: int,
+        syndrome: int,
+    ) -> bytes:
+        """Fused Figure 2 ➌–➐: rebuild the raw chunk frame bytes."""
+        code = self._transform.code
+        # Steps ➌/➍: parity through the same CRC unit (fused byte loop).
+        parity = code.parity_of_basis_fast(basis)
+        self._crc.record_invocation()
+        codeword = (basis << code.m) | parity
+        # Steps ➎/➏: syndrome table metadata + the XOR mask.  The
+        # interpreted program looks this table up without a timestamp
+        # (``lookup(syndrome)``), so the fast path records the same 0.0.
+        syndrome_table = self._syndrome_table
+        syndrome_table.lookups += 1
+        syndrome_table.hits += 1
+        entry = self._fast_syndrome_entries[syndrome]
+        entry.last_hit = 0.0
+        entry.hit_count += 1
+        body = codeword ^ self._fast_flip_masks[syndrome]
+        chunk_value = (prefix << code.n) | body
+        return (
+            frame[:12]
+            + self._fast_eth_raw
+            + chunk_value.to_bytes(self._fast_chunk_bytes, "big")
+            + frame[header_end:]
+        )

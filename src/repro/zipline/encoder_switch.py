@@ -29,6 +29,7 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.controlplane.manager import LEARN_DIGEST
 from repro.core.bits import mask
+from repro.core.crc import prefix_syndrome_table
 from repro.core.transform import GDTransform
 from repro.exceptions import PipelineError
 from repro.net.ethernet import EtherType
@@ -38,7 +39,7 @@ from repro.tofino.counters import NamedCounterSet
 from repro.tofino.crc_extern import CrcExtern, CrcPolynomial
 from repro.tofino.digest import DigestEngine
 from repro.tofino.parser import ACCEPT, Deparser, Header, Parser, ParserState
-from repro.tofino.pipeline import PacketContext, Pipeline
+from repro.tofino.pipeline import PacketContext, Pipeline, PipelineResult
 from repro.tofino.switch import TofinoSwitch
 from repro.tofino.tables import ActionSpec, MatchActionTable
 from repro.zipline.headers import ETHERTYPE_RAW_CHUNK, ZipLineHeaderSet
@@ -86,6 +87,7 @@ class ZipLineEncoderSwitch:
         default_egress_port: int = 1,
         entry_ttl: Optional[float] = None,
         digest_engine: Optional[DigestEngine] = None,
+        fast: Optional[bool] = None,
     ):
         self._transform = transform or GDTransform(order=8)
         self._identifier_bits = identifier_bits
@@ -124,6 +126,64 @@ class ZipLineEncoderSwitch:
             simulator=simulator,
             digest_engine=digest_engine or DigestEngine(simulator),
         )
+        self._build_fast_path(fast)
+
+    def _build_fast_path(self, fast: Optional[bool]) -> None:
+        """Precompute the compiled per-frame fast path (the XOR-network view).
+
+        The generic pipeline interprets the program packet by packet:
+        parser state machine, header objects, table dispatch, deparser.
+        The fast path is the same program *compiled down to integer
+        arithmetic over the frame bytes* — exactly what the P4 compiler
+        does for the ASIC — with every counter, table hit-metadata update
+        and digest emission kept bit-identical (the equivalence is property
+        tested).  Defaults to the transform's ``fast`` flag, so
+        ``GDTransform(fast=False)`` or ``REPRO_GD_FAST=0`` selects the
+        interpreted reference path everywhere.
+        """
+        transform = self._transform
+        code = transform.code
+        if fast is None:
+            fast = transform.fast
+        headers = self._headers
+        chunk_bytes = headers.chunk.total_bytes
+        prefix_bits = transform.prefix_bits
+        # Per-prefix syndrome correction: syndrome(chunk) = syndrome(body)
+        # ^ syndrome(prefix << n); prefixes wider than a byte never occur
+        # in a byte-aligned header set but stay on the interpreted path.
+        # Shared with GDTransform through the process-wide registry.
+        self._fast_prefix_syndromes: Optional[tuple] = None
+        if fast and prefix_bits <= 8:
+            self._fast_prefix_syndromes = prefix_syndrome_table(
+                code.full_polynomial, code.n, prefix_bits
+            )
+        syndrome_entries = [
+            self._syndrome_table.get_entry(syndrome)
+            for syndrome in range(1 << code.m)
+        ]
+        self._fast_enabled = bool(
+            fast
+            and self._fast_prefix_syndromes is not None
+            and all(entry is not None for entry in syndrome_entries)
+        )
+        if not self._fast_enabled:
+            return
+        self._fast_syndrome_entries = syndrome_entries
+        self._fast_flip_masks = tuple(
+            entry.params.get("flip_mask", 0) for entry in syndrome_entries
+        )
+        self._fast_remainder = code.byte_remainder
+        self._fast_chunk_header_bytes = chunk_bytes
+        self._fast_min_chunk_frame = 14 + chunk_bytes
+        self._fast_eth_raw = ETHERTYPE_RAW_CHUNK.to_bytes(2, "big")
+        self._fast_eth_type2 = int(EtherType.ZIPLINE_UNCOMPRESSED).to_bytes(2, "big")
+        self._fast_eth_type3 = int(EtherType.ZIPLINE_COMPRESSED).to_bytes(2, "big")
+        self._fast_type2_bytes = headers.type2.total_bytes
+        self._fast_type3_bytes = headers.type3.total_bytes
+        self._fast_type2_pad = headers.type2_padding_bits
+        self._fast_type3_pad = headers.type3_padding_bits
+        self._fast_min_type2_frame = 14 + self._fast_type2_bytes
+        self._fast_min_type3_frame = 14 + self._fast_type3_bytes
 
     # -- program construction ---------------------------------------------------
 
@@ -340,8 +400,121 @@ class ZipLineEncoderSwitch:
         self._forwarding[ingress_port] = egress_port
 
     def receive(self, frame: bytes, ingress_port: int):
-        """Process one frame (delegates to the underlying switch)."""
+        """Process one frame.
+
+        Frames matching the compiled fast path's preconditions go through
+        the fused integer path; everything else (short frames, disabled
+        fast path) falls back to the interpreted pipeline.  Both paths
+        produce identical frames, counters, table metadata and digests.
+        """
+        if self._fast_enabled:
+            result = self._fast_receive(frame, ingress_port)
+            if result is not None:
+                return result
         return self.switch.receive(frame, ingress_port)
+
+    def _fast_receive(self, frame: bytes, ingress_port: int):
+        """Compiled per-frame path; returns ``None`` to defer to the pipeline."""
+        switch = self.switch
+        if not 0 <= ingress_port < switch.port_count:
+            return None
+        length = len(frame)
+        if length < 14:
+            return None
+        ethertype = frame[12:14]
+        pipeline = switch.pipeline
+        simulator = self._simulator
+        now = simulator.now if simulator is not None else 0.0
+
+        if ethertype == self._fast_eth_raw:
+            if length < self._fast_min_chunk_frame:
+                # Too short for the chunk header: let the interpreted parser
+                # produce its exact error/drop accounting.
+                return None
+            chunk_end = self._fast_min_chunk_frame
+            chunk_slice = frame[14:chunk_end]
+            transform = self._transform
+            code = transform.code
+            n = code.n
+            chunk_value = int.from_bytes(chunk_slice, "big")
+            prefix = chunk_value >> n
+            body = chunk_value & self._body_mask
+            # Step ➋: syndrome through the shared CRC byte loop (same unit
+            # the extern reduces with); keep the extern's accounting.
+            syndrome = (
+                self._fast_remainder(chunk_slice)
+                ^ self._fast_prefix_syndromes[prefix]
+            )
+            self._crc.record_invocation()
+            # Step ➌: const syndrome→mask table, with hit metadata.
+            syndrome_table = self._syndrome_table
+            syndrome_table.lookups += 1
+            syndrome_table.hits += 1
+            entry = self._fast_syndrome_entries[syndrome]
+            entry.last_hit = now
+            entry.hit_count += 1
+            # Steps ➍/➎: flip the deviated bit, keep the message bits.
+            basis = (body ^ self._fast_flip_masks[syndrome]) >> self._basis_shift
+
+            lookup = self._basis_table.lookup_ref(basis, now=now)
+            digests = ()
+            if lookup is not None and lookup.action == "set_identifier":
+                value = (
+                    ((prefix << self._identifier_bits) | lookup.params["identifier"])
+                    << self._syndrome_bits
+                ) | syndrome
+                out = (
+                    frame[:12]
+                    + self._fast_eth_type3
+                    + (value << self._fast_type3_pad).to_bytes(
+                        self._fast_type3_bytes, "big"
+                    )
+                    + frame[chunk_end:]
+                )
+                self.counters.count("raw_to_compressed", length)
+            else:
+                value = (
+                    ((prefix << self._transform.basis_bits) | basis)
+                    << self._syndrome_bits
+                ) | syndrome
+                out = (
+                    frame[:12]
+                    + self._fast_eth_type2
+                    + (value << self._fast_type2_pad).to_bytes(
+                        self._fast_type2_bytes, "big"
+                    )
+                    + frame[chunk_end:]
+                )
+                digests = ((LEARN_DIGEST, {"basis": basis}),)
+                self.counters.count("raw_to_uncompressed", length)
+        elif ethertype == self._fast_eth_type2:
+            if length < self._fast_min_type2_frame:
+                return None
+            out = frame
+            digests = ()
+            self.counters.count("passthrough_processed", length)
+        elif ethertype == self._fast_eth_type3:
+            if length < self._fast_min_type3_frame:
+                return None
+            out = frame
+            digests = ()
+            self.counters.count("passthrough_processed", length)
+        else:
+            out = frame
+            digests = ()
+            self.counters.count("passthrough_other", length)
+
+        switch.record_rx(ingress_port, length)
+        pipeline.packets_processed += 1
+        pipeline.parser.packets_parsed += 1
+        for digest_type, data in digests:
+            switch.digest_engine.emit(digest_type, data)
+        egress = self._forwarding.get(ingress_port, self._default_egress_port)
+        latency = pipeline.pipeline_latency
+        switch.transmit(egress, out, latency)
+        return PipelineResult(
+            egress_port=egress, frame=out, digests=digests, latency=latency
+        )
 
     def known_bases(self) -> List[Hashable]:
         """Bases currently present in the basis → identifier table."""

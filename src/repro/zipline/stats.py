@@ -11,10 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.net.ethernet import EthernetFrame, EtherType
-from repro.net.packets import PacketKind, classify_frame
+from repro.exceptions import PacketError
+from repro.net.ethernet import ETHERNET_HEADER_BYTES, EtherType
+from repro.net.packets import PacketKind
 
 __all__ = ["LinkTapRecord", "LinkTap", "CompressionSummary"]
+
+#: EtherType wire bytes, bound once for the per-frame classification below.
+_TYPE2_ETHERTYPE = int(EtherType.ZIPLINE_UNCOMPRESSED).to_bytes(2, "big")
+_TYPE3_ETHERTYPE = int(EtherType.ZIPLINE_COMPRESSED).to_bytes(2, "big")
 
 
 @dataclass(frozen=True)
@@ -52,21 +57,39 @@ class LinkTap:
         self._total_payload_bytes = 0
 
     def observe(self, frame_bytes_raw: bytes, time: float) -> None:
-        """Record one frame (raw bytes as transmitted)."""
-        frame = EthernetFrame.from_bytes(frame_bytes_raw)
-        kind = classify_frame(frame)
+        """Record one frame (raw bytes as transmitted).
+
+        Classification reads the EtherType straight out of the wire bytes —
+        no :class:`~repro.net.ethernet.EthernetFrame` (and its MAC address
+        objects) is materialised per frame; the tap sits on every replayed
+        packet's path.
+        """
+        if len(frame_bytes_raw) < ETHERNET_HEADER_BYTES:
+            raise PacketError(
+                f"frame of {len(frame_bytes_raw)} bytes is shorter than an "
+                f"Ethernet header ({ETHERNET_HEADER_BYTES} bytes)"
+            )
+        ethertype = frame_bytes_raw[12:14]
+        if ethertype == _TYPE2_ETHERTYPE:
+            kind = PacketKind.PROCESSED_UNCOMPRESSED
+        elif ethertype == _TYPE3_ETHERTYPE:
+            kind = PacketKind.PROCESSED_COMPRESSED
+        else:
+            kind = PacketKind.RAW
+        payload_bytes = len(frame_bytes_raw) - ETHERNET_HEADER_BYTES
         self._counts[kind] += 1
-        self._payload_bytes[kind] += frame.payload_bytes
+        self._payload_bytes[kind] += payload_bytes
         self._total_frames += 1
-        self._total_payload_bytes += frame.payload_bytes
-        self._first_times.setdefault(kind, time)
+        self._total_payload_bytes += payload_bytes
+        if kind not in self._first_times:
+            self._first_times[kind] = time
         if self.store_records:
             self.records.append(
                 LinkTapRecord(
                     time=time,
                     kind=kind,
                     frame_bytes=len(frame_bytes_raw),
-                    payload_bytes=frame.payload_bytes,
+                    payload_bytes=payload_bytes,
                 )
             )
 

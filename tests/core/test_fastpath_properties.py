@@ -1,0 +1,342 @@
+"""Property tests: the fused fast path is bit-identical to the reference path.
+
+The fast path (``GDTransform(fast=True)``, the default) rebuilds the GD hot
+loop out of lane tables, prefix-syndrome corrections and bulk big-int XORs;
+the reference path (``fast=False``) walks the original checked layers one
+step at a time.  These tests drive both over randomized inputs — every
+Hamming order in 3..8, a sweep of prefix widths, dictionary pressure,
+batch and chunk-at-a-time APIs — and require exact equality of outputs
+*and* statistics.  ``REPRO_GD_FAST=0`` turns the same fast path off
+process-wide; the last test pins that wiring.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bits import HAS_INT_BIT_COUNT, popcount, popcount_portable
+from repro.core.codec import GDCodec
+from repro.core.decoder import GDDecoder
+from repro.core.dictionary import BasisDictionary, EvictionPolicy
+from repro.core.encoder import GDEncoder
+from repro.core.transform import GDTransform, fast_path_default
+from repro.workloads import SyntheticSensorWorkload
+
+ORDERS = range(3, 9)
+
+
+def _random_buffer(transform, count, rng, clustered=False):
+    """``count`` random chunks as one contiguous buffer."""
+    code = transform.code
+    chunks = []
+    for _ in range(count):
+        if clustered and rng.random() < 0.7:
+            # codeword of a small basis pool plus a single-bit deviation —
+            # the clustered shape GD is built for (exercises dict hits).
+            basis = rng.randrange(8)
+            body = code.encode(basis)
+            if rng.random() < 0.8:
+                body ^= 1 << rng.randrange(code.n)
+            value = (rng.getrandbits(transform.prefix_bits) << code.n) | body
+        else:
+            value = rng.getrandbits(transform.chunk_bits)
+        chunks.append(value.to_bytes(transform.chunk_bytes, "big"))
+    return b"".join(chunks)
+
+
+class TestTransformEquivalence:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_split_and_join_match_reference_across_prefix_widths(self, order):
+        rng = random.Random(order)
+        n = (1 << order) - 1
+        for extra_bits in (0, 1, 2, 3, 7, 8, 13):
+            chunk_bits = n + extra_bits
+            fast = GDTransform(order=order, chunk_bits=chunk_bits, fast=True)
+            reference = GDTransform(order=order, chunk_bits=chunk_bits, fast=False)
+            assert fast.fast and not reference.fast
+            data = _random_buffer(fast, 40, rng)
+            fast_fields = fast.split_batch_fields(data)
+            reference_fields = reference.split_batch_fields(data)
+            assert fast_fields == reference_fields
+            size = fast.chunk_bytes
+            for index, (prefix, basis, deviation) in enumerate(fast_fields):
+                piece = data[index * size : (index + 1) * size]
+                assert fast.split_fields(piece) == (prefix, basis, deviation)
+                assert reference.split_fields(piece) == (prefix, basis, deviation)
+                rebuilt_fast = fast.join_fields_fast(prefix, basis, deviation)
+                rebuilt_reference = reference.join_fields_fast(
+                    prefix, basis, deviation
+                )
+                assert rebuilt_fast == rebuilt_reference
+                assert rebuilt_fast.to_bytes(size, "big") == piece
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_split_batch_parts_match_per_chunk_split(self, order):
+        rng = random.Random(100 + order)
+        transform = GDTransform(order=order)
+        data = _random_buffer(transform, 25, rng)
+        size = transform.chunk_bytes
+        batch = transform.split_batch(data)
+        singles = [
+            transform.split(data[offset : offset + size])
+            for offset in range(0, len(data), size)
+        ]
+        assert batch == singles
+
+    def test_memoryview_and_bytearray_inputs_are_zero_copy_equivalent(self):
+        transform = GDTransform(order=8)
+        rng = random.Random(5)
+        data = _random_buffer(transform, 30, rng)
+        expected = transform.split_batch_fields(data)
+        assert transform.split_batch_fields(bytearray(data)) == expected
+        assert transform.split_batch_fields(memoryview(data)) == expected
+        # a view into a larger buffer: the zero-copy slicing contract
+        padded = b"\xff" * 32 + data + b"\xff" * 7
+        view = memoryview(padded)[32 : 32 + len(data)]
+        assert transform.split_batch_fields(view) == expected
+
+    def test_bulk_parities_match_per_basis_parity(self):
+        for order in ORDERS:
+            code = GDTransform(order=order).code
+            rng = random.Random(order * 7)
+            bases = [rng.getrandbits(code.k) for _ in range(50)] + [0, (1 << code.k) - 1]
+            bulk = code.parities_of_bases(bases)
+            for basis, parity in zip(bases, bulk):
+                assert parity == code.parity_of_basis(basis)
+
+
+class TestPopcount:
+    def test_matches_portable_implementation(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            value = rng.getrandbits(rng.randrange(1, 300))
+            assert popcount(value) == popcount_portable(value)
+        assert popcount(0) == 0
+
+    @pytest.mark.skipif(not HAS_INT_BIT_COUNT, reason="int.bit_count requires 3.10+")
+    def test_uses_bit_count_when_available(self):
+        assert popcount((1 << 255) | 1) == 2
+
+
+class TestCodecEquivalence:
+    """Fast and reference codecs must emit identical records and bytes."""
+
+    @pytest.mark.parametrize("mode", ["dynamic", "no_table"])
+    @pytest.mark.parametrize("order", [3, 5, 8])
+    def test_roundtrip_and_container_bit_identical(self, order, mode):
+        rng = random.Random(order * 31)
+        fast_codec = GDCodec(order=order, identifier_bits=6, mode=mode)
+        data = _random_buffer(fast_codec.transform, 120, rng, clustered=True)
+
+        # reference: same parameters, reference transform wired through
+        reference_transform = GDTransform(order=order, fast=False)
+        reference_encoder = GDEncoder(
+            reference_transform,
+            BasisDictionary(1 << 6) if mode != "no_table" else None,
+            mode=mode,
+            identifier_bits=6,
+            alignment_padding_bits=0,
+        )
+        fast_result = fast_codec.compress(data)
+        reference_records = reference_encoder.encode_buffer(data)
+        assert list(fast_result.records) == reference_records
+        assert (
+            fast_codec.encoder.stats.as_dict() == reference_encoder.stats.as_dict()
+        )
+
+        container = fast_codec.clone().compress_to_container(data)
+        restored = fast_codec.clone().decompress_container(container)
+        assert restored == data
+
+        reference_decoder = GDDecoder(
+            reference_transform,
+            BasisDictionary(1 << 6) if mode != "no_table" else None,
+        )
+        fast_decoder_codec = fast_codec.clone()
+        fast_chunks = fast_decoder_codec.decoder.decode_batch(fast_result.records)
+        reference_chunks = reference_decoder.decode_batch(fast_result.records)
+        assert fast_chunks == reference_chunks
+        assert (
+            fast_decoder_codec.decoder.stats.as_dict()
+            == reference_decoder.stats.as_dict()
+        )
+
+    def test_under_eviction_pressure_with_random_policy(self, monkeypatch):
+        """Tiny dictionary + seeded random eviction: both paths stay lossless
+        and produce byte-identical containers."""
+        data = b"".join(
+            SyntheticSensorWorkload(
+                num_chunks=600, distinct_bases=40, seed=9
+            ).chunks()
+        )
+        containers = {}
+        for fast in (True, False):
+            monkeypatch.setenv("REPRO_GD_FAST", "1" if fast else "0")
+            codec = GDCodec(
+                order=8,
+                identifier_bits=4,
+                eviction_policy=EvictionPolicy.RANDOM,
+                eviction_seed=1234,
+            )
+            assert codec.transform.fast is fast
+            assert codec.roundtrip(data) == data
+            containers[fast] = codec.compress_to_container(data)
+        assert containers[True] == containers[False]
+
+    def test_static_mode_matches_reference(self, monkeypatch):
+        workload = SyntheticSensorWorkload(num_chunks=300, distinct_bases=12, seed=4)
+        data = b"".join(workload.chunks())
+        preload = GDCodec(order=8, identifier_bits=8)
+        bases = sorted(
+            {basis for _p, basis, _d in preload.transform.split_batch_fields(data)}
+        )
+        containers = {}
+        for fast in (True, False):
+            monkeypatch.setenv("REPRO_GD_FAST", "1" if fast else "0")
+            codec = GDCodec(
+                order=8, identifier_bits=8, mode="static", static_bases=bases
+            )
+            assert codec.roundtrip(data) == data
+            containers[fast] = codec.compress_to_container(data)
+        assert containers[True] == containers[False]
+
+
+class TestBatchApiEquivalence:
+    def test_encode_chunks_buffer_equals_chunk_at_a_time(self):
+        transform = GDTransform(order=8)
+        data = _random_buffer(transform, 80, random.Random(17), clustered=True)
+        size = transform.chunk_bytes
+
+        batch_encoder = GDEncoder(
+            GDTransform(order=8), BasisDictionary(64), identifier_bits=6
+        )
+        single_encoder = GDEncoder(
+            GDTransform(order=8), BasisDictionary(64), identifier_bits=6
+        )
+        batch_records = batch_encoder.encode_chunks(data)
+        single_records = [
+            single_encoder.encode_chunk(data[offset : offset + size])
+            for offset in range(0, len(data), size)
+        ]
+        assert batch_records == single_records
+        assert batch_encoder.stats.as_dict() == single_encoder.stats.as_dict()
+
+        # iterable-of-chunks form of encode_chunks
+        iterable_encoder = GDEncoder(
+            GDTransform(order=8), BasisDictionary(64), identifier_bits=6
+        )
+        pieces = [data[offset : offset + size] for offset in range(0, len(data), size)]
+        assert iterable_encoder.encode_chunks(pieces) == batch_records
+
+        batch_decoder = GDDecoder(GDTransform(order=8), BasisDictionary(64))
+        single_decoder = GDDecoder(GDTransform(order=8), BasisDictionary(64))
+        batch_chunks = batch_decoder.decode_batch(batch_records)
+        single_chunks = [single_decoder.decode_record(r) for r in batch_records]
+        assert batch_chunks == single_chunks
+        assert batch_decoder.stats.as_dict() == single_decoder.stats.as_dict()
+        assert b"".join(
+            chunk.to_bytes(size, "big") for chunk in batch_chunks
+        ) == data
+
+
+class TestDictionaryHotCache:
+    """The hot-entry cache must not change observable LRU behaviour."""
+
+    class _ModelLru:
+        """Straight-line reference model of the pre-cache dictionary."""
+
+        def __init__(self, capacity):
+            from collections import OrderedDict
+
+            self.capacity = capacity
+            self.map = OrderedDict()
+            self.next_id = 0
+
+        def lookup(self, key, touch=True):
+            if key not in self.map:
+                return None
+            if touch:
+                self.map.move_to_end(key)
+            return self.map[key]
+
+    def test_mixed_operations_match_reference_model(self):
+        rng = random.Random(42)
+        real = BasisDictionary(8, EvictionPolicy.LRU)
+        model = self._ModelLru(8)
+
+        # drive both with an op mix heavy on repeat lookups (the hot case)
+        hot_key = None
+        for _ in range(3000):
+            action = rng.random()
+            if action < 0.5 and hot_key is not None:
+                key = hot_key
+            else:
+                key = rng.randrange(20)
+                hot_key = key
+            if action < 0.75:
+                got = real.lookup(key, touch=True)
+                expected = model.lookup(key, touch=True)
+                assert got == expected
+            elif action < 0.85:
+                got = real.lookup(key, touch=False)
+                expected = model.lookup(key, touch=False)
+                assert got == expected
+            else:
+                identifier, _evicted = real.insert(key)
+                if key in model.map:
+                    model.map.move_to_end(key)
+                    assert identifier == model.map[key]
+                else:
+                    if len(model.map) >= model.capacity:
+                        _old, recycled = model.map.popitem(last=False)
+                        model.map[key] = recycled
+                    else:
+                        model.map[key] = model.next_id
+                        model.next_id += 1
+                    assert identifier == model.map[key]
+            assert list(real.snapshot().items()) == list(model.map.items())
+
+    def test_touch_remove_and_clear_keep_cache_consistent(self):
+        dictionary = BasisDictionary(4)
+        for key in (1, 2, 3, 4):
+            dictionary.insert(key)
+        assert dictionary.lookup(4) == 3  # hot
+        assert dictionary.remove(4) == 3  # removes the hot entry
+        assert dictionary.lookup(4) is None
+        dictionary.touch(1)
+        assert dictionary.lookup(1) == 0
+        dictionary.clear()
+        assert dictionary.lookup(1) is None
+        identifier, _ = dictionary.insert(9)
+        assert identifier == 0
+        assert dictionary.lookup(9) == 0
+
+    def test_external_install_invalidates_hot_cache(self):
+        """Regression: a control-plane install appends a new MRU entry, so a
+        stale hot key must not skip its recency refresh afterwards."""
+        dictionary = BasisDictionary(2, EvictionPolicy.LRU)
+        dictionary.insert("A")  # hot = A
+        dictionary.insert_with_identifier("X", 1)  # X is now the MRU entry
+        assert dictionary.lookup("A", touch=True) == 0  # must refresh A
+        _identifier, evicted = dictionary.insert("C")
+        assert evicted == "X"  # A was touched after X, so X is the LRU
+
+    def test_encoder_decoder_stay_lock_step_under_pressure(self):
+        """Shared eviction decisions survive the hot cache (lossless check)."""
+        data = b"".join(
+            SyntheticSensorWorkload(num_chunks=800, distinct_bases=30, seed=3).chunks()
+        )
+        codec = GDCodec(order=8, identifier_bits=4)  # 16 slots for 30 bases
+        assert codec.roundtrip(data) == data
+
+
+class TestEnvironmentGate:
+    def test_env_var_disables_fast_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_FAST", "0")
+        assert fast_path_default() is False
+        assert GDTransform(order=8).fast is False
+        monkeypatch.setenv("REPRO_GD_FAST", "1")
+        assert fast_path_default() is True
+        assert GDTransform(order=8).fast is True
+        monkeypatch.delenv("REPRO_GD_FAST")
+        assert fast_path_default() is True

@@ -294,3 +294,22 @@ class TestExperimentCommand:
         assert "unknown group-by axis" in captured.err
         # The sweep must not have started.
         assert "done " not in captured.out
+
+
+class TestBenchCommand:
+    def test_list_names_every_benchmark_file(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "hotpath" in output
+        assert "fig4_throughput" in output
+
+    def test_unknown_benchmark_errors(self, capsys):
+        assert main(["bench", "no-such-bench", "--list"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_profile_prints_encode_and_decode_tables(self, capsys):
+        assert main(["bench", "--profile", "--profile-chunks", "400"]) == 0
+        output = capsys.readouterr().out
+        assert "=== encode: GDCodec.compress" in output
+        assert "=== decode: decompress_records" in output
+        assert "cumulative" in output

@@ -1,0 +1,280 @@
+"""The compiled switch fast path is indistinguishable from the interpreted one.
+
+Every observable of the switch models — output frames, per-type counters,
+pipeline summaries, CRC extern invocations, match-action table hit counters
+and entry metadata, digest emission, port statistics, return values — must
+be identical whether a frame went through the compiled integer path or the
+interpreted parser/pipeline/deparser.  These tests drive both variants with
+the same randomized frame mix (raw chunks, type 2/3, foreign EtherTypes,
+truncated frames) and diff everything.
+"""
+
+import random
+
+import pytest
+
+from repro.core.transform import GDTransform
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.mac import MacAddress
+from repro.zipline.decoder_switch import ZipLineDecoderSwitch
+from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+DST = MacAddress("02:00:00:00:00:02")
+SRC = MacAddress("02:00:00:00:00:01")
+
+ENCODER_COUNTERS = [
+    "raw_to_uncompressed",
+    "raw_to_compressed",
+    "passthrough_processed",
+    "passthrough_other",
+]
+DECODER_COUNTERS = [
+    "compressed_to_raw",
+    "uncompressed_to_raw",
+    "unknown_identifier",
+    "passthrough_other",
+]
+
+
+def _frame_mix(transform, headers, rng, count):
+    """A randomized mix of every frame shape the programs can see."""
+    code = transform.code
+    frames = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.45:  # raw chunk (sometimes clustered for dict hits)
+            if rng.random() < 0.5:
+                basis = rng.getrandbits(3)
+                body = code.encode(basis)
+                if rng.random() < 0.8:
+                    body ^= 1 << rng.randrange(code.n)
+            else:
+                body = rng.getrandbits(code.n)
+            value = (rng.getrandbits(transform.prefix_bits) << code.n) | body
+            payload = value.to_bytes(headers.chunk.total_bytes, "big")
+            if rng.random() < 0.2:  # trailing payload after the chunk
+                payload += bytes(rng.getrandbits(8) for _ in range(rng.randrange(1, 9)))
+            frames.append(
+                EthernetFrame(DST, SRC, ETHERTYPE_RAW_CHUNK, payload).to_bytes()
+            )
+        elif roll < 0.6:  # type 2
+            value = rng.getrandbits(headers.type2.total_bits)
+            frames.append(
+                EthernetFrame(
+                    DST, SRC, EtherType.ZIPLINE_UNCOMPRESSED,
+                    value.to_bytes(headers.type2.total_bytes, "big"),
+                ).to_bytes()
+            )
+        elif roll < 0.75:  # type 3 (identifiers both mapped and unmapped)
+            syndrome = rng.getrandbits(code.m)
+            identifier = rng.randrange(0, 64)
+            prefix = rng.getrandbits(max(transform.prefix_bits, 1)) if transform.prefix_bits else 0
+            value = (
+                ((prefix << headers.identifier_bits) | identifier) << code.m
+            ) | syndrome
+            value <<= headers.type3_padding_bits
+            frames.append(
+                EthernetFrame(
+                    DST, SRC, EtherType.ZIPLINE_COMPRESSED,
+                    value.to_bytes(headers.type3.total_bytes, "big"),
+                ).to_bytes()
+            )
+        elif roll < 0.9:  # unrelated traffic
+            frames.append(
+                EthernetFrame(
+                    DST, SRC, EtherType.IPV4,
+                    bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 60))),
+                ).to_bytes()
+            )
+        else:  # truncated ZipLine frames (parser error path)
+            ethertype = rng.choice(
+                [ETHERTYPE_RAW_CHUNK, int(EtherType.ZIPLINE_UNCOMPRESSED),
+                 int(EtherType.ZIPLINE_COMPRESSED)]
+            )
+            frames.append(
+                EthernetFrame(
+                    DST, SRC, ethertype,
+                    bytes(rng.randrange(0, 8)),
+                ).to_bytes()
+            )
+    return frames
+
+
+def _diff_counters(fast, slow, labels):
+    for label in labels:
+        fast_sample = fast.counters.read(label)
+        slow_sample = slow.counters.read(label)
+        assert (fast_sample.packets, fast_sample.bytes) == (
+            slow_sample.packets,
+            slow_sample.bytes,
+        ), label
+
+
+class TestEncoderSwitchFastPath:
+    def _build(self, fast):
+        switch = ZipLineEncoderSwitch(
+            transform=GDTransform(order=8), forwarding={0: 1}, fast=fast
+        )
+        delivered = []
+        switch.switch.attach_port(1, lambda frame, _time: delivered.append(frame))
+        return switch, delivered
+
+    def test_equivalent_over_randomized_frame_mix(self):
+        fast_switch, fast_out = self._build(True)
+        slow_switch, slow_out = self._build(False)
+        assert fast_switch._fast_enabled
+        assert not slow_switch._fast_enabled
+        rng = random.Random(2020)
+        frames = _frame_mix(
+            fast_switch.transform, fast_switch.headers, rng, 500
+        )
+        # install a few mappings so the compressed branch runs too
+        mapping_rng = random.Random(1)
+        for identifier in range(12):
+            basis = mapping_rng.getrandbits(3)
+            fast_switch.install_basis_mapping(basis, identifier)
+            slow_switch.install_basis_mapping(basis, identifier)
+
+        for frame in frames:
+            fast_result = fast_switch.receive(frame, 0)
+            slow_result = slow_switch.receive(frame, 0)
+            assert fast_result.frame == slow_result.frame
+            assert fast_result.egress_port == slow_result.egress_port
+            assert fast_result.digests == slow_result.digests
+            assert fast_result.latency == slow_result.latency
+        assert fast_out == slow_out
+        _diff_counters(fast_switch, slow_switch, ENCODER_COUNTERS)
+        assert fast_switch.pipeline.summary() == slow_switch.pipeline.summary()
+        assert fast_switch._crc.invocations == slow_switch._crc.invocations
+        assert fast_switch.basis_table.lookups == slow_switch.basis_table.lookups
+        assert fast_switch.basis_table.hits == slow_switch.basis_table.hits
+        assert (
+            fast_switch.switch.summary() == slow_switch.switch.summary()
+        )
+
+    def test_basis_table_entry_metadata_matches(self):
+        fast_switch, _ = self._build(True)
+        slow_switch, _ = self._build(False)
+        code = fast_switch.transform.code
+        basis = 5
+        fast_switch.install_basis_mapping(basis, 0)
+        slow_switch.install_basis_mapping(basis, 0)
+        body = code.encode(basis)
+        frame = EthernetFrame(
+            DST, SRC, ETHERTYPE_RAW_CHUNK, body.to_bytes(32, "big")
+        ).to_bytes()
+        for _ in range(3):
+            fast_switch.receive(frame, 0)
+            slow_switch.receive(frame, 0)
+        fast_entry = fast_switch.basis_table.get_entry(basis)
+        slow_entry = slow_switch.basis_table.get_entry(basis)
+        assert fast_entry.hit_count == slow_entry.hit_count
+        assert fast_entry.last_hit == slow_entry.last_hit
+
+    def test_reference_transform_disables_fast_path(self):
+        switch = ZipLineEncoderSwitch(transform=GDTransform(order=8, fast=False))
+        assert not switch._fast_enabled
+
+    def test_env_var_gates_the_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_FAST", "0")
+        switch = ZipLineEncoderSwitch(transform=GDTransform(order=8))
+        assert not switch._fast_enabled
+
+
+class TestDecoderSwitchFastPath:
+    def _build(self, fast):
+        switch = ZipLineDecoderSwitch(
+            transform=GDTransform(order=8), forwarding={0: 1}, fast=fast
+        )
+        delivered = []
+        switch.switch.attach_port(1, lambda frame, _time: delivered.append(frame))
+        mapping_rng = random.Random(8)
+        for identifier in range(40):
+            switch.install_identifier_mapping(
+                identifier, mapping_rng.getrandbits(switch.transform.code.k)
+            )
+        return switch, delivered
+
+    def test_equivalent_over_randomized_frame_mix(self):
+        fast_switch, fast_out = self._build(True)
+        slow_switch, slow_out = self._build(False)
+        assert fast_switch._fast_enabled
+        assert not slow_switch._fast_enabled
+        rng = random.Random(7)
+        frames = _frame_mix(fast_switch.transform, fast_switch.headers, rng, 500)
+        for frame in frames:
+            fast_result = fast_switch.receive(frame, 0)
+            slow_result = slow_switch.receive(frame, 0)
+            assert fast_result.frame == slow_result.frame
+            assert fast_result.egress_port == slow_result.egress_port
+        assert fast_out == slow_out
+        _diff_counters(fast_switch, slow_switch, DECODER_COUNTERS)
+        assert fast_switch.pipeline.summary() == slow_switch.pipeline.summary()
+        assert fast_switch._crc.invocations == slow_switch._crc.invocations
+        assert (
+            fast_switch.identifier_table.lookups
+            == slow_switch.identifier_table.lookups
+        )
+        assert fast_switch.identifier_table.hits == slow_switch.identifier_table.hits
+        assert fast_switch.switch.summary() == slow_switch.switch.summary()
+
+    def test_odd_basis_install_falls_back_without_double_counting(self):
+        """Regression: a non-int installed basis defers to the interpreted
+        path; the identifier table must be counted exactly once per frame."""
+        switch, _delivered = self._build(True)
+        switch.install_identifier_mapping(50, "not-an-int")
+        headers = switch.headers
+        code = switch.transform.code
+        value = ((0 << headers.identifier_bits) | 50) << code.m
+        value <<= headers.type3_padding_bits
+        frame = EthernetFrame(
+            DST, SRC, EtherType.ZIPLINE_COMPRESSED,
+            value.to_bytes(headers.type3.total_bytes, "big"),
+        ).to_bytes()
+        before_lookups = switch.identifier_table.lookups
+        with pytest.raises(Exception):
+            switch.receive(frame, 0)  # interpreted path rejects the basis
+        assert switch.identifier_table.lookups == before_lookups + 1
+        entry = switch.identifier_table.get_entry(50)
+        assert entry.hit_count == 1
+
+    def test_encode_then_decode_restores_chunks_on_both_paths(self):
+        """Full loop: encoder output through the decoder, fast vs reference."""
+        rng = random.Random(99)
+        transform = GDTransform(order=8)
+        code = transform.code
+        chunks = []
+        for _ in range(60):
+            basis = rng.getrandbits(4)
+            body = code.encode(basis) ^ (1 << rng.randrange(code.n))
+            chunks.append(
+                ((rng.getrandbits(1) << code.n) | body).to_bytes(32, "big")
+            )
+        for fast in (True, False):
+            encoder = ZipLineEncoderSwitch(
+                transform=GDTransform(order=8), forwarding={0: 1}, fast=fast
+            )
+            decoder = ZipLineDecoderSwitch(
+                transform=GDTransform(order=8), forwarding={0: 1}, fast=fast
+            )
+            wire = []
+            encoder.switch.attach_port(1, lambda frame, _t: wire.append(frame))
+            restored = []
+            decoder.switch.attach_port(1, lambda frame, _t: restored.append(frame))
+            # mirror encoder learning into the decoder's identifier table,
+            # as the control plane would
+            seen = {}
+            for chunk in chunks:
+                frame = EthernetFrame(DST, SRC, ETHERTYPE_RAW_CHUNK, chunk).to_bytes()
+                prefix, basis, _dev = encoder.transform.split_fields(chunk)
+                if basis not in seen:
+                    identifier = len(seen)
+                    seen[basis] = identifier
+                    encoder.install_basis_mapping(basis, identifier)
+                    decoder.install_identifier_mapping(identifier, basis)
+                encoder.receive(frame, 0)
+            for frame in wire:
+                decoder.receive(frame, 0)
+            payloads = [frame[14 : 14 + 32] for frame in restored]
+            assert payloads == chunks, f"fast={fast}"
