@@ -13,6 +13,10 @@ Exposes the pieces a user reaches for most often without writing Python:
   (encoder → link(s) → decoder, with optional loss/reordering/queueing)
   and report compression ratio, latency percentiles and per-component
   counters; see :mod:`repro.replay`;
+* ``topology`` — run an arbitrary topology graph (declarative JSON spec or
+  a named preset such as the K-sender ``fan-in``) with N concurrent flows
+  and per-flow reporting; see :mod:`repro.topology` and
+  ``docs/topology.md``;
 * ``experiment`` — expand a declarative scenario-matrix spec (JSON/TOML)
   into a cross-product of replay runs, execute them — optionally sharded
   across worker processes — and fold the reports into one aggregate table
@@ -134,9 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--topology",
-        choices=[topology.value for topology in ReplayTopology],
         default="encoder-link-decoder",
-        help="replay topology (default: encoder-link-decoder)",
+        metavar="NAME",
+        help="linear replay topology: "
+             + ", ".join(topology.value for topology in ReplayTopology)
+             + " (default: encoder-link-decoder; graph shapes live under "
+             "'repro topology')",
     )
     replay.add_argument(
         "--hops", type=int, default=1,
@@ -191,6 +198,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full per-component counter breakdown",
     )
     replay.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the full report as JSON",
+    )
+
+    topology = subparsers.add_parser(
+        "topology",
+        help="run a topology graph with concurrent flows",
+        description=(
+            "Build a topology of hosts, ZipLine switches and emulated links "
+            "-- from a declarative JSON spec (--spec) or a named preset "
+            "(--preset) -- run all of its flows concurrently on one "
+            "simulator, and report per-flow integrity, per-link counters "
+            "and the aggregate compression ratio. See docs/topology.md."
+        ),
+    )
+    topology.add_argument(
+        "--spec", type=Path, default=None, help="topology spec (.json)"
+    )
+    topology.add_argument(
+        "--preset", default=None, metavar="NAME",
+        help="named topology preset (linear, fan-in, paper-testbed)",
+    )
+    topology.add_argument(
+        "--senders", type=int, default=4,
+        help="concurrent senders for --preset fan-in (default 4)",
+    )
+    topology.add_argument(
+        "--scenario",
+        choices=[scenario.value for scenario in DeploymentScenario],
+        default="dynamic",
+        help="dictionary scenario for presets (default: dynamic)",
+    )
+    topology.add_argument(
+        "--chunks", type=int, default=1000,
+        help="chunks per flow for presets (default 1000)",
+    )
+    topology.add_argument(
+        "--bases", type=int, default=16,
+        help="distinct bases per flow for presets (default 16)",
+    )
+    topology.add_argument(
+        "--seed", type=int, default=0, help="spec-level seed (default 0)"
+    )
+    topology.add_argument(
+        "--control",
+        choices=("direct", "in-network"),
+        default=None,
+        help="override how mapping installs reach the decoder: direct calls "
+             "or in-network control messages over an emulated link",
+    )
+    topology.add_argument(
+        "--counters", action="store_true",
+        help="print the full per-component counter breakdown",
+    )
+    topology.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the full report as JSON",
     )
@@ -356,6 +418,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         raise ReproError("give the trace exactly once: positionally or via --trace")
     trace_path = args.trace if args.trace is not None else args.input
 
+    try:
+        topology = ReplayTopology.from_name(args.topology)
+    except ReproError as error:
+        # from_name lists the valid linear topologies; add the pointer to
+        # the graph-shaped ones.
+        raise ReproError(
+            f"{error} (graph topologies such as fan-in run via "
+            "'repro topology --preset')"
+        ) from None
     scenario = DeploymentScenario.from_name(args.scenario)
     static_bases = None
     if scenario is DeploymentScenario.STATIC:
@@ -371,7 +442,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     harness = ReplayHarness(
-        topology=args.topology,
+        topology=topology,
         scenario=scenario,
         static_bases=static_bases,
         hops=args.hops,
@@ -400,6 +471,67 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if impairments is None and not args.queue_capacity:
         return 0 if report.integrity.lossless_in_order else 1
     return 0 if report.integrity.intact else 1
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.topology import (
+        TOPOLOGY_PRESETS,
+        TopologyEngine,
+        TopologySpec,
+        preset_topology,
+    )
+
+    if (args.spec is None) == (args.preset is None):
+        raise ReproError(
+            "give the topology exactly once: --spec FILE or --preset NAME "
+            f"(presets: {', '.join(sorted(TOPOLOGY_PRESETS))})"
+        )
+    if args.spec is not None:
+        spec = TopologySpec.from_file(args.spec)
+    else:
+        preset_kwargs = dict(
+            scenario=args.scenario,
+            chunks=args.chunks,
+            bases=args.bases,
+            seed=args.seed,
+        )
+        if args.preset == "fan-in":
+            preset_kwargs["senders"] = args.senders
+        spec = preset_topology(args.preset, **preset_kwargs)
+    if args.control is not None:
+        spec.control = args.control
+    engine = TopologyEngine(spec)
+    report = engine.run()
+    print(report.render(include_counters=args.counters))
+    if args.json is not None:
+        save_results_json(args.json, report.as_dict())
+        print(f"report written to {args.json}")
+    # Same contract as `repro replay`: corruption is never acceptable, and
+    # on a network with no configured impairments (loss, reordering, queue
+    # bounds) every chunk must come back in order — silent total loss on an
+    # ideal network must not exit 0.  Unresolved identifiers on any decoder
+    # mean dropped traffic and fail the run either way.
+    if report.integrity is not None:
+        impaired = any(
+            link.loss or link.reorder or link.queue_capacity
+            for link in spec.links
+        )
+        verdict = (
+            report.integrity.intact
+            if impaired
+            else report.integrity.lossless_in_order
+        )
+        if not verdict:
+            return 1
+        return 0
+    unknown = sum(
+        value
+        for name, value in report.metrics.as_dict()["counters"].items()
+        if name.endswith(".unknown_identifier")
+    )
+    if unknown > 0:
+        return 1
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -590,6 +722,7 @@ _HANDLERS = {
     "codecs": _cmd_codecs,
     "generate-trace": _cmd_generate_trace,
     "replay": _cmd_replay,
+    "topology": _cmd_topology,
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
     "table1": _cmd_table1,

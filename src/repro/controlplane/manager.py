@@ -25,13 +25,21 @@ does not depend on :mod:`repro.zipline`:
   ``remove_basis_mapping(basis)``, ``expired_bases(now)``;
 * decoder switch: ``install_identifier_mapping(identifier, basis)``,
   ``remove_identifier_mapping(identifier)``.
+
+Table mutations can optionally travel through a *transport* instead of a
+direct method call: ``decoder_transport`` / ``encoder_transport`` receive
+plain command dictionaries (``{"op": "install_identifier", ...}``) and are
+responsible for applying them — e.g. a
+:class:`repro.topology.control.ControlChannel` that carries them across an
+emulated link with real latency.  Without transports the behaviour is the
+original direct call, unchanged.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Set
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Set
 
 from repro.controlplane.events import (
     DecoderMappingInstalled,
@@ -123,6 +131,10 @@ class ZipLineControlPlane:
         Control-plane latency model.
     seed:
         Seed for the latency jitter.
+    decoder_transport / encoder_transport:
+        Optional callables taking a command dictionary.  When set, table
+        mutations for that switch are handed to the transport (which models
+        an in-network control path) instead of being applied directly.
     """
 
     def __init__(
@@ -135,12 +147,16 @@ class ZipLineControlPlane:
         entry_ttl: Optional[float] = None,
         timings: Optional[ControlPlaneTimings] = None,
         seed: Optional[int] = None,
+        decoder_transport: Optional[Callable[[Mapping[str, Any]], None]] = None,
+        encoder_transport: Optional[Callable[[Mapping[str, Any]], None]] = None,
     ):
         if identifier_bits <= 0:
             raise ControlPlaneError("identifier_bits must be positive")
         self._digest_engine = digest_engine
         self._encoder_switch = encoder_switch
         self._decoder_switch = decoder_switch
+        self._decoder_transport = decoder_transport
+        self._encoder_transport = encoder_transport
         self._simulator = simulator
         self._pool = IdentifierPool(1 << identifier_bits)
         self._entry_ttl = entry_ttl
@@ -172,6 +188,30 @@ class ZipLineControlPlane:
 
     def _now(self) -> float:
         return self._simulator.now if self._simulator is not None else 0.0
+
+    # -- switch command routing ---------------------------------------------
+
+    def _decoder_command(self, command: Mapping[str, Any]) -> None:
+        """Apply (or transport) one decoder-side table command."""
+        if self._decoder_transport is not None:
+            self._decoder_transport(command)
+        elif command["op"] == "install_identifier":
+            self._decoder_switch.install_identifier_mapping(
+                command["identifier"], command["basis"]
+            )
+        else:
+            self._decoder_switch.remove_identifier_mapping(command["identifier"])
+
+    def _encoder_command(self, command: Mapping[str, Any]) -> None:
+        """Apply (or transport) one encoder-side table command."""
+        if self._encoder_transport is not None:
+            self._encoder_transport(command)
+        elif command["op"] == "install_basis":
+            self._encoder_switch.install_basis_mapping(
+                command["basis"], command["identifier"], command.get("ttl")
+            )
+        else:
+            self._encoder_switch.remove_basis_mapping(command["basis"])
 
     # -- digest handling -----------------------------------------------------
 
@@ -215,9 +255,13 @@ class ZipLineControlPlane:
                 )
             )
             if self._encoder_switch is not None:
-                self._encoder_switch.remove_basis_mapping(allocation.evicted_basis)
+                self._encoder_command(
+                    {"op": "remove_basis", "basis": allocation.evicted_basis}
+                )
             if self._decoder_switch is not None:
-                self._decoder_switch.remove_identifier_mapping(allocation.identifier)
+                self._decoder_command(
+                    {"op": "remove_identifier", "identifier": allocation.identifier}
+                )
 
         write_latency = self._timings.jittered(
             self._timings.table_write_latency, self._rng
@@ -231,7 +275,9 @@ class ZipLineControlPlane:
         """Install the reverse mapping, then schedule the forward mapping."""
         now = self._now()
         if self._decoder_switch is not None:
-            self._decoder_switch.install_identifier_mapping(identifier, basis)
+            self._decoder_command(
+                {"op": "install_identifier", "identifier": identifier, "basis": basis}
+            )
         self.events.append(
             DecoderMappingInstalled(time=now, identifier=identifier, basis=basis)
         )
@@ -247,7 +293,14 @@ class ZipLineControlPlane:
         """Install the forward mapping; compression starts after this point."""
         now = self._now()
         if self._encoder_switch is not None:
-            self._encoder_switch.install_basis_mapping(basis, identifier, self._entry_ttl)
+            self._encoder_command(
+                {
+                    "op": "install_basis",
+                    "basis": basis,
+                    "identifier": identifier,
+                    "ttl": self._entry_ttl,
+                }
+            )
         self._pending.discard(basis)
         self.stats.mappings_learned += 1
         self.events.append(
@@ -274,9 +327,11 @@ class ZipLineControlPlane:
                 if identifier is None:
                     continue
                 self._pool.release(identifier)
-                self._encoder_switch.remove_basis_mapping(basis)
+                self._encoder_command({"op": "remove_basis", "basis": basis})
                 if self._decoder_switch is not None:
-                    self._decoder_switch.remove_identifier_mapping(identifier)
+                    self._decoder_command(
+                        {"op": "remove_identifier", "identifier": identifier}
+                    )
                 self.stats.mappings_expired += 1
                 self.events.append(
                     MappingExpired(time=now, identifier=identifier, basis=basis)

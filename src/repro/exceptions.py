@@ -66,3 +66,7 @@ class WorkloadError(ReproError):
 
 class ReplayError(ReproError):
     """Raised for invalid replay/emulation configurations or runs."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology graphs, specs, or flow configurations."""

@@ -124,17 +124,9 @@ def _build_source(scenario: Scenario) -> "tuple[TraceSource, Optional[list]]":
         distinct_names=params["names"],
         seed=params["seed"],
     )
-    bases = None
-    if params["scenario"] == "static":
-        # The DNS workload has no precomputed basis list; derive it from the
-        # chunks in first-appearance order (the order the control plane's
-        # identifier pool would assign), deterministically.
-        transform = GDTransform(order=order)
-        seen: Dict[int, None] = {}
-        for chunk in workload.iter_chunks():
-            if len(chunk) == transform.chunk_bytes:
-                seen.setdefault(transform.split(chunk).basis, None)
-        bases = list(seen)
+    bases = (
+        workload.bases(order=order) if params["scenario"] == "static" else None
+    )
     return WorkloadTraceSource(workload), bases
 
 
@@ -163,14 +155,62 @@ class ScenarioResult:
         }
 
 
+def _run_fan_in_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute a fan-in topology scenario through the topology engine.
+
+    ``senders`` concurrent flows share one ZipLine encoder; each flow gets
+    its own workload stream seeded from the spec/flow identity (the same
+    CRC-32 scheme as scenario seeds), so the result is independent of flow
+    scheduling order and of how the sweep is sharded.
+    """
+    from repro.topology import TopologyEngine, fan_in_topology
+
+    params = scenario.params
+    spec = fan_in_topology(
+        name=scenario.scenario_id,
+        senders=params["senders"],
+        scenario=params["scenario"],
+        hops=params["hops"],
+        workload=params["workload"],
+        chunks=params["chunks"],
+        bases=params["bases"],
+        names=params["names"],
+        trace=params.get("trace"),
+        pacing=params["pacing"],
+        packet_rate=params["packet_rate"],
+        speedup=params["speedup"],
+        bandwidth_gbps=params["bandwidth_gbps"],
+        propagation_us=params["propagation_us"],
+        queue_capacity=params["queue_capacity"],
+        loss=params["loss"],
+        reorder=params["reorder"],
+        seed=scenario.seed,
+        order=params["order"],
+        identifier_bits=params["identifier_bits"],
+    )
+    report = TopologyEngine(spec).run()
+    return ScenarioResult(
+        index=scenario.index,
+        scenario_id=scenario.scenario_id,
+        axes=dict(scenario.axes),
+        seed=scenario.seed,
+        report=report.as_dict(),
+    )
+
+
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Execute one scenario end to end (this is the worker function).
 
     Everything is rebuilt from the scenario's parameters and derived seed,
     so the result is a pure function of the scenario — the invariant that
-    makes sharded and sequential sweeps byte-identical.
+    makes sharded and sequential sweeps byte-identical.  Linear topologies
+    run through :class:`~repro.replay.harness.ReplayHarness`; the
+    ``fan-in`` topology runs through
+    :class:`~repro.topology.engine.TopologyEngine`.
     """
     params = scenario.params
+    if params["topology"] == "fan-in":
+        return _run_fan_in_scenario(scenario)
     source, bases = _build_source(scenario)
     impairments = None
     if params["loss"] or params["reorder"]:

@@ -40,13 +40,13 @@ Specs load from JSON always and from TOML when the interpreter ships
 from __future__ import annotations
 
 import json
-import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ReproError
 from repro.replay.harness import ReplayTopology
+from repro.topology.spec import derive_seed
 from repro.zipline.deployment import DeploymentScenario
 
 __all__ = [
@@ -153,9 +153,13 @@ PARAMETERS: Dict[str, ParameterSpec] = {
         ),
         ParameterSpec(
             "topology",
-            _choice(tuple(t.value for t in ReplayTopology)),
+            _choice(tuple(t.value for t in ReplayTopology) + ("fan-in",)),
             "encoder-link-decoder",
-            "replay topology",
+            "replay topology (linear chains, or the fan-in graph preset)",
+        ),
+        ParameterSpec(
+            "senders", _positive_int, 4,
+            "concurrent senders sharing the encoder (topology=fan-in)",
         ),
         ParameterSpec("hops", _positive_int, 1, "emulated links in series"),
         ParameterSpec(
@@ -204,13 +208,13 @@ def _validate_parameters(
 def _scenario_seed(spec_name: str, spec_seed: int, scenario_id: str) -> int:
     """Stable per-scenario seed: spec seed mixed with the scenario identity.
 
-    Uses CRC-32 (stable across processes, platforms and Python versions, so
-    sharded workers derive the same seed the sequential runner does) and
-    keeps the result in the non-negative 31-bit range every consumer
-    accepts.
+    Delegates to the repository-wide CRC-32 scheme
+    (:func:`repro.topology.spec.derive_seed` — stable across processes,
+    platforms and Python versions, so sharded workers derive the same seed
+    the sequential runner does; per-flow seeds inside a fan-in scenario
+    derive from the same function).
     """
-    digest = zlib.crc32(f"{spec_name}:{scenario_id}".encode("utf-8"))
-    return (digest ^ (spec_seed & 0xFFFFFFFF)) & 0x7FFFFFFF
+    return derive_seed(spec_name, spec_seed, scenario_id)
 
 
 @dataclass(frozen=True)

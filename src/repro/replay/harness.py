@@ -1,11 +1,21 @@
-"""Topology wiring and the end-to-end replay harness.
+"""The end-to-end *linear* replay harness.
 
-:class:`ReplayHarness` assembles a complete experiment from the existing
-components — ZipLine encoder/decoder switches, the control plane, the
-discrete-event simulator — plus the new :class:`~repro.replay.link.EmulatedLink`
-and :class:`~repro.replay.sources.TraceSource` layers::
+:class:`ReplayHarness` assembles the paper's chain-shaped experiment from
+the existing components — ZipLine encoder/decoder switches, the control
+plane, the discrete-event simulator — plus the
+:class:`~repro.replay.link.EmulatedLink` and
+:class:`~repro.replay.sources.TraceSource` layers::
 
     source ──> [encoder switch] ──tap──> link₀ ─ … ─ linkₙ ──> [decoder switch] ──> sink
+
+Since the :mod:`repro.topology` generalisation the harness is a thin
+builder of *linear* topologies: nodes, the multi-hop link chain and all
+wiring come from :class:`~repro.topology.graph.TopologyGraph` /
+:func:`~repro.topology.graph.build_link_chain`, the same machinery
+arbitrary graph topologies (fan-in, forwarding meshes) are built from.
+Arbitrary shapes and concurrent flows live in
+:class:`~repro.topology.engine.TopologyEngine`; this class keeps the
+original single-flow public API and behaviour, byte for byte.
 
 Three topologies are supported (:class:`ReplayTopology`):
 
@@ -31,23 +41,33 @@ from __future__ import annotations
 
 from collections import deque
 from enum import Enum
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.net.packets import PacketKind
 
 from repro.controlplane.manager import ControlPlaneTimings, ZipLineControlPlane
 from repro.core.transform import GDTransform
 from repro.exceptions import ReplayError
 from repro.perfmodel.linkmodel import ImpairmentModel
 from repro.replay.link import EmulatedLink
-from repro.replay.metrics import IntegrityResult, MetricsRegistry, ReplayReport
+from repro.replay.metrics import (
+    IntegrityResult,
+    MetricsRegistry,
+    ReplayReport,
+    collect_link_metrics,
+    collect_switch_metrics,
+    collect_wire_metrics,
+)
 from repro.replay.sources import FixedRatePacing, Pacing, TraceSource
 from repro.sim.simulator import Simulator
 from repro.tofino.digest import DEFAULT_DELIVERY_LATENCY, DigestEngine
+from repro.topology.graph import TopologyGraph, build_link_chain
+from repro.topology.nodes import HostNode, ZipLineDecoderNode, ZipLineEncoderNode
 from repro.zipline.decoder_switch import ZipLineDecoderSwitch
 from repro.zipline.deployment import DeploymentScenario
 from repro.zipline.encoder_switch import ZipLineEncoderSwitch
 from repro.zipline.headers import RAW_CHUNK_ETHERTYPE_BYTES, raw_chunk_payload
 from repro.zipline.stats import LinkTap
-from repro.net.packets import PacketKind
 
 __all__ = ["ReplayTopology", "ReplayHarness"]
 
@@ -71,20 +91,6 @@ class ReplayTopology(Enum):
             raise ReplayError(
                 f"unknown topology {name!r}; valid topologies: {valid}"
             ) from None
-
-
-class _SinkCollector:
-    """The receiving host: counts — and optionally stores — delivered frames."""
-
-    def __init__(self, store: bool = True) -> None:
-        self.store = store
-        self.delivered = 0
-        self.arrivals: List[Tuple[float, bytes]] = []
-
-    def deliver(self, frame_bytes: bytes, time: float) -> None:
-        self.delivered += 1
-        if self.store:
-            self.arrivals.append((time, frame_bytes))
 
 
 class ReplayHarness:
@@ -151,7 +157,7 @@ class ReplayHarness:
         self.simulator = Simulator()
         self.link_tap = LinkTap(store_records=verify_integrity)
         self.verify_integrity = verify_integrity
-        self.sink = _SinkCollector(store=verify_integrity)
+        self.sink = HostNode("sink", store=verify_integrity)
         self.impairments = impairments
 
         has_encoder = self.topology is not ReplayTopology.DECODER_ONLY
@@ -181,21 +187,18 @@ class ReplayHarness:
                 default_egress_port=self.SINK_PORT,
             )
 
-        self.links: List[EmulatedLink] = [
-            EmulatedLink(
-                simulator=self.simulator,
-                name=f"link{index}",
-                bandwidth_bps=bandwidth_bps,
-                propagation_delay=propagation_delay,
-                queue_capacity=queue_capacity,
-                impairments=None
-                if impairments is None
-                else impairments.fork(index),
-                record_delays=verify_integrity,
-            )
-            for index in range(hops)
-        ]
-        self._wire()
+        # The chain and all wiring come from the topology layer: the harness
+        # is a builder of linear graphs, not a second wiring implementation.
+        self.links: List[EmulatedLink] = build_link_chain(
+            self.simulator,
+            names=[f"link{index}" for index in range(hops)],
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=propagation_delay,
+            queue_capacity=queue_capacity,
+            impairments=impairments,
+            record_delays=verify_integrity,
+        )
+        self._build_graph()
 
         self.control_plane: Optional[ZipLineControlPlane] = None
         if self.scenario is not DeploymentScenario.NO_TABLE and (
@@ -246,27 +249,32 @@ class ReplayHarness:
 
     # -- wiring ------------------------------------------------------------------
 
-    def _wire(self) -> None:
-        def into_first_link(frame_bytes: bytes, time: float) -> None:
-            self.link_tap.observe(frame_bytes, time)
-            self.links[0].send(frame_bytes, time)
-
-        self._entry_point = into_first_link
+    def _build_graph(self) -> None:
+        """Assemble the linear graph: source → [encoder] → chain → [decoder] → sink."""
+        graph = TopologyGraph(self.simulator)
+        self._source_host = graph.add_node(HostNode("source", store=False))
         if self.encoder is not None:
-            self.encoder.switch.attach_port(self.WIRE_PORT, into_first_link)
-
-        for upstream, downstream in zip(self.links, self.links[1:]):
-            upstream.attach(downstream.send)
-
+            graph.add_node(ZipLineEncoderNode("encoder", switch=self.encoder))
         if self.decoder is not None:
-            self.links[-1].attach(
-                lambda frame_bytes, time: self.decoder.receive(
-                    frame_bytes, self.DECODER_IN_PORT
-                )
+            graph.add_node(ZipLineDecoderNode("decoder", switch=self.decoder))
+
+        chain_source, chain_port = "source", 0
+        if self.encoder is not None:
+            graph.add_edge("source", 0, "encoder", self.SENDER_PORT)
+            chain_source, chain_port = "encoder", self.WIRE_PORT
+        if self.decoder is not None:
+            graph.add_edge(
+                chain_source, chain_port, "decoder", self.DECODER_IN_PORT,
+                links=self.links, tap=self.link_tap,
             )
-            self.decoder.switch.attach_port(self.SINK_PORT, self.sink.deliver)
+            graph.add_edge("decoder", self.SINK_PORT, self.sink.deliver)
         else:
-            self.links[-1].attach(self.sink.deliver)
+            graph.add_edge(
+                chain_source, chain_port, self.sink.deliver,
+                links=self.links, tap=self.link_tap,
+            )
+        graph.wire()
+        self.graph = graph
 
     # -- injection ----------------------------------------------------------------
 
@@ -284,10 +292,7 @@ class ReplayHarness:
                 self._sent_chunks.append(payload)
                 self._sent_times.append(self.simulator.now)
                 self._pending_by_content.setdefault(payload, deque()).append(index)
-        if self.encoder is not None:
-            self.encoder.receive(frame_bytes, self.SENDER_PORT)
-        else:
-            self._entry_point(frame_bytes, self.simulator.now)
+        self._source_host.inject(frame_bytes, self.simulator.now)
 
     def _schedule_source(self, source: TraceSource, pacing: Pacing) -> None:
         """Pull frames from the source one at a time.
@@ -380,52 +385,11 @@ class ReplayHarness:
 
     def _collect_metrics(self) -> MetricsRegistry:
         metrics = MetricsRegistry()
-        if self.encoder is not None:
-            for label, sample in self.encoder.counters.as_dict().items():
-                metrics.increment(f"encoder.{label}", sample.packets)
-                metrics.increment(f"encoder.{label}_bytes", sample.bytes)
-            hits = self.encoder.counters.read("raw_to_compressed").packets
-            misses = self.encoder.counters.read("raw_to_uncompressed").packets
-            if hits + misses:
-                metrics.set_gauge("encoder.dictionary_hit_rate", hits / (hits + misses))
-            metrics.set_gauge(
-                "encoder.dictionary_entries", len(self.encoder.known_bases())
-            )
-            engine = self.encoder.digest_engine
-            metrics.increment("encoder.digests_emitted", engine.emitted)
-            metrics.increment("encoder.digests_dropped", engine.dropped)
-        if self.decoder is not None:
-            for label, sample in self.decoder.counters.as_dict().items():
-                metrics.increment(f"decoder.{label}", sample.packets)
-                metrics.increment(f"decoder.{label}_bytes", sample.bytes)
-            metrics.set_gauge(
-                "decoder.dictionary_entries",
-                sum(1 for _ in self.decoder.identifier_table.entries()),
-            )
-        for link in self.links:
-            metrics.merge_counters(link.name, link.stats.as_dict())
-            metrics.distribution(f"{link.name}.queueing_delay").extend(
-                link.stats.queueing_delays
-            )
+        collect_switch_metrics(metrics, encoder=self.encoder, decoder=self.decoder)
+        collect_link_metrics(metrics, self.links)
         if self.control_plane is not None:
             metrics.merge_counters("controlplane", self.control_plane.stats.as_dict())
-        counts = self.link_tap.count_by_kind()
-        payload = self.link_tap.payload_bytes_by_kind()
-        metrics.increment("wire.raw_packets", counts[PacketKind.RAW])
-        metrics.increment(
-            "wire.uncompressed_packets", counts[PacketKind.PROCESSED_UNCOMPRESSED]
-        )
-        metrics.increment(
-            "wire.compressed_packets", counts[PacketKind.PROCESSED_COMPRESSED]
-        )
-        metrics.increment("wire.raw_payload_bytes", payload[PacketKind.RAW])
-        metrics.increment(
-            "wire.uncompressed_payload_bytes",
-            payload[PacketKind.PROCESSED_UNCOMPRESSED],
-        )
-        metrics.increment(
-            "wire.compressed_payload_bytes", payload[PacketKind.PROCESSED_COMPRESSED]
-        )
+        collect_wire_metrics(metrics, self.link_tap)
         return metrics
 
     def learning_time(self) -> Optional[float]:

@@ -22,7 +22,15 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.analysis.reporting import format_table
 from repro.exceptions import ReplayError
 
-__all__ = ["Distribution", "MetricsRegistry", "IntegrityResult", "ReplayReport"]
+__all__ = [
+    "Distribution",
+    "MetricsRegistry",
+    "IntegrityResult",
+    "ReplayReport",
+    "collect_switch_metrics",
+    "collect_link_metrics",
+    "collect_wire_metrics",
+]
 
 Number = Union[int, float]
 
@@ -68,6 +76,11 @@ class Distribution:
     def empty(self) -> bool:
         """True when no sample has been recorded."""
         return not self._samples
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the recorded samples, in insertion order."""
+        return list(self._samples)
 
     def mean(self) -> float:
         """Arithmetic mean of the samples."""
@@ -191,6 +204,84 @@ class MetricsRegistry:
             [name, value] for name, value in sorted(self._gauges.items())
         )
         return format_table(["metric", "value"], rows, title=title)
+
+
+# ---------------------------------------------------------------------------
+# component collectors
+# ---------------------------------------------------------------------------
+#
+# Every replayed topology folds the same component families into a registry:
+# ZipLine switches, emulated links, the measured-link tap.  These collectors
+# are the one implementation both the linear ReplayHarness and the topology
+# engine use, so per-link and per-flow attribution cannot drift between the
+# two.  All arguments are duck-typed — the collectors only touch the narrow
+# counter interfaces the components already expose.
+
+
+def collect_switch_metrics(
+    metrics: "MetricsRegistry",
+    encoder=None,
+    decoder=None,
+    encoder_prefix: str = "encoder",
+    decoder_prefix: str = "decoder",
+) -> None:
+    """Fold ZipLine encoder/decoder switch counters into the registry."""
+    if encoder is not None:
+        for label, sample in encoder.counters.as_dict().items():
+            metrics.increment(f"{encoder_prefix}.{label}", sample.packets)
+            metrics.increment(f"{encoder_prefix}.{label}_bytes", sample.bytes)
+        hits = encoder.counters.read("raw_to_compressed").packets
+        misses = encoder.counters.read("raw_to_uncompressed").packets
+        if hits + misses:
+            metrics.set_gauge(
+                f"{encoder_prefix}.dictionary_hit_rate", hits / (hits + misses)
+            )
+        metrics.set_gauge(
+            f"{encoder_prefix}.dictionary_entries", len(encoder.known_bases())
+        )
+        engine = encoder.digest_engine
+        metrics.increment(f"{encoder_prefix}.digests_emitted", engine.emitted)
+        metrics.increment(f"{encoder_prefix}.digests_dropped", engine.dropped)
+    if decoder is not None:
+        for label, sample in decoder.counters.as_dict().items():
+            metrics.increment(f"{decoder_prefix}.{label}", sample.packets)
+            metrics.increment(f"{decoder_prefix}.{label}_bytes", sample.bytes)
+        metrics.set_gauge(
+            f"{decoder_prefix}.dictionary_entries",
+            sum(1 for _ in decoder.identifier_table.entries()),
+        )
+
+
+def collect_link_metrics(metrics: "MetricsRegistry", links) -> None:
+    """Fold per-link counters and queueing-delay samples into the registry."""
+    for link in links:
+        metrics.merge_counters(link.name, link.stats.as_dict())
+        metrics.distribution(f"{link.name}.queueing_delay").extend(
+            link.stats.queueing_delays
+        )
+
+
+def collect_wire_metrics(metrics: "MetricsRegistry", tap, prefix: str = "wire") -> None:
+    """Fold the measured link tap's per-type accounting into the registry."""
+    from repro.net.packets import PacketKind
+
+    counts = tap.count_by_kind()
+    payload = tap.payload_bytes_by_kind()
+    metrics.increment(f"{prefix}.raw_packets", counts[PacketKind.RAW])
+    metrics.increment(
+        f"{prefix}.uncompressed_packets", counts[PacketKind.PROCESSED_UNCOMPRESSED]
+    )
+    metrics.increment(
+        f"{prefix}.compressed_packets", counts[PacketKind.PROCESSED_COMPRESSED]
+    )
+    metrics.increment(f"{prefix}.raw_payload_bytes", payload[PacketKind.RAW])
+    metrics.increment(
+        f"{prefix}.uncompressed_payload_bytes",
+        payload[PacketKind.PROCESSED_UNCOMPRESSED],
+    )
+    metrics.increment(
+        f"{prefix}.compressed_payload_bytes", payload[PacketKind.PROCESSED_COMPRESSED]
+    )
 
 
 @dataclass(frozen=True)

@@ -179,19 +179,20 @@ def pacing_from_name(
     name: str,
     packet_rate: float = 1_000_000.0,
     speedup: float = 1.0,
+    start: float = 0.0,
 ) -> Pacing:
     """Build a pacing policy from its CLI name.
 
     ``recorded`` → :class:`RecordedPacing`, ``rate`` →
     :class:`FixedRatePacing` at ``packet_rate``, ``back-to-back`` →
-    :class:`BackToBackPacing`.
+    :class:`BackToBackPacing`; every policy begins injecting at ``start``.
     """
     if name == "recorded":
-        return RecordedPacing(speedup=speedup)
+        return RecordedPacing(speedup=speedup, start=start)
     if name == "rate":
-        return FixedRatePacing(packet_rate=packet_rate)
+        return FixedRatePacing(packet_rate=packet_rate, start=start)
     if name == "back-to-back":
-        return BackToBackPacing()
+        return BackToBackPacing(start=start)
     raise ReplayError(
         f"unknown pacing {name!r}; valid: recorded, rate, back-to-back"
     )

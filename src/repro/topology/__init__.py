@@ -1,0 +1,88 @@
+"""Topology graphs: arbitrary node/link networks with concurrent flows.
+
+This package generalises the point-to-point replay chain into a graph
+engine:
+
+* :mod:`repro.topology.graph` — :class:`Node`/:class:`TopologyGraph`
+  abstractions and the shared multi-hop link-chain builder;
+* :mod:`repro.topology.nodes` — hosts, ZipLine encoder/decoder adapters,
+  plain forwarders;
+* :mod:`repro.topology.spec` — the declarative :class:`TopologySpec`
+  (JSON/dict: nodes, links, flows) plus the ``linear`` / ``fan-in`` /
+  ``paper-testbed`` presets and the shared CRC-32 seed derivation;
+* :mod:`repro.topology.control` — in-network control messages (table
+  installs that cross an emulated link instead of a method call);
+* :mod:`repro.topology.engine` — :class:`TopologyEngine`, which runs N
+  concurrent flows over one spec and returns a :class:`TopologyReport`
+  with per-flow and per-link attribution.
+
+Quick start::
+
+    from repro.topology import TopologyEngine, fan_in_topology
+
+    spec = fan_in_topology(senders=4, scenario="static", chunks=2000)
+    report = TopologyEngine(spec).run()
+    print(report.render())
+"""
+
+from repro.topology.graph import (
+    LinkSink,
+    Node,
+    TopologyEdge,
+    TopologyGraph,
+    build_link_chain,
+)
+from repro.topology.nodes import (
+    ForwardNode,
+    HostNode,
+    ZipLineDecoderNode,
+    ZipLineEncoderNode,
+)
+from repro.topology.spec import (
+    TOPOLOGY_PRESETS,
+    FlowSpec,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    derive_flow_seed,
+    derive_seed,
+    fan_in_topology,
+    linear_topology,
+    paper_testbed_topology,
+    preset_topology,
+)
+from repro.topology.control import (
+    ETHERTYPE_ZIPLINE_CONTROL,
+    ControlChannel,
+    apply_switch_command,
+)
+from repro.topology.engine import FlowResult, TopologyEngine, TopologyReport
+
+__all__ = [
+    "LinkSink",
+    "Node",
+    "TopologyEdge",
+    "TopologyGraph",
+    "build_link_chain",
+    "ForwardNode",
+    "HostNode",
+    "ZipLineDecoderNode",
+    "ZipLineEncoderNode",
+    "TOPOLOGY_PRESETS",
+    "FlowSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "TopologySpec",
+    "derive_flow_seed",
+    "derive_seed",
+    "fan_in_topology",
+    "linear_topology",
+    "paper_testbed_topology",
+    "preset_topology",
+    "ETHERTYPE_ZIPLINE_CONTROL",
+    "ControlChannel",
+    "apply_switch_command",
+    "FlowResult",
+    "TopologyEngine",
+    "TopologyReport",
+]

@@ -1,0 +1,115 @@
+"""In-network control messages: table writes that travel over links.
+
+The original reproduction's control plane mutated switch tables through
+direct method calls (after modelling the write latency).  In a real
+deployment the controller talks to a *remote* switch: the install command
+crosses the network.  :class:`ControlChannel` models exactly that — it
+serialises each table command into a control frame (EtherType
+:data:`ETHERTYPE_ZIPLINE_CONTROL`), sends it down an
+:class:`~repro.replay.link.EmulatedLink` (so serialisation, propagation,
+queueing and even loss apply), and applies the command to the target
+switch when the frame arrives.
+
+:class:`~repro.controlplane.manager.ZipLineControlPlane` accepts a channel's
+:meth:`ControlChannel.transport` as its ``decoder_transport`` /
+``encoder_transport``; with no transport configured it keeps the original
+direct-call behaviour, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Mapping
+
+from repro.exceptions import TopologyError
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # runtime import stays lazy: repro.replay imports us back
+    from repro.replay.link import EmulatedLink
+
+__all__ = [
+    "ETHERTYPE_ZIPLINE_CONTROL",
+    "apply_switch_command",
+    "ControlChannel",
+]
+
+#: EtherType of in-network control frames (0x88B4..0x88B6 are taken by the
+#: chunk / type-2 / type-3 data-plane formats).
+ETHERTYPE_ZIPLINE_CONTROL = 0x88B7
+
+_CONTROL_ETHERTYPE_BYTES = ETHERTYPE_ZIPLINE_CONTROL.to_bytes(2, "big")
+#: Locally-administered MACs identifying the controller and the managed switch.
+_CONTROLLER_MAC = bytes.fromhex("0200000000f1")
+_SWITCH_MAC = bytes.fromhex("0200000000f2")
+
+
+def apply_switch_command(switch: Any, command: Mapping[str, Any]) -> None:
+    """Apply one deserialised table command to a switch.
+
+    The command vocabulary mirrors the narrow duck-typed interface the
+    control plane already used for direct calls.
+    """
+    operation = command.get("op")
+    if operation == "install_identifier":
+        switch.install_identifier_mapping(command["identifier"], command["basis"])
+    elif operation == "remove_identifier":
+        switch.remove_identifier_mapping(command["identifier"])
+    elif operation == "install_basis":
+        switch.install_basis_mapping(
+            command["basis"], command["identifier"], command.get("ttl")
+        )
+    elif operation == "remove_basis":
+        switch.remove_basis_mapping(command["basis"])
+    else:
+        raise TopologyError(f"unknown control command {operation!r}")
+
+
+class ControlChannel:
+    """Deliver table commands to a switch over an emulated link.
+
+    Parameters
+    ----------
+    simulator:
+        The shared simulator (send times are read from its clock).
+    link:
+        The emulated hop control frames traverse.  The channel owns the
+        link's sink; the link's bandwidth/propagation/queue parameters
+        model the controller-to-switch path.
+    switch:
+        The managed switch commands are applied to on arrival.
+    """
+
+    def __init__(self, simulator: Simulator, link: "EmulatedLink", switch: Any):
+        self.simulator = simulator
+        self.link = link
+        self.switch = switch
+        self.messages_sent = 0
+        self.messages_applied = 0
+        self.message_bytes = 0
+        link.attach(self._on_frame)
+
+    def transport(self, command: Mapping[str, Any]) -> None:
+        """Serialise and transmit one command (the control plane calls this)."""
+        payload = json.dumps(command, sort_keys=True).encode("utf-8")
+        frame = _SWITCH_MAC + _CONTROLLER_MAC + _CONTROL_ETHERTYPE_BYTES + payload
+        self.messages_sent += 1
+        self.message_bytes += len(frame)
+        self.link.send(frame, self.simulator.now)
+
+    def _on_frame(self, frame_bytes: bytes, time: float) -> None:
+        if frame_bytes[12:14] != _CONTROL_ETHERTYPE_BYTES:
+            raise TopologyError(
+                f"control channel {self.link.name!r} received a non-control "
+                f"frame (ethertype {frame_bytes[12:14].hex()})"
+            )
+        command = json.loads(frame_bytes[14:].decode("utf-8"))
+        self.messages_applied += 1
+        apply_switch_command(self.switch, command)
+
+    def counters(self) -> Dict[str, float]:
+        """Channel counters for the metrics registry."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_applied": self.messages_applied,
+            "message_bytes": self.message_bytes,
+        }

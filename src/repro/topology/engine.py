@@ -1,0 +1,814 @@
+"""Execute a :class:`~repro.topology.spec.TopologySpec`: N flows, one graph.
+
+:class:`TopologyEngine` turns a declarative spec into a running system on a
+single shared :class:`~repro.sim.simulator.Simulator`:
+
+* every node spec becomes a live node (hosts, ZipLine switches wrapped in
+  graph adapters, plain forwarders);
+* every link spec becomes a direct attachment or a chain of
+  :class:`~repro.replay.link.EmulatedLink` hops (impairments seeded per
+  link through :func:`~repro.topology.spec.derive_seed`);
+* every flow spec becomes a concurrently-scheduled traffic stream with its
+  own :class:`~repro.replay.sources.TraceSource`, pacing, source MAC and
+  derived seed, injected at its source host exactly the way the linear
+  harness injects (one pending frame per flow, bounded memory);
+* each encoder's control plane either writes decoder mappings directly
+  (``control: direct``, the harness behaviour) or ships them as
+  in-network control messages over a dedicated emulated link with real
+  latency (``control: in-network``).
+
+Per-flow end-to-end integrity uses the same FIFO content matching as the
+harness; arrivals are attributed to flows by their source MAC, which the
+ZipLine encode/decode path preserves.  The resulting
+:class:`TopologyReport` carries per-flow, per-link and per-node metrics
+and is a deterministic function of (spec, seed): running the same spec
+twice yields byte-identical :meth:`TopologyReport.json_text` output.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.controlplane.manager import ZipLineControlPlane
+from repro.core.transform import GDTransform
+from repro.exceptions import TopologyError
+from repro.net.mac import MacAddress
+from repro.perfmodel.linkmodel import ImpairmentModel
+from repro.replay.link import EmulatedLink
+from repro.replay.metrics import (
+    Distribution,
+    IntegrityResult,
+    MetricsRegistry,
+    ReplayReport,
+    collect_link_metrics,
+    collect_switch_metrics,
+    collect_wire_metrics,
+)
+from repro.replay.sources import (
+    Pacing,
+    PcapTraceSource,
+    TraceSource,
+    WorkloadTraceSource,
+    pacing_from_name,
+)
+from repro.sim.simulator import Simulator
+from repro.tofino.digest import DigestEngine
+from repro.topology.control import ControlChannel
+from repro.topology.graph import TopologyGraph, build_link_chain
+from repro.topology.nodes import (
+    ForwardNode,
+    HostNode,
+    ZipLineDecoderNode,
+    ZipLineEncoderNode,
+)
+from repro.topology.spec import FlowSpec, LinkSpec, TopologySpec, derive_seed
+from repro.zipline.headers import RAW_CHUNK_ETHERTYPE_BYTES, raw_chunk_payload
+from repro.zipline.stats import LinkTap
+from repro.net.packets import PacketKind
+
+__all__ = ["FlowResult", "TopologyReport", "TopologyEngine"]
+
+
+def _flow_source_mac(index: int) -> MacAddress:
+    """Unique locally-administered source MAC for flow ``index``.
+
+    Flows live under ``02:00:00:01:xx:xx``, hosts under ``02:00:00:00:xx:xx``
+    — disjoint ranges, so per-flow arrival attribution by source MAC can
+    never collide with a host address.
+    """
+    return MacAddress(0x02_00_00_01_00_00 + index + 1)
+
+
+def _host_mac(index: int) -> MacAddress:
+    """Unique locally-administered MAC for host ``index``."""
+    return MacAddress(0x02_00_00_00_00_00 + index + 1)
+
+
+class _FlowState:
+    """Runtime bookkeeping of one flow (mirrors the harness's accounting)."""
+
+    def __init__(
+        self,
+        spec: FlowSpec,
+        seed: int,
+        source: TraceSource,
+        pacing: Pacing,
+        source_mac: MacAddress,
+        sink_mac: MacAddress,
+        verify_integrity: bool,
+    ):
+        self.spec = spec
+        self.seed = seed
+        self.source = source
+        self.pacing = pacing
+        self.source_mac_bytes = bytes(source_mac)
+        self.verify_integrity = verify_integrity
+        # Trace-driven flows carry whatever addresses the capture recorded;
+        # rewrite the Ethernet addresses to the flow's own identity so
+        # arrival attribution by source MAC works for every source kind.
+        # (Workload sources already frame with these addresses.)
+        self._mac_rewrite: Optional[bytes] = (
+            bytes(sink_mac) + self.source_mac_bytes
+            if spec.trace is not None
+            else None
+        )
+        self.frames_sent = 0
+        self.chunks_sent = 0
+        self.chunk_bytes_sent = 0
+        self.delivered = 0
+        self.sent_chunks: List[bytes] = []
+        self.sent_times: List[float] = []
+        self.pending_by_content: Dict[bytes, Deque[int]] = {}
+        self.arrivals: List[Tuple[float, bytes]] = []
+
+    def frame_for_injection(self, frame_bytes: bytes) -> bytes:
+        """The frame as this flow puts it on the wire (flow-owned MACs)."""
+        if self._mac_rewrite is None:
+            return frame_bytes
+        return self._mac_rewrite + frame_bytes[12:]
+
+    def record_injection(self, frame_bytes: bytes, now: float) -> None:
+        self.frames_sent += 1
+        if frame_bytes[12:14] == RAW_CHUNK_ETHERTYPE_BYTES:
+            self.chunks_sent += 1
+            self.chunk_bytes_sent += len(frame_bytes) - 14
+            if self.verify_integrity:
+                payload = frame_bytes[14:]
+                index = len(self.sent_chunks)
+                self.sent_chunks.append(payload)
+                self.sent_times.append(now)
+                self.pending_by_content.setdefault(payload, deque()).append(index)
+
+    def record_arrival(self, frame_bytes: bytes, time: float) -> None:
+        self.delivered += 1
+        if self.verify_integrity:
+            self.arrivals.append((time, frame_bytes))
+
+    def check_integrity(
+        self, latency: Distribution
+    ) -> Optional[IntegrityResult]:
+        """FIFO content matching, identical to the harness's algorithm."""
+        if not self.verify_integrity or not self.sent_chunks:
+            return None
+        pending = {
+            content: deque(indices)
+            for content, indices in self.pending_by_content.items()
+        }
+        matched = corrupted = out_of_order = received = 0
+        highest_index = -1
+        for time, frame_bytes in self.arrivals:
+            payload = raw_chunk_payload(frame_bytes)
+            if payload is None:
+                continue
+            received += 1
+            queue = pending.get(payload)
+            if not queue:
+                corrupted += 1
+                continue
+            index = queue.popleft()
+            matched += 1
+            if index < highest_index:
+                out_of_order += 1
+            highest_index = max(highest_index, index)
+            latency.add(time - self.sent_times[index])
+        return IntegrityResult(
+            sent=len(self.sent_chunks),
+            received=received,
+            matched=matched,
+            corrupted=corrupted,
+            missing=len(self.sent_chunks) - matched,
+            out_of_order=out_of_order,
+        )
+
+
+@dataclass
+class FlowResult:
+    """One flow's outcome: identity, volumes, integrity, latency."""
+
+    name: str
+    source: str
+    seed: int
+    chunks_sent: int
+    payload_bytes_sent: int
+    frames_sent: int
+    delivered: int
+    integrity: Optional[IntegrityResult]
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (one entry of the report's ``flows`` list)."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "seed": self.seed,
+            "chunks_sent": self.chunks_sent,
+            "payload_bytes_sent": self.payload_bytes_sent,
+            "frames_sent": self.frames_sent,
+            "delivered": self.delivered,
+            "integrity": None if self.integrity is None else self.integrity.as_dict(),
+            "latency": dict(self.latency),
+        }
+
+
+@dataclass
+class TopologyReport:
+    """Everything one topology run produced.
+
+    The top-level shape mirrors :class:`~repro.replay.metrics.ReplayReport`
+    (``compression_ratio``, ``integrity``, ``metrics.counters...``) so the
+    experiment matrix's dotted metric paths resolve on either report kind;
+    ``flows`` adds the per-flow breakdown and ``metrics`` carries per-link
+    and per-flow attribution (``flow.<name>.*`` counters and latency
+    distributions).
+    """
+
+    topology: str
+    scenario: str
+    chunks_sent: int
+    payload_bytes_sent: int
+    wire_payload_bytes: int
+    duration: float
+    integrity: Optional[IntegrityResult]
+    flows: List[FlowResult] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    learning_time: Optional[float] = None
+
+    @property
+    def compression_ratio(self) -> Optional[float]:
+        """Measured-link payload bytes over injected payload bytes."""
+        if self.payload_bytes_sent == 0:
+            return None
+        return self.wire_payload_bytes / self.payload_bytes_sent
+
+    @property
+    def savings_percent(self) -> Optional[float]:
+        """Percentage of payload bytes the compression removed (or ``None``)."""
+        ratio = self.compression_ratio
+        if ratio is None:
+            return None
+        return 100.0 * (1.0 - ratio)
+
+    def flow(self, name: str) -> FlowResult:
+        """Look up one flow's result by name."""
+        for result in self.flows:
+            if result.name == name:
+                return result
+        known = ", ".join(result.name for result in self.flows) or "none"
+        raise TopologyError(f"unknown flow {name!r}; flows: {known}")
+
+    def latency_summary(self) -> Dict[str, float]:
+        """All-flow end-to-end latency percentiles (empty dict when unknown)."""
+        dist = self.metrics.distributions().get("endtoend.latency")
+        if dist is None or dist.empty:
+            return {}
+        return dist.summary()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view of the whole report."""
+        return {
+            "topology": self.topology,
+            "scenario": self.scenario,
+            "chunks_sent": self.chunks_sent,
+            "payload_bytes_sent": self.payload_bytes_sent,
+            "wire_payload_bytes": self.wire_payload_bytes,
+            "compression_ratio": self.compression_ratio,
+            "savings_percent": self.savings_percent,
+            "duration": self.duration,
+            "learning_time": self.learning_time,
+            "integrity": None if self.integrity is None else self.integrity.as_dict(),
+            "latency": self.latency_summary(),
+            "flows": [flow.as_dict() for flow in self.flows],
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def json_text(self) -> str:
+        """Canonical JSON — the determinism witness (same spec ⇒ same bytes)."""
+        import json
+
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True, default=str)
+
+    def render(self, include_counters: bool = False) -> str:
+        """Human-readable report: headline, per-flow table, counters."""
+        from repro.analysis.reporting import format_table
+
+        headline: List[List[object]] = [
+            ["topology", self.topology],
+            ["scenario", self.scenario],
+            ["flows", len(self.flows)],
+            ["chunks sent", f"{self.chunks_sent:,}"],
+            ["payload bytes sent", f"{self.payload_bytes_sent:,}"],
+            ["bytes on the measured link", f"{self.wire_payload_bytes:,}"],
+            [
+                "compression ratio",
+                "n/a"
+                if self.compression_ratio is None
+                else f"{self.compression_ratio:.4f}",
+            ],
+            [
+                "savings",
+                "n/a"
+                if self.savings_percent is None
+                else f"{self.savings_percent:.1f} %",
+            ],
+            ["duration", f"{self.duration * 1e3:.3f} ms"],
+            [
+                "learning delay",
+                "n/a"
+                if self.learning_time is None
+                else f"{self.learning_time * 1e3:.3f} ms",
+            ],
+        ]
+        if self.integrity is not None:
+            headline.append(
+                ["integrity intact", "yes" if self.integrity.intact else "NO"]
+            )
+            headline.append(["chunks lost", f"{self.integrity.missing:,}"])
+            headline.append(["chunks corrupted", f"{self.integrity.corrupted:,}"])
+        parts = [
+            format_table(
+                ["metric", "value"],
+                headline,
+                title=f"topology {self.topology} ({self.scenario})",
+            )
+        ]
+        if self.flows:
+            rows = []
+            for flow in self.flows:
+                integrity = flow.integrity
+                rows.append(
+                    [
+                        flow.name,
+                        f"{flow.chunks_sent:,}",
+                        f"{flow.delivered:,}",
+                        "n/a" if integrity is None else f"{integrity.missing:,}",
+                        "n/a" if integrity is None else f"{integrity.corrupted:,}",
+                        "n/a"
+                        if not flow.latency
+                        else f"{flow.latency.get('p50', 0.0) * 1e6:.2f}",
+                    ]
+                )
+            parts.append(
+                format_table(
+                    ["flow", "chunks", "delivered", "lost", "corrupted", "p50_us"],
+                    rows,
+                    title="per-flow breakdown",
+                )
+            )
+        if include_counters:
+            counter_rows = self.metrics.counter_rows()
+            if counter_rows:
+                parts.append(
+                    format_table(
+                        ["counter", "value"], counter_rows, title="counter breakdown"
+                    )
+                )
+        return "\n\n".join(parts)
+
+
+class TopologyEngine:
+    """Build and run one :class:`~repro.topology.spec.TopologySpec`.
+
+    Parameters
+    ----------
+    spec:
+        The validated topology description.
+    verify_integrity:
+        When true (default) every flow retains its injected chunks and
+        arrivals for the end-to-end check and latency percentiles —
+        O(traffic) memory.  False keeps everything bounded and reports
+        ``integrity: None``, like the harness's counters-only mode.
+    """
+
+    def __init__(self, spec: TopologySpec, verify_integrity: bool = True):
+        self.spec = spec
+        self.verify_integrity = verify_integrity
+        self.simulator = Simulator()
+        self.transform = GDTransform(order=spec.order)
+        self.graph = TopologyGraph(self.simulator)
+        self.measured_tap: Optional[LinkTap] = None
+        self.control_planes: Dict[str, ZipLineControlPlane] = {}
+        self.control_channels: Dict[str, ControlChannel] = {}
+        self._encoder_nodes: Dict[str, ZipLineEncoderNode] = {}
+        self._decoder_nodes: Dict[str, ZipLineDecoderNode] = {}
+        self._host_nodes: Dict[str, HostNode] = {}
+        self._forward_nodes: Dict[str, ForwardNode] = {}
+        self._flows: List[_FlowState] = []
+        self._flows_by_mac: Dict[bytes, _FlowState] = {}
+        self._unattributed = 0
+        self._misdelivered = 0
+        self._build_nodes()
+        self._build_links()
+        self.graph.wire()
+        self._build_control_planes()
+        self._build_flows()
+        if spec.scenario == "static":
+            self._preload_static_bases()
+
+    # -- construction ---------------------------------------------------------
+
+    def _switch_port_count(self, node_spec) -> Optional[int]:
+        """Size a switch for every port the spec references on it.
+
+        The Tofino model defaults to 32 front-panel ports; a wide fan-in
+        (or a hand-written spec addressing a high port) gets a switch big
+        enough for its highest referenced port instead of an out-of-range
+        failure halfway through the build.
+        """
+        highest = -1
+        for link in self.spec.links:
+            if link.source[0] == node_spec.name:
+                highest = max(highest, link.source[1])
+            if link.target[0] == node_spec.name:
+                highest = max(highest, link.target[1])
+        for ingress, egress in node_spec.forwarding.items():
+            highest = max(highest, ingress, egress)
+        if node_spec.default_egress_port is not None:
+            highest = max(highest, node_spec.default_egress_port)
+        return None if highest < 32 else highest + 1
+
+    def _build_nodes(self) -> None:
+        host_index = 0
+        self._host_macs: Dict[str, MacAddress] = {}
+        for node_spec in self.spec.nodes:
+            if node_spec.kind == "host":
+                # Frames are retained per flow (for the integrity check),
+                # never a second time at the host.
+                node = HostNode(node_spec.name, store=False)
+                self._host_nodes[node_spec.name] = node
+                self._host_macs[node_spec.name] = _host_mac(host_index)
+                host_index += 1
+            elif node_spec.kind == "encoder":
+                digest_engine = DigestEngine(self.simulator)
+                node = ZipLineEncoderNode(
+                    node_spec.name,
+                    transform=self.transform,
+                    identifier_bits=self.spec.identifier_bits,
+                    simulator=self.simulator,
+                    forwarding=dict(node_spec.forwarding),
+                    default_egress_port=node_spec.default_egress_port,
+                    entry_ttl=self.spec.entry_ttl,
+                    digest_engine=digest_engine,
+                    port_count=self._switch_port_count(node_spec),
+                )
+                self._encoder_nodes[node_spec.name] = node
+            elif node_spec.kind == "decoder":
+                node = ZipLineDecoderNode(
+                    node_spec.name,
+                    transform=self.transform,
+                    identifier_bits=self.spec.identifier_bits,
+                    simulator=self.simulator,
+                    forwarding=dict(node_spec.forwarding),
+                    default_egress_port=node_spec.default_egress_port,
+                    port_count=self._switch_port_count(node_spec),
+                )
+                self._decoder_nodes[node_spec.name] = node
+            else:  # forward
+                node = ForwardNode(
+                    node_spec.name,
+                    forwarding=dict(node_spec.forwarding),
+                    default_egress_port=node_spec.default_egress_port,
+                )
+                self._forward_nodes[node_spec.name] = node
+            self.graph.add_node(node)
+
+    def _build_one_link(self, link: LinkSpec) -> List[EmulatedLink]:
+        impairments = None
+        if link.loss or link.reorder:
+            seed = link.seed
+            if seed is None:
+                seed = derive_seed(self.spec.name, self.spec.seed, f"link:{link.name}")
+            impairments = ImpairmentModel(
+                loss_probability=link.loss,
+                reorder_probability=link.reorder,
+                seed=seed,
+            )
+        return build_link_chain(
+            self.simulator,
+            names=link.hop_names(),
+            bandwidth_bps=link.bandwidth_gbps * 1e9,
+            propagation_delay=link.propagation_us * 1e-6,
+            queue_capacity=link.queue_capacity or None,
+            impairments=impairments,
+            record_delays=self.verify_integrity,
+        )
+
+    def _build_links(self) -> None:
+        measured = self.spec.measured_link
+        for link in self.spec.links:
+            tap = None
+            if measured is not None and link.name == measured.name:
+                tap = LinkTap(store_records=self.verify_integrity)
+                self.measured_tap = tap
+            chain: List[EmulatedLink] = []
+            if not link.direct:
+                chain = self._build_one_link(link)
+            self.graph.add_edge(
+                link.source[0],
+                link.source[1],
+                link.target[0],
+                link.target[1],
+                links=chain,
+                tap=tap,
+            )
+
+    def _build_control_planes(self) -> None:
+        if self.spec.scenario == "no_table":
+            return
+        paired: Dict[str, str] = {}
+        for node_spec in self.spec.nodes:
+            if node_spec.kind != "encoder":
+                continue
+            decoder_name = node_spec.decoder
+            if decoder_name is None:
+                if len(self._decoder_nodes) == 1:
+                    decoder_name = next(iter(self._decoder_nodes))
+                elif self._decoder_nodes:
+                    raise TopologyError(
+                        f"node {node_spec.name!r}: multiple decoder nodes exist; "
+                        "set its 'decoder' pairing explicitly"
+                    )
+            if decoder_name is not None:
+                if decoder_name in paired:
+                    raise TopologyError(
+                        f"node {decoder_name!r}: paired with both "
+                        f"{paired[decoder_name]!r} and {node_spec.name!r}; a "
+                        "decoder's identifier table serves one encoder"
+                    )
+                paired[decoder_name] = node_spec.name
+            encoder = self._encoder_nodes[node_spec.name].switch
+            decoder = (
+                None
+                if decoder_name is None
+                else self._decoder_nodes[decoder_name].switch
+            )
+            decoder_transport = None
+            if self.spec.control == "in-network" and decoder is not None:
+                control_link = EmulatedLink(
+                    simulator=self.simulator,
+                    name=f"control.{node_spec.name}",
+                    bandwidth_bps=self.spec.control_bandwidth_gbps * 1e9,
+                    propagation_delay=self.spec.control_propagation_us * 1e-6,
+                )
+                channel = ControlChannel(self.simulator, control_link, decoder)
+                self.control_channels[node_spec.name] = channel
+                decoder_transport = channel.transport
+            self.control_planes[node_spec.name] = ZipLineControlPlane(
+                digest_engine=encoder.digest_engine,
+                encoder_switch=encoder,
+                decoder_switch=decoder,
+                simulator=self.simulator,
+                identifier_bits=self.spec.identifier_bits,
+                entry_ttl=self.spec.entry_ttl,
+                seed=self.spec.seed,
+                decoder_transport=decoder_transport,
+            )
+
+    def _build_flow_source(
+        self, flow: FlowSpec, seed: int, source_mac: MacAddress, sink_mac: MacAddress
+    ) -> TraceSource:
+        if flow.trace is not None:
+            return PcapTraceSource(flow.trace)
+        if flow.workload == "synthetic":
+            from repro.workloads import SyntheticSensorWorkload
+
+            workload = SyntheticSensorWorkload(
+                num_chunks=flow.chunks,
+                distinct_bases=flow.bases,
+                order=self.spec.order,
+                seed=seed,
+            )
+        else:
+            from repro.workloads import DnsQueryWorkload
+
+            workload = DnsQueryWorkload(
+                num_queries=flow.chunks,
+                distinct_names=flow.names,
+                seed=seed,
+            )
+        return WorkloadTraceSource(
+            workload, source=source_mac, destination=sink_mac
+        )
+
+    def _build_flow_pacing(self, flow: FlowSpec) -> Pacing:
+        return pacing_from_name(
+            flow.pacing,
+            packet_rate=flow.packet_rate,
+            speedup=flow.speedup,
+            start=flow.start,
+        )
+
+    def _build_flows(self) -> None:
+        for index, flow in enumerate(self.spec.flows):
+            seed = self.spec.flow_seed(flow)
+            source_mac = _flow_source_mac(index)
+            sink_mac = self._host_macs[flow.sink]
+            state = _FlowState(
+                spec=flow,
+                seed=seed,
+                source=self._build_flow_source(flow, seed, source_mac, sink_mac),
+                pacing=self._build_flow_pacing(flow),
+                source_mac=source_mac,
+                sink_mac=sink_mac,
+                verify_integrity=self.verify_integrity,
+            )
+            self._flows.append(state)
+            self._flows_by_mac[state.source_mac_bytes] = state
+        for name, host in self._host_nodes.items():
+            host.on_deliver = partial(self._dispatch_arrival, name)
+
+    def _dispatch_arrival(
+        self, host_name: str, frame_bytes: bytes, time: float
+    ) -> None:
+        flow = self._flows_by_mac.get(frame_bytes[6:12])
+        if flow is None:
+            self._unattributed += 1
+            return
+        if flow.spec.sink != host_name:
+            # A flow's frame delivered to the wrong host is a routing bug,
+            # not a successful arrival: count it, and let the flow's
+            # integrity report the chunk as missing.
+            self._misdelivered += 1
+            return
+        flow.record_arrival(frame_bytes, time)
+
+    def _preload_static_bases(self) -> None:
+        """Install the union of every flow's bases, in flow order."""
+        bases: Dict[int, None] = {}
+        for state in self._flows:
+            for basis in self._flow_bases(state):
+                bases.setdefault(basis, None)
+        if not bases:
+            return
+        if self.control_planes:
+            for control_plane in self.control_planes.values():
+                control_plane.preload_static_mappings(list(bases))
+        else:
+            for decoder_node in self._decoder_nodes.values():
+                for identifier, basis in enumerate(bases):
+                    decoder_node.switch.install_identifier_mapping(identifier, basis)
+
+    def _flow_bases(self, state: _FlowState) -> Iterator[int]:
+        flow = state.spec
+        if flow.trace is not None:
+            from repro.replay.sources import stream_distinct_bases
+
+            yield from stream_distinct_bases(flow.trace, order=self.spec.order)
+            return
+        if flow.workload == "synthetic":
+            from repro.workloads import SyntheticSensorWorkload
+
+            yield from SyntheticSensorWorkload(
+                num_chunks=flow.chunks,
+                distinct_bases=flow.bases,
+                order=self.spec.order,
+                seed=state.seed,
+            ).bases()
+            return
+        from repro.workloads import DnsQueryWorkload
+
+        yield from DnsQueryWorkload(
+            num_queries=flow.chunks, distinct_names=flow.names, seed=state.seed
+        ).bases(order=self.spec.order)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _schedule_flow(self, state: _FlowState) -> None:
+        """One-pending-frame streaming injection, as in the harness."""
+        state.pacing.reset()
+        iterator = state.source.frames()
+        host = self._host_nodes[state.spec.source]
+        counter = {"index": 0}
+
+        def schedule_next() -> None:
+            timed = next(iterator, None)
+            if timed is None:
+                return
+            index = counter["index"]
+            counter["index"] = index + 1
+            at = state.pacing.inject_at(index, timed.recorded_time, len(timed.data))
+            at = max(at, self.simulator.now)
+
+            def fire(data=timed.data) -> None:
+                frame = state.frame_for_injection(data)
+                state.record_injection(frame, self.simulator.now)
+                host.inject(frame, self.simulator.now)
+                schedule_next()
+
+            self.simulator.schedule_at(at, fire, description="replay:inject")
+
+        schedule_next()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> TopologyReport:
+        """Schedule every flow, run the simulation, and build the report."""
+        for state in self._flows:
+            self._schedule_flow(state)
+        self.simulator.run(until=until, max_events=max_events)
+        return self.report()
+
+    # -- results -----------------------------------------------------------------
+
+    def learning_time(self) -> Optional[float]:
+        """Gap between the first type-2 and type-3 frame on the measured link."""
+        if self.measured_tap is None:
+            return None
+        first_uncompressed = self.measured_tap.first_time_of_kind(
+            PacketKind.PROCESSED_UNCOMPRESSED
+        )
+        first_compressed = self.measured_tap.first_time_of_kind(
+            PacketKind.PROCESSED_COMPRESSED
+        )
+        if first_uncompressed is None or first_compressed is None:
+            return None
+        return max(0.0, first_compressed - first_uncompressed)
+
+    def _collect_metrics(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        for name, node in self._encoder_nodes.items():
+            collect_switch_metrics(metrics, encoder=node.switch, encoder_prefix=name)
+        for name, node in self._decoder_nodes.items():
+            collect_switch_metrics(metrics, decoder=node.switch, decoder_prefix=name)
+        for name, node in self._forward_nodes.items():
+            metrics.merge_counters(name, node.counters())
+        collect_link_metrics(metrics, self.graph.links)
+        single = len(self.control_planes) == 1
+        for name, control_plane in self.control_planes.items():
+            namespace = "controlplane" if single else f"controlplane.{name}"
+            metrics.merge_counters(namespace, control_plane.stats.as_dict())
+        for name, channel in self.control_channels.items():
+            metrics.merge_counters(f"control.{name}", channel.counters())
+            metrics.merge_counters(
+                f"control.{name}.link", channel.link.stats.as_dict()
+            )
+        if self.measured_tap is not None:
+            collect_wire_metrics(metrics, self.measured_tap)
+        if self._unattributed:
+            metrics.increment("flows.unattributed_frames", self._unattributed)
+        if self._misdelivered:
+            metrics.increment("flows.misdelivered_frames", self._misdelivered)
+        return metrics
+
+    def report(self) -> TopologyReport:
+        """Fold everything measured so far into a :class:`TopologyReport`."""
+        metrics = self._collect_metrics()
+        flow_results: List[FlowResult] = []
+        totals = {"sent": 0, "received": 0, "matched": 0, "corrupted": 0,
+                  "missing": 0, "out_of_order": 0}
+        any_integrity = False
+        # Same name the linear harness uses, so a one-flow linear topology
+        # produces the identical end-to-end latency distribution key.
+        endtoend = metrics.distribution("endtoend.latency")
+        for state in self._flows:
+            latency = metrics.distribution(f"flow.{state.spec.name}.latency")
+            integrity = state.check_integrity(latency)
+            endtoend.extend(latency.samples)
+            metrics.increment(f"flow.{state.spec.name}.chunks_sent", state.chunks_sent)
+            metrics.increment(
+                f"flow.{state.spec.name}.payload_bytes_sent", state.chunk_bytes_sent
+            )
+            metrics.increment(f"flow.{state.spec.name}.delivered", state.delivered)
+            if integrity is not None:
+                any_integrity = True
+                for key in totals:
+                    totals[key] += getattr(integrity, key)
+                metrics.increment(
+                    f"flow.{state.spec.name}.missing", integrity.missing
+                )
+                metrics.increment(
+                    f"flow.{state.spec.name}.corrupted", integrity.corrupted
+                )
+            flow_results.append(
+                FlowResult(
+                    name=state.spec.name,
+                    source=state.source.description,
+                    seed=state.seed,
+                    chunks_sent=state.chunks_sent,
+                    payload_bytes_sent=state.chunk_bytes_sent,
+                    frames_sent=state.frames_sent,
+                    delivered=state.delivered,
+                    integrity=integrity,
+                    latency={} if latency.empty else latency.summary(),
+                )
+            )
+        aggregate = IntegrityResult(**totals) if any_integrity else None
+        return TopologyReport(
+            topology=self.spec.name,
+            scenario=self.spec.scenario,
+            chunks_sent=sum(state.chunks_sent for state in self._flows),
+            payload_bytes_sent=sum(state.chunk_bytes_sent for state in self._flows),
+            wire_payload_bytes=(
+                0 if self.measured_tap is None
+                else self.measured_tap.total_payload_bytes()
+            ),
+            duration=self.simulator.now,
+            integrity=aggregate,
+            flows=flow_results,
+            metrics=metrics,
+            learning_time=self.learning_time(),
+        )

@@ -1,0 +1,251 @@
+"""The topology graph: nodes, edges, and deterministic wiring.
+
+A :class:`TopologyGraph` is a directed graph of named :class:`Node` objects
+connected by edges.  An edge goes from one node's egress *port* to another
+node's ingress port and is either **direct** (a synchronous function call,
+the way the original two-switch deployment wired its hop) or **emulated**
+(one or more :class:`~repro.replay.link.EmulatedLink` hops in series on the
+shared simulator).  An edge may carry a
+:class:`~repro.zipline.stats.LinkTap` that observes every frame entering it
+— the measurement point the Figure 3 byte accounting reads.
+
+The graph only *describes and wires*; traffic generation, flow bookkeeping
+and reporting live in :class:`~repro.topology.engine.TopologyEngine`, and
+the linear special case keeps living behind
+:class:`~repro.replay.harness.ReplayHarness`, which builds its chain
+through :func:`build_link_chain` and a small graph instead of ad hoc
+wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import TopologyError
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # runtime imports stay lazy: repro.replay imports us back
+    from repro.perfmodel.linkmodel import ImpairmentModel
+    from repro.replay.link import EmulatedLink
+    from repro.zipline.stats import LinkTap
+
+__all__ = ["LinkSink", "Node", "TopologyEdge", "TopologyGraph", "build_link_chain"]
+
+#: ``sink(frame_bytes, time)`` — the signature shared by switch port sinks,
+#: link sends and host delivery (same shape as ``repro.replay.link.LinkSink``).
+LinkSink = Callable[[bytes, float], None]
+
+
+class Node:
+    """One vertex of the topology graph.
+
+    Every node has a unique ``name``, receives frames on numbered ingress
+    ports via :meth:`receive`, and exposes numbered egress ports the graph
+    attaches sinks to via :meth:`attach`.  Concrete nodes live in
+    :mod:`repro.topology.nodes`.
+    """
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise TopologyError(f"node name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def receive(self, frame_bytes: bytes, port: int, time: float) -> None:
+        """Handle one frame arriving on ingress ``port`` at ``time``."""
+        raise NotImplementedError
+
+    def attach(self, port: int, sink: LinkSink) -> None:
+        """Attach the sink that egress ``port`` transmits into."""
+        raise NotImplementedError
+
+    def counters(self) -> Dict[str, float]:
+        """Per-node counters for the metrics registry (may be empty)."""
+        return {}
+
+
+@dataclass
+class TopologyEdge:
+    """A directed connection between two node ports.
+
+    ``links`` is the serial chain of emulated hops the edge traverses — an
+    empty tuple means a direct synchronous attachment.  ``tap`` observes
+    every frame entering the edge (before the first hop), exactly where the
+    replay harness and the paper's testbed place their measurement tap.
+    ``target`` may also be a bare ``(frame_bytes, time)`` callable for
+    terminal sinks that are not nodes (e.g. the deployment's receiver
+    host).
+    """
+
+    source: str
+    source_port: int
+    target: Union[str, LinkSink]
+    target_port: int = 0
+    links: Tuple["EmulatedLink", ...] = ()
+    tap: Optional["LinkTap"] = None
+
+    def describe(self) -> str:
+        """``encoder:1 -> decoder:0`` style label for error messages."""
+        target = self.target if isinstance(self.target, str) else "<sink>"
+        return f"{self.source}:{self.source_port} -> {target}:{self.target_port}"
+
+
+class TopologyGraph:
+    """A named collection of nodes plus the edges that connect them.
+
+    Nodes and edges are registered first, then :meth:`wire` performs all
+    the attachments in one deterministic pass (edge registration order).
+    Wiring is idempotent per graph: calling :meth:`wire` twice raises, so a
+    half-wired graph can never go unnoticed.
+    """
+
+    def __init__(self, simulator: Simulator):
+        self.simulator = simulator
+        self.nodes: Dict[str, Node] = {}
+        self.edges: List[TopologyEdge] = []
+        self._wired = False
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register a node; names must be unique within the graph."""
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            known = ", ".join(sorted(self.nodes)) or "none"
+            raise TopologyError(
+                f"unknown node {name!r}; known nodes: {known}"
+            ) from None
+
+    def add_edge(
+        self,
+        source: str,
+        source_port: int,
+        target: Union[str, LinkSink],
+        target_port: int = 0,
+        links: Sequence["EmulatedLink"] = (),
+        tap: Optional["LinkTap"] = None,
+    ) -> TopologyEdge:
+        """Register a directed edge (validated against registered nodes)."""
+        if source not in self.nodes:
+            raise TopologyError(
+                f"edge references unknown source node {source!r}"
+            )
+        if isinstance(target, str):
+            if target not in self.nodes:
+                raise TopologyError(
+                    f"edge references unknown target node {target!r}"
+                )
+        elif not callable(target):
+            raise TopologyError(
+                f"edge target must be a node name or a callable sink, "
+                f"got {target!r}"
+            )
+        edge = TopologyEdge(
+            source=source,
+            source_port=source_port,
+            target=target,
+            target_port=target_port,
+            links=tuple(links),
+            tap=tap,
+        )
+        self.edges.append(edge)
+        return edge
+
+    # -- wiring --------------------------------------------------------------
+
+    def _terminal_sink(self, edge: TopologyEdge) -> LinkSink:
+        if callable(edge.target):
+            return edge.target
+        node = self.nodes[edge.target]
+        port = edge.target_port
+
+        def into_node(frame_bytes: bytes, time: float) -> None:
+            node.receive(frame_bytes, port, time)
+
+        return into_node
+
+    def wire(self) -> None:
+        """Attach every edge: chain its links and connect both endpoints."""
+        if self._wired:
+            raise TopologyError("topology graph is already wired")
+        self._wired = True
+        for edge in self.edges:
+            sink = self._terminal_sink(edge)
+            if edge.links:
+                for upstream, downstream in zip(edge.links, edge.links[1:]):
+                    upstream.attach(downstream.send)
+                edge.links[-1].attach(sink)
+                entry: LinkSink = edge.links[0].send
+            else:
+                entry = sink
+            if edge.tap is not None:
+                tap = edge.tap
+
+                def tapped(
+                    frame_bytes: bytes, time: float, _entry: LinkSink = entry,
+                    _tap: "LinkTap" = tap,
+                ) -> None:
+                    _tap.observe(frame_bytes, time)
+                    _entry(frame_bytes, time)
+
+                entry = tapped
+            self.nodes[edge.source].attach(edge.source_port, entry)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def links(self) -> List["EmulatedLink"]:
+        """Every emulated link of the graph, in edge then hop order."""
+        return [link for edge in self.edges for link in edge.links]
+
+
+def build_link_chain(
+    simulator: Simulator,
+    names: Sequence[str],
+    bandwidth_bps: float = 100e9,
+    propagation_delay: float = 0.5e-6,
+    queue_capacity: Optional[int] = None,
+    impairments: Optional["ImpairmentModel"] = None,
+    record_delays: bool = True,
+) -> List["EmulatedLink"]:
+    """Build a serial chain of identically-parameterised emulated links.
+
+    One link per entry of ``names``; when an impairment model is given,
+    every hop receives an independent deterministic ``fork(index)`` so
+    multi-hop loss streams stay exactly reproducible.  This is the one
+    place multi-hop paths are constructed — the replay harness's ``--hops``
+    and spec-built topologies both route through it.
+    """
+    from repro.replay.link import EmulatedLink
+
+    if not names:
+        raise TopologyError("a link chain needs at least one link name")
+    return [
+        EmulatedLink(
+            simulator=simulator,
+            name=name,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=propagation_delay,
+            queue_capacity=queue_capacity,
+            impairments=None if impairments is None else impairments.fork(index),
+            record_delays=record_delays,
+        )
+        for index, name in enumerate(names)
+    ]

@@ -1,0 +1,187 @@
+"""Concrete topology nodes: hosts, ZipLine switches, plain forwarders.
+
+Four node kinds cover every topology the reproduction builds:
+
+* :class:`HostNode` — a traffic endpoint: flows inject frames at it and
+  sinks collect (and optionally store) delivered frames;
+* :class:`ZipLineEncoderNode` / :class:`ZipLineDecoderNode` — thin graph
+  adapters around the existing
+  :class:`~repro.zipline.encoder_switch.ZipLineEncoderSwitch` and
+  :class:`~repro.zipline.decoder_switch.ZipLineDecoderSwitch` models (all
+  counters, digests and table semantics are the switch's own);
+* :class:`ForwardNode` — a plain store-and-forward hop that moves frames
+  between ports without touching them, for paths that traverse ordinary
+  switches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import LinkSink, Node
+
+__all__ = [
+    "HostNode",
+    "ZipLineEncoderNode",
+    "ZipLineDecoderNode",
+    "ForwardNode",
+]
+
+
+class HostNode(Node):
+    """A traffic endpoint: the place flows start and end.
+
+    As a *sink*, the host counts — and when ``store`` is true, retains —
+    every delivered frame, and forwards each delivery to an optional
+    ``on_deliver`` hook (the engine uses it for per-flow attribution).  As
+    a *source*, :meth:`inject` transmits a frame into whatever the graph
+    attached to the host's egress port.
+    """
+
+    def __init__(self, name: str = "host", store: bool = True):
+        super().__init__(name)
+        self.store = store
+        self.delivered = 0
+        self.arrivals: List[Tuple[float, bytes]] = []
+        self._egress: Dict[int, LinkSink] = {}
+        self.on_deliver: Optional[Callable[[bytes, float], None]] = None
+
+    # -- sink side -----------------------------------------------------------
+
+    def receive(self, frame_bytes: bytes, port: int, time: float) -> None:
+        self.deliver(frame_bytes, time)
+
+    def deliver(self, frame_bytes: bytes, time: float) -> None:
+        """Port-sink entry point (same shape as a switch port sink)."""
+        self.delivered += 1
+        if self.store:
+            self.arrivals.append((time, frame_bytes))
+        if self.on_deliver is not None:
+            self.on_deliver(frame_bytes, time)
+
+    # -- source side -----------------------------------------------------------
+
+    def attach(self, port: int, sink: LinkSink) -> None:
+        if port in self._egress:
+            # A silent overwrite would blackhole the first edge's path.
+            raise TopologyError(
+                f"host {self.name!r} egress port {port} is already attached"
+            )
+        self._egress[port] = sink
+
+    def inject(self, frame_bytes: bytes, time: float, port: int = 0) -> None:
+        """Transmit one frame into the network via egress ``port``."""
+        sink = self._egress.get(port)
+        if sink is None:
+            raise TopologyError(
+                f"host {self.name!r} has no egress attached on port {port}; "
+                "add an edge from it before injecting"
+            )
+        sink(frame_bytes, time)
+
+
+def _guard_reattach(node: Node, attached: set, port: int) -> None:
+    """Refuse to silently replace an already-wired egress port.
+
+    A second edge from the same port would otherwise blackhole the first
+    edge's path without any error or counter.
+    """
+    if port in attached:
+        raise TopologyError(
+            f"node {node.name!r} egress port {port} is already attached"
+        )
+    attached.add(port)
+
+
+class ZipLineEncoderNode(Node):
+    """Graph adapter around a :class:`ZipLineEncoderSwitch`.
+
+    Pass a prebuilt ``switch`` (the replay harness does, to keep its public
+    ``harness.encoder`` attribute the switch itself) or the keyword
+    arguments to build one.
+    """
+
+    def __init__(self, name: str, switch=None, **switch_kwargs):
+        super().__init__(name)
+        if switch is None:
+            from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+
+            switch = ZipLineEncoderSwitch(name=name, **switch_kwargs)
+        self.switch = switch
+        self._attached_ports: set = set()
+
+    def receive(self, frame_bytes: bytes, port: int, time: float) -> None:
+        self.switch.receive(frame_bytes, port)
+
+    def attach(self, port: int, sink: LinkSink) -> None:
+        _guard_reattach(self, self._attached_ports, port)
+        self.switch.switch.attach_port(port, sink)
+
+
+class ZipLineDecoderNode(Node):
+    """Graph adapter around a :class:`ZipLineDecoderSwitch`."""
+
+    def __init__(self, name: str, switch=None, **switch_kwargs):
+        super().__init__(name)
+        if switch is None:
+            from repro.zipline.decoder_switch import ZipLineDecoderSwitch
+
+            switch = ZipLineDecoderSwitch(name=name, **switch_kwargs)
+        self.switch = switch
+        self._attached_ports: set = set()
+
+    def receive(self, frame_bytes: bytes, port: int, time: float) -> None:
+        self.switch.receive(frame_bytes, port)
+
+    def attach(self, port: int, sink: LinkSink) -> None:
+        _guard_reattach(self, self._attached_ports, port)
+        self.switch.switch.attach_port(port, sink)
+
+
+class ForwardNode(Node):
+    """A plain hop: forward frames between ports without modifying them.
+
+    ``forwarding`` maps ingress port to egress port; frames arriving on an
+    unmapped port go to ``default_egress_port``.  A frame whose egress port
+    has no attached sink is counted as ``no_route`` and dropped — a wiring
+    bug surfaces in the counters instead of an exception mid-simulation.
+    """
+
+    def __init__(
+        self,
+        name: str = "forward",
+        forwarding: Optional[Dict[int, int]] = None,
+        default_egress_port: Optional[int] = None,
+    ):
+        super().__init__(name)
+        self.forwarding = dict(forwarding or {})
+        self.default_egress_port = default_egress_port
+        self.forwarded = 0
+        self.forwarded_bytes = 0
+        self.no_route = 0
+        self._sinks: Dict[int, LinkSink] = {}
+
+    def attach(self, port: int, sink: LinkSink) -> None:
+        if port in self._sinks:
+            raise TopologyError(
+                f"node {self.name!r} egress port {port} is already attached"
+            )
+        self._sinks[port] = sink
+
+    def receive(self, frame_bytes: bytes, port: int, time: float) -> None:
+        egress = self.forwarding.get(port, self.default_egress_port)
+        sink = None if egress is None else self._sinks.get(egress)
+        if sink is None:
+            self.no_route += 1
+            return
+        self.forwarded += 1
+        self.forwarded_bytes += len(frame_bytes)
+        sink(frame_bytes, time)
+
+    def counters(self) -> Dict[str, float]:
+        return {
+            "forwarded": self.forwarded,
+            "forwarded_bytes": self.forwarded_bytes,
+            "no_route": self.no_route,
+        }

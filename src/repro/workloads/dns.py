@@ -266,6 +266,23 @@ class DnsQueryWorkload:
         """Eagerly generate a list of queries."""
         return list(self.iter_queries(num_queries))
 
+    def bases(self, order: int = 8) -> List[int]:
+        """Distinct bases of the query chunks, in first-appearance order.
+
+        The order the control plane's identifier pool would assign them in
+        — the contract static-table preloading relies on.  (The synthetic
+        workload precomputes its bases; DNS chunks are derived, so the
+        bases are recovered by splitting each chunk.)
+        """
+        from repro.core.transform import GDTransform
+
+        transform = GDTransform(order=order)
+        seen: dict = {}
+        for chunk in self.iter_chunks():
+            if len(chunk) == transform.chunk_bytes:
+                seen.setdefault(transform.split(chunk).basis, None)
+        return list(seen)
+
     def iter_chunks(self, num_queries: Optional[int] = None) -> Iterator[bytes]:
         """Lazily generate the 32-byte chunks ZipLine compresses (txid removed).
 

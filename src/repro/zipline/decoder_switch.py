@@ -65,6 +65,7 @@ class ZipLineDecoderSwitch:
         default_egress_port: int = 1,
         digest_engine: Optional[DigestEngine] = None,
         fast: Optional[bool] = None,
+        port_count: Optional[int] = None,
     ):
         self._transform = transform or GDTransform(order=8)
         self._identifier_bits = identifier_bits
@@ -88,11 +89,13 @@ class ZipLineDecoderSwitch:
             deparser=Deparser(["ethernet", "chunk", "type3", "type2"]),
         )
         self._register_resources(pipeline)
+        switch_kwargs = {} if port_count is None else {"port_count": port_count}
         self.switch = TofinoSwitch(
             name=name,
             pipeline=pipeline,
             simulator=simulator,
             digest_engine=digest_engine or DigestEngine(simulator),
+            **switch_kwargs,
         )
         self._build_fast_path(fast)
 

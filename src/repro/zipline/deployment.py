@@ -11,6 +11,13 @@ the Figure 3 byte accounting and the dynamic-learning timing can be read
 off directly.  The control plane is attached to the encoder's digest engine
 and writes mappings into both switches with the configured latencies.
 
+The deployment is the ``paper-testbed`` preset of the general topology
+layer: its hosts, switches and the tapped inter-switch hop are wired
+through a :class:`~repro.topology.graph.TopologyGraph` (with *direct*
+edges — no link emulation, exactly the original synchronous wiring), so
+the two-switch testbed and arbitrary graph topologies share one wiring
+implementation.
+
 Three scenarios map onto the paper's Figure 3 bars:
 
 * ``no_table`` — the control plane never installs mappings (digest handling
@@ -191,12 +198,22 @@ class ZipLineDeployment:
     # -- wiring ------------------------------------------------------------------
 
     def _wire_topology(self) -> None:
-        def inter_switch_link(frame_bytes: bytes, time: float) -> None:
-            self.link_tap.observe(frame_bytes, time)
-            self.decoder.receive(frame_bytes, self.DECODER_IN_PORT)
+        """Build the two-switch testbed as a (direct-edged) topology graph."""
+        # Imported lazily: repro.topology pulls in repro.replay, whose
+        # harness imports this module for DeploymentScenario.
+        from repro.topology.graph import TopologyGraph
+        from repro.topology.nodes import ZipLineDecoderNode, ZipLineEncoderNode
 
-        self.encoder.switch.attach_port(self.INTER_SWITCH_PORT, inter_switch_link)
-        self.decoder.switch.attach_port(self.RECEIVER_PORT, self.receiver.deliver)
+        graph = TopologyGraph(self.simulator)
+        graph.add_node(ZipLineEncoderNode("encoder", switch=self.encoder))
+        graph.add_node(ZipLineDecoderNode("decoder", switch=self.decoder))
+        graph.add_edge(
+            "encoder", self.INTER_SWITCH_PORT, "decoder", self.DECODER_IN_PORT,
+            tap=self.link_tap,
+        )
+        graph.add_edge("decoder", self.RECEIVER_PORT, self.receiver.deliver)
+        graph.wire()
+        self.graph = graph
 
     # -- traffic injection -----------------------------------------------------------
 

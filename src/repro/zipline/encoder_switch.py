@@ -88,6 +88,7 @@ class ZipLineEncoderSwitch:
         entry_ttl: Optional[float] = None,
         digest_engine: Optional[DigestEngine] = None,
         fast: Optional[bool] = None,
+        port_count: Optional[int] = None,
     ):
         self._transform = transform or GDTransform(order=8)
         self._identifier_bits = identifier_bits
@@ -120,11 +121,13 @@ class ZipLineEncoderSwitch:
             ),
         )
         self._register_resources(pipeline)
+        switch_kwargs = {} if port_count is None else {"port_count": port_count}
         self.switch = TofinoSwitch(
             name=name,
             pipeline=pipeline,
             simulator=simulator,
             digest_engine=digest_engine or DigestEngine(simulator),
+            **switch_kwargs,
         )
         self._build_fast_path(fast)
 

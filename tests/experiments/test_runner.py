@@ -228,3 +228,75 @@ class TestWorkloadsAndTraces:
         first = run_scenario(scenario)
         second = run_scenario(scenario)
         assert first.as_dict() == second.as_dict()
+
+
+class TestFanInTopologyScenarios:
+    """topology=fan-in scenarios run through the topology engine."""
+
+    @staticmethod
+    def _fan_in_spec(**base_overrides):
+        base = {
+            "workload": "synthetic", "chunks": 200, "bases": 3,
+            "topology": "fan-in", "senders": 3, "seed": 5,
+        }
+        base.update(base_overrides)
+        return ExperimentSpec.from_dict(
+            {
+                "name": "fanin-runner-test",
+                "base": base,
+                "axes": {"scenario": ["static", "dynamic"]},
+            }
+        )
+
+    def test_fan_in_scenarios_report_per_flow_results(self):
+        result = MatrixRunner(self._fan_in_spec(), workers=1).run()
+        assert result.intact
+        for scenario in result.results:
+            flows = scenario.report["flows"]
+            assert len(flows) == 3
+            assert scenario.report["chunks_sent"] == 3 * 200
+            assert scenario.metric("integrity.corrupted") == 0
+        static = result.results[0]
+        assert static.metric("compression_ratio") < 0.15
+
+    def test_fan_in_sharded_equals_sequential(self):
+        spec = self._fan_in_spec()
+        sequential = MatrixRunner(spec, workers=1).run()
+        sharded = MatrixRunner(spec, workers=2).run()
+        assert sharded.json_text() == sequential.json_text()
+
+    def test_flow_seeds_are_independent_of_worker_count(self):
+        spec = self._fan_in_spec()
+        for workers in (1, 2):
+            result = MatrixRunner(spec, workers=workers).run()
+            for scenario in result.results:
+                from repro.topology import derive_flow_seed
+
+                expected = [
+                    derive_flow_seed(scenario.scenario_id, scenario.seed, f"flow{i}")
+                    for i in range(3)
+                ]
+                assert [f["seed"] for f in scenario.report["flows"]] == expected
+
+    def test_senders_parameter_is_validated(self):
+        with pytest.raises(ReproError, match="senders"):
+            ExperimentSpec.from_dict(
+                {"name": "bad", "base": {"senders": 0}}
+            )
+
+    def test_fan_in_crosses_with_loss_axis(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "fanin-loss",
+                "base": {
+                    "workload": "synthetic", "chunks": 200, "bases": 3,
+                    "topology": "fan-in", "senders": 2, "scenario": "no_table",
+                },
+                "axes": {"loss": [0.0, 0.05]},
+            }
+        )
+        result = MatrixRunner(spec, workers=1).run()
+        assert result.intact  # loss counts as missing, never corruption
+        clean, lossy = result.results
+        assert clean.metric("integrity.missing") == 0
+        assert lossy.metric("integrity.missing") > 0

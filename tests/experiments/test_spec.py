@@ -217,10 +217,22 @@ class TestFiles:
         specs_dir = Path(__file__).resolve().parents[2] / "examples" / "specs"
         names = sorted(path.name for path in specs_dir.glob("*.json"))
         assert names == [
+            "fanin_topology.json",
             "loss_table_sweep.json",
             "paper_figure3.json",
             "smoke.json",
         ]
+        experiment_specs = 0
         for path in specs_dir.glob("*.json"):
+            if path.name == "fanin_topology.json":
+                # A topology spec, not an experiment matrix: it loads
+                # through repro.topology instead.
+                from repro.topology import TopologySpec
+
+                topo = TopologySpec.from_file(path)
+                assert len(topo.flows) >= 4
+                continue
             spec = ExperimentSpec.from_file(path)
             assert spec.matrix_size >= 4
+            experiment_specs += 1
+        assert experiment_specs == 3

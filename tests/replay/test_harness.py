@@ -214,6 +214,111 @@ class TestTopologies:
             ReplayHarness(hops=0)
 
 
+class TestHopsSeedRegression:
+    """`--hops N` output is byte-identical to the pre-refactor behaviour.
+
+    The golden numbers below were captured from the seed implementation
+    (ad hoc link-chain construction, commit a368dae) on the exact workload
+    and impairment seeds used here; the chain now comes from
+    ``repro.topology.build_link_chain`` and must reproduce every counter,
+    byte total and integrity field to the last bit.
+    """
+
+    GOLDEN = {
+        "chunks_sent": 600,
+        "payload_bytes_sent": 19200,
+        "wire_payload_bytes": 19800,
+        "compression_ratio": 1.03125,
+        "duration": 0.0020178141691365174,
+        "learning_time": None,
+        "integrity": {
+            "sent": 600, "received": 548, "matched": 548, "corrupted": 0,
+            "missing": 52, "out_of_order": 204, "intact": True,
+            "lossless_in_order": False,
+        },
+        "counters": {
+            "controlplane.digests_ignored": 595,
+            "controlplane.digests_received": 600,
+            "controlplane.mappings_expired": 0,
+            "controlplane.mappings_learned": 5,
+            "controlplane.mappings_recycled": 0,
+            "decoder.compressed_to_raw": 0,
+            "decoder.compressed_to_raw_bytes": 0,
+            "decoder.passthrough_other": 0,
+            "decoder.passthrough_other_bytes": 0,
+            "decoder.uncompressed_to_raw": 548,
+            "decoder.uncompressed_to_raw_bytes": 25756,
+            "decoder.unknown_identifier": 0,
+            "decoder.unknown_identifier_bytes": 0,
+            "encoder.digests_dropped": 0,
+            "encoder.digests_emitted": 600,
+            "encoder.passthrough_other": 0,
+            "encoder.passthrough_other_bytes": 0,
+            "encoder.passthrough_processed": 0,
+            "encoder.passthrough_processed_bytes": 0,
+            "encoder.raw_to_compressed": 0,
+            "encoder.raw_to_compressed_bytes": 0,
+            "encoder.raw_to_uncompressed": 600,
+            "encoder.raw_to_uncompressed_bytes": 27600,
+            "link0.busy_time": 3.924479999999999e-06,
+            "link0.delivered": 584,
+            "link0.delivered_bytes": 27448,
+            "link0.dropped_loss": 16,
+            "link0.dropped_queue": 0,
+            "link0.max_queue_depth": 1,
+            "link0.offered": 600,
+            "link0.offered_bytes": 28200,
+            "link0.reordered": 14,
+            "link1.busy_time": 3.7967999999999985e-06,
+            "link1.delivered": 565,
+            "link1.delivered_bytes": 26555,
+            "link1.dropped_loss": 19,
+            "link1.dropped_queue": 0,
+            "link1.max_queue_depth": 2,
+            "link1.offered": 584,
+            "link1.offered_bytes": 27448,
+            "link1.reordered": 10,
+            "link2.busy_time": 3.6825599999999986e-06,
+            "link2.delivered": 548,
+            "link2.delivered_bytes": 25756,
+            "link2.dropped_loss": 17,
+            "link2.dropped_queue": 0,
+            "link2.max_queue_depth": 2,
+            "link2.offered": 565,
+            "link2.offered_bytes": 26555,
+            "link2.reordered": 11,
+            "wire.compressed_packets": 0,
+            "wire.compressed_payload_bytes": 0,
+            "wire.raw_packets": 0,
+            "wire.raw_payload_bytes": 0,
+            "wire.uncompressed_packets": 600,
+            "wire.uncompressed_payload_bytes": 19800,
+        },
+    }
+
+    def test_hops_3_output_is_byte_identical_to_seed_behaviour(self):
+        trace = SyntheticSensorWorkload(
+            num_chunks=600, distinct_bases=5, seed=11
+        ).trace()
+        harness = ReplayHarness(
+            scenario="dynamic",
+            hops=3,
+            impairments=ImpairmentModel(
+                loss_probability=0.03, reorder_probability=0.02, seed=7
+            ),
+        )
+        report = harness.run(
+            ChunkTraceSource(trace), FixedRatePacing(packet_rate=1e6)
+        )
+        observed = report.as_dict()
+        for key in (
+            "chunks_sent", "payload_bytes_sent", "wire_payload_bytes",
+            "compression_ratio", "duration", "learning_time", "integrity",
+        ):
+            assert observed[key] == self.GOLDEN[key], key
+        assert observed["metrics"]["counters"] == self.GOLDEN["counters"]
+
+
 class TestPcapDriven:
     def test_pcap_round_trip_through_harness(self, trace, tmp_path):
         path = tmp_path / "trace.pcap"

@@ -207,6 +207,104 @@ class TestReplayEmulation:
         assert re.search(r"decoder\.uncompressed_to_raw\s+300\b", output)
 
 
+class TestReplayTopologyErrors:
+    def test_unknown_topology_error_lists_valid_choices(self, tmp_path, capsys):
+        trace = tmp_path / "t.pcap"
+        main(["generate-trace", "synthetic", str(trace), "--chunks", "10"])
+        capsys.readouterr()
+        assert main(["replay", str(trace), "--topology", "ring"]) == 1
+        err = capsys.readouterr().err
+        # Not just the bad value: every valid choice plus the graph pointer.
+        assert "'ring'" in err
+        for valid in ("encoder-link-decoder", "encoder-only", "decoder-only"):
+            assert valid in err
+        assert "repro topology" in err
+
+
+class TestTopologyCommand:
+    def test_fan_in_preset_runs_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(
+            ["topology", "--preset", "fan-in", "--senders", "3",
+             "--scenario", "static", "--chunks", "200", "--bases", "3",
+             "--json", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "per-flow breakdown" in output
+        assert "flow2" in output
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["chunks_sent"] == 600
+        assert len(report["flows"]) == 3
+        assert report["integrity"]["intact"] is True
+
+    def test_spec_file_runs(self, tmp_path, capsys):
+        import json
+
+        from repro.topology import fan_in_topology
+
+        path = tmp_path / "topo.json"
+        spec = fan_in_topology(senders=2, chunks=100, bases=2, scenario="no_table")
+        path.write_text(json.dumps(spec.as_dict()))
+        assert main(["topology", "--spec", str(path), "--counters"]) == 0
+        output = capsys.readouterr().out
+        assert "counter breakdown" in output
+        assert "shared.delivered" in output
+
+    def test_unknown_preset_lists_presets(self, capsys):
+        assert main(["topology", "--preset", "ring"]) == 1
+        err = capsys.readouterr().err
+        for name in ("linear", "fan-in", "paper-testbed"):
+            assert name in err
+
+    def test_spec_and_preset_are_mutually_exclusive(self, capsys):
+        assert main(["topology"]) == 1
+        assert main(["topology", "--preset", "linear", "--spec", "x.json"]) == 1
+        err = capsys.readouterr().err
+        assert "exactly once" in err
+
+    def test_spec_validation_error_names_the_offender(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "name": "bad",
+            "nodes": [{"name": "a", "kind": "host"}],
+            "links": [{"name": "l", "source": "a:0", "target": "ghost:0"}],
+            "flows": [],
+        }))
+        assert main(["topology", "--spec", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "link 'l'" in err
+        assert "ghost" in err
+
+    def test_in_network_control_flag(self, capsys):
+        assert main(
+            ["topology", "--preset", "fan-in", "--senders", "2",
+             "--chunks", "600", "--bases", "2", "--control", "in-network"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_lossy_spec_counts_drops_without_failing(self, tmp_path, capsys):
+        import json
+        import re
+
+        from repro.topology import fan_in_topology
+
+        spec = fan_in_topology(
+            senders=2, chunks=400, bases=3, scenario="no_table", loss=0.05
+        )
+        path = tmp_path / "lossy.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        # Loss on an impaired link is a counted failure mode: exit 0, but
+        # the lost chunks show in the report.
+        assert main(["topology", "--spec", str(path)]) == 0
+        output = capsys.readouterr().out
+        match = re.search(r"chunks lost\s+(\d+)", output)
+        assert match and int(match.group(1)) > 0
+
+
 class TestExperimentCommand:
     @pytest.fixture()
     def spec_path(self, tmp_path):

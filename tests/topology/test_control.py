@@ -1,0 +1,93 @@
+"""ControlChannel: command serialisation, delivery, and transports."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.replay.link import EmulatedLink
+from repro.sim.simulator import Simulator
+from repro.topology import ControlChannel, apply_switch_command
+
+
+class _RecordingSwitch:
+    def __init__(self):
+        self.calls = []
+
+    def install_identifier_mapping(self, identifier, basis):
+        self.calls.append(("install_identifier", identifier, basis))
+
+    def remove_identifier_mapping(self, identifier):
+        self.calls.append(("remove_identifier", identifier))
+
+    def install_basis_mapping(self, basis, identifier, ttl):
+        self.calls.append(("install_basis", basis, identifier, ttl))
+
+    def remove_basis_mapping(self, basis):
+        self.calls.append(("remove_basis", basis))
+
+
+class TestApplySwitchCommand:
+    def test_every_operation_dispatches(self):
+        switch = _RecordingSwitch()
+        apply_switch_command(
+            switch, {"op": "install_identifier", "identifier": 3, "basis": 99}
+        )
+        apply_switch_command(switch, {"op": "remove_identifier", "identifier": 3})
+        apply_switch_command(
+            switch, {"op": "install_basis", "basis": 5, "identifier": 1, "ttl": 2.0}
+        )
+        apply_switch_command(switch, {"op": "remove_basis", "basis": 5})
+        assert switch.calls == [
+            ("install_identifier", 3, 99),
+            ("remove_identifier", 3),
+            ("install_basis", 5, 1, 2.0),
+            ("remove_basis", 5),
+        ]
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(TopologyError, match="unknown control command"):
+            apply_switch_command(_RecordingSwitch(), {"op": "reboot"})
+
+
+class TestControlChannel:
+    def test_commands_arrive_after_link_latency(self):
+        simulator = Simulator()
+        link = EmulatedLink(
+            simulator=simulator, name="ctl", bandwidth_bps=1e9,
+            propagation_delay=10e-6,
+        )
+        switch = _RecordingSwitch()
+        channel = ControlChannel(simulator, link, switch)
+        channel.transport({"op": "install_identifier", "identifier": 7, "basis": 123})
+        assert switch.calls == []  # in flight, not applied synchronously
+        simulator.run()
+        assert switch.calls == [("install_identifier", 7, 123)]
+        assert simulator.now >= 10e-6  # at least the propagation delay
+        assert channel.messages_sent == 1
+        assert channel.messages_applied == 1
+        assert channel.counters()["message_bytes"] > 14
+
+    def test_control_plane_transport_defers_decoder_install(self):
+        """With a transport, installs traverse the network; without, they don't."""
+        from repro.controlplane.manager import ZipLineControlPlane
+        from repro.tofino.digest import DigestEngine
+
+        simulator = Simulator()
+        link = EmulatedLink(
+            simulator=simulator, name="ctl", bandwidth_bps=1e9,
+            propagation_delay=5e-6,
+        )
+        decoder = _RecordingSwitch()
+        channel = ControlChannel(simulator, link, decoder)
+        digest_engine = DigestEngine(simulator)
+        ZipLineControlPlane(
+            digest_engine=digest_engine,
+            decoder_switch=decoder,
+            simulator=simulator,
+            identifier_bits=4,
+            seed=0,
+            decoder_transport=channel.transport,
+        )
+        digest_engine.emit("zipline_learn_basis", {"basis": 77})
+        simulator.run()
+        assert ("install_identifier", 0, 77) in decoder.calls
+        assert channel.messages_applied == 1
