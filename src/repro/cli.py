@@ -208,9 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Build a topology of hosts, ZipLine switches and emulated links "
             "-- from a declarative JSON spec (--spec) or a named preset "
-            "(--preset) -- run all of its flows concurrently on one "
-            "simulator, and report per-flow integrity, per-link counters "
-            "and the aggregate compression ratio. See docs/topology.md."
+            "(--preset) -- partition it into independent per-encoder shards, "
+            "run them (across --workers N processes when N > 1, with "
+            "byte-identical reports at any worker count), and report "
+            "per-flow integrity, per-link counters and the aggregate "
+            "compression ratio. See docs/topology.md."
         ),
     )
     topology.add_argument(
@@ -218,11 +220,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     topology.add_argument(
         "--preset", default=None, metavar="NAME",
-        help="named topology preset (linear, fan-in, paper-testbed)",
+        help="named topology preset (linear, fan-in, fan-in-stress, "
+             "rack-fan-in, paper-testbed)",
     )
     topology.add_argument(
-        "--senders", type=int, default=4,
-        help="concurrent senders for --preset fan-in (default 4)",
+        "--senders", type=int, default=None,
+        help="concurrent senders for the fan-in presets, per rack for "
+             "rack-fan-in (default: the preset's own)",
+    )
+    topology.add_argument(
+        "--racks", type=int, default=None,
+        help="rack count for --preset rack-fan-in (default: the preset's own)",
+    )
+    topology.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sharded execution (default 1 = "
+             "sequential; the report is byte-identical either way)",
+    )
+    topology.add_argument(
+        "--metrics", choices=("exact", "streaming", "auto"), default="auto",
+        help="latency metrics mode: exact keeps every sample, streaming "
+             "uses fixed-size sketches (bounded memory), auto picks "
+             "streaming at 256+ flows (default: auto)",
     )
     topology.add_argument(
         "--scenario",
@@ -231,12 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dictionary scenario for presets (default: dynamic)",
     )
     topology.add_argument(
-        "--chunks", type=int, default=1000,
-        help="chunks per flow for presets (default 1000)",
+        "--chunks", type=int, default=None,
+        help="chunks per flow for presets (default: the preset's own)",
     )
     topology.add_argument(
-        "--bases", type=int, default=16,
-        help="distinct bases per flow for presets (default 16)",
+        "--bases", type=int, default=None,
+        help="distinct bases per flow for presets (default: the preset's own)",
     )
     topology.add_argument(
         "--seed", type=int, default=0, help="spec-level seed (default 0)"
@@ -251,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument(
         "--counters", action="store_true",
         help="print the full per-component counter breakdown",
+    )
+    topology.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-shard progress lines",
     )
     topology.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
@@ -473,12 +496,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.integrity.intact else 1
 
 
+#: ``--metrics auto`` switches to bounded streaming sketches at this many
+#: flows.  The rule depends only on the spec — never on the worker count —
+#: so it cannot break the byte-identity contract across ``--workers N``.
+AUTO_STREAMING_FLOWS = 256
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.topology import (
         TOPOLOGY_PRESETS,
-        TopologyEngine,
         TopologySpec,
         preset_topology,
+        run_topology,
     )
 
     if (args.spec is None) == (args.preset is None):
@@ -486,22 +515,48 @@ def _cmd_topology(args: argparse.Namespace) -> int:
             "give the topology exactly once: --spec FILE or --preset NAME "
             f"(presets: {', '.join(sorted(TOPOLOGY_PRESETS))})"
         )
+    if args.workers < 1:
+        raise ReproError(
+            f"--workers must be a positive integer, got {args.workers}"
+        )
     if args.spec is not None:
         spec = TopologySpec.from_file(args.spec)
     else:
-        preset_kwargs = dict(
-            scenario=args.scenario,
-            chunks=args.chunks,
-            bases=args.bases,
-            seed=args.seed,
-        )
-        if args.preset == "fan-in":
+        preset_kwargs = dict(scenario=args.scenario, seed=args.seed)
+        for key in ("chunks", "bases"):
+            value = getattr(args, key)
+            if value is not None:
+                preset_kwargs[key] = value
+        if args.senders is not None:
+            if args.preset not in ("fan-in", "fan-in-stress", "rack-fan-in"):
+                raise ReproError(
+                    f"--senders only applies to the fan-in presets, "
+                    f"not {args.preset!r}"
+                )
             preset_kwargs["senders"] = args.senders
+        if args.racks is not None:
+            if args.preset != "rack-fan-in":
+                raise ReproError(
+                    f"--racks only applies to --preset rack-fan-in, "
+                    f"not {args.preset!r}"
+                )
+            preset_kwargs["racks"] = args.racks
         spec = preset_topology(args.preset, **preset_kwargs)
     if args.control is not None:
         spec.control = args.control
-    engine = TopologyEngine(spec)
-    report = engine.run()
+    if args.metrics == "auto":
+        metrics_mode = (
+            "streaming" if len(spec.flows) >= AUTO_STREAMING_FLOWS else "exact"
+        )
+    else:
+        metrics_mode = args.metrics
+    progress = None if args.quiet else print
+    report = run_topology(
+        spec,
+        workers=args.workers,
+        metrics_mode=metrics_mode,
+        progress=progress,
+    )
     print(report.render(include_counters=args.counters))
     if args.json is not None:
         save_results_json(args.json, report.as_dict())

@@ -163,7 +163,7 @@ def _run_fan_in_scenario(scenario: Scenario) -> ScenarioResult:
     CRC-32 scheme as scenario seeds), so the result is independent of flow
     scheduling order and of how the sweep is sharded.
     """
-    from repro.topology import TopologyEngine, fan_in_topology
+    from repro.topology import fan_in_topology, run_topology
 
     params = scenario.params
     spec = fan_in_topology(
@@ -188,7 +188,10 @@ def _run_fan_in_scenario(scenario: Scenario) -> ScenarioResult:
         order=params["order"],
         identifier_bits=params["identifier_bits"],
     )
-    report = TopologyEngine(spec).run()
+    # Route through the sharded path at workers=1: scenario workers are
+    # already processes, so the win here is the shared partition/merge
+    # code — whose single-shard report is byte-identical to the engine's.
+    report = run_topology(spec, workers=1)
     return ScenarioResult(
         index=scenario.index,
         scenario_id=scenario.scenario_id,
@@ -205,8 +208,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     so the result is a pure function of the scenario — the invariant that
     makes sharded and sequential sweeps byte-identical.  Linear topologies
     run through :class:`~repro.replay.harness.ReplayHarness`; the
-    ``fan-in`` topology runs through
-    :class:`~repro.topology.engine.TopologyEngine`.
+    ``fan-in`` topology runs through the sharded
+    :func:`~repro.topology.sharding.run_topology` path.
     """
     params = scenario.params
     if params["topology"] == "fan-in":

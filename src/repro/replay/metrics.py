@@ -16,8 +16,9 @@ integrity verdict, and the full counter breakdown — renderable as text via
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.reporting import format_table
 from repro.exceptions import ReplayError
@@ -38,12 +39,34 @@ Number = Union[int, float]
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
 
 
+#: Default relative error of a bounded distribution's percentile estimates.
+DEFAULT_RELATIVE_ERROR = 0.01
+
+#: Default cap on log-spaced buckets per sign.  At the default relative
+#: error this covers an astronomically wide dynamic range, so the
+#: lowest-bucket collapse below is a safety valve, not a working mode.
+DEFAULT_MAX_BUCKETS = 4096
+
+
 class Distribution:
     """A sample collection with percentile summaries.
 
-    Percentiles use linear interpolation between closest ranks (the same
-    convention as ``numpy.percentile``'s default), computed lazily over a
-    cached sort.
+    Two storage modes share one interface:
+
+    * **exact** (the default) retains every sample.  Percentiles use linear
+      interpolation between closest ranks (the same convention as
+      ``numpy.percentile``'s default), computed lazily over a cached sort.
+    * **bounded** (``bounded=True``) keeps a fixed-size log-bucketed sketch
+      (the DDSketch construction): ``count``, ``sum``, ``min`` and ``max``
+      are tracked exactly — so ``mean()`` and the summary extremes match
+      the exact mode bit for bit — while each sample lands in the bucket
+      ``ceil(log_gamma |v|)`` with ``gamma = (1+a)/(1-a)`` for relative
+      error ``a``.  ``percentile(p)`` returns the bucket midpoint of the
+      nearest-rank sample, clamped to ``[min, max]``; the estimate is
+      guaranteed within ``relative_error`` of the exact nearest-rank value
+      (as long as the ``max_buckets`` collapse valve never fires, which at
+      the defaults needs a dynamic range beyond any simulated latency).
+      Memory is O(max_buckets), independent of the stream length.
 
     >>> latency = Distribution("endtoend.latency")
     >>> latency.extend([1.0, 2.0, 3.0, 4.0])
@@ -53,47 +76,204 @@ class Distribution:
     4.0
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(
+        self,
+        name: str = "",
+        bounded: bool = False,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ):
         self.name = name
-        self._samples: List[float] = []
-        self._sorted: Optional[List[float]] = None
+        self._bounded = bounded
+        if bounded:
+            if not 0.0 < relative_error < 1.0:
+                raise ReplayError(
+                    f"distribution {name!r}: relative_error must be in (0, 1), "
+                    f"got {relative_error!r}"
+                )
+            if max_buckets < 2:
+                raise ReplayError(
+                    f"distribution {name!r}: max_buckets must be at least 2, "
+                    f"got {max_buckets!r}"
+                )
+            self._relative_error = float(relative_error)
+            self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+            self._log_gamma = math.log(self._gamma)
+            self._max_buckets = max_buckets
+            self._count = 0
+            self._sum = 0.0
+            self._min: Optional[float] = None
+            self._max: Optional[float] = None
+            self._zero = 0
+            self._positive: Dict[int, int] = {}
+            self._negative: Dict[int, int] = {}
+        else:
+            self._samples: List[float] = []
+            self._sorted: Optional[List[float]] = None
+
+    @property
+    def bounded(self) -> bool:
+        """True when this distribution is a fixed-size sketch."""
+        return self._bounded
+
+    # -- recording -----------------------------------------------------------
+
+    def _bucket_index(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _bucket_value(self, index: int) -> float:
+        # Midpoint of (gamma^(i-1), gamma^i]: within relative_error of every
+        # value the bucket can hold (exactly +/-a at the bucket edges).
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    @staticmethod
+    def _collapse(buckets: Dict[int, int], limit: int) -> None:
+        # Safety valve: fold the lowest bucket into its neighbour so the
+        # sketch never exceeds the cap (degrading accuracy only at the far
+        # low tail of an extreme dynamic range).
+        while len(buckets) > limit:
+            ordered = sorted(buckets)
+            buckets[ordered[1]] += buckets.pop(ordered[0])
+
+    def _add_bounded(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value > 0.0:
+            index = self._bucket_index(value)
+            self._positive[index] = self._positive.get(index, 0) + 1
+            if len(self._positive) > self._max_buckets:
+                self._collapse(self._positive, self._max_buckets)
+        elif value < 0.0:
+            index = self._bucket_index(-value)
+            self._negative[index] = self._negative.get(index, 0) + 1
+            if len(self._negative) > self._max_buckets:
+                self._collapse(self._negative, self._max_buckets)
+        else:
+            self._zero += 1
 
     def add(self, value: Number) -> None:
         """Record one sample."""
+        if self._bounded:
+            self._add_bounded(float(value))
+            return
         self._samples.append(float(value))
         self._sorted = None
 
     def extend(self, values: Sequence[Number]) -> None:
         """Record many samples."""
+        if self._bounded:
+            for value in values:
+                self._add_bounded(float(value))
+            return
         self._samples.extend(float(value) for value in values)
         if values:
             self._sorted = None
 
+    def merge(self, other: "Distribution") -> None:
+        """Fold another distribution of the same mode into this one.
+
+        Exact mode appends the other's samples in their insertion order;
+        bounded mode adds the sketches bucket-wise (integer counts, so a
+        merge of merges is associative and order-independent except for
+        the floating-point ``sum``, which follows merge order exactly like
+        sequential :meth:`add` calls would).
+        """
+        if self._bounded != other._bounded:
+            raise ReplayError(
+                f"cannot merge {'bounded' if other._bounded else 'exact'} "
+                f"distribution {other.name!r} into "
+                f"{'bounded' if self._bounded else 'exact'} {self.name!r}"
+            )
+        if not self._bounded:
+            self.extend(other._samples)
+            return
+        if other._relative_error != self._relative_error:
+            raise ReplayError(
+                f"cannot merge distribution {other.name!r} "
+                f"(relative_error {other._relative_error}) into {self.name!r} "
+                f"(relative_error {self._relative_error})"
+            )
+        if other._count == 0:
+            return
+        self._count += other._count
+        self._sum += other._sum
+        if self._min is None or other._min < self._min:
+            self._min = other._min
+        if self._max is None or other._max > self._max:
+            self._max = other._max
+        self._zero += other._zero
+        for index, count in other._positive.items():
+            self._positive[index] = self._positive.get(index, 0) + count
+        for index, count in other._negative.items():
+            self._negative[index] = self._negative.get(index, 0) + count
+        self._collapse(self._positive, self._max_buckets)
+        self._collapse(self._negative, self._max_buckets)
+
+    # -- inspection ----------------------------------------------------------
+
     def __len__(self) -> int:
+        if self._bounded:
+            return self._count
         return len(self._samples)
 
     @property
     def empty(self) -> bool:
         """True when no sample has been recorded."""
-        return not self._samples
+        return len(self) == 0
 
     @property
     def samples(self) -> List[float]:
         """A copy of the recorded samples, in insertion order."""
+        if self._bounded:
+            raise ReplayError(
+                f"bounded distribution {self.name!r} retains no samples"
+            )
         return list(self._samples)
 
     def mean(self) -> float:
-        """Arithmetic mean of the samples."""
-        if not self._samples:
+        """Arithmetic mean of the samples (exact in both modes)."""
+        if self.empty:
             raise ReplayError(f"distribution {self.name!r} has no samples")
+        if self._bounded:
+            return self._sum / self._count
         return sum(self._samples) / len(self._samples)
 
+    def _clamp(self, value: float) -> float:
+        return max(self._min, min(value, self._max))
+
+    def _bounded_percentile(self, p: float) -> float:
+        rank = (p / 100.0) * (self._count - 1)
+        target = min(int(rank + 0.5), self._count - 1)  # nearest rank
+        cumulative = 0
+        for index in sorted(self._negative, reverse=True):
+            cumulative += self._negative[index]
+            if cumulative > target:
+                return self._clamp(-self._bucket_value(index))
+        cumulative += self._zero
+        if cumulative > target:
+            return self._clamp(0.0)
+        for index in sorted(self._positive):
+            cumulative += self._positive[index]
+            if cumulative > target:
+                return self._clamp(self._bucket_value(index))
+        return self._max
+
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0–100) of the samples."""
-        if not self._samples:
+        """The ``p``-th percentile (0–100) of the samples.
+
+        In bounded mode this is the sketch estimate: within
+        ``relative_error`` of the exact nearest-rank percentile.
+        """
+        if self.empty:
             raise ReplayError(f"distribution {self.name!r} has no samples")
         if not 0.0 <= p <= 100.0:
             raise ReplayError(f"percentile must be within [0, 100], got {p}")
+        if self._bounded:
+            return self._bounded_percentile(p)
         if self._sorted is None:
             self._sorted = sorted(self._samples)
         ordered = self._sorted
@@ -109,18 +289,78 @@ class Distribution:
         self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
     ) -> Dict[str, float]:
         """Count, mean, min/max and the requested percentiles."""
-        if not self._samples:
+        if self.empty:
             return {"count": 0}
-        result: Dict[str, float] = {
-            "count": len(self._samples),
-            "mean": self.mean(),
-            "min": min(self._samples),
-            "max": max(self._samples),
-        }
+        if self._bounded:
+            result: Dict[str, float] = {
+                "count": self._count,
+                "mean": self.mean(),
+                "min": self._min,
+                "max": self._max,
+            }
+        else:
+            result = {
+                "count": len(self._samples),
+                "mean": self.mean(),
+                "min": min(self._samples),
+                "max": max(self._samples),
+            }
         for p in percentiles:
             key = f"p{p:g}"
             result[key] = self.percentile(p)
         return result
+
+    # -- state transport -------------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """A picklable snapshot that :meth:`from_state` restores exactly.
+
+        This is how sharded topology workers ship their distributions back
+        to the parent: exact mode carries the sample list (insertion
+        order preserved, so downstream folds are byte-identical to an
+        in-process run), bounded mode carries the sketch.
+        """
+        if not self._bounded:
+            return {"mode": "exact", "samples": list(self._samples)}
+        return {
+            "mode": "bounded",
+            "relative_error": self._relative_error,
+            "max_buckets": self._max_buckets,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "zero": self._zero,
+            "positive": dict(self._positive),
+            "negative": dict(self._negative),
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: Mapping[str, Any]) -> "Distribution":
+        """Rebuild a distribution from a :meth:`to_state` snapshot."""
+        mode = state.get("mode")
+        if mode == "exact":
+            dist = cls(name)
+            dist._samples = list(state["samples"])
+            return dist
+        if mode != "bounded":
+            raise ReplayError(
+                f"distribution {name!r}: unknown state mode {mode!r}"
+            )
+        dist = cls(
+            name,
+            bounded=True,
+            relative_error=state["relative_error"],
+            max_buckets=state["max_buckets"],
+        )
+        dist._count = state["count"]
+        dist._sum = state["sum"]
+        dist._min = state["min"]
+        dist._max = state["max"]
+        dist._zero = state["zero"]
+        dist._positive = dict(state["positive"])
+        dist._negative = dict(state["negative"])
+        return dist
 
 
 class MetricsRegistry:
@@ -130,12 +370,23 @@ class MetricsRegistry:
     bulk-imports a component's counter dict under its namespace, which is
     how switch counter sets, link stats and control-plane stats land here
     without those components knowing about the registry.
+
+    ``bounded_distributions=True`` makes every distribution created through
+    :meth:`distribution` a fixed-size sketch (see :class:`Distribution`) —
+    the registry mode the topology engine's streaming metrics use so scale
+    runs never retain per-sample state.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        bounded_distributions: bool = False,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+    ) -> None:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._distributions: Dict[str, Distribution] = {}
+        self._bounded_distributions = bounded_distributions
+        self._relative_error = relative_error
 
     # -- counters ------------------------------------------------------------
 
@@ -169,8 +420,21 @@ class MetricsRegistry:
     def distribution(self, name: str) -> Distribution:
         """The named distribution, created on first use."""
         if name not in self._distributions:
-            self._distributions[name] = Distribution(name)
+            self._distributions[name] = Distribution(
+                name,
+                bounded=self._bounded_distributions,
+                relative_error=self._relative_error,
+            )
         return self._distributions[name]
+
+    def add_distribution(self, dist: Distribution) -> Distribution:
+        """Adopt an externally-built distribution under its own name."""
+        if dist.name in self._distributions:
+            raise ReplayError(
+                f"distribution {dist.name!r} is already registered"
+            )
+        self._distributions[dist.name] = dist
+        return dist
 
     def distributions(self) -> Dict[str, Distribution]:
         """All registered distributions by name."""
@@ -186,6 +450,22 @@ class MetricsRegistry:
             "distributions": {
                 name: dist.summary()
                 for name, dist in sorted(self._distributions.items())
+            },
+        }
+
+    def export_state(self) -> Dict[str, object]:
+        """A picklable snapshot (insertion order preserved) for shard merge.
+
+        Unlike :meth:`as_dict`, distributions are carried as full
+        :meth:`Distribution.to_state` snapshots, not summaries, so the
+        parent process can fold them exactly.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "distributions": {
+                name: dist.to_state()
+                for name, dist in self._distributions.items()
             },
         }
 

@@ -14,14 +14,17 @@ engine:
   installs that cross an emulated link instead of a method call);
 * :mod:`repro.topology.engine` — :class:`TopologyEngine`, which runs N
   concurrent flows over one spec and returns a :class:`TopologyReport`
-  with per-flow and per-link attribution.
+  with per-flow and per-link attribution;
+* :mod:`repro.topology.sharding` — :func:`run_topology`, which splits a
+  spec into independent per-encoder shards, simulates them across a
+  process pool, and merges one byte-identical report at any worker count.
 
 Quick start::
 
-    from repro.topology import TopologyEngine, fan_in_topology
+    from repro.topology import run_topology, rack_fan_in_topology
 
-    spec = fan_in_topology(senders=4, scenario="static", chunks=2000)
-    report = TopologyEngine(spec).run()
+    spec = rack_fan_in_topology(racks=4, senders=8, chunks=2000)
+    report = run_topology(spec, workers=4, metrics_mode="streaming")
     print(report.render())
 """
 
@@ -46,17 +49,30 @@ from repro.topology.spec import (
     TopologySpec,
     derive_flow_seed,
     derive_seed,
+    fan_in_stress_topology,
     fan_in_topology,
     linear_topology,
     paper_testbed_topology,
     preset_topology,
+    rack_fan_in_topology,
 )
 from repro.topology.control import (
     ETHERTYPE_ZIPLINE_CONTROL,
     ControlChannel,
     apply_switch_command,
 )
-from repro.topology.engine import FlowResult, TopologyEngine, TopologyReport
+from repro.topology.engine import (
+    METRICS_MODES,
+    FlowResult,
+    TopologyEngine,
+    TopologyReport,
+)
+from repro.topology.sharding import (
+    PartitionError,
+    TopologyShard,
+    partition_spec,
+    run_topology,
+)
 
 __all__ = [
     "LinkSink",
@@ -75,14 +91,21 @@ __all__ = [
     "TopologySpec",
     "derive_flow_seed",
     "derive_seed",
+    "fan_in_stress_topology",
     "fan_in_topology",
     "linear_topology",
     "paper_testbed_topology",
     "preset_topology",
+    "rack_fan_in_topology",
     "ETHERTYPE_ZIPLINE_CONTROL",
     "ControlChannel",
     "apply_switch_command",
+    "METRICS_MODES",
     "FlowResult",
     "TopologyEngine",
     "TopologyReport",
+    "PartitionError",
+    "TopologyShard",
+    "partition_spec",
+    "run_topology",
 ]

@@ -87,71 +87,55 @@ def _host_mac(index: int) -> MacAddress:
     return MacAddress(0x02_00_00_00_00_00 + index + 1)
 
 
-class _FlowState:
-    """Runtime bookkeeping of one flow (mirrors the harness's accounting)."""
+#: How the engine folds per-flow metrics (see :class:`TopologyEngine`).
+METRICS_MODES = ("exact", "streaming")
 
-    def __init__(
-        self,
-        spec: FlowSpec,
-        seed: int,
-        source: TraceSource,
-        pacing: Pacing,
-        source_mac: MacAddress,
-        sink_mac: MacAddress,
-        verify_integrity: bool,
-    ):
-        self.spec = spec
-        self.seed = seed
-        self.source = source
-        self.pacing = pacing
-        self.source_mac_bytes = bytes(source_mac)
-        self.verify_integrity = verify_integrity
-        # Trace-driven flows carry whatever addresses the capture recorded;
-        # rewrite the Ethernet addresses to the flow's own identity so
-        # arrival attribution by source MAC works for every source kind.
-        # (Workload sources already frame with these addresses.)
-        self._mac_rewrite: Optional[bytes] = (
-            bytes(sink_mac) + self.source_mac_bytes
-            if spec.trace is not None
-            else None
-        )
-        self.frames_sent = 0
-        self.chunks_sent = 0
-        self.chunk_bytes_sent = 0
-        self.delivered = 0
+
+class _NullFlowAccount:
+    """No verification, no retention — the counters-only mode."""
+
+    #: Streaming accounts own their latency sketch; batch/null modes get a
+    #: registry-created distribution at fold time instead.
+    latency: Optional[Distribution] = None
+
+    def record_sent(self, frame_bytes: bytes, now: float) -> None:
+        pass
+
+    def record_arrival(self, frame_bytes: bytes, time: float) -> None:
+        pass
+
+    def fold_into(self, latency: Distribution) -> Optional[IntegrityResult]:
+        return None
+
+
+class _ExactFlowAccount:
+    """Batch FIFO content matching, identical to the harness's algorithm.
+
+    Retains every injected chunk payload and every arrival frame —
+    O(traffic) memory, folded into the integrity verdict and the exact
+    latency distribution at report time.
+    """
+
+    latency: Optional[Distribution] = None
+
+    def __init__(self) -> None:
         self.sent_chunks: List[bytes] = []
         self.sent_times: List[float] = []
         self.pending_by_content: Dict[bytes, Deque[int]] = {}
         self.arrivals: List[Tuple[float, bytes]] = []
 
-    def frame_for_injection(self, frame_bytes: bytes) -> bytes:
-        """The frame as this flow puts it on the wire (flow-owned MACs)."""
-        if self._mac_rewrite is None:
-            return frame_bytes
-        return self._mac_rewrite + frame_bytes[12:]
-
-    def record_injection(self, frame_bytes: bytes, now: float) -> None:
-        self.frames_sent += 1
-        if frame_bytes[12:14] == RAW_CHUNK_ETHERTYPE_BYTES:
-            self.chunks_sent += 1
-            self.chunk_bytes_sent += len(frame_bytes) - 14
-            if self.verify_integrity:
-                payload = frame_bytes[14:]
-                index = len(self.sent_chunks)
-                self.sent_chunks.append(payload)
-                self.sent_times.append(now)
-                self.pending_by_content.setdefault(payload, deque()).append(index)
+    def record_sent(self, frame_bytes: bytes, now: float) -> None:
+        payload = frame_bytes[14:]
+        index = len(self.sent_chunks)
+        self.sent_chunks.append(payload)
+        self.sent_times.append(now)
+        self.pending_by_content.setdefault(payload, deque()).append(index)
 
     def record_arrival(self, frame_bytes: bytes, time: float) -> None:
-        self.delivered += 1
-        if self.verify_integrity:
-            self.arrivals.append((time, frame_bytes))
+        self.arrivals.append((time, frame_bytes))
 
-    def check_integrity(
-        self, latency: Distribution
-    ) -> Optional[IntegrityResult]:
-        """FIFO content matching, identical to the harness's algorithm."""
-        if not self.verify_integrity or not self.sent_chunks:
+    def fold_into(self, latency: Distribution) -> Optional[IntegrityResult]:
+        if not self.sent_chunks:
             return None
         pending = {
             content: deque(indices)
@@ -182,6 +166,125 @@ class _FlowState:
             missing=len(self.sent_chunks) - matched,
             out_of_order=out_of_order,
         )
+
+
+class _StreamingFlowAccount:
+    """Online FIFO content matching with a bounded latency sketch.
+
+    Matches each arrival the moment it happens, so memory holds only the
+    chunks currently in flight (plus lost ones), never the whole stream.
+    Equivalent to the batch matcher: the link model never duplicates
+    frames, so an arrival can never need a copy sent *after* it — eager
+    matching pops exactly the index the batch pass would.
+    """
+
+    def __init__(self, latency: Distribution) -> None:
+        self.latency = latency
+        self.sent = 0
+        self.received = 0
+        self.matched = 0
+        self.corrupted = 0
+        self.out_of_order = 0
+        self.highest_index = -1
+        self.pending: Dict[bytes, Deque[Tuple[int, float]]] = {}
+
+    def record_sent(self, frame_bytes: bytes, now: float) -> None:
+        self.pending.setdefault(frame_bytes[14:], deque()).append(
+            (self.sent, now)
+        )
+        self.sent += 1
+
+    def record_arrival(self, frame_bytes: bytes, time: float) -> None:
+        payload = raw_chunk_payload(frame_bytes)
+        if payload is None:
+            return
+        self.received += 1
+        queue = self.pending.get(payload)
+        if not queue:
+            self.corrupted += 1
+            return
+        index, sent_time = queue.popleft()
+        if not queue:
+            del self.pending[payload]
+        self.matched += 1
+        if index < self.highest_index:
+            self.out_of_order += 1
+        self.highest_index = max(self.highest_index, index)
+        self.latency.add(time - sent_time)
+
+    def fold_into(self, latency: Distribution) -> Optional[IntegrityResult]:
+        if not self.sent:
+            return None
+        return IntegrityResult(
+            sent=self.sent,
+            received=self.received,
+            matched=self.matched,
+            corrupted=self.corrupted,
+            missing=self.sent - self.matched,
+            out_of_order=self.out_of_order,
+        )
+
+
+class _FlowState:
+    """Runtime bookkeeping of one flow: scheduling identity plus volume
+    counters, with verification delegated to a pluggable account."""
+
+    def __init__(
+        self,
+        spec: FlowSpec,
+        seed: int,
+        source: TraceSource,
+        pacing: Pacing,
+        source_mac: MacAddress,
+        sink_mac: MacAddress,
+        account,
+    ):
+        self.spec = spec
+        self.seed = seed
+        self.source = source
+        self.pacing = pacing
+        self.source_mac_bytes = bytes(source_mac)
+        self.account = account
+        # Trace-driven flows carry whatever addresses the capture recorded;
+        # rewrite the Ethernet addresses to the flow's own identity so
+        # arrival attribution by source MAC works for every source kind.
+        # (Workload sources already frame with these addresses.)
+        self._mac_rewrite: Optional[bytes] = (
+            bytes(sink_mac) + self.source_mac_bytes
+            if spec.trace is not None
+            else None
+        )
+        self.frames_sent = 0
+        self.chunks_sent = 0
+        self.chunk_bytes_sent = 0
+        self.delivered = 0
+
+    @property
+    def sent_chunks(self) -> List[bytes]:
+        """Retained chunk payloads (empty outside the exact account)."""
+        return getattr(self.account, "sent_chunks", [])
+
+    @property
+    def arrivals(self) -> List[Tuple[float, bytes]]:
+        """Retained arrival frames (empty outside the exact account)."""
+        return getattr(self.account, "arrivals", [])
+
+    def frame_for_injection(self, frame_bytes: bytes) -> bytes:
+        """The frame as this flow puts it on the wire (flow-owned MACs)."""
+        if self._mac_rewrite is None:
+            return frame_bytes
+        return self._mac_rewrite + frame_bytes[12:]
+
+    def record_injection(self, frame_bytes: bytes, now: float) -> None:
+        self.frames_sent += 1
+        if frame_bytes[12:14] == RAW_CHUNK_ETHERTYPE_BYTES:
+            self.chunks_sent += 1
+            self.chunk_bytes_sent += len(frame_bytes) - 14
+            self.account.record_sent(frame_bytes, now)
+
+    def record_arrival(self, frame_bytes: bytes, time: float) -> None:
+        self.delivered += 1
+        self.account.record_arrival(frame_bytes, time)
 
 
 @dataclass
@@ -376,19 +479,60 @@ class TopologyEngine:
     spec:
         The validated topology description.
     verify_integrity:
-        When true (default) every flow retains its injected chunks and
-        arrivals for the end-to-end check and latency percentiles —
-        O(traffic) memory.  False keeps everything bounded and reports
-        ``integrity: None``, like the harness's counters-only mode.
+        When true (default) every flow is checked end to end and gets
+        latency percentiles.  False skips verification entirely and
+        reports ``integrity: None``, like the harness's counters-only
+        mode.
+    metrics_mode:
+        How per-flow metrics are kept.  ``"exact"`` (default) retains
+        every chunk, arrival and latency sample — O(traffic) memory, the
+        historical behaviour.  ``"streaming"`` matches arrivals online and
+        folds latencies into fixed-size sketches
+        (:class:`~repro.replay.metrics.Distribution` bounded mode), keeps
+        link taps counters-only and skips per-sample queueing-delay
+        retention — bounded memory at any scale, with identical counters,
+        gauges and integrity verdicts; only latency percentiles become
+        sketch estimates (and per-link queueing-delay distributions are
+        empty).  The mode never changes what the simulation *does*, so a
+        run's counters are byte-identical across modes.
+    tap_fallback:
+        When no link is explicitly ``measured: true``, whether to tap the
+        spec's fallback measured link (default true).  Sharded sub-spec
+        runs disable this: the partitioner resolves the fallback against
+        the *full* spec and marks it explicitly, so a shard can never
+        invent a tap the monolithic run would not have.
+    qualify_controlplane:
+        Controls whether control-plane counters are namespaced as
+        ``controlplane.<encoder>`` (true) or plain ``controlplane``
+        (false).  ``None`` (default) qualifies exactly when the engine
+        builds more than one control plane; shard workers receive the
+        full-spec answer so shard-local reports merge without colliding.
     """
 
-    def __init__(self, spec: TopologySpec, verify_integrity: bool = True):
+    def __init__(
+        self,
+        spec: TopologySpec,
+        verify_integrity: bool = True,
+        metrics_mode: str = "exact",
+        tap_fallback: bool = True,
+        qualify_controlplane: Optional[bool] = None,
+    ):
+        if metrics_mode not in METRICS_MODES:
+            raise TopologyError(
+                f"metrics_mode must be one of {', '.join(METRICS_MODES)}; "
+                f"got {metrics_mode!r}"
+            )
         self.spec = spec
         self.verify_integrity = verify_integrity
+        self.metrics_mode = metrics_mode
+        self._streaming = metrics_mode == "streaming"
+        self.tap_fallback = tap_fallback
+        self._qualify_controlplane = qualify_controlplane
         self.simulator = Simulator()
         self.transform = GDTransform(order=spec.order)
         self.graph = TopologyGraph(self.simulator)
         self.measured_tap: Optional[LinkTap] = None
+        self.measured_taps: List[Tuple[str, LinkTap]] = []
         self.control_planes: Dict[str, ZipLineControlPlane] = {}
         self.control_channels: Dict[str, ControlChannel] = {}
         self._encoder_nodes: Dict[str, ZipLineEncoderNode] = {}
@@ -492,16 +636,24 @@ class TopologyEngine:
             propagation_delay=link.propagation_us * 1e-6,
             queue_capacity=link.queue_capacity or None,
             impairments=impairments,
-            record_delays=self.verify_integrity,
+            record_delays=self.verify_integrity and not self._streaming,
         )
 
     def _build_links(self) -> None:
-        measured = self.spec.measured_link
+        measured_names = {link.name for link in self.spec.links if link.measured}
+        if not measured_names and self.tap_fallback:
+            fallback = self.spec.measured_link
+            if fallback is not None:
+                measured_names = {fallback.name}
         for link in self.spec.links:
             tap = None
-            if measured is not None and link.name == measured.name:
-                tap = LinkTap(store_records=self.verify_integrity)
-                self.measured_tap = tap
+            if link.name in measured_names:
+                tap = LinkTap(
+                    store_records=self.verify_integrity and not self._streaming
+                )
+                self.measured_taps.append((link.name, tap))
+                if self.measured_tap is None:
+                    self.measured_tap = tap
             chain: List[EmulatedLink] = []
             if not link.direct:
                 chain = self._build_one_link(link)
@@ -600,6 +752,15 @@ class TopologyEngine:
             start=flow.start,
         )
 
+    def _make_account(self, flow: FlowSpec):
+        if not self.verify_integrity:
+            return _NullFlowAccount()
+        if self._streaming:
+            return _StreamingFlowAccount(
+                Distribution(f"flow.{flow.name}.latency", bounded=True)
+            )
+        return _ExactFlowAccount()
+
     def _build_flows(self) -> None:
         for index, flow in enumerate(self.spec.flows):
             seed = self.spec.flow_seed(flow)
@@ -612,7 +773,7 @@ class TopologyEngine:
                 pacing=self._build_flow_pacing(flow),
                 source_mac=source_mac,
                 sink_mac=sink_mac,
-                verify_integrity=self.verify_integrity,
+                account=self._make_account(flow),
             )
             self._flows.append(state)
             self._flows_by_mac[state.source_mac_bytes] = state
@@ -635,19 +796,33 @@ class TopologyEngine:
         flow.record_arrival(frame_bytes, time)
 
     def _preload_static_bases(self) -> None:
-        """Install the union of every flow's bases, in flow order."""
-        bases: Dict[int, None] = {}
+        """Install each component's flows' bases into that component's
+        tables, in flow-declaration order.
+
+        Scoping the preload per connected component keeps a multi-encoder
+        spec's dictionaries identical whether the spec runs monolithically
+        or partitioned into per-encoder shards; on a single-component spec
+        this is exactly the historical global union.
+        """
+        component_of = self.spec.node_components()
+        bases_by_component: Dict[int, Dict[int, None]] = {}
         for state in self._flows:
+            bucket = bases_by_component.setdefault(
+                component_of[state.spec.source], {}
+            )
             for basis in self._flow_bases(state):
-                bases.setdefault(basis, None)
-        if not bases:
-            return
+                bucket.setdefault(basis, None)
         if self.control_planes:
-            for control_plane in self.control_planes.values():
-                control_plane.preload_static_mappings(list(bases))
+            for name, control_plane in self.control_planes.items():
+                bucket = bases_by_component.get(component_of[name])
+                if bucket:
+                    control_plane.preload_static_mappings(list(bucket))
         else:
-            for decoder_node in self._decoder_nodes.values():
-                for identifier, basis in enumerate(bases):
+            for name, decoder_node in self._decoder_nodes.items():
+                bucket = bases_by_component.get(component_of[name])
+                if not bucket:
+                    continue
+                for identifier, basis in enumerate(bucket):
                     decoder_node.switch.install_identifier_mapping(identifier, basis)
 
     def _flow_bases(self, state: _FlowState) -> Iterator[int]:
@@ -714,22 +889,34 @@ class TopologyEngine:
 
     # -- results -----------------------------------------------------------------
 
+    def wire_first_times(self) -> Tuple[Optional[float], Optional[float]]:
+        """Earliest type-2 and type-3 frame times across every measured tap."""
+        first_uncompressed: Optional[float] = None
+        first_compressed: Optional[float] = None
+        for _name, tap in self.measured_taps:
+            uncompressed = tap.first_time_of_kind(
+                PacketKind.PROCESSED_UNCOMPRESSED
+            )
+            compressed = tap.first_time_of_kind(PacketKind.PROCESSED_COMPRESSED)
+            if uncompressed is not None and (
+                first_uncompressed is None or uncompressed < first_uncompressed
+            ):
+                first_uncompressed = uncompressed
+            if compressed is not None and (
+                first_compressed is None or compressed < first_compressed
+            ):
+                first_compressed = compressed
+        return first_uncompressed, first_compressed
+
     def learning_time(self) -> Optional[float]:
-        """Gap between the first type-2 and type-3 frame on the measured link."""
-        if self.measured_tap is None:
-            return None
-        first_uncompressed = self.measured_tap.first_time_of_kind(
-            PacketKind.PROCESSED_UNCOMPRESSED
-        )
-        first_compressed = self.measured_tap.first_time_of_kind(
-            PacketKind.PROCESSED_COMPRESSED
-        )
+        """Gap between the first type-2 and type-3 frame on the measured links."""
+        first_uncompressed, first_compressed = self.wire_first_times()
         if first_uncompressed is None or first_compressed is None:
             return None
         return max(0.0, first_compressed - first_uncompressed)
 
     def _collect_metrics(self) -> MetricsRegistry:
-        metrics = MetricsRegistry()
+        metrics = MetricsRegistry(bounded_distributions=self._streaming)
         for name, node in self._encoder_nodes.items():
             collect_switch_metrics(metrics, encoder=node.switch, encoder_prefix=name)
         for name, node in self._decoder_nodes.items():
@@ -737,7 +924,10 @@ class TopologyEngine:
         for name, node in self._forward_nodes.items():
             metrics.merge_counters(name, node.counters())
         collect_link_metrics(metrics, self.graph.links)
-        single = len(self.control_planes) == 1
+        if self._qualify_controlplane is None:
+            single = len(self.control_planes) == 1
+        else:
+            single = not self._qualify_controlplane
         for name, control_plane in self.control_planes.items():
             namespace = "controlplane" if single else f"controlplane.{name}"
             metrics.merge_counters(namespace, control_plane.stats.as_dict())
@@ -746,8 +936,8 @@ class TopologyEngine:
             metrics.merge_counters(
                 f"control.{name}.link", channel.link.stats.as_dict()
             )
-        if self.measured_tap is not None:
-            collect_wire_metrics(metrics, self.measured_tap)
+        for _name, tap in self.measured_taps:
+            collect_wire_metrics(metrics, tap)
         if self._unattributed:
             metrics.increment("flows.unattributed_frames", self._unattributed)
         if self._misdelivered:
@@ -765,9 +955,20 @@ class TopologyEngine:
         # produces the identical end-to-end latency distribution key.
         endtoend = metrics.distribution("endtoend.latency")
         for state in self._flows:
-            latency = metrics.distribution(f"flow.{state.spec.name}.latency")
-            integrity = state.check_integrity(latency)
-            endtoend.extend(latency.samples)
+            if state.account.latency is not None:
+                # Streaming accounts own their (bounded) latency sketch;
+                # adopt it so the registry reports it under the flow key.
+                latency = metrics.add_distribution(state.account.latency)
+            else:
+                latency = metrics.distribution(f"flow.{state.spec.name}.latency")
+            integrity = state.account.fold_into(latency)
+            # Fold per-flow latencies into the all-flow distribution in
+            # flow-declaration order — the exact order the shard merge
+            # replays, so the float fold is byte-identical either way.
+            if self._streaming:
+                endtoend.merge(latency)
+            else:
+                endtoend.extend(latency.samples)
             metrics.increment(f"flow.{state.spec.name}.chunks_sent", state.chunks_sent)
             metrics.increment(
                 f"flow.{state.spec.name}.payload_bytes_sent", state.chunk_bytes_sent
@@ -802,9 +1003,8 @@ class TopologyEngine:
             scenario=self.spec.scenario,
             chunks_sent=sum(state.chunks_sent for state in self._flows),
             payload_bytes_sent=sum(state.chunk_bytes_sent for state in self._flows),
-            wire_payload_bytes=(
-                0 if self.measured_tap is None
-                else self.measured_tap.total_payload_bytes()
+            wire_payload_bytes=sum(
+                tap.total_payload_bytes() for _name, tap in self.measured_taps
             ),
             duration=self.simulator.now,
             integrity=aggregate,

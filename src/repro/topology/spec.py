@@ -45,6 +45,8 @@ __all__ = [
     "preset_topology",
     "linear_topology",
     "fan_in_topology",
+    "fan_in_stress_topology",
+    "rack_fan_in_topology",
     "paper_testbed_topology",
     "derive_seed",
     "derive_flow_seed",
@@ -478,7 +480,6 @@ class TopologySpec:
         seen_links: Dict[str, LinkSpec] = {}
         seen_hop_names: Dict[str, str] = {}
         seen_sources: Dict[Tuple[str, int], str] = {}
-        measured = [link for link in self.links if link.measured]
         for link in self.links:
             where = f"link {link.name!r}"
             if link.name in seen_links:
@@ -508,11 +509,6 @@ class TopologySpec:
                     f"used by link {seen_sources[link.source]!r}",
                 )
             seen_sources[link.source] = link.name
-        if len(measured) > 1:
-            names = ", ".join(repr(link.name) for link in measured)
-            raise _where_error(
-                f"topology {self.name!r}", f"more than one measured link: {names}"
-            )
 
         seen_flows: Dict[str, FlowSpec] = {}
         for flow in self.flows:
@@ -544,7 +540,7 @@ class TopologySpec:
 
     @property
     def measured_link(self) -> Optional[LinkSpec]:
-        """The link the wire accounting reads.
+        """The (first) link the wire accounting reads.
 
         An explicit ``measured: true`` link wins.  Without one, the first
         *emulated* (non-direct) link is used — direct links are typically
@@ -559,6 +555,77 @@ class TopologySpec:
             if not link.direct:
                 return link
         return self.links[0] if self.links else None
+
+    @property
+    def measured_links(self) -> List[LinkSpec]:
+        """Every link the wire accounting reads, in declaration order.
+
+        A spec may mark several links ``measured: true`` (one wire per
+        rack in the multi-encoder presets); their payload bytes are summed
+        into the report's ``wire_payload_bytes`` and the learning-time
+        gap uses the earliest type-2/type-3 frame across all of them.
+        Without any explicit mark this is the :attr:`measured_link`
+        fallback as a one-element list (or empty).
+        """
+        explicit = [link for link in self.links if link.measured]
+        if explicit:
+            return explicit
+        fallback = self.measured_link
+        return [] if fallback is None else [fallback]
+
+    # -- connectivity ------------------------------------------------------------
+
+    def node_components(self) -> Dict[str, int]:
+        """Map every node name to its connected-component id.
+
+        Components are computed over the undirected union of all links
+        *plus* each encoder's control coupling to its paired decoder
+        (explicit ``decoder:`` pairing, or the implied pairing when the
+        spec has exactly one decoder) — two nodes share a component id
+        exactly when traffic or control state can flow between them.
+        Component ids are dense and ordered by first appearance in the
+        node list, so they are deterministic for a given spec.
+        """
+        parent = {node.name: node.name for node in self.nodes}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        def union(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+        for link in self.links:
+            union(link.source[0], link.target[0])
+        decoders = [node for node in self.nodes if node.kind == "decoder"]
+        for node in self.nodes:
+            if node.kind != "encoder":
+                continue
+            decoder = node.decoder
+            if decoder is None and len(decoders) == 1:
+                decoder = decoders[0].name
+            if decoder is not None:
+                union(node.name, decoder)
+        ids: Dict[str, int] = {}
+        component_of: Dict[str, int] = {}
+        for node in self.nodes:
+            root = find(node.name)
+            if root not in ids:
+                ids[root] = len(ids)
+            component_of[node.name] = ids[root]
+        return component_of
+
+    def components(self) -> List[List[str]]:
+        """Node names grouped by connected component, in declaration order."""
+        component_of = self.node_components()
+        groups: Dict[int, List[str]] = {}
+        for node in self.nodes:
+            groups.setdefault(component_of[node.name], []).append(node.name)
+        return [groups[index] for index in range(len(groups))]
 
     def flow_seed(self, flow: FlowSpec) -> int:
         """The flow's effective seed (explicit, or derived from identity)."""
@@ -817,6 +884,143 @@ def fan_in_topology(
     )
 
 
+def rack_fan_in_topology(
+    name: str = "rack-fan-in",
+    racks: int = 4,
+    senders: int = 8,
+    scenario: str = "dynamic",
+    hops: int = 1,
+    workload: str = "synthetic",
+    chunks: int = 500,
+    bases: int = 8,
+    names: int = 300,
+    trace: Optional[str] = None,
+    pacing: str = "rate",
+    packet_rate: float = 1e6,
+    speedup: float = 1.0,
+    bandwidth_gbps: float = 100.0,
+    propagation_us: float = 0.5,
+    queue_capacity: int = 0,
+    loss: float = 0.0,
+    reorder: float = 0.0,
+    seed: int = 0,
+    order: int = 8,
+    identifier_bits: int = 15,
+    **overrides: Any,
+) -> TopologySpec:
+    """R independent racks, each a K-sender fan-in behind its own encoder.
+
+    The datacenter deployment at scale: every rack has its own encoder,
+    measured rack wire and decoder, and nothing crosses rack boundaries —
+    exactly the shape the shard partitioner splits into R independent
+    subgraphs, so ``--workers N`` gets genuine parallelism here where the
+    single-encoder ``fan-in`` preset collapses to one shard.
+    """
+    if racks < 1:
+        raise TopologyError(f"rack-fan-in needs at least one rack, got {racks}")
+    if senders < 1:
+        raise TopologyError(
+            f"rack-fan-in needs at least one sender per rack, got {senders}"
+        )
+    nodes: List[NodeSpec] = []
+    links: List[LinkSpec] = []
+    flows: List[FlowSpec] = []
+    wire_port = senders  # each encoder's egress sits after its K ingress ports
+    for rack in range(racks):
+        nodes.extend(
+            NodeSpec(name=f"sender{rack}_{index}", kind="host")
+            for index in range(senders)
+        )
+        nodes.extend(
+            [
+                NodeSpec(
+                    name=f"encoder{rack}",
+                    kind="encoder",
+                    forwarding={index: wire_port for index in range(senders)},
+                    default_egress_port=wire_port,
+                    decoder=f"decoder{rack}",
+                ),
+                NodeSpec(name=f"decoder{rack}", kind="decoder",
+                         forwarding={0: 1}, default_egress_port=1),
+                NodeSpec(name=f"sink{rack}", kind="host"),
+            ]
+        )
+        links.extend(
+            LinkSpec(
+                name=f"ingress{rack}_{index}",
+                source=(f"sender{rack}_{index}", 0),
+                target=(f"encoder{rack}", index),
+                direct=True,
+            )
+            for index in range(senders)
+        )
+        links.append(
+            LinkSpec(
+                name=f"wire{rack}",
+                source=(f"encoder{rack}", wire_port),
+                target=(f"decoder{rack}", 0),
+                bandwidth_gbps=bandwidth_gbps,
+                propagation_us=propagation_us,
+                queue_capacity=queue_capacity,
+                loss=loss,
+                reorder=reorder,
+                hops=hops,
+                measured=True,
+            )
+        )
+        links.append(
+            LinkSpec(name=f"egress{rack}", source=(f"decoder{rack}", 1),
+                     target=(f"sink{rack}", 0), direct=True)
+        )
+        flows.extend(
+            FlowSpec(
+                name=f"flow{rack}_{index}",
+                source=f"sender{rack}_{index}",
+                sink=f"sink{rack}",
+                workload=workload,
+                chunks=chunks,
+                bases=bases,
+                names=names,
+                trace=trace,
+                pacing=pacing,
+                packet_rate=packet_rate,
+                speedup=speedup,
+                # Same per-rack stagger rule as the fan-in preset so ties
+                # never depend on flow declaration order.
+                start=index / (packet_rate * max(1, senders)),
+            )
+            for index in range(senders)
+        )
+    return TopologySpec(
+        name=name,
+        scenario=scenario,
+        order=order,
+        identifier_bits=identifier_bits,
+        seed=seed,
+        nodes=nodes,
+        links=links,
+        flows=flows,
+        **overrides,
+    )
+
+
+def fan_in_stress_topology(
+    name: str = "fan-in-stress",
+    senders: int = 1000,
+    chunks: int = 100,
+    bases: int = 8,
+    **kwargs: Any,
+) -> TopologySpec:
+    """The ``senders=1000+`` stress shape: the fan-in preset at rack scale.
+
+    Defaults trade per-flow depth (``chunks=100``) for breadth so a stress
+    run finishes in minutes; pass ``senders=``/``chunks=`` to push further.
+    """
+    return fan_in_topology(
+        name=name, senders=senders, chunks=chunks, bases=bases, **kwargs
+    )
+
+
 def paper_testbed_topology(
     name: str = "paper-testbed",
     scenario: str = "dynamic",
@@ -866,6 +1070,8 @@ def paper_testbed_topology(
 TOPOLOGY_PRESETS: Dict[str, Callable[..., TopologySpec]] = {
     "linear": linear_topology,
     "fan-in": fan_in_topology,
+    "fan-in-stress": fan_in_stress_topology,
+    "rack-fan-in": rack_fan_in_topology,
     "paper-testbed": paper_testbed_topology,
 }
 

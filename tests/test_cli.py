@@ -286,6 +286,69 @@ class TestTopologyCommand:
         ) == 0
         capsys.readouterr()
 
+    def test_workers_must_be_positive(self, capsys):
+        assert main(
+            ["topology", "--preset", "fan-in", "--workers", "0"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "--workers must be a positive integer" in err
+        assert main(
+            ["topology", "--preset", "fan-in", "--workers", "-2"]
+        ) == 1
+
+    def test_workers_two_runs_and_stays_identical(self, tmp_path, capsys):
+        reports = []
+        for workers, name in (("1", "one.json"), ("2", "two.json")):
+            out = tmp_path / name
+            assert main(
+                ["topology", "--preset", "rack-fan-in", "--racks", "2",
+                 "--senders", "2", "--chunks", "100", "--bases", "3",
+                 "--workers", workers, "--quiet", "--json", str(out)]
+            ) == 0
+            reports.append(out.read_text())
+        capsys.readouterr()
+        assert reports[0] == reports[1]
+
+    def test_quiet_suppresses_shard_progress(self, capsys):
+        assert main(
+            ["topology", "--preset", "fan-in", "--senders", "2",
+             "--chunks", "100", "--bases", "2"]
+        ) == 0
+        assert "shard encoder" in capsys.readouterr().out
+        assert main(
+            ["topology", "--preset", "fan-in", "--senders", "2",
+             "--chunks", "100", "--bases", "2", "--quiet"]
+        ) == 0
+        assert "shard encoder" not in capsys.readouterr().out
+
+    def test_senders_flag_rejected_for_non_fan_in_presets(self, capsys):
+        assert main(
+            ["topology", "--preset", "linear", "--senders", "4"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "--senders only applies" in err
+
+    def test_racks_flag_rejected_outside_rack_preset(self, capsys):
+        assert main(
+            ["topology", "--preset", "fan-in", "--racks", "2"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "--racks only applies" in err
+
+    def test_streaming_metrics_flag_runs(self, tmp_path, capsys):
+        out = tmp_path / "streaming.json"
+        assert main(
+            ["topology", "--preset", "fan-in", "--senders", "2",
+             "--chunks", "150", "--bases", "3", "--metrics", "streaming",
+             "--quiet", "--json", str(out)]
+        ) == 0
+        capsys.readouterr()
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["integrity"]["intact"] is True
+        assert report["latency"]["count"] == 300
+
     def test_lossy_spec_counts_drops_without_failing(self, tmp_path, capsys):
         import json
         import re

@@ -1,0 +1,378 @@
+"""Sharded execution: partitioning, worker-count equivalence, determinism.
+
+The contract under test is the tentpole of the sharded engine: same spec +
+seed ⇒ byte-identical ``TopologyReport`` JSON at any worker count, with
+partitioning failures named after the offending link/flow and worker
+crashes named after the failing shard.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    FlowSpec,
+    LinkSpec,
+    NodeSpec,
+    PartitionError,
+    TopologyEngine,
+    TopologySpec,
+    fan_in_topology,
+    partition_spec,
+    rack_fan_in_topology,
+    run_topology,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def assert_reports_identical(first, second):
+    """Byte-identical JSON plus explicit per-registry equality.
+
+    ``json_text`` equality already implies the rest, but comparing every
+    counter, gauge and distribution summary separately turns "the 60 kB
+    JSON blobs differ" into "counter shared.delivered: 1198 != 1200".
+    """
+    first_metrics = first.metrics.as_dict()
+    second_metrics = second.metrics.as_dict()
+    for kind in ("counters", "gauges", "distributions"):
+        assert first_metrics[kind] == second_metrics[kind], kind
+    assert [flow.as_dict() for flow in first.flows] == [
+        flow.as_dict() for flow in second.flows
+    ]
+    assert first.json_text() == second.json_text()
+
+
+class TestWorkerCountEquivalence:
+    def test_fan_in_workers_1_vs_4_byte_identical(self):
+        spec = fan_in_topology(senders=4, chunks=400, bases=4)
+        assert_reports_identical(
+            run_topology(spec, workers=1), run_topology(spec, workers=4)
+        )
+
+    def test_rack_fan_in_workers_1_vs_4_byte_identical(self):
+        spec = rack_fan_in_topology(racks=4, senders=2, chunks=200, bases=4)
+        assert_reports_identical(
+            run_topology(spec, workers=1), run_topology(spec, workers=4)
+        )
+
+    def test_streaming_metrics_workers_1_vs_4_byte_identical(self):
+        spec = rack_fan_in_topology(racks=3, senders=2, chunks=200, bases=4)
+        assert_reports_identical(
+            run_topology(spec, workers=1, metrics_mode="streaming"),
+            run_topology(spec, workers=4, metrics_mode="streaming"),
+        )
+
+    def test_single_shard_path_matches_monolithic_engine(self):
+        spec = fan_in_topology(senders=3, chunks=300, bases=4)
+        assert_reports_identical(
+            TopologyEngine(spec).run(), run_topology(spec, workers=1)
+        )
+
+    def test_multi_shard_path_matches_monolithic_engine(self):
+        spec = rack_fan_in_topology(racks=3, senders=2, chunks=150, bases=3)
+        assert_reports_identical(
+            TopologyEngine(spec).run(), run_topology(spec, workers=2)
+        )
+
+    def test_lossy_rack_spec_stays_identical_across_workers(self):
+        spec = rack_fan_in_topology(
+            racks=2, senders=2, chunks=300, bases=3,
+            scenario="no_table", loss=0.03,
+        )
+        first = run_topology(spec, workers=1)
+        second = run_topology(spec, workers=2)
+        assert first.integrity.missing > 0
+        assert_reports_identical(first, second)
+
+
+class TestHashSeedDeterminism:
+    def test_json_text_is_stable_across_hash_seeds(self):
+        # dict iteration order is the classic source of hash-seed
+        # sensitivity; the report digest must not move when it changes.
+        code = (
+            "import hashlib\n"
+            "from repro.topology import fan_in_topology, run_topology\n"
+            "spec = fan_in_topology(senders=3, chunks=120, bases=3)\n"
+            "text = run_topology(spec, workers=1).json_text()\n"
+            "print(hashlib.sha256(text.encode()).hexdigest())\n"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env, capture_output=True, text=True, check=True,
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestPartitioning:
+    def test_rack_preset_splits_one_shard_per_rack(self):
+        spec = rack_fan_in_topology(racks=3, senders=2, chunks=50)
+        shards = partition_spec(spec)
+        assert [shard.name for shard in shards] == [
+            "encoder0", "encoder1", "encoder2"
+        ]
+        for rack, shard in enumerate(shards):
+            assert {flow.name for flow in shard.spec.flows} == {
+                f"flow{rack}_0", f"flow{rack}_1"
+            }
+            # The shard keeps the full spec's name and seed, so every
+            # CRC-derived flow/link seed matches the monolithic run.
+            assert shard.spec.name == spec.name
+            assert shard.spec.seed == spec.seed
+
+    def test_shard_keeps_only_its_measured_link(self):
+        spec = rack_fan_in_topology(racks=2, senders=2, chunks=50)
+        shards = partition_spec(spec)
+        for rack, shard in enumerate(shards):
+            assert [link.name for link in shard.spec.measured_links] == [
+                f"wire{rack}"
+            ]
+
+    def test_single_component_spec_is_one_shard(self):
+        spec = fan_in_topology(senders=5, chunks=50)
+        shards = partition_spec(spec)
+        assert len(shards) == 1
+        assert shards[0].name == "encoder"
+        assert len(shards[0].spec.flows) == 5
+
+    def _bridged_encoders_spec(self):
+        return TopologySpec(
+            name="bridged",
+            scenario="no_table",
+            nodes=[
+                NodeSpec(name="senderA", kind="host"),
+                NodeSpec(name="encoderA", kind="encoder",
+                         forwarding={0: 1}, default_egress_port=1,
+                         decoder="decoderA"),
+                NodeSpec(name="encoderB", kind="encoder",
+                         forwarding={0: 1}, default_egress_port=1,
+                         decoder="decoderB"),
+                NodeSpec(name="decoderA", kind="decoder",
+                         forwarding={0: 1}, default_egress_port=1),
+                NodeSpec(name="decoderB", kind="decoder",
+                         forwarding={0: 1}, default_egress_port=1),
+                NodeSpec(name="sinkA", kind="host"),
+            ],
+            links=[
+                LinkSpec(name="inA", source=("senderA", 0),
+                         target=("encoderA", 0), direct=True),
+                LinkSpec(name="wireA", source=("encoderA", 1),
+                         target=("decoderA", 0), measured=True),
+                LinkSpec(name="outA", source=("decoderA", 1),
+                         target=("sinkA", 0), direct=True),
+                # The offender: a data link bridging the two encoder
+                # subgraphs, so no process boundary can separate them.
+                LinkSpec(name="bridge", source=("decoderA", 2),
+                         target=("encoderB", 0)),
+                LinkSpec(name="wireB", source=("encoderB", 1),
+                         target=("decoderB", 0)),
+            ],
+            flows=[
+                FlowSpec(name="flowA", source="senderA", sink="sinkA",
+                         chunks=10, bases=2),
+            ],
+        )
+
+    def test_bridged_encoders_rejected_naming_the_link(self):
+        with pytest.raises(PartitionError, match=r"link 'bridge'"):
+            partition_spec(self._bridged_encoders_spec())
+
+    def test_unpartitionable_spec_still_runs_at_one_worker(self):
+        spec = self._bridged_encoders_spec()
+        report = run_topology(spec, workers=1)
+        assert report.flow("flowA").delivered == 10
+
+    def test_unpartitionable_spec_rejected_at_two_workers(self):
+        with pytest.raises(PartitionError, match=r"link 'bridge'"):
+            run_topology(self._bridged_encoders_spec(), workers=2)
+
+    def test_shared_decoder_via_links_rejected_naming_the_link(self):
+        spec = TopologySpec(
+            name="shared-decoder",
+            scenario="no_table",
+            nodes=[
+                NodeSpec(name="senderA", kind="host"),
+                NodeSpec(name="senderB", kind="host"),
+                NodeSpec(name="encoderA", kind="encoder",
+                         forwarding={0: 1}, default_egress_port=1,
+                         decoder="decoder"),
+                NodeSpec(name="encoderB", kind="encoder",
+                         forwarding={0: 1}, default_egress_port=1,
+                         decoder="decoder"),
+                NodeSpec(name="decoder", kind="decoder",
+                         forwarding={0: 2}, default_egress_port=2),
+                NodeSpec(name="sink", kind="host"),
+            ],
+            links=[
+                LinkSpec(name="inA", source=("senderA", 0),
+                         target=("encoderA", 0), direct=True),
+                LinkSpec(name="inB", source=("senderB", 0),
+                         target=("encoderB", 0), direct=True),
+                LinkSpec(name="wireA", source=("encoderA", 1),
+                         target=("decoder", 0), measured=True),
+                LinkSpec(name="wireB", source=("encoderB", 1),
+                         target=("decoder", 1)),
+                LinkSpec(name="out", source=("decoder", 2),
+                         target=("sink", 0), direct=True),
+            ],
+            flows=[
+                FlowSpec(name="flowA", source="senderA", sink="sink",
+                         chunks=10, bases=2),
+            ],
+        )
+        # wireB is the link that funnels the second encoder into the
+        # already-claimed decoder: it gets named, not a bare refusal.
+        with pytest.raises(PartitionError, match=r"link 'wireB'"):
+            partition_spec(spec)
+
+    def test_pairing_only_decoder_sharing_names_the_encoders(self):
+        # No data link joins the two encoder subgraphs — only encoderB's
+        # explicit control pairing claims encoderA's decoder.  There is
+        # no link to blame, so the error names the encoders instead.
+        spec = TopologySpec(
+            name="pairing-clash",
+            scenario="no_table",
+            nodes=[
+                NodeSpec(name="senderA", kind="host"),
+                NodeSpec(name="senderB", kind="host"),
+                NodeSpec(name="encoderA", kind="encoder",
+                         forwarding={0: 1}, default_egress_port=1,
+                         decoder="decoder"),
+                NodeSpec(name="encoderB", kind="encoder",
+                         forwarding={0: 1}, default_egress_port=1,
+                         decoder="decoder"),
+                NodeSpec(name="decoder", kind="decoder",
+                         forwarding={0: 1}, default_egress_port=1),
+                NodeSpec(name="decoderB", kind="decoder",
+                         forwarding={0: 1}, default_egress_port=1),
+                NodeSpec(name="sinkA", kind="host"),
+                NodeSpec(name="sinkB", kind="host"),
+            ],
+            links=[
+                LinkSpec(name="inA", source=("senderA", 0),
+                         target=("encoderA", 0), direct=True),
+                LinkSpec(name="inB", source=("senderB", 0),
+                         target=("encoderB", 0), direct=True),
+                LinkSpec(name="wireA", source=("encoderA", 1),
+                         target=("decoder", 0), measured=True),
+                LinkSpec(name="wireB", source=("encoderB", 1),
+                         target=("decoderB", 0)),
+                LinkSpec(name="outA", source=("decoder", 1),
+                         target=("sinkA", 0), direct=True),
+                LinkSpec(name="outB", source=("decoderB", 1),
+                         target=("sinkB", 0), direct=True),
+            ],
+            flows=[
+                FlowSpec(name="flowA", source="senderA", sink="sinkA",
+                         chunks=10, bases=2),
+            ],
+        )
+        with pytest.raises(
+            PartitionError, match=r"'encoderA', 'encoderB' share a decoder"
+        ):
+            partition_spec(spec)
+
+    def test_cross_component_flow_rejected_naming_the_flow(self):
+        spec = rack_fan_in_topology(racks=2, senders=2, chunks=10)
+        spec.flows = [
+            replace(flow, sink="sink1") if flow.name == "flow0_0" else flow
+            for flow in spec.flows
+        ]
+        with pytest.raises(PartitionError, match=r"flow 'flow0_0'"):
+            partition_spec(spec)
+
+
+class TestWorkerCrashReporting:
+    def _broken_rack_spec(self):
+        # Rack 1's flows read a trace file that does not exist, so that
+        # shard's worker crashes while rack 0 is perfectly healthy.
+        spec = rack_fan_in_topology(racks=2, senders=2, chunks=20)
+        spec.flows = [
+            flow if flow.source.startswith("sender0")
+            else replace(flow, trace="/nonexistent/trace.pcap")
+            for flow in spec.flows
+        ]
+        return spec
+
+    def test_sequential_crash_names_the_shard(self):
+        with pytest.raises(TopologyError, match=r"shard 'encoder1'"):
+            run_topology(self._broken_rack_spec(), workers=1)
+
+    def test_pool_crash_names_the_shard_not_a_bare_traceback(self):
+        with pytest.raises(TopologyError, match=r"shard 'encoder1'"):
+            run_topology(self._broken_rack_spec(), workers=2)
+
+
+class TestRunTopologyValidation:
+    def test_zero_workers_rejected(self):
+        spec = fan_in_topology(senders=2, chunks=10)
+        with pytest.raises(TopologyError, match=r"workers must be"):
+            run_topology(spec, workers=0)
+
+    def test_bad_metrics_mode_rejected(self):
+        spec = fan_in_topology(senders=2, chunks=10)
+        with pytest.raises(TopologyError, match=r"metrics_mode"):
+            run_topology(spec, metrics_mode="approximate")
+
+    def test_progress_reports_every_shard(self):
+        spec = rack_fan_in_topology(racks=3, senders=2, chunks=30)
+        lines = []
+        run_topology(spec, workers=1, progress=lines.append)
+        assert len(lines) == 3
+        assert any("encoder2" in line for line in lines)
+
+
+class TestStreamingMemoryBounds:
+    def test_streaming_mode_retains_no_per_sample_state(self):
+        from repro.exceptions import ReplayError
+
+        spec = fan_in_topology(senders=3, chunks=200, bases=3)
+        engine = TopologyEngine(spec, metrics_mode="streaming")
+        report = engine.run()
+        assert report.integrity.lossless_in_order
+        # The tap records nothing per-frame; counters and byte totals
+        # still come out of its O(1) aggregates.
+        for _name, tap in engine.measured_taps:
+            assert tap.records == []
+        assert report.wire_payload_bytes > 0
+        # Flow accounts match online: after a lossless run the pending
+        # table has drained and no sent/arrival lists were ever kept.
+        for state in engine._flows:
+            assert state.account.pending == {}
+            assert not hasattr(state.account, "arrivals")
+        # Every distribution is a fixed-size sketch: asking for raw
+        # samples is an error by design.
+        latency = report.metrics.distributions()["endtoend.latency"]
+        with pytest.raises(ReplayError, match=r"retains no samples"):
+            latency.samples
+
+    def test_streaming_and_exact_agree_on_everything_but_percentiles(self):
+        spec = rack_fan_in_topology(racks=2, senders=2, chunks=250, bases=4)
+        exact = run_topology(spec, workers=1, metrics_mode="exact")
+        streaming = run_topology(spec, workers=1, metrics_mode="streaming")
+        assert exact.metrics.as_dict()["counters"] == (
+            streaming.metrics.as_dict()["counters"]
+        )
+        assert exact.integrity.as_dict() == streaming.integrity.as_dict()
+        assert exact.chunks_sent == streaming.chunks_sent
+        assert exact.wire_payload_bytes == streaming.wire_payload_bytes
+        assert exact.duration == streaming.duration
+        exact_latency = exact.latency_summary()
+        streaming_latency = streaming.latency_summary()
+        assert streaming_latency["count"] == exact_latency["count"]
+        assert streaming_latency["min"] == exact_latency["min"]
+        assert streaming_latency["max"] == exact_latency["max"]
+        for key in ("p50", "p90", "p99"):
+            assert streaming_latency[key] == pytest.approx(
+                exact_latency[key], rel=0.011
+            )

@@ -94,11 +94,16 @@ class TestValidationNamesOffender:
         with pytest.raises(TopologyError, match=r"link 'in'.*bandwith_gbps"):
             TopologySpec.from_dict(data)
 
-    def test_two_measured_links_rejected(self):
+    def test_two_measured_links_are_accepted_and_enumerated(self):
+        # Multi-rack topologies tap one wire per rack: several measured
+        # links are legal, and measured_links lists them in order.
         data = _minimal_dict()
         data["links"][0] = dict(data["links"][0], direct=False, measured=True)
-        with pytest.raises(TopologyError, match=r"more than one measured link"):
-            TopologySpec.from_dict(data)
+        spec = TopologySpec.from_dict(data)
+        assert [link.name for link in spec.measured_links] == [
+            link["name"] for link in data["links"] if link.get("measured")
+        ]
+        assert spec.measured_link.name == spec.measured_links[0].name
 
     def test_direct_link_cannot_have_hops(self):
         data = _minimal_dict()
