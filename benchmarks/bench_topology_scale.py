@@ -133,6 +133,7 @@ def test_topology_scale(benchmark):
         f"fell below the {CHUNKS_PER_S_FLOOR:,} hard floor"
     )
 
+    mode = "smoke" if SMOKE else "full"
     baseline = _load_baseline()
     cores = os.cpu_count() or 1
     if cores >= WORKERS:
@@ -142,11 +143,15 @@ def test_topology_scale(benchmark):
             f"{SPEEDUP_FLOOR}x floor on a {cores}-core host"
         )
         if baseline is not None:
-            _guard(
-                f"workers={WORKERS} speedup",
-                speedup,
-                baseline.get("speedups", {}).get("workers4"),
-            )
+            speedups = baseline.get("speedups", {})
+            # Pool overhead weighs differently on the short smoke workload,
+            # so the committed speedup only guards runs in the same mode.
+            if speedups.get("mode") in (None, mode):
+                _guard(
+                    f"workers={WORKERS} speedup",
+                    speedup,
+                    speedups.get("workers4"),
+                )
     if baseline is not None and baseline.get("environment", {}).get(
         "cpu_count"
     ) == cores:
@@ -167,7 +172,6 @@ def test_topology_scale(benchmark):
         f"exact-metrics peak {exact_peak:,} B"
     )
 
-    mode = "smoke" if SMOKE else "full"
     table_text = format_table(
         ["metric", "value"],
         [

@@ -22,9 +22,13 @@ Exposes the pieces a user reaches for most often without writing Python:
   across worker processes — and fold the reports into one aggregate table
   with per-axis group-bys and CSV/JSON export; see :mod:`repro.experiments`
   and ``docs/experiments.md``;
+* ``trace`` — summarize the trace files the run commands record via their
+  shared ``--trace-out`` / ``--events-out`` / ``--snapshot-interval``
+  observability flags; see ``docs/observability.md``;
 * ``bench`` — run any of the ``benchmarks/bench_*.py`` files in the CI's
-  smoke mode (or ``--full``), or ``--profile`` the GD encode/decode hot
-  paths with cProfile; see ``docs/performance.md``;
+  smoke mode (or ``--full``), or ``--profile`` named hot-path stages
+  (encode, decode, transform, switch-encode, switch-decode) with cProfile;
+  see ``docs/performance.md``;
 * ``table1`` — print the reproduced Table 1;
 * ``learning-delay`` — measure the dynamic-learning delay (the paper's
   1.77 ms experiment).
@@ -41,7 +45,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro import registry
+from repro import obs, registry
 from repro.analysis.reporting import format_table, save_results_json
 from repro.analysis.statistics import summarize
 from repro.core.engine import DEFAULT_BLOCK_SIZE, compress_file, decompress_file
@@ -201,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the full report as JSON",
     )
+    _add_obs_arguments(replay)
 
     topology = subparsers.add_parser(
         "topology",
@@ -279,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the full report as JSON",
     )
+    _add_obs_arguments(topology)
 
     experiment = subparsers.add_parser(
         "experiment",
@@ -322,6 +328,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-scenario progress lines",
     )
+    _add_obs_arguments(experiment)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect recorded trace files",
+        description=(
+            "Work with the trace files 'repro replay/topology/experiment' "
+            "write via --trace-out/--events-out. See docs/observability.md."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="print per-stage span statistics (count, mean/p50/p99, slowest)",
+    )
+    trace_summarize.add_argument(
+        "file", type=Path,
+        help="trace file: --events-out JSON-lines or --trace-out Perfetto JSON",
+    )
+    trace_summarize.add_argument(
+        "--top", type=int, default=5,
+        help="slowest spans to list per stage (default 5)",
+    )
 
     bench = subparsers.add_parser(
         "bench",
@@ -348,9 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run at full scale instead of the smoke-mode default",
     )
     bench.add_argument(
-        "--profile", action="store_true",
-        help="profile the codec encode/decode hot paths instead of running "
-             "benchmark files",
+        "--profile", nargs="*", default=None, metavar="STAGE",
+        help="profile hot-path stages with cProfile instead of running "
+             "benchmark files; stages: encode, decode, transform, "
+             "switch-encode, switch-decode (bare --profile = encode decode)",
     )
     bench.add_argument(
         "--profile-chunks", type=int, default=20_000,
@@ -436,6 +466,70 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the shared tracing flags on a run-style subcommand."""
+    group = parser.add_argument_group(
+        "observability", "packet-lifecycle tracing; see docs/observability.md"
+    )
+    group.add_argument(
+        "--trace-out", type=Path, default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of the run, one track per "
+             "node/link (open at ui.perfetto.dev)",
+    )
+    group.add_argument(
+        "--events-out", type=Path, default=None, metavar="PATH",
+        help="write the raw trace event stream as JSON-lines",
+    )
+    group.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="sample live metrics (compression ratio, queue depth, packet "
+             "rate, dictionary occupancy) every N simulated seconds into "
+             "the trace",
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return (
+        args.trace_out is not None
+        or args.events_out is not None
+        or args.snapshot_interval is not None
+    )
+
+
+def _obs_enable(args: argparse.Namespace):
+    """Install a recording tracer when the obs flags ask for one.
+
+    Returns the tracer (so the caller can pull the recorded events out of
+    its sink) or ``None`` when tracing stays disabled.  Must be called
+    *before* the harness/engine is built: construction binds the tracer
+    clock to the run's simulator.
+    """
+    if args.snapshot_interval is not None:
+        if args.snapshot_interval <= 0:
+            raise ReproError(
+                f"--snapshot-interval must be positive, got {args.snapshot_interval}"
+            )
+        if args.trace_out is None and args.events_out is None:
+            raise ReproError(
+                "--snapshot-interval needs --trace-out or --events-out to "
+                "receive the samples"
+            )
+    if args.trace_out is None and args.events_out is None:
+        return None
+    return obs.enable(snapshot_interval=args.snapshot_interval)
+
+
+def _obs_write(args: argparse.Namespace, tracer) -> None:
+    """Write the recorded events to whichever outputs were requested."""
+    events = tracer.sink.events
+    if args.events_out is not None:
+        count = obs.write_events(events, str(args.events_out))
+        print(f"trace events ({count:,} records) written to {args.events_out}")
+    if args.trace_out is not None:
+        count = obs.write_chrome_trace(events, str(args.trace_out))
+        print(f"Perfetto trace ({count:,} records) written to {args.trace_out}")
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     if (args.input is None) == (args.trace is None):
         raise ReproError("give the trace exactly once: positionally or via --trace")
@@ -464,22 +558,29 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             reorder_probability=args.reorder,
             seed=args.seed,
         )
-    harness = ReplayHarness(
-        topology=topology,
-        scenario=scenario,
-        static_bases=static_bases,
-        hops=args.hops,
-        bandwidth_bps=args.bandwidth_gbps * 1e9,
-        propagation_delay=args.propagation_us * 1e-6,
-        queue_capacity=args.queue_capacity or None,
-        impairments=impairments,
-        seed=args.seed,
-    )
-    pacing = pacing_from_name(
-        args.pacing, packet_rate=args.packet_rate, speedup=args.speedup
-    )
-    report = harness.run(PcapTraceSource(trace_path), pacing)
+    tracer = _obs_enable(args)
+    try:
+        harness = ReplayHarness(
+            topology=topology,
+            scenario=scenario,
+            static_bases=static_bases,
+            hops=args.hops,
+            bandwidth_bps=args.bandwidth_gbps * 1e9,
+            propagation_delay=args.propagation_us * 1e-6,
+            queue_capacity=args.queue_capacity or None,
+            impairments=impairments,
+            seed=args.seed,
+        )
+        pacing = pacing_from_name(
+            args.pacing, packet_rate=args.packet_rate, speedup=args.speedup
+        )
+        report = harness.run(PcapTraceSource(trace_path), pacing)
+    finally:
+        if tracer is not None:
+            obs.disable()
     print(report.render(include_counters=args.counters))
+    if tracer is not None:
+        _obs_write(args, tracer)
     if args.json is not None:
         save_results_json(args.json, report.as_dict())
         print(f"report written to {args.json}")
@@ -551,13 +652,20 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     else:
         metrics_mode = args.metrics
     progress = None if args.quiet else print
-    report = run_topology(
-        spec,
-        workers=args.workers,
-        metrics_mode=metrics_mode,
-        progress=progress,
-    )
+    tracer = _obs_enable(args)
+    try:
+        report = run_topology(
+            spec,
+            workers=args.workers,
+            metrics_mode=metrics_mode,
+            progress=progress,
+        )
+    finally:
+        if tracer is not None:
+            obs.disable()
     print(report.render(include_counters=args.counters))
+    if tracer is not None:
+        _obs_write(args, tracer)
     if args.json is not None:
         save_results_json(args.json, report.as_dict())
         print(f"report written to {args.json}")
@@ -622,8 +730,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             rendered = "n/a" if ratio is None else f"{ratio:.4f}"
             print(f"  done {result.scenario_id} (ratio {rendered})", flush=True)
 
+    # Scenario worker processes cannot stream their in-memory traces back
+    # to the parent, so experiment tracing is sequential-only.
+    if _obs_requested(args) and args.workers > 1:
+        raise ReproError(
+            "--trace-out/--events-out/--snapshot-interval require "
+            f"--workers 1 for 'repro experiment', got --workers {args.workers}"
+        )
+
     print(f"experiment {spec.name}: {total} scenarios, {args.workers} worker(s)")
-    result = MatrixRunner(spec, workers=args.workers).run(progress=progress)
+    tracer = _obs_enable(args)
+    try:
+        result = MatrixRunner(spec, workers=args.workers).run(progress=progress)
+    finally:
+        if tracer is not None:
+            obs.disable()
     # Persist exports before rendering: a bad --metric must not discard a
     # finished sweep.
     if args.csv is not None:
@@ -636,6 +757,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"summary CSV written to {args.csv}")
     if args.out is not None:
         print(f"full report written to {args.out}")
+    if tracer is not None:
+        _obs_write(args, tracer)
     if not result.intact:
         print("error: at least one scenario delivered corrupted chunks", file=sys.stderr)
         return 1
@@ -672,50 +795,183 @@ def _resolve_benchmarks(names: Sequence[str], directory: Path) -> List[Path]:
     return resolved
 
 
-def _profile_hot_paths(chunks: int) -> int:
-    """cProfile the GD encode/decode hot paths; print top-25 cumulative."""
+#: Stages ``repro bench --profile`` knows how to isolate.
+PROFILE_STAGES = (
+    "encode", "decode", "transform", "switch-encode", "switch-decode"
+)
+
+#: Stages profiled by a bare ``--profile`` (the historical behaviour).
+DEFAULT_PROFILE_STAGES = ("encode", "decode")
+
+
+def _profile_chunk_frames(count: int, transform, distinct_bases: int = 32) -> list:
+    """Raw chunk frames over a bounded basis pool (misses then mostly hits)."""
+    import random
+
+    from repro.net.ethernet import EthernetFrame
+    from repro.net.mac import MacAddress
+    from repro.zipline.headers import ETHERTYPE_RAW_CHUNK
+
+    destination = MacAddress("02:00:00:00:00:02")
+    source = MacAddress("02:00:00:00:00:01")
+    rng = random.Random(7)
+    code = transform.code
+    bases = [rng.getrandbits(code.k) for _ in range(max(1, distinct_bases))]
+    frames = []
+    for _ in range(count):
+        basis = rng.choice(bases)
+        body = code.encode(basis) ^ (1 << rng.randrange(code.n))
+        chunk = ((rng.getrandbits(1) << code.n) | body).to_bytes(
+            transform.chunk_bytes, "big"
+        )
+        frames.append(
+            EthernetFrame(destination, source, ETHERTYPE_RAW_CHUNK, chunk).to_bytes()
+        )
+    return frames
+
+
+def _profile_hot_paths(chunks: int, stages: Sequence[str]) -> int:
+    """cProfile the requested hot-path stages; print top-25 cumulative each."""
     import cProfile
     import io
     import pstats
 
     from repro.core.codec import GDCodec
+    from repro.core.transform import GDTransform
     from repro.workloads import SyntheticSensorWorkload
+
+    unknown = [name for name in stages if name not in PROFILE_STAGES]
+    if unknown:
+        raise ReproError(
+            f"unknown profile stage {unknown[0]!r}; "
+            f"valid stages: {', '.join(PROFILE_STAGES)}"
+        )
 
     workload = SyntheticSensorWorkload(
         num_chunks=max(1, chunks), distinct_bases=32, seed=2020
     )
     data = b"".join(workload.chunks())
-    codec = GDCodec(order=8, identifier_bits=15)
 
     def top25(profile: "cProfile.Profile") -> str:
         stream = io.StringIO()
         pstats.Stats(profile, stream=stream).sort_stats("cumulative").print_stats(25)
         return stream.getvalue()
 
-    encode_profile = cProfile.Profile()
-    encode_profile.enable()
-    result = codec.compress(data)
-    encode_profile.disable()
+    def run_profiled(function):
+        profile = cProfile.Profile()
+        profile.enable()
+        value = function()
+        profile.disable()
+        return value, profile
 
-    decoder = codec.clone()
-    decode_profile = cProfile.Profile()
-    decode_profile.enable()
-    restored = decoder.decompress_records(result.records, original_bytes=len(data))
-    decode_profile.disable()
-    if restored != data:
-        raise ReproError("profile round trip corrupted the data (fast-path bug?)")
+    def profile_encode():
+        codec = GDCodec(order=8, identifier_bits=15)
+        _, profile = run_profiled(lambda: codec.compress(data))
+        title = (f"encode: GDCodec.compress of {len(data):,} bytes "
+                 f"({chunks:,} chunks)")
+        return title, profile
 
-    print(f"=== encode: GDCodec.compress of {len(data):,} bytes "
-          f"({chunks:,} chunks) ===")
-    print(top25(encode_profile))
-    print(f"=== decode: decompress_records of {len(result.records):,} records ===")
-    print(top25(decode_profile))
+    def profile_decode():
+        codec = GDCodec(order=8, identifier_bits=15)
+        result = codec.compress(data)
+        decoder = codec.clone()
+        restored, profile = run_profiled(
+            lambda: decoder.decompress_records(
+                result.records, original_bytes=len(data)
+            )
+        )
+        if restored != data:
+            raise ReproError(
+                "profile round trip corrupted the data (fast-path bug?)"
+            )
+        title = f"decode: decompress_records of {len(result.records):,} records"
+        return title, profile
+
+    def profile_transform():
+        transform = GDTransform(order=8)
+        fields, profile = run_profiled(lambda: transform.split_batch_fields(data))
+        title = (f"transform: split_batch_fields of {len(data):,} bytes "
+                 f"({len(fields):,} chunks)")
+        return title, profile
+
+    def build_switch_pair():
+        from repro.controlplane.manager import ZipLineControlPlane
+        from repro.zipline.decoder_switch import ZipLineDecoderSwitch
+        from repro.zipline.encoder_switch import ZipLineEncoderSwitch
+
+        transform = GDTransform(order=8)
+        encoder = ZipLineEncoderSwitch(transform=transform, forwarding={0: 1})
+        decoder = ZipLineDecoderSwitch(transform=transform, forwarding={0: 1})
+        # Functional mode (no simulator): learn digests install mappings
+        # synchronously, so the frame stream exercises both the learn/miss
+        # and the compressed-hit paths.
+        ZipLineControlPlane(
+            encoder.digest_engine,
+            encoder_switch=encoder,
+            decoder_switch=decoder,
+        )
+        frames = _profile_chunk_frames(max(1, chunks), transform)
+        return encoder, decoder, frames
+
+    def profile_switch_encode():
+        encoder, _decoder, frames = build_switch_pair()
+        encoder.switch.attach_port(1, lambda data, time: None)
+
+        def push() -> None:
+            for frame in frames:
+                encoder.receive(frame, ingress_port=0)
+
+        _, profile = run_profiled(push)
+        title = (f"switch-encode: {len(frames):,} raw chunk frames through "
+                 "ZipLineEncoderSwitch")
+        return title, profile
+
+    def profile_switch_decode():
+        encoder, decoder, frames = build_switch_pair()
+        encoded: List[bytes] = []
+        encoder.switch.attach_port(1, lambda data, time: encoded.append(data))
+        for frame in frames:
+            encoder.receive(frame, ingress_port=0)
+        decoder.switch.attach_port(1, lambda data, time: None)
+
+        def push() -> None:
+            for frame in encoded:
+                decoder.receive(frame, ingress_port=0)
+
+        _, profile = run_profiled(push)
+        title = (f"switch-decode: {len(encoded):,} ZipLine frames through "
+                 "ZipLineDecoderSwitch")
+        return title, profile
+
+    runners = {
+        "encode": profile_encode,
+        "decode": profile_decode,
+        "transform": profile_transform,
+        "switch-encode": profile_switch_encode,
+        "switch-decode": profile_switch_decode,
+    }
+    for stage in stages:
+        title, profile = runners[stage]()
+        print(f"=== {title} ===")
+        print(top25(profile))
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        if args.top < 0:
+            raise ReproError(f"--top must be non-negative, got {args.top}")
+        events = obs.read_events(str(args.file))
+        summary = obs.summarize_events(events, top=args.top)
+        print(obs.format_summary(summary))
+        return 0
+    raise ReproError(f"unknown trace subcommand {args.trace_command!r}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.profile:
-        return _profile_hot_paths(args.profile_chunks)
+    if args.profile is not None:
+        stages = list(args.profile) or list(DEFAULT_PROFILE_STAGES)
+        return _profile_hot_paths(args.profile_chunks, stages)
     directory = _benchmarks_dir()
     selected = _resolve_benchmarks(args.names, directory)
     if args.list:
@@ -779,6 +1035,7 @@ _HANDLERS = {
     "replay": _cmd_replay,
     "topology": _cmd_topology,
     "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
     "table1": _cmd_table1,
     "learning-delay": _cmd_learning_delay,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro import obs as _obs
 from repro.core.dictionary import BasisDictionary
 from repro.core.records import (
     CompressedRecord,
@@ -145,6 +146,9 @@ class GDDecoder:
         prefix_width = transform.prefix_bits
         basis_width = transform.basis_bits
         deviation_width = transform.deviation_bits
+        # Hoisted tracing guard: one attribute lookup per batch when disabled.
+        tracer = _obs.TRACER
+        traced = tracer.enabled
 
         chunks: List[int] = []
         append = chunks.append
@@ -169,7 +173,21 @@ class GDDecoder:
                     )
                 basis = record.basis
                 if learn and dictionary is not None:
-                    dictionary.insert(basis)
+                    if traced:
+                        learned_id, evicted = dictionary.insert(basis)
+                        learn_args = {
+                            "outcome": "uncompressed",
+                            "learned_identifier": learned_id,
+                        }
+                        if evicted is not None:
+                            learn_args["evicted_basis"] = evicted
+                        tracer.instant("gd.decode", "gd-decoder", args=learn_args)
+                    else:
+                        dictionary.insert(basis)
+                elif traced:
+                    tracer.instant(
+                        "gd.decode", "gd-decoder", args={"outcome": "uncompressed"}
+                    )
                 stats.output_bits += chunk_bits
                 slots.append(len(chunks))
                 prefixes.append(record.prefix)
@@ -185,8 +203,23 @@ class GDDecoder:
                 basis = dictionary.reverse_lookup(record.identifier)
                 if basis is None:
                     stats.unknown_identifiers += 1
+                    if traced:
+                        tracer.instant(
+                            "gd.decode",
+                            "gd-decoder",
+                            args={
+                                "outcome": "unknown",
+                                "identifier": record.identifier,
+                            },
+                        )
                     raise DictionaryError(
                         f"identifier {record.identifier} is not mapped to any basis"
+                    )
+                if traced:
+                    tracer.instant(
+                        "gd.decode",
+                        "gd-decoder",
+                        args={"outcome": "hit", "identifier": record.identifier},
                     )
                 if learn:
                     dictionary.touch(basis)

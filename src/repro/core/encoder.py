@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro import obs as _obs
 from repro.core.bits import align_up
 from repro.core.dictionary import BasisDictionary, EvictionPolicy
 from repro.core.records import CompressedRecord, GDRecord, RecordType, UncompressedRecord
@@ -289,6 +290,10 @@ class GDEncoder:
         learning_delay = self._learning_delay_chunks
         pending = self._pending_activation
         is_active = self._is_active
+        # Tracing guard hoisted out of the loop: when disabled this costs
+        # one attribute lookup per *batch*, not per chunk.
+        tracer = _obs.TRACER
+        traced = tracer.enabled
 
         index = stats.chunks
         compressed = 0
@@ -313,14 +318,42 @@ class GDEncoder:
                 compressed += 1
                 output_bits += t3_bits
                 output_padded_bits += t3_padded
+                if traced:
+                    tracer.instant(
+                        "gd.encode",
+                        "gd-encoder",
+                        args={
+                            "outcome": "hit",
+                            "identifier": identifier,
+                            "chunk_index": index,
+                        },
+                    )
             else:
                 if identifier is None and dynamic:
-                    insert(basis)
+                    learned_id, evicted = insert(basis)
                     if learning_delay:
                         # ``index`` counts the chunks *before* this one; the
                         # mapping becomes usable after the current chunk plus
                         # the configured number of delayed chunks.
                         pending[basis] = index + 1 + learning_delay
+                    if traced:
+                        miss_args = {
+                            "outcome": "miss",
+                            "learned_identifier": learned_id,
+                            "chunk_index": index,
+                        }
+                        if evicted is not None:
+                            miss_args["evicted_basis"] = evicted
+                        tracer.instant("gd.encode", "gd-encoder", args=miss_args)
+                elif traced:
+                    tracer.instant(
+                        "gd.encode",
+                        "gd-encoder",
+                        args={
+                            "outcome": "pending" if identifier is not None else "miss",
+                            "chunk_index": index,
+                        },
+                    )
                 append(
                     UncompressedRecord(
                         prefix=prefix,

@@ -1,0 +1,224 @@
+"""Trace sinks and exporters.
+
+Events flow out of the :class:`~repro.obs.tracer.Tracer` as plain dicts.
+This module provides the places they can land:
+
+* :class:`EventCollector` — in-memory list, the default for programmatic
+  use (engine reports, tests, the CLI when it needs to post-process).
+* :class:`JsonLinesSink` — streaming one-JSON-object-per-line writer for
+  long runs where buffering the whole trace would defeat the point.
+* :func:`write_chrome_trace` — export a sequence of events as a Chrome /
+  Perfetto ``trace_event`` JSON file (open in https://ui.perfetto.dev or
+  ``chrome://tracing``), one track per node/link, timestamps in
+  microseconds of *simulated* time.
+* :func:`read_events` / :func:`merge_segments` — load traces back
+  (JSON-lines or Chrome JSON) and merge per-shard segments into one
+  time-ordered stream.
+
+**Ordering guarantees.**  Within one shard, events are emitted in
+simulator execution order and carry a monotonically increasing ``seq``.
+Across shards there is no global order on disk; :func:`merge_segments`
+establishes one by sorting on ``(ts, shard, seq)``.  That key depends
+only on simulated time and the spec-derived shard index — never on which
+OS process finished first or how many workers ran — so the merged trace
+for ``--workers 4`` is byte-identical to ``--workers 1``, mirroring the
+engine's report-identity contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "EventCollector",
+    "JsonLinesSink",
+    "write_events",
+    "write_chrome_trace",
+    "read_events",
+    "merge_segments",
+    "event_sort_key",
+]
+
+
+class EventCollector:
+    """Accumulate emitted events in memory."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Stream events to a file as JSON-lines, one event per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        handle = self._handle
+        if handle is None:
+            raise ValueError(f"trace sink {self.path!r} is closed")
+        handle.write(json.dumps(event, sort_keys=True))
+        handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def event_sort_key(event: Dict[str, Any]) -> Tuple[float, int, int]:
+    """The documented cross-shard ordering key: ``(ts, shard, seq)``."""
+    return (
+        float(event.get("ts", 0.0)),
+        int(event.get("shard", 0)),
+        int(event.get("seq", 0)),
+    )
+
+
+def write_events(events: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write events to ``path`` as JSON-lines; returns the event count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+_SECONDS_TO_MICROS = 1_000_000.0
+
+
+def write_chrome_trace(events: Sequence[Dict[str, Any]], path: str) -> int:
+    """Export events as Chrome ``trace_event`` JSON for Perfetto.
+
+    Tracks (node/link names) become threads of a single process, each
+    announced with a ``thread_name`` metadata record so the viewer shows
+    readable lanes.  Simulated-seconds timestamps are scaled to the
+    microseconds the format expects.  Returns the number of trace records
+    written (excluding metadata).
+    """
+    track_tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        track = str(event.get("track", "run"))
+        tid = track_tids.get(track)
+        if tid is None:
+            tid = len(track_tids) + 1
+            track_tids[track] = tid
+        record: Dict[str, Any] = {
+            "name": event.get("name", "event"),
+            "ph": event.get("ph", "i"),
+            "ts": float(event.get("ts", 0.0)) * _SECONDS_TO_MICROS,
+            "pid": 1,
+            "tid": tid,
+        }
+        args = dict(event.get("args") or {})
+        if "flow" in event:
+            args["flow"] = event["flow"]
+        if "chunk" in event:
+            args["chunk"] = event["chunk"]
+        if event.get("shard"):
+            args["shard"] = event["shard"]
+        ph = record["ph"]
+        if ph == "X":
+            record["dur"] = float(event.get("dur", 0.0)) * _SECONDS_TO_MICROS
+        elif ph == "i":
+            record["s"] = "t"
+        if args:
+            record["args"] = args
+        trace_events.append(record)
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for track, tid in track_tids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    payload = {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return len(trace_events)
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Load a trace file written by this package.
+
+    Accepts both the JSON-lines event stream (``--events-out`` /
+    per-shard segments) and the Chrome export (``--trace-out``); for the
+    latter, metadata records are dropped and timestamps are scaled back
+    to seconds so ``repro trace summarize`` works on either format.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        first_line = handle.readline()
+        rest = handle.readline()
+        handle.seek(0)
+        if not rest.strip() and first_line.lstrip().startswith("{"):
+            document = json.loads(first_line)
+            # A one-line file is only the Chrome export if it actually is
+            # one: a single-event JSON-lines segment (a shard that emitted
+            # exactly one event) has no traceEvents key and must fall
+            # through to the JSONL path, not be read as an empty trace.
+            if "traceEvents" in document:
+                records = document["traceEvents"]
+                events: List[Dict[str, Any]] = []
+                for record in records:
+                    if record.get("ph") == "M":
+                        continue
+                    event: Dict[str, Any] = {
+                        "name": record.get("name", "event"),
+                        "ph": record.get("ph", "i"),
+                        "track": record.get("tid", 0),
+                        "ts": float(record.get("ts", 0.0)) / _SECONDS_TO_MICROS,
+                    }
+                    if "dur" in record:
+                        event["dur"] = float(record["dur"]) / _SECONDS_TO_MICROS
+                    args = record.get("args")
+                    if args:
+                        event["args"] = dict(args)
+                        if "flow" in args:
+                            event["flow"] = args["flow"]
+                        if "chunk" in args:
+                            event["chunk"] = args["chunk"]
+                    events.append(event)
+                return events
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def merge_segments(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Merge per-shard JSON-lines segments into one time-ordered stream.
+
+    Sorted on :func:`event_sort_key` — ``(ts, shard, seq)`` — which is a
+    pure function of the spec and simulated time, so the result does not
+    depend on worker count or process scheduling.
+    """
+    merged: List[Dict[str, Any]] = []
+    for path in paths:
+        merged.extend(read_events(path))
+    merged.sort(key=event_sort_key)
+    return merged

@@ -45,9 +45,11 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.net.packets import PacketKind
 
+from repro import obs as _obs
 from repro.controlplane.manager import ControlPlaneTimings, ZipLineControlPlane
 from repro.core.transform import GDTransform
 from repro.exceptions import ReplayError
+from repro.obs.snapshot import PeriodicSnapshotter
 from repro.perfmodel.linkmodel import ImpairmentModel
 from repro.replay.link import EmulatedLink
 from repro.replay.metrics import (
@@ -247,6 +249,18 @@ class ReplayHarness:
         self._frames_sent = 0
         self._source_description = ""
 
+        self._snapshotter = None
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            # Same binding the topology engine performs: trace timestamps
+            # are this harness's simulated clock.
+            tracer.clock = lambda: self.simulator.now
+            if tracer.snapshot_interval:
+                self._snapshotter = PeriodicSnapshotter(
+                    tracer.snapshot_interval, tracer, self._snapshot_sample
+                )
+                self.simulator.add_observer(self._snapshotter.on_event)
+
     # -- wiring ------------------------------------------------------------------
 
     def _build_graph(self) -> None:
@@ -267,14 +281,23 @@ class ReplayHarness:
                 chain_source, chain_port, "decoder", self.DECODER_IN_PORT,
                 links=self.links, tap=self.link_tap,
             )
-            graph.add_edge("decoder", self.SINK_PORT, self.sink.deliver)
+            graph.add_edge("decoder", self.SINK_PORT, self._deliver_to_sink)
         else:
             graph.add_edge(
-                chain_source, chain_port, self.sink.deliver,
+                chain_source, chain_port, self._deliver_to_sink,
                 links=self.links, tap=self.link_tap,
             )
         graph.wire()
         self.graph = graph
+
+    def _deliver_to_sink(self, frame_bytes: bytes, time: float) -> None:
+        """Sink delivery, annotated so a chunk's lifecycle ends in the trace."""
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.instant(
+                "flow.arrive", "sink", args={"outcome": "delivered"}, ts=time
+            )
+        self.sink.deliver(frame_bytes, time)
 
     # -- injection ----------------------------------------------------------------
 
@@ -314,8 +337,17 @@ class ReplayHarness:
             at = pacing.inject_at(index, timed.recorded_time, len(timed.data))
             at = max(at, self.simulator.now)
 
-            def fire(data=timed.data) -> None:
-                self._inject(data)
+            def fire(data=timed.data, idx=index) -> None:
+                tracer = _obs.TRACER
+                if tracer.enabled:
+                    tracer.set_context("replay", idx)
+                    tracer.instant("flow.inject", "source")
+                    try:
+                        self._inject(data)
+                    finally:
+                        tracer.clear_context()
+                else:
+                    self._inject(data)
                 schedule_next()
 
             self.simulator.schedule_at(at, fire, description="replay:inject")
@@ -340,7 +372,27 @@ class ReplayHarness:
         self._source_description = source.description
         self._schedule_source(source, pacing or FixedRatePacing(packet_rate=1e6))
         self.simulator.run(until=until, max_events=max_events)
+        if self._snapshotter is not None:
+            self._snapshotter.flush()
+            self.simulator.remove_observer(self._snapshotter.on_event)
+            self._snapshotter = None
         return self.report()
+
+    def _snapshot_sample(self) -> Dict[str, float]:
+        """Live series for the periodic snapshotter (O(links) per sample)."""
+        now = self.simulator.now
+        wire_bytes = self.link_tap.total_payload_bytes()
+        return {
+            "chunks_sent": float(self._chunks_sent),
+            "payload_bytes_sent": float(self._chunk_bytes_sent),
+            "wire_payload_bytes": float(wire_bytes),
+            "ratio": (self._chunk_bytes_sent / wire_bytes) if wire_bytes else 0.0,
+            "queue_depth": float(sum(link.queue_depth for link in self.links)),
+            "pkt_per_s": (self._frames_sent / now) if now > 0 else 0.0,
+            "dictionary_entries": float(
+                len(self.encoder.known_bases()) if self.encoder is not None else 0
+            ),
+        }
 
     # -- results ------------------------------------------------------------------
 

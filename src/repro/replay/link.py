@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.exceptions import ReplayError
 from repro.net.ethernet import frame_wire_bytes
 from repro.perfmodel.linkmodel import ImpairmentModel, LinkModel
@@ -158,17 +159,29 @@ class EmulatedLink:
         if self._sink is None:
             raise ReplayError(f"link {self.name!r} has no sink attached")
         now = max(self.simulator.now, time)
+        tracer = _obs.TRACER
         self.stats.offered += 1
         self.stats.offered_bytes += len(frame)
 
         if self.impairments is not None and self.impairments.should_drop():
             self.stats.dropped_loss += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "link.drop", self.name, args={"reason": "loss"}, ts=now
+                )
             return
         if (
             self.queue_capacity is not None
             and self._queue_depth >= self.queue_capacity
         ):
             self.stats.dropped_queue += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "link.drop",
+                    self.name,
+                    args={"reason": "queue", "depth": self._queue_depth},
+                    ts=now,
+                )
             return
 
         serialisation = self.model.serialisation_delay(len(frame))
@@ -193,6 +206,28 @@ class EmulatedLink:
             self._serialisation_done,
             description=self._serialised_label,
         )
+        if tracer.enabled:
+            # One span per wire stage, plus a context capture so the
+            # delivery event (and everything the sink does synchronously —
+            # decode, arrival accounting) is attributed to the chunk that
+            # entered the wire, not whichever chunk is current when the
+            # simulator fires the event.
+            if start > now:
+                tracer.span("link.enqueue", self.name, now, start)
+            tracer.span(
+                "link.serialize",
+                self.name,
+                start,
+                done,
+                args={"bytes": len(frame)},
+            )
+            tracer.span("link.propagate", self.name, done, deliver_at)
+            self.simulator.schedule_at(
+                deliver_at,
+                partial(self._deliver_traced, frame, deliver_at, tracer.context),
+                description=self._deliver_label,
+            )
+            return
         # A bound-method partial instead of a fresh closure per frame — the
         # link sits on every replayed packet's path.
         self.simulator.schedule_at(
@@ -205,6 +240,15 @@ class EmulatedLink:
         self.stats.delivered += 1
         self.stats.delivered_bytes += len(frame)
         self._sink(frame, deliver_at)
+
+    def _deliver_traced(self, frame: bytes, deliver_at: float, context) -> None:
+        tracer = _obs.TRACER
+        saved = tracer.context
+        tracer.restore_context(context)
+        try:
+            self._deliver(frame, deliver_at)
+        finally:
+            tracer.restore_context(saved)
 
     def _serialisation_done(self) -> None:
         self._queue_depth -= 1

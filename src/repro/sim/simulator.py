@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro import obs as _obs
 from repro.exceptions import SimulationError
 from repro.sim.events import Event, EventHandle
 
@@ -36,6 +37,7 @@ class Simulator:
         self._queue: List[Event] = []
         self._executed_events = 0
         self._running = False
+        self._observers: List[Callable[[Event], Any]] = []
 
     # -- clock -------------------------------------------------------------
 
@@ -95,6 +97,25 @@ class Simulator:
             self._now, callback, priority=priority, description=description
         )
 
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, observer: Callable[[Event], Any]) -> None:
+        """Register a callable invoked after each executed event.
+
+        Observers run *after* the event's callback and must not schedule
+        events or mutate simulation state — they exist for telemetry
+        (:class:`repro.obs.snapshot.PeriodicSnapshotter`) and leave the
+        event schedule, and therefore run reports, untouched.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[Event], Any]) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
@@ -111,6 +132,17 @@ class Simulator:
             self._now = event.time
             event.callback()
             self._executed_events += 1
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                tracer.instant(
+                    "sim.event",
+                    "sim",
+                    args={"desc": event.description} if event.description else None,
+                    ts=event.time,
+                )
+            if self._observers:
+                for observer in self._observers:
+                    observer(event)
             return True
         return False
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.exceptions import PipelineError
 from repro.sim.simulator import Simulator
 from repro.tofino.counters import CounterSample, NamedCounterSet
@@ -160,8 +161,26 @@ class TofinoSwitch:
             return
         deliver_at = self.simulator.now + latency
 
-        def deliver(frame=frame, deliver_at=deliver_at) -> None:
-            sink(frame, deliver_at)
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            # Carry the current chunk identity across the deferred delivery
+            # so everything downstream of this switch (next link, decoder,
+            # sink) stays attributed to the frame that traversed it.
+            context = tracer.context
+
+            def deliver(frame=frame, deliver_at=deliver_at, context=context) -> None:
+                inner = _obs.TRACER
+                saved = inner.context
+                inner.restore_context(context)
+                try:
+                    sink(frame, deliver_at)
+                finally:
+                    inner.restore_context(saved)
+
+        else:
+
+            def deliver(frame=frame, deliver_at=deliver_at) -> None:
+                sink(frame, deliver_at)
 
         self.simulator.schedule_in(latency, deliver, description=f"{self.name}:tx:{port}")
 

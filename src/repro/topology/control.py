@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any, Dict, Mapping
 
+from repro import obs as _obs
 from repro.exceptions import TopologyError
 from repro.sim.simulator import Simulator
 
@@ -41,6 +42,16 @@ _CONTROL_ETHERTYPE_BYTES = ETHERTYPE_ZIPLINE_CONTROL.to_bytes(2, "big")
 #: Locally-administered MACs identifying the controller and the managed switch.
 _CONTROLLER_MAC = bytes.fromhex("0200000000f1")
 _SWITCH_MAC = bytes.fromhex("0200000000f2")
+
+
+def _control_trace_args(command: Mapping[str, Any]) -> Dict[str, Any]:
+    """The op plus whichever key (identifier/basis) the command carries."""
+    args: Dict[str, Any] = {"op": command.get("op")}
+    if "identifier" in command:
+        args["identifier"] = command["identifier"]
+    if "basis" in command:
+        args["basis"] = command["basis"]
+    return args
 
 
 def apply_switch_command(switch: Any, command: Mapping[str, Any]) -> None:
@@ -94,6 +105,13 @@ class ControlChannel:
         frame = _SWITCH_MAC + _CONTROLLER_MAC + _CONTROL_ETHERTYPE_BYTES + payload
         self.messages_sent += 1
         self.message_bytes += len(frame)
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.instant(
+                "control.send",
+                self.link.name,
+                args=_control_trace_args(command),
+            )
         self.link.send(frame, self.simulator.now)
 
     def _on_frame(self, frame_bytes: bytes, time: float) -> None:
@@ -104,6 +122,14 @@ class ControlChannel:
             )
         command = json.loads(frame_bytes[14:].decode("utf-8"))
         self.messages_applied += 1
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.instant(
+                "control.apply",
+                self.link.name,
+                args=_control_trace_args(command),
+                ts=time,
+            )
         apply_switch_command(self.switch, command)
 
     def counters(self) -> Dict[str, float]:

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.controlplane.manager import ZipLineControlPlane
 from repro.core.transform import GDTransform
+from repro.obs.snapshot import PeriodicSnapshotter
 from repro.exceptions import TopologyError
 from repro.net.mac import MacAddress
 from repro.perfmodel.linkmodel import ImpairmentModel
@@ -550,6 +552,18 @@ class TopologyEngine:
         self._build_flows()
         if spec.scenario == "static":
             self._preload_static_bases()
+        self._snapshotter = None
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            # Bind the tracer's clock to this engine's simulator so every
+            # event downstream is stamped with simulated time, and attach
+            # the periodic snapshotter when one was requested.
+            tracer.clock = lambda: self.simulator.now
+            if tracer.snapshot_interval:
+                self._snapshotter = PeriodicSnapshotter(
+                    tracer.snapshot_interval, tracer, self._snapshot_sample
+                )
+                self.simulator.add_observer(self._snapshotter.on_event)
 
     # -- construction ---------------------------------------------------------
 
@@ -784,16 +798,35 @@ class TopologyEngine:
         self, host_name: str, frame_bytes: bytes, time: float
     ) -> None:
         flow = self._flows_by_mac.get(frame_bytes[6:12])
+        tracer = _obs.TRACER
         if flow is None:
             self._unattributed += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "flow.arrive",
+                    host_name,
+                    args={"outcome": "unattributed"},
+                    ts=time,
+                )
             return
         if flow.spec.sink != host_name:
             # A flow's frame delivered to the wrong host is a routing bug,
             # not a successful arrival: count it, and let the flow's
             # integrity report the chunk as missing.
             self._misdelivered += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "flow.arrive",
+                    host_name,
+                    args={"outcome": "misdelivered", "flow": flow.spec.name},
+                    ts=time,
+                )
             return
         flow.record_arrival(frame_bytes, time)
+        if tracer.enabled:
+            tracer.instant(
+                "flow.arrive", host_name, args={"outcome": "delivered"}, ts=time
+            )
 
     def _preload_static_bases(self) -> None:
         """Install each component's flows' bases into that component's
@@ -866,10 +899,23 @@ class TopologyEngine:
             at = state.pacing.inject_at(index, timed.recorded_time, len(timed.data))
             at = max(at, self.simulator.now)
 
-            def fire(data=timed.data) -> None:
+            def fire(data=timed.data, idx=index) -> None:
                 frame = state.frame_for_injection(data)
                 state.record_injection(frame, self.simulator.now)
-                host.inject(frame, self.simulator.now)
+                tracer = _obs.TRACER
+                if tracer.enabled:
+                    # Everything the injection triggers synchronously —
+                    # switch encode, link admission — inherits this chunk's
+                    # identity; the link re-establishes it for the delivery
+                    # side of the wire.
+                    tracer.set_context(state.spec.name, idx)
+                    tracer.instant("flow.inject", state.spec.source)
+                    try:
+                        host.inject(frame, self.simulator.now)
+                    finally:
+                        tracer.clear_context()
+                else:
+                    host.inject(frame, self.simulator.now)
                 schedule_next()
 
             self.simulator.schedule_at(at, fire, description="replay:inject")
@@ -885,7 +931,43 @@ class TopologyEngine:
         for state in self._flows:
             self._schedule_flow(state)
         self.simulator.run(until=until, max_events=max_events)
+        if self._snapshotter is not None:
+            self._snapshotter.flush()
+            self.simulator.remove_observer(self._snapshotter.on_event)
+            self._snapshotter = None
         return self.report()
+
+    def _snapshot_sample(self) -> Dict[str, float]:
+        """The live series the periodic snapshotter records.
+
+        All values come from counters the run maintains anyway, so
+        sampling is O(nodes + links) and never touches the event queue.
+        """
+        now = self.simulator.now
+        sent_bytes = sum(state.chunk_bytes_sent for state in self._flows)
+        wire_bytes = sum(
+            tap.total_payload_bytes() for _name, tap in self.measured_taps
+        )
+        wire_frames = sum(tap.total_frames() for _name, tap in self.measured_taps)
+        sample = {
+            "chunks_sent": float(
+                sum(state.chunks_sent for state in self._flows)
+            ),
+            "payload_bytes_sent": float(sent_bytes),
+            "wire_payload_bytes": float(wire_bytes),
+            "ratio": (sent_bytes / wire_bytes) if wire_bytes else 0.0,
+            "queue_depth": float(
+                sum(link.queue_depth for link in self.graph.links)
+            ),
+            "pkt_per_s": (wire_frames / now) if now > 0 else 0.0,
+            "dictionary_entries": float(
+                sum(
+                    len(node.switch.known_bases())
+                    for node in self._encoder_nodes.values()
+                )
+            ),
+        }
+        return sample
 
     # -- results -----------------------------------------------------------------
 

@@ -34,12 +34,18 @@ components is likewise rejected by name.  Single-component specs (the
 from __future__ import annotations
 
 import multiprocessing
+import os
+import shutil
 import sys
+import tempfile
 import traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro import obs as _obs
 from repro.exceptions import TopologyError
+from repro.obs.sinks import JsonLinesSink, merge_segments
+from repro.obs.tracer import Tracer
 from repro.replay.metrics import Distribution, IntegrityResult, MetricsRegistry
 from repro.topology.engine import (
     METRICS_MODES,
@@ -83,12 +89,20 @@ class TopologyShard:
 
 @dataclass(frozen=True)
 class _ShardTask:
-    """Everything a worker process needs to rebuild and run its shard."""
+    """Everything a worker process needs to rebuild and run its shard.
+
+    ``trace_segment``/``snapshot_interval`` are set only when the parent
+    has tracing enabled: the worker then writes its own JSON-lines trace
+    segment (stamped with its shard index), which the parent merge-sorts
+    into one time-ordered stream after the run.
+    """
 
     shard: TopologyShard
     verify_integrity: bool
     metrics_mode: str
     qualify_controlplane: bool
+    trace_segment: Optional[str] = None
+    snapshot_interval: Optional[float] = None
 
 
 @dataclass
@@ -218,6 +232,20 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
     pool traceback.
     """
     shard = task.shard
+    # Swap in a file-writing tracer for the duration of the shard when the
+    # parent requested one.  The save/restore matters in the sequential
+    # (workers=1) path, where all shards share this process's global; in a
+    # forked worker it is merely harmless.
+    saved_tracer = None
+    segment_sink = None
+    if task.trace_segment is not None:
+        saved_tracer = _obs.TRACER
+        segment_sink = JsonLinesSink(task.trace_segment)
+        _obs.TRACER = Tracer(
+            segment_sink,
+            shard=shard.index,
+            snapshot_interval=task.snapshot_interval,
+        )
     try:
         engine = TopologyEngine(
             shard.spec,
@@ -250,6 +278,10 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
             flows=[],
             failure=traceback.format_exc(),
         )
+    finally:
+        if segment_sink is not None:
+            segment_sink.close()
+            _obs.TRACER = saved_tracer
 
 
 def _integrity_from_dict(
@@ -408,42 +440,68 @@ def run_topology(
         ).run()
 
     qualify = sum(1 for node in spec.nodes if node.kind == "encoder") > 1
+    # With tracing on, every shard — regardless of worker count — writes a
+    # JSON-lines segment into a private temp dir; the segments are merged
+    # below on (ts, shard, seq), a key independent of process scheduling,
+    # so the final trace matches at any worker count.
+    parent_tracer = _obs.TRACER
+    trace_dir: Optional[str] = None
+    segment_paths: List[str] = []
+    if parent_tracer.enabled:
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+        segment_paths = [
+            os.path.join(trace_dir, f"shard-{shard.index}.jsonl")
+            for shard in shards
+        ]
     tasks = [
         _ShardTask(
             shard=shard,
             verify_integrity=verify_integrity,
             metrics_mode=metrics_mode,
             qualify_controlplane=qualify,
+            trace_segment=segment_paths[position] if segment_paths else None,
+            snapshot_interval=(
+                parent_tracer.snapshot_interval if parent_tracer.enabled else None
+            ),
         )
-        for shard in shards
+        for position, shard in enumerate(shards)
     ]
 
-    processes = min(workers, len(tasks))
-    outcomes: List[_ShardOutcome] = []
-    if processes <= 1:
-        for done, task in enumerate(tasks, start=1):
-            outcome = _raise_on_failure(_run_shard(task))
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(
-                    f"[{done}/{len(tasks)}] shard {outcome.name}: "
-                    f"{outcome.duration * 1e3:.3f} ms simulated"
-                )
-    else:
-        # PR 3 hardening, mirrored: fork is a measured 5x+ startup win on
-        # Linux; everywhere else the platform default avoids macOS fork
-        # unsafety.  chunksize=1 keeps shards spread across the pool.
-        method = "fork" if sys.platform == "linux" else None
-        context = multiprocessing.get_context(method)
-        with context.Pool(processes=processes) as pool:
-            for done, outcome in enumerate(
-                pool.imap_unordered(_run_shard, tasks, chunksize=1), start=1
-            ):
-                _raise_on_failure(outcome)
+    try:
+        processes = min(workers, len(tasks))
+        outcomes: List[_ShardOutcome] = []
+        if processes <= 1:
+            for done, task in enumerate(tasks, start=1):
+                outcome = _raise_on_failure(_run_shard(task))
                 outcomes.append(outcome)
                 if progress is not None:
                     progress(
                         f"[{done}/{len(tasks)}] shard {outcome.name}: "
                         f"{outcome.duration * 1e3:.3f} ms simulated"
                     )
-    return _merge_outcomes(spec, outcomes, metrics_mode)
+        else:
+            # PR 3 hardening, mirrored: fork is a measured 5x+ startup win on
+            # Linux; everywhere else the platform default avoids macOS fork
+            # unsafety.  chunksize=1 keeps shards spread across the pool.
+            method = "fork" if sys.platform == "linux" else None
+            context = multiprocessing.get_context(method)
+            with context.Pool(processes=processes) as pool:
+                for done, outcome in enumerate(
+                    pool.imap_unordered(_run_shard, tasks, chunksize=1), start=1
+                ):
+                    _raise_on_failure(outcome)
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(
+                            f"[{done}/{len(tasks)}] shard {outcome.name}: "
+                            f"{outcome.duration * 1e3:.3f} ms simulated"
+                        )
+        report = _merge_outcomes(spec, outcomes, metrics_mode)
+        if segment_paths:
+            written = [path for path in segment_paths if os.path.exists(path)]
+            for event in merge_segments(written):
+                parent_tracer.emit_raw(event)
+        return report
+    finally:
+        if trace_dir is not None:
+            shutil.rmtree(trace_dir, ignore_errors=True)

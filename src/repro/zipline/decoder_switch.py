@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional
 
+from repro import obs as _obs
 from repro.core.bits import mask
 from repro.core.transform import GDTransform
 from repro.exceptions import PipelineError
@@ -247,16 +248,32 @@ class ZipLineDecoderSwitch:
         prefix = type3["prefix"] if self._transform.prefix_bits else 0
 
         lookup = self._identifier_table.lookup(identifier, now=now)
+        tracer = _obs.TRACER
         if not lookup.hit or lookup.action != "set_basis":
             # A compressed packet whose mapping is unknown cannot be restored;
             # the control plane's install ordering should make this impossible.
             self.counters.count("unknown_identifier", frame_bytes)
+            if tracer.enabled:
+                tracer.instant(
+                    "decode.drop",
+                    self.switch.name,
+                    args={"outcome": "unknown", "identifier": identifier},
+                    ts=now,
+                )
             context.drop()
             return
         basis = lookup.params["basis"]
         type3.valid = False
         self._emit_chunk(packet, ethernet, prefix, basis, syndrome)
         self.counters.count("compressed_to_raw", frame_bytes)
+        if tracer.enabled:
+            tracer.span(
+                "decode",
+                self.switch.name,
+                now,
+                now + self.switch.pipeline.pipeline_latency,
+                args={"outcome": "hit", "identifier": identifier},
+            )
 
     def _decode_uncompressed(
         self, context: PacketContext, ethernet: Header, frame_bytes: int
@@ -269,6 +286,16 @@ class ZipLineDecoderSwitch:
         type2.valid = False
         self._emit_chunk(packet, ethernet, prefix, basis, syndrome)
         self.counters.count("uncompressed_to_raw", frame_bytes)
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            now = self._simulator.now if self._simulator is not None else 0.0
+            tracer.span(
+                "decode",
+                self.switch.name,
+                now,
+                now + self.switch.pipeline.pipeline_latency,
+                args={"outcome": "uncompressed"},
+            )
 
     def _emit_chunk(
         self,
@@ -396,6 +423,14 @@ class ZipLineDecoderSwitch:
                     entry.last_hit = now
                     entry.hit_count += 1
                 self.counters.count("unknown_identifier", length)
+                tracer = _obs.TRACER
+                if tracer.enabled:
+                    tracer.instant(
+                        "decode.drop",
+                        switch.name,
+                        args={"outcome": "unknown", "identifier": identifier},
+                        ts=now,
+                    )
                 switch.record_rx(ingress_port, length)
                 pipeline.packets_processed += 1
                 pipeline.parser.packets_parsed += 1
@@ -411,6 +446,15 @@ class ZipLineDecoderSwitch:
             entry.hit_count += 1
             out = self._fast_emit_chunk(frame, header_end, prefix, basis, syndrome)
             self.counters.count("compressed_to_raw", length)
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                tracer.span(
+                    "decode",
+                    switch.name,
+                    now,
+                    now + pipeline.pipeline_latency,
+                    args={"outcome": "hit", "identifier": identifier},
+                )
         elif ethertype == self._fast_eth_type2:
             header_end = 14 + self._fast_type2_bytes
             if length < header_end:
@@ -421,6 +465,15 @@ class ZipLineDecoderSwitch:
             prefix = value >> (m + code.k) if transform.prefix_bits else 0
             out = self._fast_emit_chunk(frame, header_end, prefix, basis, syndrome)
             self.counters.count("uncompressed_to_raw", length)
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                tracer.span(
+                    "decode",
+                    switch.name,
+                    now,
+                    now + pipeline.pipeline_latency,
+                    args={"outcome": "uncompressed"},
+                )
         elif ethertype == self._fast_eth_raw:
             if length < 14 + self._fast_chunk_bytes:
                 return None

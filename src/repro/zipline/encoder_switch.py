@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional
 
+from repro import obs as _obs
 from repro.controlplane.manager import LEARN_DIGEST
 from repro.core.bits import mask
 from repro.core.crc import prefix_syndrome_table
@@ -327,6 +328,15 @@ class ZipLineEncoderSwitch:
             packet.headers["type3"] = type3
             ethernet["ether_type"] = EtherType.ZIPLINE_COMPRESSED
             self.counters.count("raw_to_compressed", frame_bytes)
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                tracer.span(
+                    "encode",
+                    self.switch.name,
+                    now,
+                    now + self.switch.pipeline.pipeline_latency,
+                    args={"outcome": "hit", "identifier": identifier, "basis": basis},
+                )
         else:
             type2 = Header(self._headers.type2)
             if self._transform.prefix_bits:
@@ -338,6 +348,15 @@ class ZipLineEncoderSwitch:
             ethernet["ether_type"] = EtherType.ZIPLINE_UNCOMPRESSED
             context.emit_digest(LEARN_DIGEST, {"basis": basis})
             self.counters.count("raw_to_uncompressed", frame_bytes)
+            tracer = _obs.TRACER
+            if tracer.enabled:
+                tracer.span(
+                    "encode",
+                    self.switch.name,
+                    now,
+                    now + self.switch.pipeline.pipeline_latency,
+                    args={"outcome": "miss", "basis": basis},
+                )
 
     # -- control-plane interface ------------------------------------------------------
 
@@ -461,6 +480,7 @@ class ZipLineEncoderSwitch:
 
             lookup = self._basis_table.lookup_ref(basis, now=now)
             digests = ()
+            tracer = _obs.TRACER
             if lookup is not None and lookup.action == "set_identifier":
                 value = (
                     ((prefix << self._identifier_bits) | lookup.params["identifier"])
@@ -475,6 +495,18 @@ class ZipLineEncoderSwitch:
                     + frame[chunk_end:]
                 )
                 self.counters.count("raw_to_compressed", length)
+                if tracer.enabled:
+                    tracer.span(
+                        "encode",
+                        switch.name,
+                        now,
+                        now + pipeline.pipeline_latency,
+                        args={
+                            "outcome": "hit",
+                            "identifier": lookup.params["identifier"],
+                            "basis": basis,
+                        },
+                    )
             else:
                 value = (
                     ((prefix << self._transform.basis_bits) | basis)
@@ -490,6 +522,14 @@ class ZipLineEncoderSwitch:
                 )
                 digests = ((LEARN_DIGEST, {"basis": basis}),)
                 self.counters.count("raw_to_uncompressed", length)
+                if tracer.enabled:
+                    tracer.span(
+                        "encode",
+                        switch.name,
+                        now,
+                        now + pipeline.pipeline_latency,
+                        args={"outcome": "miss", "basis": basis},
+                    )
         elif ethertype == self._fast_eth_type2:
             if length < self._fast_min_type2_frame:
                 return None

@@ -1,0 +1,133 @@
+"""End-to-end telemetry: chunk lifecycle, off-mode invariance, sharding.
+
+These are the integration contracts of the observability layer:
+
+* every chunk's full lifecycle — source injection, encode, wire,
+  decode, sink arrival — is reconstructable from the trace via its
+  ``(flow, chunk)`` identity;
+* tracing observes and never perturbs: the report of a traced run is
+  byte-identical to the untraced one, at any worker count;
+* the merged multi-worker trace is exactly the sequential trace.
+"""
+
+import pytest
+
+from repro import obs
+from repro.topology import preset_topology, run_topology
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    before = obs.TRACER
+    yield
+    obs.TRACER = before
+
+
+def _spec(**overrides):
+    kwargs = dict(chunks=30, bases=3, seed=2020)
+    kwargs.update(overrides)
+    return preset_topology("fan-in", **kwargs)
+
+
+def _traced_run(workers=1, snapshot_interval=None):
+    tracer = obs.enable(snapshot_interval=snapshot_interval)
+    try:
+        report = run_topology(_spec(), workers=workers)
+    finally:
+        obs.disable()
+    return report, tracer.sink.events
+
+
+class TestChunkLifecycle:
+    def test_every_stage_of_one_chunk_is_reconstructable(self):
+        report, events = _traced_run()
+        assert report.integrity.intact
+
+        chunk = [
+            event for event in events
+            if event.get("flow") == "flow0" and event.get("chunk") == 0
+        ]
+        stages = [event["name"] for event in chunk]
+        for stage in ("flow.inject", "encode", "link.serialize",
+                      "link.propagate", "decode", "flow.arrive"):
+            assert stage in stages, f"missing lifecycle stage {stage}"
+        # The lifecycle is causally ordered in simulated time.
+        timestamps = [event["ts"] for event in chunk]
+        assert timestamps == sorted(timestamps)
+        arrive = next(e for e in chunk if e["name"] == "flow.arrive")
+        assert arrive["args"]["outcome"] == "delivered"
+
+    def test_every_chunk_of_every_flow_is_delivered_in_the_trace(self):
+        report, events = _traced_run()
+        arrivals = {
+            (event["flow"], event["chunk"])
+            for event in events
+            if event["name"] == "flow.arrive"
+            and event["args"]["outcome"] == "delivered"
+        }
+        spec = _spec()
+        expected = {
+            (flow.name, index)
+            for flow in spec.flows
+            for index in range(30)
+        }
+        assert arrivals == expected
+
+    def test_dictionary_outcomes_are_annotated(self):
+        # Dynamic scenario: the run (tens of us) ends before the control
+        # plane's ~1.8 ms installs land, so every encode is a learn miss
+        # carrying the basis it digested.
+        _report, events = _traced_run()
+        encodes = [event for event in events if event["name"] == "encode"]
+        assert encodes
+        assert all(e["args"]["outcome"] == "miss" for e in encodes)
+        assert all("basis" in e["args"] for e in encodes)
+
+        # Static scenario: mappings are preinstalled, every encode hits
+        # and is annotated with the identifier it compressed to.
+        tracer = obs.enable()
+        try:
+            run_topology(_spec(scenario="static"), workers=1)
+        finally:
+            obs.disable()
+        hits = [e for e in tracer.sink.events if e["name"] == "encode"]
+        assert hits
+        assert all(e["args"]["outcome"] == "hit" for e in hits)
+        assert all("identifier" in e["args"] for e in hits)
+
+
+class TestOffModeInvariance:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_report_bytes_identical_with_tracing_on_and_off(self, workers):
+        plain = run_topology(_spec(), workers=workers)
+        traced_report, events = _traced_run(
+            workers=workers, snapshot_interval=1e-5
+        )
+        assert traced_report.json_text() == plain.json_text()
+        assert events, "traced run recorded nothing"
+
+    def test_snapshots_do_not_change_the_trace_timeline(self):
+        _report, bare = _traced_run()
+        _report, sampled = _traced_run(snapshot_interval=1e-5)
+        non_counter = [e for e in sampled if e["ph"] != "C"]
+        # Snapshot counters are interleaved; everything else is unchanged
+        # (sequence numbers differ because counters consume them).
+        strip = lambda e: {k: v for k, v in e.items() if k != "seq"}
+        assert [strip(e) for e in non_counter] == [strip(e) for e in bare]
+        assert any(e["ph"] == "C" for e in sampled)
+
+
+class TestShardedTraces:
+    def test_merged_trace_is_worker_count_independent(self):
+        _report, sequential = _traced_run(workers=1, snapshot_interval=1e-5)
+        _report, sharded = _traced_run(workers=2, snapshot_interval=1e-5)
+        assert sharded == sequential
+
+    def test_snapshot_counters_survive_the_segment_round_trip(self):
+        _report, sharded = _traced_run(workers=2, snapshot_interval=1e-5)
+        counters = [e for e in sharded if e["ph"] == "C"]
+        assert counters
+        sample = counters[0]["args"]
+        for series in ("ratio", "queue_depth", "pkt_per_s",
+                       "dictionary_entries"):
+            assert series in sample

@@ -1,0 +1,108 @@
+"""Sinks and exporters: JSONL round trip, Chrome export, segment merge."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventCollector,
+    JsonLinesSink,
+    Tracer,
+    event_sort_key,
+    merge_segments,
+    read_events,
+    write_chrome_trace,
+    write_events,
+)
+
+
+def _sample_events():
+    sink = EventCollector()
+    tracer = Tracer(sink)
+    tracer.set_context("flow0", 0)
+    tracer.span("encode", track="encoder", start=1e-6, end=2e-6,
+                args={"outcome": "miss"})
+    tracer.clear_context()
+    tracer.instant("link.drop", track="wire", ts=3e-6, args={"reason": "loss"})
+    tracer.counter("snapshot", track="snapshots", values={"queue_depth": 2},
+                   ts=4e-6)
+    return sink.events
+
+
+class TestJsonLinesSink:
+    def test_streams_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesSink(str(path))
+        tracer = Tracer(sink)
+        tracer.instant("a", track="t", ts=1.0)
+        tracer.instant("b", track="t", ts=2.0)
+        sink.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonLinesSink(str(tmp_path / "trace.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit({"ph": "i"})
+
+
+class TestWriteReadEvents:
+    def test_jsonl_round_trip_is_lossless(self, tmp_path):
+        events = _sample_events()
+        path = tmp_path / "events.jsonl"
+        assert write_events(events, str(path)) == len(events)
+        assert read_events(str(path)) == events
+
+    def test_chrome_trace_loads_and_scales_back(self, tmp_path):
+        events = _sample_events()
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(events, str(path)) == len(events)
+
+        document = json.loads(path.read_text(encoding="utf-8"))
+        records = document["traceEvents"]
+        # Perfetto essentials: metadata names the tracks, spans carry dur,
+        # instants carry a scope, timestamps are microseconds.
+        metadata = [record for record in records if record["ph"] == "M"]
+        assert any(record["name"] == "process_name" for record in metadata)
+        thread_names = {
+            record["args"]["name"]
+            for record in metadata
+            if record["name"] == "thread_name"
+        }
+        assert {"encoder", "wire", "snapshots"} <= thread_names
+        span = next(record for record in records if record["ph"] == "X")
+        assert span["dur"] == pytest.approx(1.0)  # 1 us
+        assert span["ts"] == pytest.approx(1.0)
+        instant = next(record for record in records if record["ph"] == "i")
+        assert instant["s"] == "t"
+
+        # read_events detects the Chrome format and scales back to seconds.
+        recovered = read_events(str(path))
+        assert len(recovered) == len(events)
+        assert recovered[0]["ts"] == pytest.approx(1e-6)
+        assert recovered[0]["flow"] == "flow0"
+        assert recovered[0]["chunk"] == 0
+
+
+class TestMergeSegments:
+    def test_merge_orders_by_ts_then_shard_then_seq(self, tmp_path):
+        first = tmp_path / "shard-0.jsonl"
+        second = tmp_path / "shard-1.jsonl"
+        sink0 = JsonLinesSink(str(first))
+        tracer0 = Tracer(sink0, shard=0)
+        tracer0.instant("late", track="t", ts=2.0)
+        tracer0.instant("early", track="t", ts=1.0)
+        sink0.close()
+        sink1 = JsonLinesSink(str(second))
+        tracer1 = Tracer(sink1, shard=1)
+        tracer1.instant("tie", track="t", ts=1.0)
+        sink1.close()
+
+        merged = merge_segments([str(first), str(second)])
+        assert [event["name"] for event in merged] == ["early", "tie", "late"]
+        # The key is a pure function of (ts, shard, seq): shard 0 wins ties.
+        assert [event_sort_key(event)[1] for event in merged] == [0, 1, 0]
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_segments([]) == []

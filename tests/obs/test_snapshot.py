@@ -1,0 +1,87 @@
+"""PeriodicSnapshotter: boundary crossing, flush, simulator integration."""
+
+import pytest
+
+from repro.obs import EventCollector, PeriodicSnapshotter, Tracer
+from repro.sim.simulator import Simulator
+
+
+class _ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBoundaries:
+    def test_rejects_non_positive_interval(self):
+        tracer = Tracer(EventCollector())
+        with pytest.raises(ValueError):
+            PeriodicSnapshotter(0.0, tracer, dict)
+        with pytest.raises(ValueError):
+            PeriodicSnapshotter(-1.0, tracer, dict)
+
+    def test_emits_one_sample_per_crossed_boundary(self):
+        clock = _ManualClock()
+        sink = EventCollector()
+        tracer = Tracer(sink, clock=clock)
+        snapshotter = PeriodicSnapshotter(1.0, tracer, lambda: {"v": 7})
+
+        clock.now = 0.5
+        snapshotter.on_event()
+        assert snapshotter.samples_taken == 0
+
+        # One event jumps past three boundaries: all three are emitted,
+        # stamped at the boundary times, not at the observation time.
+        clock.now = 3.2
+        snapshotter.on_event()
+        assert snapshotter.samples_taken == 3
+        assert [event["ts"] for event in sink.events] == [1.0, 2.0, 3.0]
+        assert all(event["ph"] == "C" for event in sink.events)
+        assert all(event["args"] == {"v": 7} for event in sink.events)
+
+    def test_flush_stamps_the_current_time(self):
+        clock = _ManualClock()
+        sink = EventCollector()
+        tracer = Tracer(sink, clock=clock)
+        snapshotter = PeriodicSnapshotter(1.0, tracer, lambda: {"v": 1})
+        clock.now = 0.7
+        snapshotter.flush()
+        assert sink.events[-1]["ts"] == 0.7
+        assert snapshotter.samples_taken == 1
+
+
+class TestSimulatorObserver:
+    def test_observer_does_not_change_the_schedule(self):
+        """Snapshots must not perturb executed_events or the run duration."""
+
+        def run(with_snapshots):
+            simulator = Simulator()
+            sink = EventCollector()
+            tracer = Tracer(sink, clock=lambda: simulator.now)
+            snapshotter = None
+            if with_snapshots:
+                snapshotter = PeriodicSnapshotter(0.25, tracer, lambda: {"v": 1})
+                simulator.add_observer(snapshotter.on_event)
+            for step in range(1, 5):
+                simulator.schedule_at(step * 0.3, lambda: None)
+            simulator.run()
+            return simulator.executed_events, simulator.now, snapshotter
+
+        plain_events, plain_now, _ = run(with_snapshots=False)
+        traced_events, traced_now, snapshotter = run(with_snapshots=True)
+        assert traced_events == plain_events
+        assert traced_now == plain_now
+        assert snapshotter.samples_taken > 0
+
+    def test_remove_observer_stops_sampling(self):
+        simulator = Simulator()
+        sink = EventCollector()
+        tracer = Tracer(sink, clock=lambda: simulator.now)
+        snapshotter = PeriodicSnapshotter(0.1, tracer, lambda: {"v": 1})
+        simulator.add_observer(snapshotter.on_event)
+        simulator.remove_observer(snapshotter.on_event)
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        assert snapshotter.samples_taken == 0

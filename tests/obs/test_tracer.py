@@ -1,0 +1,130 @@
+"""Unit tests for the tracer core: event shapes, context, the global swap."""
+
+import pytest
+
+from repro import obs
+from repro.obs import EventCollector, NullTracer, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    """Every test leaves the process-wide tracer the way it found it."""
+    before = obs.TRACER
+    yield
+    obs.TRACER = before
+
+
+class TestTracerEvents:
+    def test_instant_shape(self):
+        sink = EventCollector()
+        tracer = Tracer(sink)
+        tracer.instant("link.drop", track="wire", args={"reason": "loss"})
+        (event,) = sink.events
+        assert event["ph"] == "i"
+        assert event["name"] == "link.drop"
+        assert event["track"] == "wire"
+        assert event["ts"] == 0.0
+        assert event["args"] == {"reason": "loss"}
+        assert event["seq"] == 0
+        assert event["shard"] == 0
+
+    def test_span_records_duration(self):
+        sink = EventCollector()
+        tracer = Tracer(sink)
+        tracer.span("encode", track="encoder", start=1.0, end=1.5)
+        (event,) = sink.events
+        assert event["ph"] == "X"
+        assert event["ts"] == 1.0
+        assert event["dur"] == 0.5
+
+    def test_span_duration_never_negative(self):
+        sink = EventCollector()
+        Tracer(sink).span("encode", track="e", start=2.0, end=1.0)
+        assert sink.events[0]["dur"] == 0.0
+
+    def test_counter_shape(self):
+        sink = EventCollector()
+        Tracer(sink).counter("snapshot", track="snapshots", values={"q": 3})
+        (event,) = sink.events
+        assert event["ph"] == "C"
+        assert event["args"] == {"q": 3}
+
+    def test_sequence_numbers_increment(self):
+        sink = EventCollector()
+        tracer = Tracer(sink)
+        for _ in range(3):
+            tracer.instant("tick", track="t")
+        assert [event["seq"] for event in sink.events] == [0, 1, 2]
+
+    def test_clock_supplies_timestamps(self):
+        sink = EventCollector()
+        tracer = Tracer(sink, clock=lambda: 42.0)
+        tracer.instant("tick", track="t")
+        assert sink.events[0]["ts"] == 42.0
+
+    def test_explicit_ts_beats_the_clock(self):
+        sink = EventCollector()
+        tracer = Tracer(sink, clock=lambda: 42.0)
+        tracer.instant("tick", track="t", ts=7.0)
+        assert sink.events[0]["ts"] == 7.0
+
+    def test_shard_is_stamped(self):
+        sink = EventCollector()
+        Tracer(sink, shard=3).instant("tick", track="t")
+        assert sink.events[0]["shard"] == 3
+
+
+class TestContext:
+    def test_context_attached_to_events(self):
+        sink = EventCollector()
+        tracer = Tracer(sink)
+        tracer.set_context("flow0", 17)
+        tracer.instant("encode", track="e")
+        tracer.clear_context()
+        tracer.instant("idle", track="e")
+        tagged, untagged = sink.events
+        assert tagged["flow"] == "flow0"
+        assert tagged["chunk"] == 17
+        assert "flow" not in untagged
+        assert "chunk" not in untagged
+
+    def test_restore_context_round_trips(self):
+        tracer = Tracer(EventCollector())
+        tracer.set_context("flow1", 2)
+        saved = tracer.context
+        tracer.clear_context()
+        assert tracer.context is None
+        tracer.restore_context(saved)
+        assert tracer.context == ("flow1", 2)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.context is None
+        # Every instrumentation entry point is a no-op.
+        tracer.instant("x", track="t")
+        tracer.span("x", track="t", start=0.0, end=1.0)
+        tracer.counter("x", track="t", values={})
+        tracer.set_context("f", 1)
+        tracer.clear_context()
+        tracer.restore_context(("f", 1))
+        tracer.emit_raw({"ph": "i"})
+
+
+class TestGlobalSwap:
+    def test_enable_installs_and_disable_restores_null(self):
+        tracer = obs.enable()
+        assert obs.TRACER is tracer
+        assert tracer.enabled
+        previous = obs.disable()
+        assert previous is tracer
+        assert isinstance(obs.TRACER, NullTracer)
+
+    def test_enable_forwards_snapshot_interval(self):
+        tracer = obs.enable(snapshot_interval=0.5)
+        try:
+            assert tracer.snapshot_interval == 0.5
+        finally:
+            obs.disable()

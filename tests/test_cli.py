@@ -474,3 +474,147 @@ class TestBenchCommand:
         assert "=== encode: GDCodec.compress" in output
         assert "=== decode: decompress_records" in output
         assert "cumulative" in output
+
+    def test_profile_accepts_named_stages(self, capsys):
+        assert main(
+            ["bench", "--profile", "transform", "switch-encode",
+             "--profile-chunks", "200"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "=== transform: split_batch_fields" in output
+        assert "=== switch-encode:" in output
+        assert "=== encode: GDCodec.compress" not in output
+
+    def test_profile_switch_decode_stage(self, capsys):
+        assert main(
+            ["bench", "--profile", "switch-decode", "--profile-chunks", "200"]
+        ) == 0
+        assert "=== switch-decode:" in capsys.readouterr().out
+
+    def test_profile_stage_typo_names_offender_and_valid_stages(self, capsys):
+        assert main(["bench", "--profile", "encod"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown profile stage 'encod'" in err
+        # The error lists every registered stage.
+        for stage in ("encode", "decode", "transform", "switch-encode",
+                      "switch-decode"):
+            assert stage in err
+
+
+class TestObservabilityFlags:
+    """The shared --trace-out/--events-out/--snapshot-interval flags."""
+
+    def _run_topology(self, tmp_path, name, extra):
+        out = tmp_path / name
+        assert main(
+            ["topology", "--preset", "fan-in", "--chunks", "60",
+             "--bases", "3", "--quiet", "--json", str(out), *extra]
+        ) == 0
+        return out.read_text()
+
+    @pytest.mark.parametrize("workers", ["1", "2"])
+    def test_report_bytes_identical_with_tracing_on_and_off(
+        self, tmp_path, capsys, workers
+    ):
+        plain = self._run_topology(
+            tmp_path, "plain.json", ["--workers", workers]
+        )
+        traced = self._run_topology(
+            tmp_path, "traced.json",
+            ["--workers", workers,
+             "--trace-out", str(tmp_path / "trace.json"),
+             "--events-out", str(tmp_path / "events.jsonl"),
+             "--snapshot-interval", "0.00001"],
+        )
+        capsys.readouterr()
+        assert traced == plain
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "events.jsonl").exists()
+
+    def test_trace_summarize_reads_both_formats(self, tmp_path, capsys):
+        self._run_topology(
+            tmp_path, "r.json",
+            ["--trace-out", str(tmp_path / "trace.json"),
+             "--events-out", str(tmp_path / "events.jsonl")],
+        )
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(tmp_path / "events.jsonl")]) == 0
+        from_jsonl = capsys.readouterr().out
+        assert main(["trace", "summarize", str(tmp_path / "trace.json")]) == 0
+        from_chrome = capsys.readouterr().out
+        for output in (from_jsonl, from_chrome):
+            assert "encode" in output
+            assert "p99" in output
+            assert "slowest" in output
+
+    def test_trace_summarize_missing_file_errors(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_snapshot_interval_requires_an_output(self, capsys):
+        assert main(
+            ["topology", "--preset", "fan-in", "--chunks", "20",
+             "--snapshot-interval", "0.001"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "--snapshot-interval needs --trace-out or --events-out" in err
+
+    def test_snapshot_interval_must_be_positive(self, tmp_path, capsys):
+        assert main(
+            ["topology", "--preset", "fan-in", "--chunks", "20",
+             "--trace-out", str(tmp_path / "t.json"),
+             "--snapshot-interval", "-1"]
+        ) == 1
+        assert "--snapshot-interval must be positive" in capsys.readouterr().err
+
+    def test_replay_records_a_trace(self, tmp_path, capsys):
+        trace = tmp_path / "chunks.pcap"
+        assert main(
+            ["generate-trace", "synthetic", str(trace), "--chunks", "120"]
+        ) == 0
+        events_out = tmp_path / "events.jsonl"
+        assert main(
+            ["replay", str(trace), "--events-out", str(events_out)]
+        ) == 0
+        capsys.readouterr()
+        from repro.obs import read_events
+
+        names = {event["name"] for event in read_events(str(events_out))}
+        assert {"flow.inject", "link.serialize", "flow.arrive"} <= names
+
+    def test_experiment_tracing_requires_sequential_workers(
+        self, tmp_path, capsys
+    ):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "t", "base": {"chunks": 50}, '
+            '"axes": {"seed": [1, 2]}}'
+        )
+        assert main(
+            ["experiment", "--spec", str(spec), "--workers", "2",
+             "--events-out", str(tmp_path / "e.jsonl")]
+        ) == 1
+        assert "--workers 1" in capsys.readouterr().err
+
+    def test_experiment_sequential_tracing_works(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "t", "base": {"chunks": 50}, '
+            '"axes": {"seed": [1, 2]}}'
+        )
+        events_out = tmp_path / "e.jsonl"
+        assert main(
+            ["experiment", "--spec", str(spec), "--quiet",
+             "--events-out", str(events_out)]
+        ) == 0
+        capsys.readouterr()
+        assert events_out.exists()
+
+    def test_tracer_is_disabled_after_a_run(self, tmp_path, capsys):
+        self._run_topology(
+            tmp_path, "r.json", ["--trace-out", str(tmp_path / "t.json")]
+        )
+        capsys.readouterr()
+        from repro import obs
+
+        assert not obs.TRACER.enabled
