@@ -1,0 +1,212 @@
+"""Control-plane churn: install throughput, recovery time, ratio vs loss.
+
+The degraded-control-plane subsystem gets the same trajectory treatment
+as the data-plane hot path.  Three numbers are measured and guarded
+against the committed ``BENCH_control.json``:
+
+* **installs/s under thrash** — the dictionary-thrash workload over an
+  identifier pool far smaller than its basis population keeps the
+  control plane learning and recycling for the whole trace; the wall
+  clock rate of completed installs is the controller's modeled write
+  throughput end to end (digests, allocation, two table writes over the
+  in-network channel);
+* **recovery time after a decoder restart** — from the scheduled restart
+  to the last resync install applied on the decoder, in simulated time
+  (a determinism-guarded constant of the spec, not a wall-clock number);
+* **ratio vs control loss** — the figure-style degradation table: the
+  compression ratio must stay within tolerance of the committed value at
+  every loss rate, delivery loss is bounded and corruption is zero.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the scaled-down CI smoke mode.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import format_table, save_results_json
+from repro.topology import (
+    TopologyEngine,
+    FaultPlan,
+    fan_in_topology,
+    fault_storm_topology,
+    run_topology,
+    validate_spec_faults,
+)
+
+from benchmarks.conftest import RESULTS_DIR, emit_result, environment_info
+
+#: Scaled down when REPRO_BENCH_SMOKE is set (CI smoke mode).
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+SENDERS = 4
+CHUNKS_PER_FLOW = 400 if SMOKE else 1500
+#: Basis population slightly above the identifier space below (4 flows x
+#: 10 bases over 32 identifiers): the hot heads fit and compress, the
+#: rotating tail keeps the pool recycling for the whole trace.
+BASES_PER_FLOW = 10
+IDENTIFIER_BITS = 5
+PACKET_RATE = 1e5
+SEED = 2020
+LOSS_SWEEP = (0.0, 0.1, 0.2)
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_control.json"
+
+#: A current rate below ``(1 - TOLERANCE) * baseline`` fails the bench.
+REGRESSION_TOLERANCE = 0.30
+#: Compression ratios are deterministic per spec, but differ between
+#: smoke and full workload sizes; the table is only guarded in-mode.
+RATIO_TOLERANCE = 0.05
+
+
+def _thrash_spec(control_loss=0.0):
+    spec = fan_in_topology(
+        name="control-churn",
+        senders=SENDERS,
+        workload="thrash",
+        chunks=CHUNKS_PER_FLOW,
+        bases=BASES_PER_FLOW,
+        packet_rate=PACKET_RATE,
+        identifier_bits=IDENTIFIER_BITS,
+        control="in-network",
+        seed=SEED,
+    )
+    if control_loss:
+        spec.faults = FaultPlan(control_loss=control_loss)
+        validate_spec_faults(spec)
+    return spec
+
+
+def _load_baseline():
+    if not TRAJECTORY_PATH.exists():
+        return None
+    with TRAJECTORY_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _guard(label, current, baseline_value):
+    """Fail when ``current`` regressed >30 % below the committed baseline."""
+    if baseline_value is None:
+        return
+    floor = (1.0 - REGRESSION_TOLERANCE) * baseline_value
+    assert current >= floor, (
+        f"{label} regressed: {current:,.2f} vs committed baseline "
+        f"{baseline_value:,.2f} (floor {floor:,.2f})"
+    )
+
+
+def test_control_churn(benchmark):
+    """Install throughput, restart recovery, and the loss degradation table."""
+    trajectory = _load_baseline()
+    floors = (trajectory or {}).get("floors", {})
+    mode = "smoke" if SMOKE else "full"
+
+    # -- installs/s under thrash ------------------------------------------------
+    started = time.perf_counter()
+    report = run_topology(_thrash_spec(), workers=1)
+    churn_s = time.perf_counter() - started
+    counters = report.metrics.as_dict()["counters"]
+    installs = (
+        counters["controlplane.mappings_learned"]
+        + counters["controlplane.mappings_recycled"]
+    )
+    installs_per_s = installs / churn_s
+    # The workload actually thrashes: the pool recycled bindings.
+    assert counters["controlplane.mappings_recycled"] > 0
+    hard_floor = floors.get("installs_per_s_hard_floor", 20)
+    assert installs_per_s >= hard_floor, (
+        f"install throughput {installs_per_s:,.1f}/s fell below the "
+        f"{hard_floor}/s hard floor"
+    )
+
+    # -- recovery time after a decoder restart ---------------------------------
+    storm_spec = fault_storm_topology(
+        chunks=CHUNKS_PER_FLOW, senders=SENDERS, packet_rate=PACKET_RATE
+    )
+    engine = TopologyEngine(storm_spec)
+    storm_report = engine.run()
+    restart_at = storm_spec.faults.restarts[0].time
+    channel = engine.control_channels["encoder"]
+    assert channel.resync_applied > 0, "restart resynchronised nothing"
+    recovery_s = channel.last_resync_applied_at - restart_at
+    recovery_ms = recovery_s * 1e3
+    assert recovery_s > 0
+    recovery_ceiling = floors.get("recovery_ms_max", 5.0)
+    assert recovery_ms <= recovery_ceiling, (
+        f"resync took {recovery_ms:.3f} ms of simulated time, above the "
+        f"{recovery_ceiling} ms ceiling"
+    )
+    for flow in storm_report.flows:
+        assert flow.integrity.corrupted == 0
+
+    # -- ratio vs control loss --------------------------------------------------
+    ratio_rows = []
+    for loss in LOSS_SWEEP:
+        loss_report = run_topology(_thrash_spec(control_loss=loss), workers=1)
+        lost = sum(f.integrity.missing for f in loss_report.flows)
+        for flow in loss_report.flows:
+            assert flow.integrity.corrupted == 0
+        ratio_rows.append(
+            {
+                "control_loss": loss,
+                "ratio": round(loss_report.compression_ratio, 4),
+                "lost": lost,
+            }
+        )
+    # Loss-free thrash still compresses despite the churn.
+    ratio_ceiling = floors.get("ratio_loss0_ceiling", 0.8)
+    assert ratio_rows[0]["ratio"] <= ratio_ceiling, (
+        f"loss-free thrash ratio {ratio_rows[0]['ratio']} above the "
+        f"{ratio_ceiling} ceiling: compression is not happening"
+    )
+
+    baseline = (trajectory or {}).get("baseline")
+    if baseline is not None and baseline.get("mode") == mode:
+        _guard(
+            "installs/s",
+            installs_per_s,
+            baseline.get("installs_per_s"),
+        )
+        for row, committed in zip(ratio_rows, baseline.get("ratio_table", [])):
+            # Ratios are fully deterministic for a given spec + seed: any
+            # drift beyond rounding is a behaviour change, not noise.
+            drift = abs(row["ratio"] - committed["ratio"])
+            assert drift <= RATIO_TOLERANCE, (
+                f"ratio at control_loss={row['control_loss']} drifted "
+                f"{drift:.4f} from the committed {committed['ratio']}"
+            )
+
+    table_text = format_table(
+        ["metric", "value"],
+        [
+            ["mode", mode],
+            ["flows x chunks", f"{SENDERS} x {CHUNKS_PER_FLOW:,}"],
+            ["identifier space", f"{1 << IDENTIFIER_BITS}"],
+            ["installs (learn+recycle)", f"{installs:,}"],
+            ["installs/s", f"{installs_per_s:,.1f}"],
+            ["restart recovery [ms sim]", f"{recovery_ms:.3f}"],
+            ["resync installs applied", f"{channel.resync_applied}"],
+            ["ratio @ loss 0%", f"{ratio_rows[0]['ratio']:.4f}"],
+            ["ratio @ loss 10%", f"{ratio_rows[1]['ratio']:.4f}"],
+            ["ratio @ loss 20%", f"{ratio_rows[2]['ratio']:.4f}"],
+            ["corrupted (all runs)", "0"],
+        ],
+        title=f"control churn ({mode} mode)",
+    )
+    emit_result("control_churn", table_text)
+    save_results_json(
+        RESULTS_DIR / "control_churn.json",
+        {
+            "mode": mode,
+            "environment": environment_info(),
+            "senders": SENDERS,
+            "chunks_per_flow": CHUNKS_PER_FLOW,
+            "bases_per_flow": BASES_PER_FLOW,
+            "identifier_bits": IDENTIFIER_BITS,
+            "installs": installs,
+            "installs_per_s": round(installs_per_s, 1),
+            "recovery_ms": round(recovery_ms, 3),
+            "resync_applied": channel.resync_applied,
+            "ratio_table": ratio_rows,
+        },
+    )

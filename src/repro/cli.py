@@ -226,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument(
         "--preset", default=None, metavar="NAME",
         help="named topology preset (linear, fan-in, fan-in-stress, "
-             "rack-fan-in, paper-testbed)",
+             "rack-fan-in, fault-storm, paper-testbed)",
     )
     topology.add_argument(
         "--senders", type=int, default=None,
@@ -271,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override how mapping installs reach the decoder: direct calls "
              "or in-network control messages over an emulated link",
+    )
+    topology.add_argument(
+        "--control-rate", type=float, default=None, metavar="CMDS_PER_S",
+        help="token-bucket pacing of the in-network control channel in "
+             "commands per second (default: unlimited); excess installs "
+             "are deferred and surface as control.* backpressure counters",
+    )
+    topology.add_argument(
+        "--faults", default=None, metavar="JSON_OR_PATH",
+        help="fault plan: inline JSON or a path to a JSON file with "
+             "control_loss / control_reorder probabilities, scheduled "
+             "decoder 'restarts' and encoder eviction 'storms' "
+             "(see docs/control-plane.md)",
     )
     topology.add_argument(
         "--counters", action="store_true",
@@ -645,6 +658,20 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         spec = preset_topology(args.preset, **preset_kwargs)
     if args.control is not None:
         spec.control = args.control
+    if args.control_rate is not None or args.faults is not None:
+        from repro.topology.faults import load_fault_plan, validate_spec_faults
+
+        if args.control_rate is not None:
+            if args.control_rate <= 0:
+                raise ReproError(
+                    f"--control-rate must be positive, got {args.control_rate}"
+                )
+            spec.control_rate = args.control_rate
+        if args.faults is not None:
+            spec.faults = load_fault_plan(args.faults)
+        # Overrides bypass TopologySpec.__init__; re-check the cross-field
+        # constraints so a typo'd node name fails before the run.
+        validate_spec_faults(spec)
     if args.metrics == "auto":
         metrics_mode = (
             "streaming" if len(spec.flows) >= AUTO_STREAMING_FLOWS else "exact"
@@ -675,9 +702,13 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     # ideal network must not exit 0.  Unresolved identifiers on any decoder
     # mean dropped traffic and fail the run either way.
     if report.integrity is not None:
-        impaired = any(
-            link.loss or link.reorder or link.queue_capacity
-            for link in spec.links
+        impaired = (
+            any(
+                link.loss or link.reorder or link.queue_capacity
+                for link in spec.links
+            )
+            or (spec.faults is not None and spec.faults.active)
+            or spec.control_rate is not None
         )
         verdict = (
             report.integrity.intact

@@ -17,6 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.core.dictionary import decode_snapshot_key, encode_snapshot_key
 from repro.exceptions import ControlPlaneError
 
 __all__ = ["Allocation", "IdentifierPool"]
@@ -148,3 +149,43 @@ class IdentifierPool:
         self._bound.clear()
         self._basis_to_id.clear()
         self._free = list(range(self._capacity))
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Canonical, JSON-serialisable snapshot of the pool.
+
+        Bindings are emitted in activity order (least recently active
+        first), so a restored pool makes exactly the recycling decisions
+        the original would have made.
+        """
+        return {
+            "capacity": self._capacity,
+            "free": list(self._free),
+            "bound": [
+                [identifier, encode_snapshot_key(basis)]
+                for identifier, basis in self._bound.items()
+            ],
+            "allocations": self.allocations,
+            "recycles": self.recycles,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Replace this pool's state with a snapshot's (same capacity only)."""
+        if state.get("capacity") != self._capacity:
+            raise ControlPlaneError(
+                f"snapshot capacity {state.get('capacity')} does not match "
+                f"pool capacity {self._capacity}"
+            )
+        bound: "OrderedDict[int, Hashable]" = OrderedDict()
+        basis_to_id: Dict[Hashable, int] = {}
+        for identifier, encoded_basis in state["bound"]:
+            self._check_identifier(identifier)
+            basis = decode_snapshot_key(encoded_basis)
+            bound[identifier] = basis
+            basis_to_id[basis] = identifier
+        self._free = [int(identifier) for identifier in state["free"]]
+        self._bound = bound
+        self._basis_to_id = basis_to_id
+        self.allocations = int(state.get("allocations", 0))
+        self.recycles = int(state.get("recycles", 0))

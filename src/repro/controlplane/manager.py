@@ -37,6 +37,7 @@ original direct call, unchanged.
 
 from __future__ import annotations
 
+import inspect
 import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Set
@@ -56,6 +57,23 @@ from repro.sim.simulator import Simulator
 from repro.tofino.digest import DigestEngine, DigestMessage
 
 __all__ = ["ControlPlaneTimings", "ControlPlaneStats", "ZipLineControlPlane"]
+
+
+def _transport_accepts_callbacks(
+    transport: Optional[Callable[..., None]],
+) -> bool:
+    """Whether ``transport`` takes the ``on_applied`` / ``on_drop`` kwargs.
+
+    Plain callables (tests often pass a one-argument lambda) keep working:
+    for them the manager invokes the callbacks itself, inline.
+    """
+    if transport is None:
+        return False
+    try:
+        parameters = inspect.signature(transport).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return "on_applied" in parameters
 
 #: Digest type emitted by the encoding data plane for unknown bases.
 LEARN_DIGEST = "zipline_learn_basis"
@@ -92,23 +110,47 @@ class ControlPlaneTimings:
 
 @dataclass
 class ControlPlaneStats:
-    """Counters describing control-plane activity."""
+    """Counters describing control-plane activity.
+
+    ``resyncs`` / ``resync_installs`` / ``storm_evictions`` are the
+    crash-recovery counters: how many decoder resynchronisations ran, how
+    many install commands they re-issued, and how many bindings were
+    force-evicted by injected eviction storms.  All three stay zero outside
+    fault-injection runs.
+    """
 
     digests_received: int = 0
     digests_ignored: int = 0
     mappings_learned: int = 0
     mappings_recycled: int = 0
     mappings_expired: int = 0
+    resyncs: int = 0
+    resync_installs: int = 0
+    storm_evictions: int = 0
+    installs_abandoned: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view used by the reporting helpers."""
-        return {
+        """Plain-dict view used by the reporting helpers.
+
+        The recovery counters appear only once nonzero, so fault-free
+        reports keep the exact counter set (and bytes) they always had.
+        """
+        data = {
             "digests_received": self.digests_received,
             "digests_ignored": self.digests_ignored,
             "mappings_learned": self.mappings_learned,
             "mappings_recycled": self.mappings_recycled,
             "mappings_expired": self.mappings_expired,
         }
+        if self.resyncs:
+            data["resyncs"] = self.resyncs
+        if self.resync_installs:
+            data["resync_installs"] = self.resync_installs
+        if self.storm_evictions:
+            data["storm_evictions"] = self.storm_evictions
+        if self.installs_abandoned:
+            data["installs_abandoned"] = self.installs_abandoned
+        return data
 
 
 class ZipLineControlPlane:
@@ -156,6 +198,7 @@ class ZipLineControlPlane:
         self._encoder_switch = encoder_switch
         self._decoder_switch = decoder_switch
         self._decoder_transport = decoder_transport
+        self._decoder_transport_chains = _transport_accepts_callbacks(decoder_transport)
         self._encoder_transport = encoder_transport
         self._simulator = simulator
         self._pool = IdentifierPool(1 << identifier_bits)
@@ -191,9 +234,27 @@ class ZipLineControlPlane:
 
     # -- switch command routing ---------------------------------------------
 
-    def _decoder_command(self, command: Mapping[str, Any]) -> None:
-        """Apply (or transport) one decoder-side table command."""
+    def _decoder_command(
+        self,
+        command: Mapping[str, Any],
+        on_applied: Optional[Callable[[], None]] = None,
+        on_drop: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Apply (or transport) one decoder-side table command.
+
+        ``on_applied`` runs once the write has completed on the decoder
+        (the acked-write model) and ``on_drop`` runs instead when the
+        transport reports the write failed — rejected by a bounded
+        install queue or lost on the control wire.  With a direct switch —
+        or a transport that does not take the callbacks — the write is
+        synchronous, so ``on_applied`` runs inline.
+        """
         if self._decoder_transport is not None:
+            if self._decoder_transport_chains:
+                self._decoder_transport(
+                    command, on_applied=on_applied, on_drop=on_drop
+                )
+                return
             self._decoder_transport(command)
         elif command["op"] == "install_identifier":
             self._decoder_switch.install_identifier_mapping(
@@ -201,6 +262,8 @@ class ZipLineControlPlane:
             )
         else:
             self._decoder_switch.remove_identifier_mapping(command["identifier"])
+        if on_applied is not None:
+            on_applied()
 
     def _encoder_command(self, command: Mapping[str, Any]) -> None:
         """Apply (or transport) one encoder-side table command."""
@@ -271,26 +334,79 @@ class ZipLineControlPlane:
             lambda: self._install_decoder_side(basis, allocation.identifier),
         )
 
+    def _abandon_if_stale(self, basis: Hashable, identifier: int) -> bool:
+        """True when ``basis``'s binding was recycled away mid-install.
+
+        Installs take two table-write latencies; under heavy churn the LRU
+        policy can evict a binding *before* its installs land.  The recycle
+        issues removes immediately — which no-op against entries that do
+        not exist yet — so finishing the in-flight install would resurrect
+        a stale entry the pool no longer tracks (the encoder table then
+        leaks entries until it overflows, and a stale identifier can even
+        decode to the wrong basis).  Abandoning the install keeps the
+        switches exact mirrors of the pool.
+        """
+        if self._pool.identifier_for(basis) == identifier:
+            return False
+        self._pending.discard(basis)
+        self.stats.installs_abandoned += 1
+        self.events.append(
+            MappingEvicted(time=self._now(), identifier=identifier, basis=basis)
+        )
+        return True
+
     def _install_decoder_side(self, basis: Hashable, identifier: int) -> None:
-        """Install the reverse mapping, then schedule the forward mapping."""
+        """Install the reverse mapping, then schedule the forward mapping.
+
+        The encoder-side install is chained off the decoder write being
+        *applied* (acknowledged), not off this call: a rate-limited
+        control channel that parks the command in its install queue must
+        delay compression activation, and a command lost on the control
+        wire must roll the allocation back — activating the encoder while
+        the decoder cannot decode would break the decoder-first install
+        discipline, and on a recycled identifier it would silently decode
+        the reused identifier with the stale basis.
+        """
+        if self._abandon_if_stale(basis, identifier):
+            return
         now = self._now()
+
+        def proceed() -> None:
+            write_latency = self._timings.jittered(
+                self._timings.table_write_latency, self._rng
+            )
+            self._after(
+                write_latency,
+                lambda: self._install_encoder_side(basis, identifier),
+            )
+
+        def dropped() -> None:
+            # The install never reached the decoder: roll the allocation
+            # back so a later digest for this basis can retry from scratch.
+            if self._pool.identifier_for(basis) == identifier:
+                self._pool.release(identifier)
+            self._pending.discard(basis)
+            self.stats.installs_abandoned += 1
+            self.events.append(
+                MappingEvicted(time=self._now(), identifier=identifier, basis=basis)
+            )
+
         if self._decoder_switch is not None:
             self._decoder_command(
-                {"op": "install_identifier", "identifier": identifier, "basis": basis}
+                {"op": "install_identifier", "identifier": identifier, "basis": basis},
+                on_applied=proceed,
+                on_drop=dropped,
             )
+        else:
+            proceed()
         self.events.append(
             DecoderMappingInstalled(time=now, identifier=identifier, basis=basis)
-        )
-        write_latency = self._timings.jittered(
-            self._timings.table_write_latency, self._rng
-        )
-        self._after(
-            write_latency,
-            lambda: self._install_encoder_side(basis, identifier),
         )
 
     def _install_encoder_side(self, basis: Hashable, identifier: int) -> None:
         """Install the forward mapping; compression starts after this point."""
+        if self._abandon_if_stale(basis, identifier):
+            return
         now = self._now()
         if self._encoder_switch is not None:
             self._encoder_command(
@@ -346,6 +462,96 @@ class ZipLineControlPlane:
             callback()
         else:
             self._simulator.schedule_in(delay, callback, description="control-plane step")
+
+    # -- crash recovery ---------------------------------------------------------------
+
+    def resync_decoder(self) -> int:
+        """Reinstall every known identifier → basis mapping on the decoder.
+
+        This is the recovery path for a decoder that lost its table state
+        (e.g. a mid-trace restart): the control plane is the authoritative
+        copy of the bindings, so it replays one ``install_identifier``
+        command per binding — through the configured transport, which means
+        resync traffic competes for the same rate-limited, possibly lossy
+        control channel as regular installs.  Commands are marked
+        ``resync`` so the channel can account recovery traffic separately.
+        Returns the number of install commands issued.
+        """
+        bindings = self._pool.bindings()
+        for identifier, basis in bindings.items():
+            self._decoder_command(
+                {
+                    "op": "install_identifier",
+                    "identifier": identifier,
+                    "basis": basis,
+                    "resync": True,
+                }
+            )
+        self.stats.resyncs += 1
+        self.stats.resync_installs += len(bindings)
+        return len(bindings)
+
+    def force_evict(self, count: int) -> int:
+        """Forcibly evict up to ``count`` LRU bindings (an eviction storm).
+
+        Models operator-driven or bug-driven table churn: the least
+        recently used bindings are released and remove commands are sent to
+        both switches, so the data plane immediately falls back to type-2
+        records for those bases until they are re-learned.  Returns the
+        number of bindings actually evicted.
+        """
+        if count < 0:
+            raise ControlPlaneError(f"eviction count cannot be negative, got {count}")
+        evicted = 0
+        now = self._now()
+        for _ in range(count):
+            binding = self._pool.least_recently_used()
+            if binding is None:
+                break
+            identifier, basis = binding
+            self._pool.release(identifier)
+            if self._encoder_switch is not None or self._encoder_transport is not None:
+                self._encoder_command({"op": "remove_basis", "basis": basis})
+            if self._decoder_switch is not None or self._decoder_transport is not None:
+                self._decoder_command(
+                    {"op": "remove_identifier", "identifier": identifier}
+                )
+            self.stats.storm_evictions += 1
+            self.events.append(
+                MappingEvicted(time=now, identifier=identifier, basis=basis)
+            )
+            evicted += 1
+        return evicted
+
+    # -- snapshot / restore -------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Canonical, JSON-serialisable snapshot of the mapping authority.
+
+        Captures the identifier pool (bindings in recency order plus the
+        free list) and the set of bases whose installs are still in flight.
+        Event logs, latency state and counters are deliberately excluded —
+        they describe the past, not the mapping state a restarted control
+        plane needs.
+        """
+        from repro.core.dictionary import encode_snapshot_key
+
+        return {
+            "pool": self._pool.snapshot_state(),
+            "pending": [
+                encode_snapshot_key(basis)
+                for basis in sorted(self._pending, key=repr)
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Replace the pool and pending-install set with a snapshot's."""
+        from repro.core.dictionary import decode_snapshot_key
+
+        self._pool.restore_state(state["pool"])
+        self._pending = {
+            decode_snapshot_key(basis) for basis in state.get("pending", [])
+        }
 
     # -- manual management (static tables) ----------------------------------------------
 

@@ -349,3 +349,53 @@ class GDDecoder:
     def reset_stats(self) -> None:
         """Zero the accounting counters without touching the dictionary."""
         self.stats = DecoderStats()
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Canonical, JSON-serialisable snapshot of the decoder's state.
+
+        The counterpart of :meth:`GDEncoder.snapshot_state`: the dictionary
+        (with its recency order and allocator) plus the record accounting.
+        Configuration (transform, learning flag) is not captured; restore
+        requires an identically configured decoder.
+        """
+        stats = self.stats
+        state: Dict[str, object] = {
+            "stats": {
+                "records": stats.records,
+                "raw_records": stats.raw_records,
+                "uncompressed_records": stats.uncompressed_records,
+                "compressed_records": stats.compressed_records,
+                "output_bits": stats.output_bits,
+                "unknown_identifiers": stats.unknown_identifiers,
+            },
+        }
+        if self._dictionary is not None:
+            state["dictionary"] = self._dictionary.snapshot_state()
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a snapshot taken by an identically configured decoder.
+
+        This is the crash-recovery entry point: a decoder restarted
+        mid-trace restores the identifier → basis mapping (and its recency
+        order, so future evictions stay in lock-step with the encoder)
+        instead of emitting ``unknown_identifier`` for every type-3 record
+        until the control plane happens to reinstall each mapping.
+        """
+        if "dictionary" in state:
+            if self._dictionary is None:
+                raise DictionaryError(
+                    "snapshot carries a dictionary but this decoder has none"
+                )
+            self._dictionary.restore_state(state["dictionary"])
+        stats = state.get("stats", {})
+        self.stats = DecoderStats(
+            records=int(stats.get("records", 0)),
+            raw_records=int(stats.get("raw_records", 0)),
+            uncompressed_records=int(stats.get("uncompressed_records", 0)),
+            compressed_records=int(stats.get("compressed_records", 0)),
+            output_bits=int(stats.get("output_bits", 0)),
+            unknown_identifiers=int(stats.get("unknown_identifiers", 0)),
+        )

@@ -30,10 +30,44 @@ __all__ = [
     "EvictionPolicy",
     "DictionaryStats",
     "BasisDictionary",
+    "encode_snapshot_key",
+    "decode_snapshot_key",
 ]
 
 #: Sentinel marking an empty hot-entry cache (``None`` is a legal key).
 _NO_HOT = object()
+
+
+def encode_snapshot_key(key: Hashable) -> object:
+    """Encode a dictionary key into a canonical JSON-serialisable form.
+
+    Bases are plain integers in the GD pipeline, but the same dictionary
+    backs the dedup baselines (bytes keys) and composite ``(prefix, basis)``
+    keys, so all three shapes round-trip.  Tuples and bytes are wrapped in
+    single-key marker objects because JSON has no native encoding for them.
+    """
+    if key is None or isinstance(key, (bool, int, float, str)):
+        return key
+    if isinstance(key, bytes):
+        return {"__bytes__": key.hex()}
+    if isinstance(key, tuple):
+        return {"__tuple__": [encode_snapshot_key(item) for item in key]}
+    raise DictionaryError(
+        f"cannot snapshot dictionary key of type {type(key).__name__!r}"
+    )
+
+
+def decode_snapshot_key(value: object) -> Hashable:
+    """Invert :func:`encode_snapshot_key` (lists decode back to tuples)."""
+    if isinstance(value, dict):
+        if "__bytes__" in value:
+            return bytes.fromhex(value["__bytes__"])
+        if "__tuple__" in value:
+            return tuple(decode_snapshot_key(item) for item in value["__tuple__"])
+        raise DictionaryError(f"unrecognised snapshot key encoding {value!r}")
+    if isinstance(value, list):
+        return tuple(decode_snapshot_key(item) for item in value)
+    return value
 
 
 class EvictionPolicy(Enum):
@@ -382,3 +416,75 @@ class BasisDictionary:
     def snapshot(self) -> Dict[Hashable, int]:
         """A plain-dict copy of the current mapping (for tests/telemetry)."""
         return dict(self._key_to_id)
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Canonical, JSON-serialisable snapshot of the complete state.
+
+        Entries are emitted in recency order (oldest first), so restoring
+        reproduces not just the mapping but every future eviction decision.
+        The identifier allocator (freed list, never-used counter) and the
+        counters are included; the hot-entry cache is derived state and is
+        rebuilt cold on restore, which has no observable effect beyond the
+        first lookup taking the slow path.
+        """
+        stats = self.stats
+        return {
+            "capacity": self._capacity,
+            "policy": self._policy.value,
+            "entries": [
+                [encode_snapshot_key(key), identifier]
+                for key, identifier in self._key_to_id.items()
+            ],
+            "freed_ids": list(self._freed_ids),
+            "next_unused_id": self._next_unused_id,
+            "stats": {
+                "lookups": stats.lookups,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "insertions": stats.insertions,
+                "evictions": stats.evictions,
+                "rejected_insertions": stats.rejected_insertions,
+            },
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Replace this dictionary's state with a snapshot's.
+
+        The snapshot must come from a dictionary with the same capacity and
+        eviction policy — restoring across configurations would silently
+        change eviction behaviour, so it is rejected instead.
+        """
+        if state.get("capacity") != self._capacity:
+            raise DictionaryError(
+                f"snapshot capacity {state.get('capacity')} does not match "
+                f"dictionary capacity {self._capacity}"
+            )
+        if state.get("policy") != self._policy.value:
+            raise DictionaryError(
+                f"snapshot policy {state.get('policy')!r} does not match "
+                f"dictionary policy {self._policy.value!r}"
+            )
+        key_to_id: "OrderedDict[Hashable, int]" = OrderedDict()
+        id_to_key: Dict[int, Hashable] = {}
+        for encoded_key, identifier in state["entries"]:
+            key = decode_snapshot_key(encoded_key)
+            self._check_identifier(identifier)
+            key_to_id[key] = identifier
+            id_to_key[identifier] = key
+        self._key_to_id = key_to_id
+        self._id_to_key = id_to_key
+        self._freed_ids = list(state["freed_ids"])
+        self._next_unused_id = int(state["next_unused_id"])
+        self._hot_key = _NO_HOT
+        self._hot_id = -1
+        stats = state.get("stats", {})
+        self.stats = DictionaryStats(
+            lookups=int(stats.get("lookups", 0)),
+            hits=int(stats.get("hits", 0)),
+            misses=int(stats.get("misses", 0)),
+            insertions=int(stats.get("insertions", 0)),
+            evictions=int(stats.get("evictions", 0)),
+            rejected_insertions=int(stats.get("rejected_insertions", 0)),
+        )

@@ -23,7 +23,12 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro import obs as _obs
 from repro.core.bits import align_up
-from repro.core.dictionary import BasisDictionary, EvictionPolicy
+from repro.core.dictionary import (
+    BasisDictionary,
+    EvictionPolicy,
+    decode_snapshot_key,
+    encode_snapshot_key,
+)
 from repro.core.records import CompressedRecord, GDRecord, RecordType, UncompressedRecord
 from repro.core.transform import ChunkLike, GDFields, GDTransform
 from repro.exceptions import CodingError, DictionaryError
@@ -390,3 +395,62 @@ class GDEncoder:
     def reset_stats(self) -> None:
         """Zero the accounting counters without touching the dictionary."""
         self.stats = EncoderStats()
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Canonical, JSON-serialisable snapshot of the encoder's state.
+
+        Captures everything a resumed encoder needs to continue exactly
+        where this one stopped: the dictionary (mapping, recency order,
+        identifier allocator), the pending-activation ledger of mappings
+        still inside their learning delay, and the byte/packet accounting.
+        The configuration itself (transform, mode, widths) is *not* part of
+        the snapshot — restore requires an identically configured encoder.
+        """
+        stats = self.stats
+        state: Dict[str, object] = {
+            "mode": self._mode.value,
+            "pending_activation": [
+                [encode_snapshot_key(key), activation]
+                for key, activation in self._pending_activation.items()
+            ],
+            "stats": {
+                "chunks": stats.chunks,
+                "uncompressed_records": stats.uncompressed_records,
+                "compressed_records": stats.compressed_records,
+                "input_bits": stats.input_bits,
+                "output_bits": stats.output_bits,
+                "output_padded_bits": stats.output_padded_bits,
+            },
+        }
+        if self._dictionary is not None:
+            state["dictionary"] = self._dictionary.snapshot_state()
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a snapshot taken by an identically configured encoder."""
+        if state.get("mode") != self._mode.value:
+            raise CodingError(
+                f"snapshot mode {state.get('mode')!r} does not match encoder "
+                f"mode {self._mode.value!r}"
+            )
+        if "dictionary" in state:
+            if self._dictionary is None:
+                raise DictionaryError(
+                    "snapshot carries a dictionary but this encoder has none"
+                )
+            self._dictionary.restore_state(state["dictionary"])
+        self._pending_activation = {
+            decode_snapshot_key(key): int(activation)
+            for key, activation in state.get("pending_activation", [])
+        }
+        stats = state.get("stats", {})
+        self.stats = EncoderStats(
+            chunks=int(stats.get("chunks", 0)),
+            uncompressed_records=int(stats.get("uncompressed_records", 0)),
+            compressed_records=int(stats.get("compressed_records", 0)),
+            input_bits=int(stats.get("input_bits", 0)),
+            output_bits=int(stats.get("output_bits", 0)),
+            output_padded_bits=int(stats.get("output_padded_bits", 0)),
+        )

@@ -47,7 +47,11 @@ from repro.replay.sources import (
     pacing_from_name,
     stream_distinct_bases,
 )
-from repro.workloads import DnsQueryWorkload, SyntheticSensorWorkload
+from repro.workloads import (
+    DictionaryThrashWorkload,
+    DnsQueryWorkload,
+    SyntheticSensorWorkload,
+)
 
 __all__ = [
     "ScenarioResult",
@@ -115,6 +119,19 @@ def _build_source(scenario: Scenario) -> "tuple[TraceSource, Optional[list]]":
             num_chunks=params["chunks"],
             distinct_bases=params["bases"],
             order=order,
+            seed=params["seed"],
+        )
+        bases = workload.bases() if params["scenario"] == "static" else None
+        return WorkloadTraceSource(workload), bases
+    if params["workload"] == "thrash":
+        # Same phase geometry as the topology engine's thrash flows, so a
+        # linear sweep and a fan-in sweep stress the dictionary identically.
+        workload = DictionaryThrashWorkload(
+            num_chunks=params["chunks"],
+            distinct_bases=params["bases"],
+            order=order,
+            phase_chunks=max(1, params["chunks"] // 4),
+            phase_shift=max(1, params["bases"] // 4),
             seed=params["seed"],
         )
         bases = workload.bases() if params["scenario"] == "static" else None
@@ -187,7 +204,14 @@ def _run_fan_in_scenario(scenario: Scenario) -> ScenarioResult:
         seed=scenario.seed,
         order=params["order"],
         identifier_bits=params["identifier_bits"],
+        control=params["control"],
+        control_rate=params["control_rate"] or None,
     )
+    if params["control_loss"]:
+        from repro.topology.faults import FaultPlan, validate_spec_faults
+
+        spec.faults = FaultPlan(control_loss=params["control_loss"])
+        validate_spec_faults(spec)
     # Route through the sharded path at workers=1: scenario workers are
     # already processes, so the win here is the shared partition/merge
     # code — whose single-shard report is byte-identical to the engine's.

@@ -138,7 +138,7 @@ PARAMETERS: Dict[str, ParameterSpec] = {
     spec.name: spec
     for spec in (
         ParameterSpec(
-            "workload", _choice(("synthetic", "dns")), "synthetic",
+            "workload", _choice(("synthetic", "dns", "thrash")), "synthetic",
             "trace generator (ignored when `trace` points at a pcap)",
         ),
         ParameterSpec("trace", _string, None, "pcap file to replay instead of a workload"),
@@ -175,6 +175,19 @@ PARAMETERS: Dict[str, ParameterSpec] = {
         ParameterSpec("reorder", _probability, 0.0, "per-packet reorder probability per hop"),
         ParameterSpec("identifier_bits", _positive_int, 15, "identifier width t (table size 2^t)"),
         ParameterSpec("order", _positive_int, 8, "Hamming order m (chunk size)"),
+        ParameterSpec(
+            "control", _choice(("direct", "in-network")), "direct",
+            "how installs reach the decoder (topology=fan-in)",
+        ),
+        ParameterSpec(
+            "control_loss", _probability, 0.0,
+            "control-frame loss probability (control=in-network)",
+        ),
+        ParameterSpec(
+            "control_rate", _non_negative_number, 0,
+            "control-channel pacing in commands/s (0 = unlimited; "
+            "control=in-network)",
+        ),
         ParameterSpec("seed", _seed, 0, "spec-level seed every scenario seed derives from"),
     )
 }

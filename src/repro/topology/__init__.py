@@ -11,7 +11,11 @@ engine:
   (JSON/dict: nodes, links, flows) plus the ``linear`` / ``fan-in`` /
   ``paper-testbed`` presets and the shared CRC-32 seed derivation;
 * :mod:`repro.topology.control` — in-network control messages (table
-  installs that cross an emulated link instead of a method call);
+  installs that cross an emulated link instead of a method call), with
+  optional token-bucket pacing and a bounded install queue;
+* :mod:`repro.topology.faults` — the declarative :class:`FaultPlan`
+  (control-link loss/reorder, scheduled node restarts, eviction storms)
+  a spec can carry for deterministic fault injection;
 * :mod:`repro.topology.engine` — :class:`TopologyEngine`, which runs N
   concurrent flows over one spec and returns a :class:`TopologyReport`
   with per-flow and per-link attribution;
@@ -41,6 +45,13 @@ from repro.topology.nodes import (
     ZipLineDecoderNode,
     ZipLineEncoderNode,
 )
+from repro.topology.faults import (
+    EvictionStorm,
+    FaultPlan,
+    NodeRestart,
+    load_fault_plan,
+    validate_spec_faults,
+)
 from repro.topology.spec import (
     TOPOLOGY_PRESETS,
     FlowSpec,
@@ -51,6 +62,7 @@ from repro.topology.spec import (
     derive_seed,
     fan_in_stress_topology,
     fan_in_topology,
+    fault_storm_topology,
     linear_topology,
     paper_testbed_topology,
     preset_topology,
@@ -91,8 +103,14 @@ __all__ = [
     "TopologySpec",
     "derive_flow_seed",
     "derive_seed",
+    "EvictionStorm",
+    "FaultPlan",
+    "NodeRestart",
+    "load_fault_plan",
+    "validate_spec_faults",
     "fan_in_stress_topology",
     "fan_in_topology",
+    "fault_storm_topology",
     "linear_topology",
     "paper_testbed_topology",
     "preset_topology",

@@ -537,6 +537,10 @@ class TopologyEngine:
         self.measured_taps: List[Tuple[str, LinkTap]] = []
         self.control_planes: Dict[str, ZipLineControlPlane] = {}
         self.control_channels: Dict[str, ControlChannel] = {}
+        self._decoder_owner: Dict[str, str] = {}
+        self._fault_restarts = 0
+        self._fault_storm_evicted = 0
+        self._fault_resync_installs = 0
         self._encoder_nodes: Dict[str, ZipLineEncoderNode] = {}
         self._decoder_nodes: Dict[str, ZipLineDecoderNode] = {}
         self._host_nodes: Dict[str, HostNode] = {}
@@ -712,13 +716,37 @@ class TopologyEngine:
             )
             decoder_transport = None
             if self.spec.control == "in-network" and decoder is not None:
+                impairments = None
+                faults = self.spec.faults
+                if faults is not None and (
+                    faults.control_loss or faults.control_reorder
+                ):
+                    # Seeded from the spec identity + the encoder name, so
+                    # the control-link fault stream is independent of which
+                    # shard the encoder lands in.
+                    impairments = ImpairmentModel(
+                        loss_probability=faults.control_loss,
+                        reorder_probability=faults.control_reorder,
+                        seed=derive_seed(
+                            self.spec.name,
+                            self.spec.seed,
+                            f"control:{node_spec.name}",
+                        ),
+                    )
                 control_link = EmulatedLink(
                     simulator=self.simulator,
                     name=f"control.{node_spec.name}",
                     bandwidth_bps=self.spec.control_bandwidth_gbps * 1e9,
                     propagation_delay=self.spec.control_propagation_us * 1e-6,
+                    impairments=impairments,
                 )
-                channel = ControlChannel(self.simulator, control_link, decoder)
+                channel = ControlChannel(
+                    self.simulator,
+                    control_link,
+                    decoder,
+                    rate=self.spec.control_rate,
+                    queue_capacity=self.spec.control_queue,
+                )
                 self.control_channels[node_spec.name] = channel
                 decoder_transport = channel.transport
             self.control_planes[node_spec.name] = ZipLineControlPlane(
@@ -731,6 +759,9 @@ class TopologyEngine:
                 seed=self.spec.seed,
                 decoder_transport=decoder_transport,
             )
+        # Restart/storm fault events resolve their control plane through
+        # this pairing (decoder name -> owning encoder name).
+        self._decoder_owner = paired
 
     def _build_flow_source(
         self, flow: FlowSpec, seed: int, source_mac: MacAddress, sink_mac: MacAddress
@@ -744,6 +775,19 @@ class TopologyEngine:
                 num_chunks=flow.chunks,
                 distinct_bases=flow.bases,
                 order=self.spec.order,
+                seed=seed,
+            )
+        elif flow.workload == "thrash":
+            from repro.workloads import DictionaryThrashWorkload
+
+            workload = DictionaryThrashWorkload(
+                num_chunks=flow.chunks,
+                distinct_bases=flow.bases,
+                order=self.spec.order,
+                # A quarter-trace phase with a working-set migration keeps
+                # the control plane installing for the whole run.
+                phase_chunks=max(1, flow.chunks // 4),
+                phase_shift=max(1, flow.bases // 4),
                 seed=seed,
             )
         else:
@@ -875,6 +919,18 @@ class TopologyEngine:
                 seed=state.seed,
             ).bases()
             return
+        if flow.workload == "thrash":
+            from repro.workloads import DictionaryThrashWorkload
+
+            yield from DictionaryThrashWorkload(
+                num_chunks=flow.chunks,
+                distinct_bases=flow.bases,
+                order=self.spec.order,
+                phase_chunks=max(1, flow.chunks // 4),
+                phase_shift=max(1, flow.bases // 4),
+                seed=state.seed,
+            ).bases()
+            return
         from repro.workloads import DnsQueryWorkload
 
         yield from DnsQueryWorkload(
@@ -922,12 +978,66 @@ class TopologyEngine:
 
         schedule_next()
 
+    def _restart_decoder(self, node_name: str) -> None:
+        """Crash-restart one decoder: wipe its table, then resynchronise.
+
+        The identifier table is the decoder's crash-volatile state; wiring
+        and counters survive (a fast process restart).  Until the owning
+        control plane's resync installs land, type-3 frames for wiped
+        identifiers count as ``unknown_identifier`` drops — loss, never
+        corruption.
+        """
+        decoder_node = self._decoder_nodes[node_name]
+        decoder_node.switch.identifier_table.clear()
+        self._fault_restarts += 1
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.instant("fault.restart", node_name)
+        owner = self._decoder_owner.get(node_name)
+        plane = self.control_planes.get(owner) if owner is not None else None
+        if plane is not None:
+            self._fault_resync_installs += plane.resync_decoder()
+
+    def _trigger_storm(self, node_name: str, count: int) -> None:
+        plane = self.control_planes.get(node_name)
+        if plane is None:
+            return
+        evicted = plane.force_evict(count)
+        self._fault_storm_evicted += evicted
+        tracer = _obs.TRACER
+        if tracer.enabled:
+            tracer.instant(
+                "fault.storm", node_name, args={"requested": count, "evicted": evicted}
+            )
+
+    def _schedule_faults(self) -> None:
+        faults = self.spec.faults
+        if faults is None or not faults.active:
+            return
+        for restart in faults.restarts:
+            if restart.node not in self._decoder_nodes:
+                continue  # filtered shard: event belongs to another worker
+            self.simulator.schedule_at(
+                restart.time,
+                partial(self._restart_decoder, restart.node),
+                description=f"fault:restart:{restart.node}",
+            )
+        for storm in faults.storms:
+            if storm.node not in self._encoder_nodes:
+                continue
+            self.simulator.schedule_at(
+                storm.time,
+                partial(self._trigger_storm, storm.node, storm.count),
+                description=f"fault:storm:{storm.node}",
+            )
+
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> TopologyReport:
         """Schedule every flow, run the simulation, and build the report."""
+        self._schedule_faults()
         for state in self._flows:
             self._schedule_flow(state)
         self.simulator.run(until=until, max_events=max_events)
@@ -1017,6 +1127,18 @@ class TopologyEngine:
             metrics.merge_counters(f"control.{name}", channel.counters())
             metrics.merge_counters(
                 f"control.{name}.link", channel.link.stats.as_dict()
+            )
+        faults = self.spec.faults
+        if faults is not None and faults.active:
+            # Only fault runs carry this namespace, so fault-free reports
+            # stay byte-identical to pre-fault-layer ones.
+            metrics.merge_counters(
+                "faults",
+                {
+                    "restarts": self._fault_restarts,
+                    "storm_evicted": self._fault_storm_evicted,
+                    "resync_installs": self._fault_resync_installs,
+                },
             )
         for _name, tap in self.measured_taps:
             collect_wire_metrics(metrics, tap)

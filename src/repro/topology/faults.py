@@ -1,0 +1,266 @@
+"""Declarative, seeded fault injection for topology runs.
+
+A :class:`FaultPlan` describes everything that goes wrong during a run:
+
+* **control-channel impairments** — loss/reorder probabilities applied to
+  every in-network control link (through the same seeded
+  :class:`~repro.perfmodel.linkmodel.ImpairmentModel` the data links use,
+  with a per-encoder seed derived from the spec identity, so the fault
+  stream is independent of sharding);
+* **node restarts** — at a scheduled simulated time a decoder loses its
+  identifier table; the owning control plane then resynchronises it by
+  replaying every known binding over the (lossy, rate-limited) control
+  channel;
+* **eviction storms** — at a scheduled time the control plane of an
+  encoder forcibly evicts its N least-recently-used bindings, churning
+  both switches' tables.
+
+The plan lives inside :class:`~repro.topology.spec.TopologySpec` (the
+``faults`` key of the JSON form), so faulty scenarios are declarative and
+travel with the spec through sharding: :func:`FaultPlan.events_for`
+restricts the scheduled events to the nodes of one shard while the global
+impairment probabilities are kept, which is what makes a fault run
+byte-identical at any ``--workers N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.exceptions import TopologyError
+
+__all__ = [
+    "NodeRestart",
+    "EvictionStorm",
+    "FaultPlan",
+    "load_fault_plan",
+    "validate_spec_faults",
+]
+
+
+def _require_probability(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TopologyError(f"{where} must be a number, got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise TopologyError(f"{where} must be within [0, 1], got {value}")
+    return float(value)
+
+
+def _require_time(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TopologyError(f"{where} must be a number, got {value!r}")
+    if value < 0:
+        raise TopologyError(f"{where} cannot be negative, got {value}")
+    return float(value)
+
+
+def _require_node(value: Any, where: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise TopologyError(f"{where} must be a non-empty node name, got {value!r}")
+    return value
+
+
+def _reject_unknown_keys(
+    mapping: Mapping[str, Any], known: Tuple[str, ...], where: str
+) -> None:
+    unknown = sorted(set(mapping) - set(known))
+    if unknown:
+        raise TopologyError(
+            f"{where} has unknown keys {unknown}; known keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class NodeRestart:
+    """Restart of one decoder node at a simulated time.
+
+    The restart wipes the node's identifier table (its crash-volatile
+    state); counters and wiring survive, modelling a fast process restart
+    on the switch.  The paired control plane immediately begins a resync.
+    """
+
+    node: str
+    time: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"node": self.node, "time": self.time}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str) -> "NodeRestart":
+        _reject_unknown_keys(data, ("node", "time"), where)
+        if "node" not in data or "time" not in data:
+            raise TopologyError(f"{where} requires 'node' and 'time' keys")
+        return cls(
+            node=_require_node(data["node"], f"{where}.node"),
+            time=_require_time(data["time"], f"{where}.time"),
+        )
+
+
+@dataclass(frozen=True)
+class EvictionStorm:
+    """Forced eviction of ``count`` LRU bindings on one encoder's control plane."""
+
+    node: str
+    time: float
+    count: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"node": self.node, "time": self.time, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str) -> "EvictionStorm":
+        _reject_unknown_keys(data, ("node", "time", "count"), where)
+        for key in ("node", "time", "count"):
+            if key not in data:
+                raise TopologyError(f"{where} requires 'node', 'time' and 'count' keys")
+        count = data["count"]
+        if isinstance(count, bool) or not isinstance(count, int) or count <= 0:
+            raise TopologyError(f"{where}.count must be a positive integer, got {count!r}")
+        return cls(
+            node=_require_node(data["node"], f"{where}.node"),
+            time=_require_time(data["time"], f"{where}.time"),
+            count=count,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that is scheduled to go wrong during one topology run."""
+
+    control_loss: float = 0.0
+    control_reorder: float = 0.0
+    restarts: Tuple[NodeRestart, ...] = ()
+    storms: Tuple[EvictionStorm, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require_probability(self.control_loss, "faults.control_loss")
+        _require_probability(self.control_reorder, "faults.control_reorder")
+        object.__setattr__(self, "restarts", tuple(self.restarts))
+        object.__setattr__(self, "storms", tuple(self.storms))
+
+    @property
+    def active(self) -> bool:
+        """True when the plan injects anything at all."""
+        return bool(
+            self.control_loss or self.control_reorder or self.restarts or self.storms
+        )
+
+    def events_for(self, node_names: Iterable[str]) -> "FaultPlan":
+        """The plan restricted to events touching ``node_names``.
+
+        The global control-link impairment probabilities are kept — each
+        control link draws from its own derived-seed stream, so keeping
+        them in every shard reproduces exactly the monolithic behaviour.
+        """
+        names = set(node_names)
+        return replace(
+            self,
+            restarts=tuple(r for r in self.restarts if r.node in names),
+            storms=tuple(s for s in self.storms if s.node in names),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form; only non-default fields are emitted."""
+        data: Dict[str, Any] = {}
+        if self.control_loss:
+            data["control_loss"] = self.control_loss
+        if self.control_reorder:
+            data["control_reorder"] = self.control_reorder
+        if self.restarts:
+            data["restarts"] = [restart.as_dict() for restart in self.restarts]
+        if self.storms:
+            data["storms"] = [storm.as_dict() for storm in self.storms]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str = "faults") -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise TopologyError(f"{where} must be an object, got {data!r}")
+        _reject_unknown_keys(
+            data, ("control_loss", "control_reorder", "restarts", "storms"), where
+        )
+        restarts = tuple(
+            NodeRestart.from_dict(entry, f"{where}.restarts[{index}]")
+            for index, entry in enumerate(data.get("restarts", ()))
+        )
+        storms = tuple(
+            EvictionStorm.from_dict(entry, f"{where}.storms[{index}]")
+            for index, entry in enumerate(data.get("storms", ()))
+        )
+        return cls(
+            control_loss=_require_probability(
+                data.get("control_loss", 0.0), f"{where}.control_loss"
+            ),
+            control_reorder=_require_probability(
+                data.get("control_reorder", 0.0), f"{where}.control_reorder"
+            ),
+            restarts=restarts,
+            storms=storms,
+        )
+
+
+def load_fault_plan(argument: str) -> FaultPlan:
+    """Parse the ``--faults`` CLI argument: inline JSON or a file path."""
+    import json
+    from pathlib import Path
+
+    text = argument.strip()
+    if not text.startswith("{"):
+        path = Path(argument)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise TopologyError(f"cannot read fault plan {argument!r}: {error}") from None
+    try:
+        data = json.loads(text)
+    except ValueError as error:
+        raise TopologyError(f"fault plan is not valid JSON: {error}") from None
+    return FaultPlan.from_dict(data)
+
+
+def validate_spec_faults(spec: Any) -> None:
+    """Cross-check a spec's fault plan against its nodes and control mode.
+
+    Called by :class:`~repro.topology.spec.TopologySpec` at construction
+    and by the CLI after ``--faults`` / ``--control-rate`` overrides, so a
+    typo'd node name fails loudly instead of being silently filtered away
+    by sharding.
+    """
+    nodes = {node.name: node for node in spec.nodes}
+    faults: Optional[FaultPlan] = spec.faults
+    if faults is not None:
+        if (faults.control_loss or faults.control_reorder) and spec.control != "in-network":
+            raise TopologyError(
+                "faults.control_loss/control_reorder require control='in-network' "
+                "(a direct control plane has no channel to impair)"
+            )
+        for restart in faults.restarts:
+            node = nodes.get(restart.node)
+            if node is None:
+                raise TopologyError(
+                    f"faults.restarts references unknown node {restart.node!r}"
+                )
+            if node.kind != "decoder":
+                raise TopologyError(
+                    f"faults.restarts node {restart.node!r} is a {node.kind!r} node; "
+                    "restarts are modelled for decoder nodes"
+                )
+        for storm in faults.storms:
+            node = nodes.get(storm.node)
+            if node is None:
+                raise TopologyError(
+                    f"faults.storms references unknown node {storm.node!r}"
+                )
+            if node.kind != "encoder":
+                raise TopologyError(
+                    f"faults.storms node {storm.node!r} is a {node.kind!r} node; "
+                    "storms are triggered on encoder nodes"
+                )
+    if spec.control_rate is not None and spec.control != "in-network":
+        raise TopologyError(
+            "control_rate requires control='in-network' (pacing applies to the "
+            "control channel, which a direct control plane does not have)"
+        )
+    if spec.control_queue is not None and spec.control_rate is None:
+        raise TopologyError("control_queue requires control_rate to be set")

@@ -212,6 +212,16 @@ def partition_spec(spec: TopologySpec) -> List[TopologyShard]:
             control=spec.control,
             control_bandwidth_gbps=spec.control_bandwidth_gbps,
             control_propagation_us=spec.control_propagation_us,
+            control_rate=spec.control_rate,
+            control_queue=spec.control_queue,
+            # Restart/storm events follow their node into its shard; the
+            # global control-link impairment probabilities stay (each
+            # control link draws from its own derived-seed stream).
+            faults=(
+                spec.faults.events_for(members)
+                if spec.faults is not None
+                else None
+            ),
         )
         encoders = [name for name in component if kind_of[name] == "encoder"]
         shards.append(

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import TopologyError
+from repro.topology.faults import FaultPlan, NodeRestart, validate_spec_faults
 
 __all__ = [
     "NodeSpec",
@@ -47,13 +48,14 @@ __all__ = [
     "fan_in_topology",
     "fan_in_stress_topology",
     "rack_fan_in_topology",
+    "fault_storm_topology",
     "paper_testbed_topology",
     "derive_seed",
     "derive_flow_seed",
 ]
 
 NODE_KINDS = ("host", "encoder", "decoder", "forward")
-WORKLOADS = ("synthetic", "dns")
+WORKLOADS = ("synthetic", "dns", "thrash")
 PACINGS = ("recorded", "rate", "back-to-back")
 SCENARIOS = ("no_table", "static", "dynamic")
 CONTROL_MODES = ("direct", "in-network")
@@ -424,6 +426,9 @@ class TopologySpec:
         control: str = "direct",
         control_bandwidth_gbps: float = 10.0,
         control_propagation_us: float = 5.0,
+        control_rate: Optional[float] = None,
+        control_queue: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         where = "topology"
         self.name = _require_string(where, "name", name)
@@ -448,10 +453,24 @@ class TopologySpec:
         self.control_propagation_us = _require_non_negative_number(
             where, "control_propagation_us", control_propagation_us
         )
+        self.control_rate = (
+            None
+            if control_rate is None
+            else _require_positive_number(where, "control_rate", control_rate)
+        )
+        self.control_queue = (
+            None
+            if control_queue is None
+            else _require_positive_int(where, "control_queue", control_queue)
+        )
+        if faults is not None and not isinstance(faults, FaultPlan):
+            faults = FaultPlan.from_dict(faults)
+        self.faults = faults
         self.nodes: List[NodeSpec] = list(nodes)
         self.links: List[LinkSpec] = list(links)
         self.flows: List[FlowSpec] = list(flows)
         self._validate()
+        validate_spec_faults(self)
 
     # -- validation ------------------------------------------------------------
 
@@ -646,7 +665,8 @@ class TopologySpec:
             (
                 "name", "scenario", "order", "identifier_bits", "seed",
                 "entry_ttl", "control", "control_bandwidth_gbps",
-                "control_propagation_us", "nodes", "links", "flows",
+                "control_propagation_us", "control_rate", "control_queue",
+                "faults", "nodes", "links", "flows",
             ),
         )
         return cls(
@@ -662,6 +682,13 @@ class TopologySpec:
             control=data.get("control", "direct"),
             control_bandwidth_gbps=data.get("control_bandwidth_gbps", 10.0),
             control_propagation_us=data.get("control_propagation_us", 5.0),
+            control_rate=data.get("control_rate"),
+            control_queue=data.get("control_queue"),
+            faults=(
+                FaultPlan.from_dict(data["faults"])
+                if data.get("faults") is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -694,6 +721,12 @@ class TopologySpec:
         if self.control == "in-network":
             data["control_bandwidth_gbps"] = self.control_bandwidth_gbps
             data["control_propagation_us"] = self.control_propagation_us
+        if self.control_rate is not None:
+            data["control_rate"] = self.control_rate
+        if self.control_queue is not None:
+            data["control_queue"] = self.control_queue
+        if self.faults is not None and self.faults.active:
+            data["faults"] = self.faults.as_dict()
         return data
 
 
@@ -1065,6 +1098,51 @@ def paper_testbed_topology(
     return spec
 
 
+def fault_storm_topology(
+    name: str = "fault-storm",
+    senders: int = 4,
+    chunks: int = 600,
+    bases: int = 6,
+    control_loss: float = 0.10,
+    control_rate: Optional[float] = None,
+    restart_at: Optional[float] = None,
+    packet_rate: float = 1e5,
+    **kwargs: Any,
+) -> TopologySpec:
+    """The chaos-smoke shape: fan-in + lossy control channel + decoder restart.
+
+    An in-network control plane loses ``control_loss`` of its frames, and
+    the decoder crashes mid-trace (halfway through the nominal send window
+    by default), wiping its identifier table.  The run must still finish
+    with zero corruption: lost installs surface as ``control.dropped`` and
+    ``decoder.unknown_identifier`` misses, and the post-restart resync
+    restores every surviving binding.  CI runs this preset with
+    ``--workers 2`` and asserts nonzero recovery counters.
+    """
+    if restart_at is None:
+        # Halfway through the nominal send window of one flow.  The default
+        # packet rate keeps that window well past the control plane's
+        # learning latency (digest + table writes ≈ 1.8 ms), so the wiped
+        # table is non-empty and the resync actually has work to do.
+        restart_at = chunks / (2.0 * packet_rate)
+    spec = fan_in_topology(
+        name=name,
+        senders=senders,
+        chunks=chunks,
+        bases=bases,
+        packet_rate=packet_rate,
+        control="in-network",
+        control_rate=control_rate,
+        **kwargs,
+    )
+    spec.faults = FaultPlan(
+        control_loss=control_loss,
+        restarts=(NodeRestart(node="decoder", time=restart_at),),
+    )
+    validate_spec_faults(spec)
+    return spec
+
+
 #: Named topology shapes ``repro topology --preset`` and the experiment
 #: matrix can reach without writing a spec file.
 TOPOLOGY_PRESETS: Dict[str, Callable[..., TopologySpec]] = {
@@ -1072,6 +1150,7 @@ TOPOLOGY_PRESETS: Dict[str, Callable[..., TopologySpec]] = {
     "fan-in": fan_in_topology,
     "fan-in-stress": fan_in_stress_topology,
     "rack-fan-in": rack_fan_in_topology,
+    "fault-storm": fault_storm_topology,
     "paper-testbed": paper_testbed_topology,
 }
 

@@ -2,11 +2,13 @@
 
 from repro.workloads.dns import DnsQuery, DnsQueryWorkload, PAPER_DNS_QUERY_BYTES
 from repro.workloads.synthetic import PAPER_SYNTHETIC_CHUNKS, SyntheticSensorWorkload
+from repro.workloads.thrash import DictionaryThrashWorkload
 from repro.workloads.traces import ChunkTrace, TraceStats
 
 __all__ = [
     "DnsQuery",
     "DnsQueryWorkload",
+    "DictionaryThrashWorkload",
     "PAPER_DNS_QUERY_BYTES",
     "PAPER_SYNTHETIC_CHUNKS",
     "SyntheticSensorWorkload",

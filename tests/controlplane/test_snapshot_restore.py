@@ -1,0 +1,269 @@
+"""Property tests: snapshot → restore → resume is bit-identical.
+
+Crash recovery is only trustworthy if a restored component is
+*indistinguishable* from one that never stopped.  These tests drive the
+codec pair and the control plane through seeded random interleavings of
+installs, evictions and restarts, cut the run at a random point, round-trip
+every snapshot through JSON (the canonical serialisable form), resume in
+freshly constructed objects — and require exact equality with the
+uninterrupted run: record bytes, decoded chunks, statistics and the final
+snapshot itself.
+
+The codec tests run at every Hamming order m in 3..8 and under both
+``REPRO_GD_FAST`` settings, so the fused fast path and the reference path
+are each proven to resume exactly.
+"""
+
+import json
+import random
+from functools import partial
+
+import pytest
+
+from repro.controlplane.manager import LEARN_DIGEST, ZipLineControlPlane
+from repro.core.decoder import GDDecoder
+from repro.core.dictionary import BasisDictionary
+from repro.core.encoder import GDEncoder
+from repro.core.transform import GDTransform
+from repro.sim import Simulator
+from repro.tofino.digest import DigestEngine
+
+ORDERS = range(3, 9)
+
+#: Dictionary capacity small enough that every run crosses eviction
+#: pressure, so recency order is load-bearing across the snapshot cut.
+DICT_CAPACITY = 8
+
+
+def _clustered_chunks(transform, count, rng):
+    """Chunks drawn from a small basis pool so the dictionary is exercised."""
+    code = transform.code
+    chunks = []
+    for _ in range(count):
+        if rng.random() < 0.8:
+            basis = rng.randrange(16)  # 2× the dictionary capacity: churn
+            body = code.encode(basis)
+            if rng.random() < 0.7:
+                body ^= 1 << rng.randrange(code.n)
+            value = (rng.getrandbits(transform.prefix_bits) << code.n) | body
+        else:
+            value = rng.getrandbits(transform.chunk_bits)
+        chunks.append(value.to_bytes(transform.chunk_bytes, "big"))
+    return chunks
+
+
+def _pair(transform):
+    """A dynamically learning encoder/decoder pair over tiny dictionaries."""
+    encoder = GDEncoder(
+        transform, BasisDictionary(DICT_CAPACITY), mode="dynamic"
+    )
+    decoder = GDDecoder(transform, BasisDictionary(DICT_CAPACITY))
+    return encoder, decoder
+
+
+def _json_roundtrip(state):
+    """Prove the snapshot is canonically serialisable, then hand it back."""
+    first = json.dumps(state, sort_keys=True)
+    assert json.dumps(json.loads(first), sort_keys=True) == first
+    return json.loads(first)
+
+
+class TestCodecSnapshotResume:
+    @pytest.mark.parametrize("fast_env", ["0", "1"])
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_resume_is_bit_identical_to_uninterrupted_run(
+        self, order, fast_env, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_GD_FAST", fast_env)
+        transform = GDTransform(order=order)
+        assert transform.fast is (fast_env == "1")
+        rng = random.Random(1000 * order + int(fast_env))
+        chunks = _clustered_chunks(transform, 120, rng)
+        cut = rng.randrange(20, 100)
+
+        # Reference: one pair runs the whole trace uninterrupted.
+        ref_encoder, ref_decoder = _pair(transform)
+        ref_records = [ref_encoder.encode_chunk(chunk) for chunk in chunks]
+        ref_output = [ref_decoder.decode_record(record) for record in ref_records]
+
+        # Interrupted: encode/decode up to the cut, snapshot both sides
+        # through JSON, resume in freshly built objects.
+        encoder_a, decoder_a = _pair(transform)
+        records = [encoder_a.encode_chunk(chunk) for chunk in chunks[:cut]]
+        output = [decoder_a.decode_record(record) for record in records]
+        encoder_state = _json_roundtrip(encoder_a.snapshot_state())
+        decoder_state = _json_roundtrip(decoder_a.snapshot_state())
+        encoder_b, decoder_b = _pair(transform)
+        encoder_b.restore_state(encoder_state)
+        decoder_b.restore_state(decoder_state)
+        records += [encoder_b.encode_chunk(chunk) for chunk in chunks[cut:]]
+        output += [decoder_b.decode_record(record) for record in records[cut:]]
+
+        assert [r.to_bytes() for r in records] == [r.to_bytes() for r in ref_records]
+        assert output == ref_output
+        assert encoder_b.stats == ref_encoder.stats
+        assert decoder_b.stats == ref_decoder.stats
+        # The resumed pair is indistinguishable going forward too: its
+        # final snapshot equals the uninterrupted pair's.
+        assert json.dumps(encoder_b.snapshot_state(), sort_keys=True) == json.dumps(
+            ref_encoder.snapshot_state(), sort_keys=True
+        )
+        assert json.dumps(decoder_b.snapshot_state(), sort_keys=True) == json.dumps(
+            ref_decoder.snapshot_state(), sort_keys=True
+        )
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_decoder_restart_restores_from_snapshot_mid_trace(self, order):
+        # A decoder that loses its dictionary mid-trace and restores from
+        # the last snapshot decodes the rest of the stream exactly.
+        transform = GDTransform(order=order)
+        rng = random.Random(77 + order)
+        chunks = _clustered_chunks(transform, 80, rng)
+        encoder, decoder = _pair(transform)
+        records = [encoder.encode_chunk(chunk) for chunk in chunks]
+        expected = [int.from_bytes(chunk, "big") for chunk in chunks]
+
+        cut = rng.randrange(20, 60)
+        output = [decoder.decode_record(record) for record in records[:cut]]
+        state = _json_roundtrip(decoder.snapshot_state())
+        _, restarted = _pair(transform)  # fresh decoder: the restart
+        restarted.restore_state(state)
+        output += [restarted.decode_record(record) for record in records[cut:]]
+
+        assert output == expected
+        assert restarted.stats.unknown_identifiers == 0
+
+
+def _build_plane(simulator, identifier_bits=3):
+    """A control plane over dict-backed fake switches (mirror checking)."""
+
+    class _EncoderSwitch:
+        def __init__(self):
+            self.mappings = {}
+
+        def install_basis_mapping(self, basis, identifier, ttl=None):
+            self.mappings[basis] = identifier
+
+        def remove_basis_mapping(self, basis):
+            self.mappings.pop(basis, None)
+
+        def expired_bases(self, now):
+            return []
+
+    class _DecoderSwitch:
+        def __init__(self):
+            self.mappings = {}
+
+        def install_identifier_mapping(self, identifier, basis):
+            self.mappings[identifier] = basis
+
+        def remove_identifier_mapping(self, identifier):
+            self.mappings.pop(identifier, None)
+
+    engine = DigestEngine(simulator, delivery_latency=0.9e-3)
+    encoder, decoder = _EncoderSwitch(), _DecoderSwitch()
+    manager = ZipLineControlPlane(
+        digest_engine=engine,
+        encoder_switch=encoder,
+        decoder_switch=decoder,
+        simulator=simulator,
+        identifier_bits=identifier_bits,
+        seed=0,
+    )
+    return engine, encoder, decoder, manager
+
+
+class TestControlPlaneInterleavings:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_install_evict_restart_interleavings_keep_exact_mirrors(
+        self, seed
+    ):
+        # Seeded random schedule of learn digests, eviction storms, decoder
+        # restarts (clear + resync) and live snapshot/restore cycles.  The
+        # identifier space (2**3) is far smaller than the basis population,
+        # so installs race recycling constantly.  Invariant at the end:
+        # both switches are exact mirrors of the pool, every in-flight
+        # install either landed or was rolled back.
+        rng = random.Random(seed)
+        simulator = Simulator()
+        engine, encoder, decoder, manager = _build_plane(simulator)
+
+        def restart_decoder():
+            decoder.mappings.clear()
+            manager.resync_decoder()
+
+        def snapshot_cycle():
+            manager.restore_state(_json_roundtrip(manager.snapshot_state()))
+
+        time = 0.0
+        scheduled_restarts = 0
+        for _ in range(60):
+            time += rng.uniform(0.1e-3, 0.8e-3)
+            op = rng.choice(["digest", "digest", "digest", "evict", "restart", "snapshot"])
+            if op == "digest":
+                simulator.schedule_at(
+                    time,
+                    partial(engine.emit, LEARN_DIGEST, {"basis": rng.randrange(40)}),
+                )
+            elif op == "evict":
+                simulator.schedule_at(
+                    time, partial(manager.force_evict, rng.randint(1, 3))
+                )
+            elif op == "restart":
+                scheduled_restarts += 1
+                simulator.schedule_at(time, restart_decoder)
+            else:
+                simulator.schedule_at(time, snapshot_cycle)
+        simulator.run()
+
+        bindings = manager.pool.bindings()
+        assert decoder.mappings == bindings
+        assert encoder.mappings == {
+            basis: identifier for identifier, basis in bindings.items()
+        }
+        assert manager.pending_installs == 0
+        assert manager.stats.resyncs == scheduled_restarts
+        # The churn was real: the pool recycled and the run learned things.
+        assert manager.stats.mappings_learned > 0
+
+    def test_restored_manager_resumes_identically(self):
+        # Drive two managers with the same digest schedule; snapshot one
+        # halfway, restore into a *fresh* manager, finish both — the final
+        # snapshots and switch mirrors must be identical.
+        bases_first = [1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 3]
+        bases_second = [10, 11, 2, 12, 5, 13, 1]
+
+        def drive(engine, simulator, bases, start):
+            for offset, basis in enumerate(bases):
+                simulator.schedule_at(
+                    start + offset * 2e-3,
+                    partial(engine.emit, LEARN_DIGEST, {"basis": basis}),
+                )
+            simulator.run()
+            return start + len(bases) * 2e-3
+
+        sim_ref = Simulator()
+        engine_ref, enc_ref, dec_ref, manager_ref = _build_plane(sim_ref)
+        after = drive(engine_ref, sim_ref, bases_first, 0.0)
+        drive(engine_ref, sim_ref, bases_second, after)
+
+        sim_a = Simulator()
+        engine_a, enc_a, dec_a, manager_a = _build_plane(sim_a)
+        after = drive(engine_a, sim_a, bases_first, 0.0)
+        state = _json_roundtrip(manager_a.snapshot_state())
+
+        sim_b = Simulator()
+        sim_b.advance_to(after)
+        engine_b, enc_b, dec_b, manager_b = _build_plane(sim_b)
+        manager_b.restore_state(state)
+        # The restarted controller re-primes its switches from the pool.
+        for identifier, basis in manager_b.pool.bindings().items():
+            dec_b.mappings[identifier] = basis
+            enc_b.mappings[basis] = identifier
+        drive(engine_b, sim_b, bases_second, after)
+
+        assert json.dumps(manager_b.snapshot_state(), sort_keys=True) == json.dumps(
+            manager_ref.snapshot_state(), sort_keys=True
+        )
+        assert dec_b.mappings == dec_ref.mappings
+        assert enc_b.mappings == enc_ref.mappings

@@ -217,6 +217,7 @@ class TestFiles:
         specs_dir = Path(__file__).resolve().parents[2] / "examples" / "specs"
         names = sorted(path.name for path in specs_dir.glob("*.json"))
         assert names == [
+            "control_churn_sweep.json",
             "fanin_topology.json",
             "loss_table_sweep.json",
             "paper_figure3.json",
@@ -235,4 +236,4 @@ class TestFiles:
             spec = ExperimentSpec.from_file(path)
             assert spec.matrix_size >= 4
             experiment_specs += 1
-        assert experiment_specs == 3
+        assert experiment_specs == 4
