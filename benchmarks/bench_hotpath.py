@@ -22,10 +22,22 @@ Measured stages:
    the synthetic sensor workload, with a round-trip assertion;
 3. *switch encode* — the Figure 4 functional scenario (raw-chunk frames
    through ``ZipLineEncoderSwitch``), compiled fast path vs interpreted
-   pipeline, with byte-identical output asserted.
+   pipeline, with byte-identical output asserted;
+4. *backend matrix* — every available codec backend (``pure``, ``numpy``
+   when installed) over the same corpus: whole-buffer field split,
+   columnar batch split, bulk parity and batch join.  Each backend's
+   output is asserted bit-identical to ``pure`` before it is timed, and
+   the numpy-vs-pure batch speedup is guarded by a hard floor plus the
+   committed same-backend generation in ``BENCH_hotpath.json``.
+
+``REPRO_BENCH_BACKENDS`` (comma-separated names) restricts the backend
+matrix — ``repro bench --suite hotpath --backend numpy`` sets it.  The
+legacy fast-vs-reference stages always run on the ``pure`` backend so
+their ratios stay comparable with the backend-less committed baseline;
+guards only ever compare generations recorded for the same backend.
 
 ``REPRO_BENCH_SMOKE=1`` scales the workloads down for CI; the equivalence
-checks and the regression guard hold in both modes.
+checks and the regression guards hold in both modes.
 """
 
 import json
@@ -35,6 +47,7 @@ import time
 from pathlib import Path
 
 from repro.analysis.reporting import format_table, save_results_json
+from repro.core import backends as codec_backends
 from repro.core.codec import GDCodec
 from repro.core.transform import GDTransform
 from repro.net.ethernet import EthernetFrame
@@ -62,6 +75,14 @@ REGRESSION_TOLERANCE = 0.30
 #: fast path that silently stops being fast fails even without a baseline.
 MIN_TRANSFORM_SPEEDUP = 3.0
 MIN_SWITCH_SPEEDUP = 1.8
+
+#: The vectorized backend must beat the pure batch path by at least this
+#: much on the columnar split (the acceptance criterion is 5x over the
+#: committed absolute baseline; the measured ratio is ~8x).
+MIN_NUMPY_BATCH_SPEEDUP = 3.0
+
+#: Optional comma-separated backend filter (set by ``repro bench --backend``).
+BACKEND_FILTER = os.environ.get("REPRO_BENCH_BACKENDS", "")
 
 DST = MacAddress("02:00:00:00:00:02")
 SRC = MacAddress("02:00:00:00:00:01")
@@ -98,12 +119,49 @@ def _chunk_frames(transform, count):
     return frames
 
 
+def _load_trajectory():
+    """The committed trajectory document, or ``{}`` when absent."""
+    if not TRAJECTORY_PATH.exists():
+        return {}
+    return json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+
+
 def _load_baseline():
     """The committed trajectory baseline, or ``None`` when absent."""
-    if not TRAJECTORY_PATH.exists():
-        return None
-    data = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
-    return data.get("baseline")
+    return _load_trajectory().get("baseline") or None
+
+
+def _selected_backends():
+    """Available backends to bench, after the ``REPRO_BENCH_BACKENDS`` filter.
+
+    ``pure`` is always measured — it is the denominator of every backend
+    ratio — so a filter only restricts the *accelerated* backends.
+    """
+    available = codec_backends.available_backend_names()
+    if not BACKEND_FILTER.strip():
+        return available
+    requested = [name.strip() for name in BACKEND_FILTER.split(",") if name.strip()]
+    for name in requested:
+        assert name in codec_backends.backend_names(), (
+            f"REPRO_BENCH_BACKENDS names unknown backend {name!r}; "
+            f"registered: {', '.join(codec_backends.backend_names())}"
+        )
+        assert name in available, (
+            f"REPRO_BENCH_BACKENDS names unavailable backend {name!r}: "
+            f"{codec_backends.get_backend(name).availability_detail()}"
+        )
+    selected = [name for name in available if name in requested]
+    if "pure" not in selected:
+        selected.insert(0, "pure")
+    return selected
+
+
+def _join_batch(transform, prefixes, bases, deviations):
+    """Batch join through the transform's backend (decode direction)."""
+    backend = transform.backend_impl
+    if backend.accelerated and backend.supports_join(transform):
+        return backend.join_batch_to_bytes(transform, prefixes, bases, deviations)
+    return transform._join_batch_to_bytes_local(prefixes, bases, deviations)
 
 
 def _guard(label, current, baseline_value):
@@ -121,8 +179,11 @@ def test_hotpath_trajectory():
     """Measure fast vs reference, assert equivalence and guard the ratios."""
     data = _chunk_buffer()
     total_bytes = len(data)
-    fast_transform = GDTransform(order=8, fast=True)
-    reference_transform = GDTransform(order=8, fast=False)
+    # The legacy stages are pinned to the pure backend: their committed
+    # baseline ratios predate the backend registry and were measured on
+    # the fused pure-Python path, so that is what they keep guarding.
+    fast_transform = GDTransform(order=8, fast=True, backend="pure")
+    reference_transform = GDTransform(order=8, fast=False, backend="pure")
     chunk_bytes = fast_transform.chunk_bytes
 
     # -- 1. transform microbench (encode direction) ------------------------
@@ -203,6 +264,54 @@ def test_hotpath_trajectory():
     assert fast_outputs == reference_outputs, "switch fast path diverged"
     switch_speedup = switch_fast_pps / switch_reference_pps
 
+    # -- 4. backend matrix --------------------------------------------------
+    backend_names = _selected_backends()
+    backend_results = {}
+    pure_bases = [basis for _, basis, _ in fast_fields]
+    pure_parities = list(fast_transform.code.parities_of_bases(pure_bases))
+    for name in backend_names:
+        transform = GDTransform(order=8, backend=name)
+        # correctness before timing: every backend must reproduce the
+        # pure fields, parities and joined bytes on the bench corpus.
+        fields = transform.split_batch_fields(data)
+        assert fields == fast_fields, f"backend {name!r} fields diverged from pure"
+        columns = transform.split_batch_columns(data)
+        assert columns.fields() == fast_fields, (
+            f"backend {name!r} columnar split diverged from pure"
+        )
+        prefixes = [prefix for prefix, _, _ in fields]
+        deviations = [deviation for _, _, deviation in fields]
+        parities = list(
+            transform.code.parities_of_bases(
+                pure_bases, backend=transform.backend_impl
+            )
+        )
+        assert parities == pure_parities, f"backend {name!r} parities diverged"
+        joined = _join_batch(transform, prefixes, pure_bases, deviations)
+        assert joined == data, f"backend {name!r} batch join is not bit-identical"
+
+        fields_seconds = _best_seconds(lambda: transform.split_batch_fields(data))
+        batch_seconds = _best_seconds(lambda: transform.split_batch_columns(data))
+        parity_seconds = _best_seconds(
+            lambda: transform.code.parities_of_bases(
+                pure_bases, backend=transform.backend_impl
+            )
+        )
+        join_seconds = _best_seconds(
+            lambda: _join_batch(transform, prefixes, pure_bases, deviations)
+        )
+        backend_results[name] = {
+            "transform_fields_mbps": total_bytes / fields_seconds / 1e6,
+            "transform_batch_mbps": total_bytes / batch_seconds / 1e6,
+            "parity_batch_mparities_per_s": len(pure_bases) / parity_seconds / 1e6,
+            "join_batch_mbps": total_bytes / join_seconds / 1e6,
+        }
+    pure_batch_mbps = backend_results["pure"]["transform_batch_mbps"]
+    for name, metrics in backend_results.items():
+        metrics["batch_speedup_vs_pure"] = (
+            metrics["transform_batch_mbps"] / pure_batch_mbps
+        )
+
     # -- report -------------------------------------------------------------
     results = {
         "environment": environment_info(),
@@ -217,6 +326,7 @@ def test_hotpath_trajectory():
         "switch_fast_pps": switch_fast_pps,
         "switch_reference_pps": switch_reference_pps,
         "switch_speedup": switch_speedup,
+        "backends": backend_results,
     }
     rows = [
         ["transform split (fused)", f"{transform_fast_mbps:.1f} MB/s",
@@ -229,6 +339,21 @@ def test_hotpath_trajectory():
          f"{switch_speedup:.1f}x vs interpreted"],
         ["switch encode (interpreted)", f"{switch_reference_pps:,.0f} pkt/s", "1.0x"],
     ]
+    for name in backend_names:
+        metrics = backend_results[name]
+        rows.extend(
+            [
+                [f"[{name}] transform fields",
+                 f"{metrics['transform_fields_mbps']:.1f} MB/s", ""],
+                [f"[{name}] transform batch",
+                 f"{metrics['transform_batch_mbps']:.1f} MB/s",
+                 f"{metrics['batch_speedup_vs_pure']:.1f}x vs pure"],
+                [f"[{name}] parity batch",
+                 f"{metrics['parity_batch_mparities_per_s']:.2f} Mparity/s", ""],
+                [f"[{name}] join batch",
+                 f"{metrics['join_batch_mbps']:.1f} MB/s", ""],
+            ]
+        )
     table = format_table(
         ["stage", "throughput", "speedup"],
         rows,
@@ -246,8 +371,29 @@ def test_hotpath_trajectory():
         f"switch fast path only {switch_speedup:.2f}x over the interpreted "
         f"pipeline (floor {MIN_SWITCH_SPEEDUP}x)"
     )
-    baseline = _load_baseline()
+    if "numpy" in backend_results:
+        numpy_speedup = backend_results["numpy"]["batch_speedup_vs_pure"]
+        assert numpy_speedup >= MIN_NUMPY_BATCH_SPEEDUP, (
+            f"numpy batch split only {numpy_speedup:.2f}x over the pure "
+            f"backend (floor {MIN_NUMPY_BATCH_SPEEDUP}x)"
+        )
+    trajectory = _load_trajectory()
+    baseline = trajectory.get("baseline")
     if baseline is not None:
         ratios = baseline.get("speedups", {})
-        _guard("transform speedup", transform_speedup, ratios.get("transform"))
-        _guard("switch speedup", switch_speedup, ratios.get("switch"))
+        # Older baselines predate the backend registry and carry no
+        # "backend" key; they guard the pure-pinned legacy stages only.
+        # A generation recorded for another backend never judges this run.
+        if ratios.get("backend") in (None, "pure"):
+            _guard("transform speedup", transform_speedup, ratios.get("transform"))
+            _guard("switch speedup", switch_speedup, ratios.get("switch"))
+    for generation in trajectory.get("generations", []):
+        name = generation.get("backend")
+        if name not in backend_results:
+            continue  # backend filtered out or unavailable here
+        speedups = generation.get("speedups", {})
+        _guard(
+            f"{name} batch speedup vs pure",
+            backend_results[name]["batch_speedup_vs_pure"],
+            speedups.get("batch_vs_pure"),
+        )

@@ -109,7 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"streaming read size in bytes (default {DEFAULT_BLOCK_SIZE})",
     )
 
-    subparsers.add_parser("codecs", help="list the registered compressors")
+    codecs = subparsers.add_parser(
+        "codecs", help="list the registered compressors"
+    )
+    codecs.add_argument(
+        "--backends", action="store_true",
+        help="list the codec backends (pure/numpy/native) with availability "
+             "and selection status instead of the compressors",
+    )
 
     generate = subparsers.add_parser(
         "generate-trace", help="generate a chunk trace and write it as a pcap"
@@ -390,10 +397,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="run at full scale instead of the smoke-mode default",
     )
     bench.add_argument(
+        "--backend", action="append", default=None, metavar="NAME",
+        help="restrict backend-aware benchmarks to these codec backends "
+             "(repeatable; sets REPRO_BENCH_BACKENDS for the run); with "
+             "--profile, run the profiled stages on this backend",
+    )
+    bench.add_argument(
         "--profile", nargs="*", default=None, metavar="STAGE",
         help="profile hot-path stages with cProfile instead of running "
              "benchmark files; stages: encode, decode, transform, "
-             "switch-encode, switch-decode (bare --profile = encode decode)",
+             "transform-batch, parity-batch, switch-encode, switch-decode "
+             "(bare --profile = encode decode)",
     )
     bench.add_argument(
         "--profile-chunks", type=int, default=20_000,
@@ -449,7 +463,26 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_codecs(_args: argparse.Namespace) -> int:
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    if getattr(args, "backends", False):
+        rows = [
+            [
+                status["name"],
+                "yes" if status["available"] else "no",
+                str(status["priority"]),
+                "yes" if status["default"] else "",
+                status["detail"] or "",
+            ]
+            for status in registry.backend_status()
+        ]
+        print(
+            format_table(
+                ["backend", "available", "priority", "default", "detail"],
+                rows,
+                title="codec backends (select with --backend/REPRO_GD_BACKEND)",
+            )
+        )
+        return 0
     rows = [
         [name, registry.magic_for(name).hex() or "-"]
         for name in registry.names()
@@ -828,7 +861,8 @@ def _resolve_benchmarks(names: Sequence[str], directory: Path) -> List[Path]:
 
 #: Stages ``repro bench --profile`` knows how to isolate.
 PROFILE_STAGES = (
-    "encode", "decode", "transform", "switch-encode", "switch-decode"
+    "encode", "decode", "transform", "transform-batch", "parity-batch",
+    "switch-encode", "switch-decode",
 )
 
 #: Stages profiled by a bare ``--profile`` (the historical behaviour).
@@ -861,7 +895,9 @@ def _profile_chunk_frames(count: int, transform, distinct_bases: int = 32) -> li
     return frames
 
 
-def _profile_hot_paths(chunks: int, stages: Sequence[str]) -> int:
+def _profile_hot_paths(
+    chunks: int, stages: Sequence[str], backend: Optional[str] = None
+) -> int:
     """cProfile the requested hot-path stages; print top-25 cumulative each."""
     import cProfile
     import io
@@ -896,14 +932,14 @@ def _profile_hot_paths(chunks: int, stages: Sequence[str]) -> int:
         return value, profile
 
     def profile_encode():
-        codec = GDCodec(order=8, identifier_bits=15)
+        codec = GDCodec(order=8, identifier_bits=15, backend=backend)
         _, profile = run_profiled(lambda: codec.compress(data))
         title = (f"encode: GDCodec.compress of {len(data):,} bytes "
                  f"({chunks:,} chunks)")
         return title, profile
 
     def profile_decode():
-        codec = GDCodec(order=8, identifier_bits=15)
+        codec = GDCodec(order=8, identifier_bits=15, backend=backend)
         result = codec.compress(data)
         decoder = codec.clone()
         restored, profile = run_profiled(
@@ -919,10 +955,29 @@ def _profile_hot_paths(chunks: int, stages: Sequence[str]) -> int:
         return title, profile
 
     def profile_transform():
-        transform = GDTransform(order=8)
+        transform = GDTransform(order=8, backend=backend)
         fields, profile = run_profiled(lambda: transform.split_batch_fields(data))
         title = (f"transform: split_batch_fields of {len(data):,} bytes "
-                 f"({len(fields):,} chunks)")
+                 f"({len(fields):,} chunks, backend {transform.backend})")
+        return title, profile
+
+    def profile_transform_batch():
+        transform = GDTransform(order=8, backend=backend)
+        split, profile = run_profiled(lambda: transform.split_batch_columns(data))
+        title = (f"transform-batch: split_batch_columns of {len(data):,} bytes "
+                 f"({len(split):,} chunks, backend {transform.backend})")
+        return title, profile
+
+    def profile_parity_batch():
+        transform = GDTransform(order=8, backend=backend)
+        bases = [basis for _, basis, _ in transform.split_batch_fields(data)]
+        _, profile = run_profiled(
+            lambda: transform.code.parities_of_bases(
+                bases, backend=transform.backend_impl
+            )
+        )
+        title = (f"parity-batch: parities_of_bases over {len(bases):,} bases "
+                 f"(backend {transform.backend})")
         return title, profile
 
     def build_switch_pair():
@@ -978,6 +1033,8 @@ def _profile_hot_paths(chunks: int, stages: Sequence[str]) -> int:
         "encode": profile_encode,
         "decode": profile_decode,
         "transform": profile_transform,
+        "transform-batch": profile_transform_batch,
+        "parity-batch": profile_parity_batch,
         "switch-encode": profile_switch_encode,
         "switch-decode": profile_switch_decode,
     }
@@ -1000,9 +1057,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    backends_requested = list(args.backend or [])
     if args.profile is not None:
         stages = list(args.profile) or list(DEFAULT_PROFILE_STAGES)
-        return _profile_hot_paths(args.profile_chunks, stages)
+        if len(backends_requested) > 1:
+            raise ReproError(
+                "--profile runs on one backend at a time; pass a single "
+                "--backend"
+            )
+        backend = backends_requested[0] if backends_requested else None
+        return _profile_hot_paths(args.profile_chunks, stages, backend=backend)
     directory = _benchmarks_dir()
     selected = _resolve_benchmarks(args.names, directory)
     if args.list:
@@ -1015,6 +1079,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     repo_root = directory.parent
     environment = dict(os.environ)
     environment["REPRO_BENCH_SMOKE"] = "0" if args.full else "1"
+    if backends_requested:
+        environment["REPRO_BENCH_BACKENDS"] = ",".join(backends_requested)
     # Make `import benchmarks.conftest` and `import repro` work regardless
     # of how the console script was installed.
     extra_paths = [str(repo_root), str(repo_root / "src")]

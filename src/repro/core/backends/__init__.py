@@ -1,0 +1,327 @@
+"""Pluggable codec backends for the GD batch hot paths.
+
+The per-chunk work of the GD transformation was fused into table lookups in
+the ``pure`` fast path; what remains is the per-chunk *Python* cost of the
+loop itself.  A backend replaces the loop: it computes the syndromes,
+bases and deviations of every chunk in a buffer with whole-buffer
+primitives — the software analogue of widening a hardware CRC engine's
+datapath (LiteEth unrolls the LFSR across a word and emits one XOR network
+per output bit; the ``numpy`` backend unrolls it across the whole trace and
+emits a handful of ndarray gathers).
+
+Three backends are registered:
+
+``pure``
+    The existing fused byte-lane path.  Always available, and the
+    reference every other backend must match bit for bit.
+``numpy``
+    Whole-buffer batch syndrome/parity computation via precomputed
+    per-byte-lane XOR-fold tables applied as ndarray gathers, batch
+    split/join over a single ``np.frombuffer`` view, vectorized deviation
+    extraction.  Available only when :mod:`numpy` is importable (the
+    ``fast`` optional dependency).
+``native``
+    A stub slot reserved for a future Cython/C extension; registering a
+    real implementation replaces the stub (see ``docs/backends.md``).
+
+Selection precedence (first match wins):
+
+1. per-call / per-object: ``GDTransform(backend="numpy")``;
+2. per-process: the ``REPRO_GD_BACKEND`` environment variable;
+3. automatic: the available backend with the highest priority.
+
+Requesting a backend that is not available raises
+:class:`~repro.exceptions.BackendError` with the probe's reason, so a
+misconfigured deployment fails loudly instead of silently running slow.
+The registry is re-exported through :mod:`repro.registry` next to the
+compressor registry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import BackendError
+
+__all__ = [
+    "BACKEND_ENV",
+    "MIN_BATCH_CHUNKS",
+    "BatchSplit",
+    "CodecBackend",
+    "available_backend_names",
+    "backend_names",
+    "backend_status",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment switch naming the process-wide backend (selection step 2).
+BACKEND_ENV = "REPRO_GD_BACKEND"
+
+#: Batches smaller than this stay on the pure in-process loop even when an
+#: accelerated backend is selected: below a few chunks the fixed cost of
+#: entering the vectorized path (array views, gather set-up) exceeds the
+#: whole loop, and the switch models feed single-digit batches.
+MIN_BATCH_CHUNKS = 16
+
+
+class BatchSplit:
+    """Columnar result of a whole-buffer GD split.
+
+    The accelerated backends naturally produce the split as parallel
+    columns (a prefix array, a deviation array, the basis rows as a byte
+    matrix) rather than a list of per-chunk tuples; this wrapper carries
+    that representation and materialises the classic
+    ``[(prefix, basis, deviation), ...]`` list lazily, so batch consumers
+    that only need one column (deviation histograms, basis dedup scans)
+    never pay for the rest.
+
+    Instances compare equal when their materialised fields are equal,
+    regardless of which backend produced them — the equality the property
+    suite asserts across backends.
+    """
+
+    __slots__ = ("count", "backend", "_materialize", "_fields")
+
+    def __init__(
+        self,
+        count: int,
+        backend: str,
+        materialize: Callable[[], List[Tuple[int, int, int]]],
+        fields: Optional[List[Tuple[int, int, int]]] = None,
+    ):
+        self.count = count
+        self.backend = backend
+        self._materialize = materialize
+        self._fields = fields
+
+    @classmethod
+    def from_fields(
+        cls, fields: List[Tuple[int, int, int]], backend: str
+    ) -> "BatchSplit":
+        """Wrap an eagerly computed field list (the pure representation)."""
+        return cls(len(fields), backend, lambda: fields, fields)
+
+    def fields(self) -> List[Tuple[int, int, int]]:
+        """The split as ``(prefix, basis, deviation)`` tuples (cached)."""
+        if self._fields is None:
+            self._fields = self._materialize()
+        return self._fields
+
+    def prefixes(self) -> List[int]:
+        """The prefix column."""
+        return [prefix for prefix, _, _ in self.fields()]
+
+    def bases(self) -> List[int]:
+        """The basis column (deduplication units)."""
+        return [basis for _, basis, _ in self.fields()]
+
+    def deviations(self) -> List[int]:
+        """The deviation (syndrome) column."""
+        return [deviation for _, _, deviation in self.fields()]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchSplit):
+            return NotImplemented
+        return self.fields() == other.fields()
+
+    def __repr__(self) -> str:
+        return f"BatchSplit(count={self.count}, backend={self.backend!r})"
+
+
+class CodecBackend:
+    """Interface every codec backend implements.
+
+    A backend accelerates the four batch entry points the replay harness,
+    topology engine and CLI funnel through: forward split
+    (:meth:`split_batch_fields` / :meth:`split_batch_columns`), bulk parity
+    recovery (:meth:`parities_of_bases`) and the whole-batch inverse
+    (:meth:`join_batch_to_bytes`).  The ``supports_*`` predicates gate each
+    operation per configuration (order, prefix width); ineligible
+    configurations transparently stay on the pure path, so a backend never
+    has to cover the full parameter space to be useful.
+
+    Equivalence contract: for every configuration a backend claims support
+    for, its outputs must be **bit-identical** to the reference path —
+    same splits, same eviction order, same containers.  The property suite
+    (``tests/core/test_backends.py``) enforces this across the full
+    matrix.
+    """
+
+    #: Registry name (also the ``REPRO_GD_BACKEND`` value).
+    name: str = ""
+    #: Auto-selection rank; the available backend with the highest value wins.
+    priority: int = 0
+    #: True for backends that replace the in-process loop.  The dispatchers
+    #: only leave the pure path for accelerated backends.
+    accelerated: bool = False
+
+    # -- availability -----------------------------------------------------
+
+    def available(self) -> bool:
+        """True when the backend can run in this process."""
+        return True
+
+    def availability_detail(self) -> str:
+        """Human-readable availability note (version, or why unavailable)."""
+        return "always available"
+
+    # -- eligibility ------------------------------------------------------
+
+    def supports_transform(self, transform) -> bool:
+        """True when this backend can split batches for ``transform``."""
+        return True
+
+    def supports_parity(self, code) -> bool:
+        """True when this backend can bulk-recover parities for ``code``."""
+        return True
+
+    def supports_join(self, transform) -> bool:
+        """True when this backend can batch-join chunks for ``transform``."""
+        return True
+
+    # -- operations -------------------------------------------------------
+
+    def split_batch_fields(self, transform, data) -> List[Tuple[int, int, int]]:
+        """Buffer of whole chunks → ``(prefix, basis, deviation)`` list."""
+        raise NotImplementedError
+
+    def split_batch_columns(self, transform, data) -> BatchSplit:
+        """Buffer of whole chunks → columnar :class:`BatchSplit`."""
+        raise NotImplementedError
+
+    def parities_of_bases(self, code, bases: Sequence[int]) -> Sequence[int]:
+        """Parity bits of many bases (element ``i`` for ``bases[i]``)."""
+        raise NotImplementedError
+
+    def join_batch_to_bytes(
+        self,
+        transform,
+        prefixes: Sequence[int],
+        bases: Sequence[int],
+        deviations: Sequence[int],
+    ) -> bytes:
+        """Rebuild and serialise every chunk of a resolved batch."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# -- registry ------------------------------------------------------------------
+
+_BACKENDS: Dict[str, CodecBackend] = {}
+
+
+def register_backend(backend: CodecBackend, replace: bool = False) -> None:
+    """Register a backend instance under its :attr:`~CodecBackend.name`.
+
+    Re-registering an existing name raises unless ``replace`` is true —
+    the hook a real ``native`` extension uses to take over the stub slot.
+    """
+    name = (backend.name or "").lower()
+    if not name:
+        raise BackendError("codec backend name cannot be empty")
+    if name in _BACKENDS and not replace:
+        raise BackendError(f"codec backend {backend.name!r} is already registered")
+    _BACKENDS[name] = backend
+
+
+def backend_names() -> List[str]:
+    """All registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def available_backend_names() -> List[str]:
+    """Names of the backends that can run in this process, sorted."""
+    return sorted(name for name, backend in _BACKENDS.items() if backend.available())
+
+
+def get_backend(name: str) -> CodecBackend:
+    """The registered backend called ``name`` (available or not)."""
+    try:
+        return _BACKENDS[name.lower()]
+    except KeyError:
+        raise BackendError(
+            f"unknown codec backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())}"
+        ) from None
+
+
+def default_backend() -> CodecBackend:
+    """The best available backend (highest priority; selection step 3)."""
+    best: Optional[CodecBackend] = None
+    for backend in _BACKENDS.values():
+        if not backend.available():
+            continue
+        if best is None or backend.priority > best.priority:
+            best = backend
+    if best is None:  # pragma: no cover - pure is always available
+        raise BackendError("no codec backend is available")
+    return best
+
+
+def resolve_backend(
+    selection: Union[None, str, CodecBackend] = None
+) -> CodecBackend:
+    """Resolve a backend following the documented precedence.
+
+    ``selection`` is a per-call override (name or instance).  When it is
+    ``None``, the ``REPRO_GD_BACKEND`` environment variable is consulted;
+    when that is unset (or ``auto``), the best available backend wins.
+    Naming a registered-but-unavailable backend raises
+    :class:`~repro.exceptions.BackendError` carrying the probe's reason.
+    """
+    source = "requested"
+    if selection is None:
+        env_value = os.environ.get(BACKEND_ENV, "").strip().lower()
+        if env_value:
+            selection = env_value
+            source = f"named by {BACKEND_ENV}"
+    if selection is None or selection == "auto":
+        return default_backend()
+    if isinstance(selection, CodecBackend):
+        backend = selection
+    else:
+        backend = get_backend(selection)
+    if not backend.available():
+        raise BackendError(
+            f"codec backend {backend.name!r} ({source}) is not available: "
+            f"{backend.availability_detail()}"
+        )
+    return backend
+
+
+def backend_status() -> List[Dict[str, object]]:
+    """One status row per registered backend (the ``codecs --backends`` view)."""
+    default_name = default_backend().name
+    rows: List[Dict[str, object]] = []
+    for name in backend_names():
+        backend = _BACKENDS[name]
+        rows.append(
+            {
+                "name": name,
+                "available": backend.available(),
+                "priority": backend.priority,
+                "default": name == default_name,
+                "detail": backend.availability_detail(),
+            }
+        )
+    return rows
+
+
+# -- built-ins -----------------------------------------------------------------
+
+from repro.core.backends.native import NativeBackend  # noqa: E402
+from repro.core.backends.numpy_backend import NumpyBackend  # noqa: E402
+from repro.core.backends.pure import PureBackend  # noqa: E402
+
+register_backend(PureBackend())
+register_backend(NumpyBackend())
+register_backend(NativeBackend())

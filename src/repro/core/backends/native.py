@@ -1,0 +1,74 @@
+"""The ``native`` codec backend slot: reserved for a compiled extension.
+
+The ROADMAP's end state for the hot paths is a Cython/C (or SIMD) kernel
+computing whole-buffer syndromes the way a hardware CRC engine folds a
+word per clock.  Nothing compiled ships yet; this stub keeps the name,
+priority and registry slot stable so that
+
+* ``repro codecs --backends`` shows the slot and why it is unavailable,
+* selecting it (``REPRO_GD_BACKEND=native``) fails with an actionable
+  message instead of a ``KeyError``,
+* a real implementation can take over with
+  ``register_backend(RealNativeBackend(), replace=True)`` and immediately
+  win auto-selection (its priority outranks ``numpy``).
+
+See ``docs/backends.md`` for the contract a replacement must satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.backends import BatchSplit, CodecBackend
+from repro.exceptions import BackendError
+
+__all__ = ["NativeBackend"]
+
+_DETAIL = (
+    "placeholder slot: no compiled extension is built yet "
+    "(see docs/backends.md for how to provide one)"
+)
+
+
+class NativeBackend(CodecBackend):
+    """Unavailable placeholder for a future compiled backend."""
+
+    name = "native"
+    priority = 30
+    accelerated = True
+
+    def available(self) -> bool:
+        return False
+
+    def availability_detail(self) -> str:
+        return _DETAIL
+
+    def _unavailable(self) -> BackendError:
+        return BackendError(f"codec backend 'native' is not available: {_DETAIL}")
+
+    def supports_transform(self, transform) -> bool:
+        return False
+
+    def supports_parity(self, code) -> bool:
+        return False
+
+    def supports_join(self, transform) -> bool:
+        return False
+
+    def split_batch_fields(self, transform, data) -> List[Tuple[int, int, int]]:
+        raise self._unavailable()
+
+    def split_batch_columns(self, transform, data) -> BatchSplit:
+        raise self._unavailable()
+
+    def parities_of_bases(self, code, bases: Sequence[int]) -> Sequence[int]:
+        raise self._unavailable()
+
+    def join_batch_to_bytes(
+        self,
+        transform,
+        prefixes: Sequence[int],
+        bases: Sequence[int],
+        deviations: Sequence[int],
+    ) -> bytes:
+        raise self._unavailable()

@@ -1,0 +1,392 @@
+"""The ``numpy`` codec backend: whole-buffer syndrome/parity computation.
+
+The pure fast path already fused the per-chunk work into table lookups;
+this backend removes the per-chunk *loop*.  It is the software shape of
+widening a hardware CRC engine's datapath (LiteEth's ``LiteEthMACCRCEngine``
+unrolls the LFSR across a data word and emits one XOR network per output
+bit): here the LFSR is unrolled across the whole trace and the XOR
+networks become ndarray gathers through precomputed byte-lane fold tables.
+
+The batch split runs entirely on ``(count, chunk_bytes)`` views of the
+input buffer:
+
+1. **Syndromes** — the per-byte-lane contribution tables from
+   :func:`repro.core.crc.lane_tables` are paired into 65536-entry
+   ``uint16``-indexed tables (two byte lanes per gather), and the body
+   syndrome of every chunk is the XOR-fold of the gathered lanes.  The
+   prefix bits are masked off *before* the fold, so no per-prefix syndrome
+   correction is needed — the masked rows are reused for basis extraction.
+2. **Deviations** — the body syndrome *is* the deviation; the
+   syndrome→position table is applied as one gather and the deviated bits
+   are flipped back with a single fancy-indexed XOR scatter.
+3. **Bases** — the corrected codeword rows are shifted right by ``m``
+   with two vectorized byte-shifts (or a column drop for ``m == 8``) and
+   sliced to the ``ceil(k / 8)`` basis bytes.
+4. **Prefixes** — read from the (at most three) leading bytes with
+   ``uint32`` arithmetic.
+
+The decode direction reverses the pipeline: bulk parity recovery through
+the same fold tables, parity OR-in, deviation scatter, vectorized prefix
+embedding, one ``tobytes``.
+
+Eligibility mirrors the pure lane path: orders up to 8 (the syndrome must
+fit one byte lane) and prefixes of at most ~3 leading bytes.  Anything
+else — and any batch shorter than
+:data:`~repro.core.backends.MIN_BATCH_CHUNKS` — transparently stays on
+the pure path.  Outputs are bit-identical to the reference; the property
+suite asserts it across the full configuration matrix.
+
+numpy stays an **optional** dependency (the ``fast`` extra): the import
+is probed lazily and the backend reports itself unavailable, with the
+import error preserved, when numpy is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.backends import BatchSplit, CodecBackend
+from repro.core.crc import lane_tables
+from repro.exceptions import ChunkSizeError
+
+__all__ = ["NumpyBackend"]
+
+#: Lazy probe result: ``(module_or_None, detail)``.  Tests monkeypatch this
+#: to simulate a numpy-less interpreter without uninstalling anything.
+_PROBE: Optional[Tuple[Optional[object], str]] = None
+
+
+def _numpy() -> Tuple[Optional[object], str]:
+    """Import numpy once, remembering either the module or the failure."""
+    global _PROBE
+    if _PROBE is None:
+        try:
+            import numpy  # noqa: PLC0415 - optional dependency, probed lazily
+
+            _PROBE = (numpy, f"numpy {numpy.__version__}")
+        except Exception as exc:  # pragma: no cover - depends on environment
+            _PROBE = (
+                None,
+                f"numpy is not installed ({exc}); install the 'fast' extra "
+                "to enable this backend",
+            )
+    return _PROBE
+
+
+def _build_fold(np, polynomial: int, width: int, length: int):
+    """Gather tables folding ``length``-byte rows to their remainders.
+
+    Returns ``("pairs", tables)`` — 65536-entry tables indexed by a
+    big-endian ``uint16`` view, two byte lanes per gather — when the row
+    length is even, else ``("bytes", tables)`` with one 256-entry table
+    per byte lane.
+    """
+    lanes = lane_tables(polynomial, width, length)
+    if length % 2 == 0:
+        tables = []
+        for index in range(0, length, 2):
+            high = np.frombuffer(lanes[index], dtype=np.uint8)
+            low = np.frombuffer(lanes[index + 1], dtype=np.uint8)
+            tables.append(np.bitwise_xor(high[:, None], low[None, :]).reshape(-1))
+        return ("pairs", tables)
+    return ("bytes", [np.frombuffer(table, dtype=np.uint8) for table in lanes])
+
+
+def _fold_rows(np, rows, fold):
+    """XOR-fold ``(count, length)`` uint8 rows to per-row remainders."""
+    mode, tables = fold
+    if mode == "pairs":
+        columns = rows.view(">u2")
+        accumulator = tables[0][columns[:, 0]]
+        for index in range(1, len(tables)):
+            accumulator = accumulator ^ tables[index][columns[:, index]]
+        return accumulator
+    accumulator = tables[0][rows[:, 0]]
+    for index in range(1, len(tables)):
+        accumulator = accumulator ^ tables[index][rows[:, index]]
+    return accumulator
+
+
+class _SplitState:
+    """Per-transform-configuration constants for the vectorized split."""
+
+    __slots__ = (
+        "chunk_bits",
+        "chunk_bytes",
+        "pad",
+        "prefix_bits",
+        "m",
+        "n",
+        "basis_bytes",
+        "keep_mask",
+        "fold",
+        "positions",
+        "bit_masks",
+        "head_bytes",
+        "head_shift",
+    )
+
+    def __init__(self, np, transform):
+        code = transform.code
+        m = code.m
+        n = code.n
+        length = transform.chunk_bytes
+        self.chunk_bits = transform.chunk_bits
+        self.chunk_bytes = length
+        self.pad = length * 8 - transform.chunk_bits
+        self.prefix_bits = transform.prefix_bits
+        self.m = m
+        self.n = n
+        self.basis_bytes = (code.k + 7) // 8
+        # Byte mask isolating the n-bit body: the fold then yields the body
+        # syndrome directly (no per-prefix correction), and the masked rows
+        # double as the codeword rows the basis is extracted from.
+        keep = np.zeros(length, dtype=np.uint8)
+        for column in range(length):
+            low_bit = 8 * (length - 1 - column)
+            if low_bit + 8 <= n:
+                keep[column] = 0xFF
+            elif low_bit < n:
+                keep[column] = (1 << (n - low_bit)) - 1
+        self.keep_mask = keep
+        self.fold = _build_fold(np, code.crc_parameter, m, length)
+        positions = np.full(1 << m, -1, dtype=np.int16)
+        for syndrome, position in enumerate(code.syndrome_table.positions):
+            if position is not None:
+                positions[syndrome] = position
+        self.positions = positions
+        self.bit_masks = np.array([1 << bit for bit in range(8)], dtype=np.uint8)
+        head_span = self.pad + self.prefix_bits
+        self.head_bytes = (head_span + 7) // 8
+        self.head_shift = 8 * self.head_bytes - head_span
+
+    def split(self, np, transform, data):
+        """The vectorized split: buffer → (prefixes, deviations, basis buf)."""
+        length = self.chunk_bytes
+        total = len(data)
+        if total % length:
+            raise ChunkSizeError(
+                f"data length {total} is not a multiple of the chunk size "
+                f"{length}"
+            )
+        count = total // length
+        raw = np.frombuffer(data, dtype=np.uint8).reshape(count, length)
+        if self.pad and count and (raw[:, 0] >> (8 - self.pad)).any():
+            raise ChunkSizeError(
+                f"chunk value does not fit in {self.chunk_bits} bits"
+            )
+        rows = raw & self.keep_mask
+        deviations = _fold_rows(np, rows, self.fold)
+        if self.prefix_bits:
+            head = raw[:, 0].astype(np.uint32)
+            for column in range(1, self.head_bytes):
+                head = (head << np.uint32(8)) | raw[:, column]
+            prefixes = head >> np.uint32(self.head_shift)
+        else:
+            prefixes = None
+        # Flip each deviated bit back onto its codeword (syndrome 0 has no
+        # deviation); row indices are distinct, so a fancy-indexed XOR works.
+        pointed = self.positions[deviations]
+        indices = np.flatnonzero(pointed >= 0)
+        if indices.size:
+            bits = pointed[indices]
+            rows[indices, (length - 1) - (bits >> 3)] ^= self.bit_masks[bits & 7]
+        basis_bytes = self.basis_bytes
+        if self.m == 8:
+            basis_rows = rows[:, length - 1 - basis_bytes : length - 1]
+        else:
+            shifted = rows >> self.m
+            if length > 1:
+                shifted[:, 1:] |= rows[:, :-1] << (8 - self.m)
+            basis_rows = shifted[:, length - basis_bytes :]
+        return prefixes, deviations, basis_rows.tobytes()
+
+
+class _ParityState:
+    """Per-code constants for bulk parity recovery (decode direction)."""
+
+    __slots__ = ("parity_bytes", "fold")
+
+    def __init__(self, np, code):
+        self.parity_bytes = (code.n + 7) // 8
+        self.fold = _build_fold(np, code.crc_parameter, code.m, self.parity_bytes)
+
+
+def _materialize_fields(
+    count: int, prefixes, deviations, basis_buffer: bytes, basis_bytes: int
+) -> List[Tuple[int, int, int]]:
+    """Columns → the classic ``(prefix, basis, deviation)`` tuple list.
+
+    Per-chunk ``int.from_bytes`` is the floor of this conversion; real
+    traces repeat a small working set of bases (that is the whole premise
+    of GD), so a bytes-keyed dict collapses most rows to one dict probe.
+    """
+    prefix_list = prefixes.tolist() if prefixes is not None else [0] * count
+    deviation_list = deviations.tolist()
+    cache: Dict[bytes, int] = {}
+    get = cache.get
+    from_bytes = int.from_bytes
+    bases: List[int] = []
+    append = bases.append
+    for offset in range(0, count * basis_bytes, basis_bytes):
+        key = basis_buffer[offset : offset + basis_bytes]
+        value = get(key)
+        if value is None:
+            value = cache[key] = from_bytes(key, "big")
+        append(value)
+    return list(zip(prefix_list, bases, deviation_list))
+
+
+class NumpyBackend(CodecBackend):
+    """Vectorized backend running the batch hot paths as ndarray gathers."""
+
+    name = "numpy"
+    priority = 20
+    accelerated = True
+
+    def __init__(self):
+        self._split_states: Dict[Tuple[int, int, int], _SplitState] = {}
+        self._parity_states: Dict[Tuple[int, int], _ParityState] = {}
+
+    # -- availability -----------------------------------------------------
+
+    def available(self) -> bool:
+        return _numpy()[0] is not None
+
+    def availability_detail(self) -> str:
+        return _numpy()[1]
+
+    # -- eligibility ------------------------------------------------------
+
+    def supports_transform(self, transform) -> bool:
+        # Same shape as the pure lane path: the syndrome must fit one byte
+        # lane; the prefix must fit the (three-byte) vectorized head read.
+        if not self.available() or transform.code.m > 8:
+            return False
+        pad = transform.chunk_bytes * 8 - transform.chunk_bits
+        return pad + transform.prefix_bits <= 24
+
+    def supports_parity(self, code) -> bool:
+        return self.available() and code.m <= 8
+
+    def supports_join(self, transform) -> bool:
+        return (
+            self.available()
+            and transform.code.m <= 8
+            and transform.chunk_bits % 8 == 0
+            and transform.prefix_bits <= 24
+        )
+
+    # -- state ------------------------------------------------------------
+
+    def _split_state(self, np, transform) -> _SplitState:
+        code = transform.code
+        key = (code.full_polynomial, code.m, transform.chunk_bits)
+        state = self._split_states.get(key)
+        if state is None:
+            state = self._split_states[key] = _SplitState(np, transform)
+        return state
+
+    def _parity_state(self, np, code) -> _ParityState:
+        key = (code.full_polynomial, code.m)
+        state = self._parity_states.get(key)
+        if state is None:
+            state = self._parity_states[key] = _ParityState(np, code)
+        return state
+
+    # -- operations -------------------------------------------------------
+
+    def split_batch_fields(self, transform, data) -> List[Tuple[int, int, int]]:
+        np = _numpy()[0]
+        state = self._split_state(np, transform)
+        prefixes, deviations, basis_buffer = state.split(np, transform, data)
+        return _materialize_fields(
+            len(deviations), prefixes, deviations, basis_buffer, state.basis_bytes
+        )
+
+    def split_batch_columns(self, transform, data) -> BatchSplit:
+        np = _numpy()[0]
+        state = self._split_state(np, transform)
+        prefixes, deviations, basis_buffer = state.split(np, transform, data)
+        count = len(deviations)
+        basis_bytes = state.basis_bytes
+        return BatchSplit(
+            count,
+            self.name,
+            lambda: _materialize_fields(
+                count, prefixes, deviations, basis_buffer, basis_bytes
+            ),
+        )
+
+    def parities_of_bases(self, code, bases: Sequence[int]) -> Sequence[int]:
+        if not bases:
+            return b""
+        np = _numpy()[0]
+        state = self._parity_state(np, code)
+        parity_bytes = state.parity_bytes
+        m = code.m
+        cache: Dict[int, bytes] = {}
+        get = cache.get
+        pieces: List[bytes] = []
+        append = pieces.append
+        for basis in bases:
+            piece = get(basis)
+            if piece is None:
+                piece = cache[basis] = (basis << m).to_bytes(parity_bytes, "big")
+            append(piece)
+        rows = np.frombuffer(b"".join(pieces), dtype=np.uint8).reshape(
+            len(bases), parity_bytes
+        )
+        return _fold_rows(np, rows, state.fold).tobytes()
+
+    def join_batch_to_bytes(
+        self,
+        transform,
+        prefixes: Sequence[int],
+        bases: Sequence[int],
+        deviations: Sequence[int],
+    ) -> bytes:
+        count = len(bases)
+        if count == 0:
+            return b""
+        np = _numpy()[0]
+        state = self._split_state(np, transform)
+        parity_state = self._parity_state(np, transform.code)
+        length = state.chunk_bytes
+        parity_bytes = parity_state.parity_bytes
+        m = state.m
+        n = state.n
+        cache: Dict[int, bytes] = {}
+        get = cache.get
+        pieces: List[bytes] = []
+        append = pieces.append
+        for basis in bases:
+            piece = get(basis)
+            if piece is None:
+                piece = cache[basis] = (basis << m).to_bytes(parity_bytes, "big")
+            append(piece)
+        rows = np.frombuffer(b"".join(pieces), dtype=np.uint8).reshape(
+            count, parity_bytes
+        )
+        # Parity bits are the remainder of basis * x**m — the same fold as
+        # the forward syndrome, applied to the zero-padded basis rows.
+        parities = _fold_rows(np, rows, parity_state.fold)
+        if parity_bytes == length:
+            chunks = rows.copy()
+        else:
+            chunks = np.zeros((count, length), dtype=np.uint8)
+            chunks[:, length - parity_bytes :] = rows
+        chunks[:, length - 1] |= parities
+        pointed = state.positions[np.asarray(deviations, dtype=np.int64)]
+        indices = np.flatnonzero(pointed >= 0)
+        if indices.size:
+            bits = pointed[indices]
+            chunks[indices, (length - 1) - (bits >> 3)] ^= state.bit_masks[bits & 7]
+        if state.prefix_bits:
+            shifted = np.asarray(prefixes, dtype=np.uint32) << np.uint32(n & 7)
+            anchor = length - 1 - (n >> 3)
+            for step in range((state.prefix_bits + (n & 7) + 7) // 8):
+                chunks[:, anchor - step] |= (
+                    shifted >> np.uint32(8 * step)
+                ).astype(np.uint8)
+        return chunks.tobytes()

@@ -1,0 +1,49 @@
+"""The ``pure`` codec backend: the fused byte-lane path, always available.
+
+This backend is a thin adapter over the in-process fast paths that already
+live on :class:`~repro.core.transform.GDTransform` and
+:class:`~repro.core.hamming.HammingCode` — ``bytes.translate`` lane
+reduction for syndromes/parities, big-integer XOR folds, one table lookup
+per chunk.  It exists so every batch entry point has a uniform backend
+object to dispatch through and so the other backends have a reference to
+fall back to (and be property-tested against).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.backends import BatchSplit, CodecBackend
+
+__all__ = ["PureBackend"]
+
+
+class PureBackend(CodecBackend):
+    """Reference backend built on the pure-Python fused fast paths."""
+
+    name = "pure"
+    priority = 10
+    accelerated = False
+
+    def availability_detail(self) -> str:
+        return "pure-Python fused byte-lane path (always available)"
+
+    def split_batch_fields(self, transform, data) -> List[Tuple[int, int, int]]:
+        return transform._split_batch_fields_local(data)
+
+    def split_batch_columns(self, transform, data) -> BatchSplit:
+        return BatchSplit.from_fields(
+            transform._split_batch_fields_local(data), backend=self.name
+        )
+
+    def parities_of_bases(self, code, bases: Sequence[int]) -> Sequence[int]:
+        return code.parities_of_bases(bases)
+
+    def join_batch_to_bytes(
+        self,
+        transform,
+        prefixes: Sequence[int],
+        bases: Sequence[int],
+        deviations: Sequence[int],
+    ) -> bytes:
+        return transform._join_batch_to_bytes_local(prefixes, bases, deviations)

@@ -138,6 +138,12 @@ class GDCodec:
         seed — when none is given and the policy is ``random``, a seed is
         sampled once so both sides still evict in lock-step (required for
         lossless round trips under dictionary pressure).
+    backend:
+        Codec-backend selection forwarded to
+        :class:`~repro.core.transform.GDTransform`: a registered backend
+        name, or ``None`` for the documented precedence
+        (``REPRO_GD_BACKEND``, then best available).  Backends are
+        bit-identical; this only affects batch throughput.
     """
 
     def __init__(
@@ -151,6 +157,7 @@ class GDCodec:
         static_bases: Optional[Iterable[int]] = None,
         learning_delay_chunks: int = 0,
         eviction_seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         if identifier_bits <= 0:
             raise CodingError(f"identifier_bits must be positive, got {identifier_bits}")
@@ -158,7 +165,10 @@ class GDCodec:
             raise CodingError(
                 f"alignment_padding_bits must be in 0..255, got {alignment_padding_bits}"
             )
-        self._transform = GDTransform(order=order, chunk_bits=chunk_bits)
+        self._backend = backend
+        self._transform = GDTransform(
+            order=order, chunk_bits=chunk_bits, backend=backend
+        )
         self._identifier_bits = identifier_bits
         self._mode = EncoderMode.from_name(mode)
         self._eviction_policy = EvictionPolicy.from_name(eviction_policy)
@@ -323,6 +333,7 @@ class GDCodec:
             static_bases=self._static_bases,
             learning_delay_chunks=self._learning_delay_chunks,
             eviction_seed=self._eviction_seed,
+            backend=self._backend,
         )
 
     def compress_to_container(self, data: bytes, pad: bool = True) -> bytes:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro import obs as _obs
+from repro.core.backends import MIN_BATCH_CHUNKS
 from repro.core.dictionary import BasisDictionary
 from repro.core.records import (
     CompressedRecord,
@@ -136,7 +137,22 @@ class GDDecoder:
         sequential — a type-3 record may reference a basis introduced by
         an earlier type-2 record in the same batch), the second rebuilds
         all chunks at once, recovering the parity bits of the whole batch
-        through the bulk lane reduction instead of one CRC pass per record.
+        through the bulk lane reduction — routed through the transform's
+        codec backend, which folds large batches as ndarray gathers when
+        accelerated — instead of one CRC pass per record.
+        """
+        chunks, slots, prefixes, bases, deviations = self._resolve_batch(records)
+        self._join_resolved(chunks, slots, prefixes, bases, deviations)
+        return chunks
+
+    def _resolve_batch(self, records: Iterable[GDRecord]):
+        """Pass 1: resolve records to field columns, in strict order.
+
+        Returns ``(chunks, slots, prefixes, bases, deviations)`` where
+        ``chunks`` already holds raw-record values (coded slots are zero
+        placeholders listed in ``slots``).  All dictionary learning,
+        tracing and statistics happen here, so every join strategy over
+        the columns observes identical state.
         """
         stats = self.stats
         transform = self._transform
@@ -252,33 +268,74 @@ class GDDecoder:
         stats.records += count
         stats.raw_records += raw
         stats.output_bits += raw_bits
+        return chunks, slots, prefixes, bases, deviations
 
-        if slots:
-            code = transform.code
-            if transform.fast:
-                parities = code.parities_of_bases(bases)
-                masks = code.error_masks
-                m = code.m
-                n = code.n
-                for position, slot in enumerate(slots):
-                    codeword = (bases[position] << m) | parities[position]
-                    chunks[slot] = (prefixes[position] << n) | (
-                        codeword ^ masks[deviations[position]]
-                    )
-            else:
-                join = transform.join_fields_fast  # reference path when fast=False
-                for position, slot in enumerate(slots):
-                    chunks[slot] = join(
-                        prefixes[position], bases[position], deviations[position]
-                    )
-        return chunks
+    def _join_resolved(
+        self,
+        chunks: List[int],
+        slots: List[int],
+        prefixes: List[int],
+        bases: List[int],
+        deviations: List[int],
+    ) -> None:
+        """Pass 2: rebuild every coded chunk from the resolved columns."""
+        if not slots:
+            return
+        transform = self._transform
+        code = transform.code
+        if transform.fast:
+            parities = code.parities_of_bases(
+                bases, backend=transform.backend_impl
+            )
+            masks = code.error_masks
+            m = code.m
+            n = code.n
+            for position, slot in enumerate(slots):
+                codeword = (bases[position] << m) | parities[position]
+                chunks[slot] = (prefixes[position] << n) | (
+                    codeword ^ masks[deviations[position]]
+                )
+        else:
+            join = transform.join_fields_fast  # reference path when fast=False
+            for position, slot in enumerate(slots):
+                chunks[slot] = join(
+                    prefixes[position], bases[position], deviations[position]
+                )
 
     def decode_batch_to_bytes(self, records: Iterable[GDRecord]) -> bytes:
-        """Decode a record batch and concatenate the serialised chunks."""
+        """Decode a record batch and concatenate the serialised chunks.
+
+        Statistics, dictionary learning and output bytes equal
+        :meth:`decode_batch` followed by per-chunk serialisation, but when
+        an accelerated codec backend supports the configuration the coded
+        chunks of the batch are rebuilt and serialised in one vectorized
+        pass (bulk parity fold, deviation scatter, prefix embed, single
+        ``tobytes``) instead of materialising per-chunk integers.
+        """
         transform = self._transform
-        chunks = self.decode_batch(records)
-        if transform.chunk_bits % 8 == 0:
-            chunk_bytes = transform.chunk_bytes
+        chunks, slots, prefixes, bases, deviations = self._resolve_batch(records)
+        aligned = transform.chunk_bits % 8 == 0
+        chunk_bytes = transform.chunk_bytes
+        backend = transform.backend_impl
+        if (
+            aligned
+            and transform.fast
+            and backend.accelerated
+            and len(slots) >= MIN_BATCH_CHUNKS
+            and backend.supports_join(transform)
+        ):
+            joined = backend.join_batch_to_bytes(
+                transform, prefixes, bases, deviations
+            )
+            if len(slots) == len(chunks):
+                return joined
+            pieces = [chunk.to_bytes(chunk_bytes, "big") for chunk in chunks]
+            for position, slot in enumerate(slots):
+                offset = position * chunk_bytes
+                pieces[slot] = joined[offset : offset + chunk_bytes]
+            return b"".join(pieces)
+        self._join_resolved(chunks, slots, prefixes, bases, deviations)
+        if aligned:
             return b"".join(chunk.to_bytes(chunk_bytes, "big") for chunk in chunks)
         return b"".join(transform.chunk_to_bytes(chunk) for chunk in chunks)
 

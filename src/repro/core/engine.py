@@ -257,6 +257,7 @@ class GDStreamCompressor:
         learning_delay_chunks: int = 0,
         eviction_seed: Optional[int] = None,
         static_bases: Optional[Iterable[int]] = None,
+        backend: Optional[str] = None,
     ):
         _check_random_eviction_seed(eviction_policy, eviction_seed)
         self._codec_kwargs = dict(
@@ -269,6 +270,7 @@ class GDStreamCompressor:
             learning_delay_chunks=learning_delay_chunks,
             eviction_seed=eviction_seed,
             static_bases=list(static_bases) if static_bases is not None else None,
+            backend=backend,
         )
 
     def codec(self) -> GDCodec:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.backends import MIN_BATCH_CHUNKS as _MIN_BACKEND_BASES
 from repro.core.bits import BitVector, mask
 from repro.core.crc import (
     CrcEngine,
@@ -234,7 +235,9 @@ class HammingCode:
         """
         return self._byte_remainder((basis << self._m).to_bytes(self._parity_bytes, "big"))
 
-    def parities_of_bases(self, bases: Sequence[int]) -> Sequence[int]:
+    def parities_of_bases(
+        self, bases: Sequence[int], backend=None
+    ) -> Sequence[int]:
         """Parity bits of many bases in one bulk pass (decode hot path).
 
         For orders up to 8 the parities of the whole batch come out of the
@@ -242,7 +245,19 @@ class HammingCode:
         buffer, translate its byte lanes, XOR them together); wider orders
         fall back to the per-basis fused loop.  Element ``i`` equals
         :meth:`parity_of_basis` of ``bases[i]``.
+
+        ``backend`` optionally names an accelerated
+        :class:`~repro.core.backends.CodecBackend` (the decoder passes its
+        transform's); large batches it supports then fold through ndarray
+        gathers instead of the byte-lane loop, bit-identically.
         """
+        if (
+            backend is not None
+            and backend.accelerated
+            and len(bases) >= _MIN_BACKEND_BASES
+            and backend.supports_parity(self)
+        ):
+            return backend.parities_of_bases(self, bases)
         if self._m > 8:
             fast = self.parity_of_basis_fast
             return [fast(basis) for basis in bases]

@@ -20,6 +20,12 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.core.backends import (
+    MIN_BATCH_CHUNKS,
+    BatchSplit,
+    CodecBackend,
+    resolve_backend,
+)
 from repro.core.bits import (
     BitVector,
     bits_to_bytes_len,
@@ -141,6 +147,14 @@ class GDTransform:
         per step — which the property tests compare the fast path against
         bit for bit.  ``None`` defers to the ``REPRO_GD_FAST`` environment
         variable (see :func:`fast_path_default`).
+    backend:
+        Codec backend for the batch entry points: a registered name
+        (``"pure"``, ``"numpy"``, ``"native"``), a
+        :class:`~repro.core.backends.CodecBackend` instance, or ``None``
+        to follow the documented precedence (``REPRO_GD_BACKEND``, then
+        the best available).  Accelerated backends only engage on the
+        fast path and for configurations they support; everything else
+        stays on the fused pure loop.  All backends are bit-identical.
     """
 
     def __init__(
@@ -149,6 +163,7 @@ class GDTransform:
         chunk_bits: int | None = None,
         polynomial: int | None = None,
         fast: Optional[bool] = None,
+        backend: "str | CodecBackend | None" = None,
     ):
         self._code = HammingCode(order, polynomial)
         n = self._code.n
@@ -161,6 +176,7 @@ class GDTransform:
         self._chunk_bits = chunk_bits
         self._prefix_bits = chunk_bits - n
         self._fast = fast_path_default() if fast is None else bool(fast)
+        self._backend = resolve_backend(backend)
         # Fused-path constants, bound once: the shared byte→remainder
         # closure, the syndrome→XOR-mask array, and the per-prefix syndrome
         # correction.  A whole chunk's remainder splits linearly as
@@ -218,6 +234,16 @@ class GDTransform:
     def fast(self) -> bool:
         """True when the fused table-driven fast path is active."""
         return self._fast
+
+    @property
+    def backend(self) -> str:
+        """Name of the resolved codec backend (``pure``/``numpy``/...)."""
+        return self._backend.name
+
+    @property
+    def backend_impl(self) -> CodecBackend:
+        """The resolved backend instance the batch entry points dispatch to."""
+        return self._backend
 
     @property
     def uncompressed_bits(self) -> int:
@@ -377,7 +403,56 @@ class GDTransform:
     def split_batch_fields(
         self, data: "bytes | bytearray | memoryview"
     ) -> List[GDFields]:
-        """The fused hot loop: buffer of whole chunks → list of field triples.
+        """The batch hot entry point: buffer of whole chunks → field triples.
+
+        Dispatches to the configured codec backend: an accelerated backend
+        (``numpy``) computes the whole buffer's syndromes, bases and
+        deviations as ndarray operations; otherwise the fused pure loop of
+        :meth:`_split_batch_fields_local` runs.  Batches shorter than
+        :data:`~repro.core.backends.MIN_BATCH_CHUNKS`, configurations the
+        backend does not support, and ``fast=False`` transforms always use
+        the pure path.  Every backend is bit-identical, so callers never
+        observe which one ran.
+        """
+        backend = self._backend
+        if (
+            backend.accelerated
+            and self._fast
+            and len(data) >= self.chunk_bytes * MIN_BATCH_CHUNKS
+            and backend.supports_transform(self)
+        ):
+            return backend.split_batch_fields(self, data)
+        return self._split_batch_fields_local(data)
+
+    def split_batch_columns(
+        self, data: "bytes | bytearray | memoryview"
+    ) -> BatchSplit:
+        """Whole-buffer split in the backend's columnar representation.
+
+        Same dispatch rules as :meth:`split_batch_fields`, but the result
+        stays in the producing backend's natural shape — for ``numpy``,
+        parallel prefix/deviation arrays and a basis byte matrix — and the
+        classic tuple list is materialised lazily via
+        :meth:`BatchSplit.fields`.  This is the cheapest way to consume a
+        whole trace when only column-level access is needed, and the shape
+        the hot-path benchmark times per backend.
+        """
+        backend = self._backend
+        if (
+            backend.accelerated
+            and self._fast
+            and len(data) >= self.chunk_bytes * MIN_BATCH_CHUNKS
+            and backend.supports_transform(self)
+        ):
+            return backend.split_batch_columns(self, data)
+        return BatchSplit.from_fields(
+            self._split_batch_fields_local(data), backend="pure"
+        )
+
+    def _split_batch_fields_local(
+        self, data: "bytes | bytearray | memoryview"
+    ) -> List[GDFields]:
+        """The fused pure loop: buffer of whole chunks → list of field triples.
 
         One table-driven pass per chunk — ``int.from_bytes`` for the value,
         the shared CRC byte loop over the chunk's own bytes for the
@@ -480,6 +555,45 @@ class GDTransform:
                 deviation = remainder(piece)
             append((prefix, (body ^ masks[deviation]) >> m, deviation))
         return fields
+
+    def _join_batch_to_bytes_local(
+        self,
+        prefixes: "List[int]",
+        bases: "List[int]",
+        deviations: "List[int]",
+    ) -> bytes:
+        """Pure bulk inverse: resolved field columns → concatenated chunks.
+
+        The decode-direction twin of :meth:`_split_batch_fields_local`:
+        parity bits for the whole batch through the bulk lane reduction,
+        then one combine + ``to_bytes`` per chunk.  Callers guarantee the
+        field widths (the decoder validates records once per batch) and a
+        byte-aligned ``chunk_bits``.
+        """
+        chunk_bytes = self.chunk_bytes
+        code = self._code
+        if not self._fast:
+            join = self.join_fields_fast  # reference layer when fast=False
+            return b"".join(
+                join(prefixes[index], bases[index], deviations[index]).to_bytes(
+                    chunk_bytes, "big"
+                )
+                for index in range(len(bases))
+            )
+        parities = code.parities_of_bases(bases)
+        masks = self._error_masks
+        m = code.m
+        n = code.n
+        pieces: List[bytes] = []
+        append = pieces.append
+        for index in range(len(bases)):
+            codeword = (bases[index] << m) | parities[index]
+            append(
+                (
+                    (prefixes[index] << n) | (codeword ^ masks[deviations[index]])
+                ).to_bytes(chunk_bytes, "big")
+            )
+        return b"".join(pieces)
 
     def iter_split(self, chunks: Iterable[ChunkLike]) -> Iterator[GDParts]:
         """Lazily transform an iterable of chunks."""

@@ -20,6 +20,10 @@ class ChunkSizeError(CodingError):
     """Raised when a data chunk does not match the configured chunk size."""
 
 
+class BackendError(CodingError):
+    """Raised for unknown or unavailable codec backends."""
+
+
 class DictionaryError(ReproError):
     """Raised for invalid basis-dictionary operations."""
 

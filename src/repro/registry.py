@@ -17,9 +17,20 @@ name — this is how ``repro decompress`` picks the right decoder without a
 The registry ships with the four built-ins (``gd``, ``gzip``, ``dedup``,
 ``null``); downstream code can :func:`register` additional factories.
 
+Next to the compressor registry lives the **codec-backend** registry
+(re-exported from :mod:`repro.core.backends`): the ``pure``/``numpy``/
+``native`` implementations of the GD batch hot paths.  Backends are
+orthogonal to codecs — every codec built here accepts ``backend=...`` —
+and bit-identical to one another, so they select performance, never
+format::
+
+    registry.get("gd", backend="numpy")   # explicit vectorized backend
+
 >>> from repro import registry
 >>> registry.names()
 ['dedup', 'gd', 'gzip', 'null']
+>>> registry.backend_names()
+['native', 'numpy', 'pure']
 >>> registry.sniff(registry.magic_for("gd") + b"...")
 'gd'
 >>> blocks = registry.get("null").compress_stream([b"payload"])
@@ -31,6 +42,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.core.backends import (
+    available_backend_names,
+    backend_names,
+    backend_status,
+    default_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.engine import (
     Compressor,
     DedupStreamCompressor,
@@ -40,7 +60,22 @@ from repro.core.engine import (
 )
 from repro.exceptions import ReproError
 
-__all__ = ["register", "get", "names", "sniff", "magic_for", "get_for_header"]
+__all__ = [
+    "register",
+    "get",
+    "names",
+    "sniff",
+    "magic_for",
+    "get_for_header",
+    # codec-backend registry (repro.core.backends)
+    "available_backend_names",
+    "backend_names",
+    "backend_status",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
 
 _FACTORIES: Dict[str, Callable[..., Compressor]] = {}
 _MAGICS: Dict[str, bytes] = {}

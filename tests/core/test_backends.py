@@ -1,0 +1,386 @@
+"""Property tests: every codec backend is bit-identical to the reference.
+
+The backend matrix sweeps Hamming orders 3..8 × prefix widths ×
+``REPRO_GD_FAST`` ∈ {0, 1} × every available backend and requires exact
+equality of splits, columns, joins, batch decodes, container bytes and
+dictionary state under eviction pressure.  The selection tests pin the
+documented precedence (argument > ``REPRO_GD_BACKEND`` > best available)
+and the error behaviour when a named backend is not importable — the
+numpy-less case is simulated by monkeypatching the lazy probe, so the
+test runs in every environment.
+"""
+
+import random
+
+import pytest
+
+from repro import registry
+from repro.core import backends
+from repro.core.backends import (
+    MIN_BATCH_CHUNKS,
+    BatchSplit,
+    CodecBackend,
+    numpy_backend,
+)
+from repro.core.codec import GDCodec
+from repro.core.decoder import GDDecoder
+from repro.core.dictionary import BasisDictionary, EvictionPolicy
+from repro.core.records import RawRecord
+from repro.core.transform import GDTransform
+from repro.exceptions import BackendError, ChunkSizeError
+from repro.workloads import SyntheticSensorWorkload
+
+ORDERS = range(3, 9)
+PREFIX_EXTRAS = (0, 1, 3, 7, 8, 13)
+
+AVAILABLE = backends.available_backend_names()
+ACCELERATED = [
+    name
+    for name in AVAILABLE
+    if backends.get_backend(name).accelerated
+]
+
+
+def _random_buffer(transform, count, rng, clustered=False):
+    """``count`` random chunks as one contiguous buffer."""
+    code = transform.code
+    chunks = []
+    for _ in range(count):
+        if clustered and rng.random() < 0.7:
+            basis = rng.randrange(8)
+            body = code.encode(basis)
+            if rng.random() < 0.8:
+                body ^= 1 << rng.randrange(code.n)
+            value = (rng.getrandbits(transform.prefix_bits) << code.n) | body
+        else:
+            value = rng.getrandbits(transform.chunk_bits)
+        chunks.append(value.to_bytes(transform.chunk_bytes, "big"))
+    return b"".join(chunks)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"pure", "numpy", "native"} <= set(backends.backend_names())
+        assert "pure" in AVAILABLE
+        assert "native" not in AVAILABLE  # stub slot, never available
+
+    def test_pure_is_always_available(self):
+        assert backends.get_backend("pure").available()
+
+    def test_unknown_backend_errors_with_known_names(self):
+        with pytest.raises(BackendError, match="unknown codec backend"):
+            backends.get_backend("simd")
+        with pytest.raises(BackendError, match="pure"):
+            backends.resolve_backend("simd")
+
+    def test_native_stub_is_unavailable_with_actionable_detail(self):
+        native = backends.get_backend("native")
+        assert not native.available()
+        assert "docs/backends.md" in native.availability_detail()
+        with pytest.raises(BackendError, match="not available"):
+            backends.resolve_backend("native")
+        with pytest.raises(BackendError):
+            native.split_batch_fields(GDTransform(order=3, backend="pure"), b"")
+
+    def test_duplicate_registration_requires_replace(self, monkeypatch):
+        monkeypatch.setattr(backends, "_BACKENDS", dict(backends._BACKENDS))
+
+        class Dummy(CodecBackend):
+            name = "pure"
+
+        with pytest.raises(BackendError, match="already registered"):
+            backends.register_backend(Dummy())
+        backends.register_backend(Dummy(), replace=True)
+        assert isinstance(backends.get_backend("pure"), Dummy)
+
+    def test_backend_status_rows(self):
+        rows = {row["name"]: row for row in backends.backend_status()}
+        assert rows["pure"]["available"] is True
+        assert rows["native"]["available"] is False
+        assert sum(1 for row in rows.values() if row["default"]) == 1
+
+    def test_registry_module_reexports_backend_registry(self):
+        assert registry.backend_names() == backends.backend_names()
+        assert registry.available_backend_names() == AVAILABLE
+        assert registry.get_backend("pure") is backends.get_backend("pure")
+        assert registry.default_backend().name == backends.default_backend().name
+
+
+class TestSelection:
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_BACKEND", "native")
+        assert GDTransform(order=8, backend="pure").backend == "pure"
+
+    def test_environment_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_BACKEND", "pure")
+        assert GDTransform(order=8).backend == "pure"
+
+    def test_auto_is_best_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GD_BACKEND", raising=False)
+        expected = max(
+            (backends.get_backend(name) for name in AVAILABLE),
+            key=lambda backend: backend.priority,
+        ).name
+        assert GDTransform(order=8).backend == expected
+        assert GDTransform(order=8, backend="auto").backend == expected
+
+    def test_environment_naming_unavailable_backend_errors(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_BACKEND", "native")
+        with pytest.raises(BackendError, match="REPRO_GD_BACKEND"):
+            GDTransform(order=8)
+
+    def test_numpy_selection_errors_clearly_without_numpy(self, monkeypatch):
+        """``REPRO_GD_BACKEND=numpy`` on a numpy-less interpreter must fail
+        with a message naming the backend and the missing dependency."""
+        monkeypatch.setattr(
+            numpy_backend,
+            "_PROBE",
+            (None, "numpy is not installed (No module named 'numpy'); "
+                   "install the 'fast' extra to enable this backend"),
+        )
+        monkeypatch.setenv("REPRO_GD_BACKEND", "numpy")
+        with pytest.raises(BackendError) as excinfo:
+            GDTransform(order=8)
+        message = str(excinfo.value)
+        assert "numpy" in message
+        assert "not available" in message
+        assert "fast" in message
+
+    def test_auto_falls_back_to_pure_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(numpy_backend, "_PROBE", (None, "numpy is not installed"))
+        monkeypatch.delenv("REPRO_GD_BACKEND", raising=False)
+        transform = GDTransform(order=8)
+        assert transform.backend == "pure"
+        data = _random_buffer(transform, 40, random.Random(1))
+        reference = GDTransform(order=8, fast=False, backend="pure")
+        assert transform.split_batch_fields(data) == reference.split_batch_fields(data)
+
+    def test_codec_and_compressor_registry_accept_backend(self):
+        for name in AVAILABLE:
+            codec = GDCodec(identifier_bits=6, backend=name)
+            assert codec.transform.backend == name
+            assert codec.clone().transform.backend == name
+            compressor = registry.get("gd", backend=name)
+            assert compressor.codec().transform.backend == name
+
+
+class TestBatchSplitApi:
+    def test_columns_expose_fields_and_columns(self):
+        transform = GDTransform(order=8, backend="pure")
+        data = _random_buffer(transform, 40, random.Random(2))
+        split = transform.split_batch_columns(data)
+        fields = transform.split_batch_fields(data)
+        assert split.fields() == fields
+        assert len(split) == 40
+        assert split.prefixes() == [prefix for prefix, _, _ in fields]
+        assert split.bases() == [basis for _, basis, _ in fields]
+        assert split.deviations() == [deviation for _, _, deviation in fields]
+        assert split == BatchSplit.from_fields(fields, backend="elsewhere")
+        assert "BatchSplit" in repr(split)
+
+
+@pytest.mark.parametrize("fast_env", ["0", "1"])
+@pytest.mark.parametrize("order", ORDERS)
+class TestEquivalenceMatrix:
+    """orders × prefix widths × REPRO_GD_FAST × available backends."""
+
+    def test_splits_columns_and_joins_match_reference(
+        self, order, fast_env, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_GD_FAST", fast_env)
+        rng = random.Random(order * 13 + int(fast_env))
+        n = (1 << order) - 1
+        for extra_bits in PREFIX_EXTRAS:
+            chunk_bits = n + extra_bits
+            reference = GDTransform(
+                order=order, chunk_bits=chunk_bits, fast=False, backend="pure"
+            )
+            transforms = {
+                name: GDTransform(order=order, chunk_bits=chunk_bits, backend=name)
+                for name in AVAILABLE
+            }
+            data = _random_buffer(transforms["pure"], 72, rng)
+            expected = reference.split_batch_fields(data)
+            for name, transform in transforms.items():
+                assert transform.split_batch_fields(data) == expected, (
+                    name,
+                    order,
+                    extra_bits,
+                )
+                columns = transform.split_batch_columns(data)
+                assert columns.fields() == expected
+            if chunk_bits % 8 == 0:
+                prefixes = [prefix for prefix, _, _ in expected]
+                bases = [basis for _, basis, _ in expected]
+                deviations = [deviation for _, _, deviation in expected]
+                for name, transform in transforms.items():
+                    backend = transform.backend_impl
+                    if not (backend.accelerated and backend.supports_join(transform)):
+                        continue
+                    assert (
+                        backend.join_batch_to_bytes(
+                            transform, prefixes, bases, deviations
+                        )
+                        == data
+                    ), (name, order, extra_bits)
+
+    def test_batch_decode_matches_reference(self, order, fast_env, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_FAST", fast_env)
+        rng = random.Random(order * 17 + int(fast_env))
+        for name in AVAILABLE:
+            codec = GDCodec(order=order, identifier_bits=5, backend=name)
+            data = _random_buffer(codec.transform, 90, rng, clustered=True)
+            records = list(codec.compress(data).records)
+            # interleave raw records to exercise the mixed decode path
+            raw = RawRecord(chunk=0, chunk_bits=codec.transform.chunk_bits)
+            mixed = records[:3] + [raw] + records[3:] + [raw]
+
+            backend_decoder = GDDecoder(
+                GDTransform(order=order, backend=name), BasisDictionary(1 << 5)
+            )
+            reference_decoder = GDDecoder(
+                GDTransform(order=order, fast=False, backend="pure"),
+                BasisDictionary(1 << 5),
+            )
+            chunks = backend_decoder.decode_batch(mixed)
+            assert chunks == reference_decoder.decode_batch(mixed)
+            assert (
+                backend_decoder.stats.as_dict() == reference_decoder.stats.as_dict()
+            )
+
+            bytes_decoder = GDDecoder(
+                GDTransform(order=order, backend=name), BasisDictionary(1 << 5)
+            )
+            reference_bytes_decoder = GDDecoder(
+                GDTransform(order=order, fast=False, backend="pure"),
+                BasisDictionary(1 << 5),
+            )
+            assert bytes_decoder.decode_batch_to_bytes(
+                mixed
+            ) == reference_bytes_decoder.decode_batch_to_bytes(mixed)
+            assert (
+                bytes_decoder.stats.as_dict()
+                == reference_bytes_decoder.stats.as_dict()
+            )
+
+    def test_bulk_parities_match_reference(self, order, fast_env, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_FAST", fast_env)
+        rng = random.Random(order * 19)
+        code = GDTransform(order=order, backend="pure").code
+        bases = [rng.getrandbits(code.k) for _ in range(60)] + [0, (1 << code.k) - 1]
+        expected = [code.parity_of_basis(basis) for basis in bases]
+        assert list(code.parities_of_bases(bases)) == expected
+        for name in ACCELERATED:
+            backend = backends.get_backend(name)
+            assert (
+                list(code.parities_of_bases(bases, backend=backend)) == expected
+            ), name
+            if backend.supports_parity(code):
+                assert list(backend.parities_of_bases(code, bases)) == expected
+
+
+class TestContainerEquivalence:
+    @pytest.mark.parametrize("backend_name", AVAILABLE)
+    def test_container_roundtrip_bit_identical(self, backend_name):
+        data = b"".join(
+            SyntheticSensorWorkload(
+                num_chunks=400, distinct_bases=25, seed=6
+            ).chunks()
+        )
+        pure_codec = GDCodec(order=8, identifier_bits=6, backend="pure")
+        codec = GDCodec(order=8, identifier_bits=6, backend=backend_name)
+        container = codec.compress_to_container(data)
+        assert container == pure_codec.compress_to_container(data)
+        assert codec.clone().decompress_container(container) == data
+
+    @pytest.mark.parametrize("backend_name", AVAILABLE)
+    def test_eviction_pressure_dictionary_state_identical(self, backend_name):
+        """Tiny dictionary + seeded random eviction: every backend walks the
+        same insert/evict sequence and ends in the same dictionary state."""
+        data = b"".join(
+            SyntheticSensorWorkload(
+                num_chunks=600, distinct_bases=40, seed=9
+            ).chunks()
+        )
+        snapshots = {}
+        containers = {}
+        for name in ("pure", backend_name):
+            codec = GDCodec(
+                order=8,
+                identifier_bits=4,
+                eviction_policy=EvictionPolicy.RANDOM,
+                eviction_seed=4321,
+                backend=name,
+            )
+            assert codec.roundtrip(data) == data
+            containers[name] = codec.compress_to_container(data)
+            codec.compress(data)
+            snapshots[name] = codec.encoder.dictionary.snapshot()
+        assert containers[backend_name] == containers["pure"]
+        assert snapshots[backend_name] == snapshots["pure"]
+
+    @pytest.mark.parametrize("backend_name", AVAILABLE)
+    def test_env_forced_backend_full_roundtrip(self, backend_name, monkeypatch):
+        monkeypatch.setenv("REPRO_GD_BACKEND", backend_name)
+        codec = GDCodec(order=8, identifier_bits=6)
+        assert codec.transform.backend == backend_name
+        data = b"".join(
+            SyntheticSensorWorkload(num_chunks=200, distinct_bases=12, seed=2).chunks()
+        )
+        assert codec.roundtrip(data) == data
+
+
+class TestDispatchBoundaries:
+    @pytest.mark.parametrize("backend_name", ACCELERATED)
+    def test_small_batches_stay_correct(self, backend_name):
+        transform = GDTransform(order=8, backend=backend_name)
+        reference = GDTransform(order=8, fast=False, backend="pure")
+        rng = random.Random(3)
+        for count in (0, 1, MIN_BATCH_CHUNKS - 1, MIN_BATCH_CHUNKS):
+            data = _random_buffer(transform, count, rng)
+            assert transform.split_batch_fields(data) == reference.split_batch_fields(
+                data
+            )
+
+    @pytest.mark.parametrize("backend_name", ACCELERATED)
+    def test_invalid_chunk_value_raises_same_error(self, backend_name):
+        transform = GDTransform(order=8, chunk_bits=255, backend=backend_name)
+        pure = GDTransform(order=8, chunk_bits=255, backend="pure")
+        bad = b"\xff" * (32 * (MIN_BATCH_CHUNKS + 4))
+        with pytest.raises(ChunkSizeError) as backend_error:
+            transform.split_batch_fields(bad)
+        with pytest.raises(ChunkSizeError) as pure_error:
+            pure.split_batch_fields(bad)
+        assert str(backend_error.value) == str(pure_error.value)
+
+    @pytest.mark.parametrize("backend_name", ACCELERATED)
+    def test_misaligned_length_raises_same_error(self, backend_name):
+        transform = GDTransform(order=8, backend=backend_name)
+        pure = GDTransform(order=8, backend="pure")
+        bad = b"\x00" * (32 * MIN_BATCH_CHUNKS + 1)
+        with pytest.raises(ChunkSizeError) as backend_error:
+            transform.split_batch_fields(bad)
+        with pytest.raises(ChunkSizeError) as pure_error:
+            pure.split_batch_fields(bad)
+        assert str(backend_error.value) == str(pure_error.value)
+
+    @pytest.mark.parametrize("backend_name", ACCELERATED)
+    def test_memoryview_and_bytearray_inputs(self, backend_name):
+        transform = GDTransform(order=8, backend=backend_name)
+        data = _random_buffer(transform, 48, random.Random(5))
+        expected = transform.split_batch_fields(data)
+        assert transform.split_batch_fields(bytearray(data)) == expected
+        padded = b"\xff" * 32 + data + b"\xff" * 7
+        view = memoryview(padded)[32 : 32 + len(data)]
+        assert transform.split_batch_fields(view) == expected
+
+    def test_unsupported_order_falls_back_to_pure_loop(self):
+        """Orders above 8 are outside every accelerated backend's envelope;
+        the dispatch must quietly run the pure loop."""
+        for name in AVAILABLE:
+            transform = GDTransform(order=9, backend=name)
+            reference = GDTransform(order=9, fast=False, backend="pure")
+            data = _random_buffer(transform, MIN_BATCH_CHUNKS + 8, random.Random(7))
+            assert transform.split_batch_fields(data) == reference.split_batch_fields(
+                data
+            )
