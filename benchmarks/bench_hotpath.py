@@ -25,10 +25,12 @@ Measured stages:
    pipeline, with byte-identical output asserted;
 4. *backend matrix* — every available codec backend (``pure``, ``numpy``
    when installed) over the same corpus: whole-buffer field split,
-   columnar batch split, bulk parity and batch join.  Each backend's
-   output is asserted bit-identical to ``pure`` before it is timed, and
-   the numpy-vs-pure batch speedup is guarded by a hard floor plus the
-   committed same-backend generation in ``BENCH_hotpath.json``.
+   columnar batch split, bulk parity, batch join, whole-buffer batch CRC
+   (``crc_batch``) and the batched container pipeline
+   (``codec_compress_batch`` / ``codec_decompress_batch``).  Each
+   backend's output is asserted bit-identical to ``pure`` before it is
+   timed, and the numpy-vs-pure batch speedups are guarded by hard floors
+   plus the committed same-backend generations in ``BENCH_hotpath.json``.
 
 ``REPRO_BENCH_BACKENDS`` (comma-separated names) restricts the backend
 matrix — ``repro bench --suite hotpath --backend numpy`` sets it.  The
@@ -40,6 +42,7 @@ guards only ever compare generations recorded for the same backend.
 checks and the regression guards hold in both modes.
 """
 
+import dataclasses
 import json
 import os
 import random
@@ -80,6 +83,11 @@ MIN_SWITCH_SPEEDUP = 1.8
 #: much on the columnar split (the acceptance criterion is 5x over the
 #: committed absolute baseline; the measured ratio is ~8x).
 MIN_NUMPY_BATCH_SPEEDUP = 3.0
+
+#: The batched end-to-end compress on the numpy backend must reach at
+#: least this multiple of the committed ``codec_compress_mbps`` absolute
+#: baseline (12.3 MB/s → floor 49.2 MB/s; measured ~65 MB/s).
+MIN_NUMPY_COMPRESS_VS_COMMITTED = 4.0
 
 #: Optional comma-separated backend filter (set by ``repro bench --backend``).
 BACKEND_FILTER = os.environ.get("REPRO_BENCH_BACKENDS", "")
@@ -269,6 +277,19 @@ def test_hotpath_trajectory():
     backend_results = {}
     pure_bases = [basis for _, basis, _ in fast_fields]
     pure_parities = list(fast_transform.code.parities_of_bases(pure_bases))
+    # Whole-buffer batch CRC reference: the switch fast path's chunk CRC
+    # (plain remainder over one chunk width), pure fold.
+    crc_record_bits = 8 * chunk_bytes
+    pure_crcs = fast_transform.code.crc_engine.compute_batch_pure(
+        data, crc_record_bits
+    )
+    # Batched container reference: the eager per-record serialisation —
+    # every backend's batch pipeline must produce these exact bytes.
+    eager_codec = GDCodec(order=8, identifier_bits=15, backend="pure")
+    eager_result = eager_codec.compress(data)
+    eager_container = eager_codec.to_container(
+        dataclasses.replace(eager_result, records=tuple(eager_result.records))
+    )
     for name in backend_names:
         transform = GDTransform(order=8, backend=name)
         # correctness before timing: every backend must reproduce the
@@ -300,16 +321,66 @@ def test_hotpath_trajectory():
         join_seconds = _best_seconds(
             lambda: _join_batch(transform, prefixes, pure_bases, deviations)
         )
+
+        # batch CRC: one whole-buffer call, bit-identical to the pure fold.
+        crc_engine = transform.code.crc_engine
+        batch_crcs = crc_engine.compute_batch(data, crc_record_bits, backend=name)
+        assert batch_crcs == pure_crcs, f"backend {name!r} batch CRCs diverged"
+        crc_seconds = _best_seconds(
+            lambda: crc_engine.compute_batch(data, crc_record_bits, backend=name)
+        )
+
+        # batched codec pipeline: compress (timed like the committed
+        # ``codec_compress`` baseline), then the container pack and the
+        # columnar container decode, all equality-asserted before timing.
+        codec = GDCodec(order=8, identifier_bits=15, backend=name)
+        blob = codec.to_container(codec.compress(data))
+        assert blob == eager_container, (
+            f"backend {name!r} batched container diverged from the "
+            "per-record serialisation"
+        )
+        assert (
+            GDCodec(order=8, identifier_bits=15, backend=name).decompress_container(
+                blob
+            )
+            == data
+        ), f"backend {name!r} batched container round trip failed"
+        compress_batch_seconds = _best_seconds(
+            lambda: GDCodec(order=8, identifier_bits=15, backend=name).compress(data)
+        )
+        decompress_batch_seconds = _best_seconds(
+            lambda: GDCodec(
+                order=8, identifier_bits=15, backend=name
+            ).decompress_container(blob)
+        )
+
         backend_results[name] = {
             "transform_fields_mbps": total_bytes / fields_seconds / 1e6,
             "transform_batch_mbps": total_bytes / batch_seconds / 1e6,
             "parity_batch_mparities_per_s": len(pure_bases) / parity_seconds / 1e6,
             "join_batch_mbps": total_bytes / join_seconds / 1e6,
+            "crc_batch_mbps": total_bytes / crc_seconds / 1e6,
+            "codec_compress_batch_mbps": total_bytes / compress_batch_seconds / 1e6,
+            "codec_decompress_batch_mbps": (
+                total_bytes / decompress_batch_seconds / 1e6
+            ),
         }
     pure_batch_mbps = backend_results["pure"]["transform_batch_mbps"]
+    pure_metrics = backend_results["pure"]
     for name, metrics in backend_results.items():
         metrics["batch_speedup_vs_pure"] = (
             metrics["transform_batch_mbps"] / pure_batch_mbps
+        )
+        metrics["crc_batch_speedup_vs_pure"] = (
+            metrics["crc_batch_mbps"] / pure_metrics["crc_batch_mbps"]
+        )
+        metrics["compress_batch_speedup_vs_pure"] = (
+            metrics["codec_compress_batch_mbps"]
+            / pure_metrics["codec_compress_batch_mbps"]
+        )
+        metrics["decompress_batch_speedup_vs_pure"] = (
+            metrics["codec_decompress_batch_mbps"]
+            / pure_metrics["codec_decompress_batch_mbps"]
         )
 
     # -- report -------------------------------------------------------------
@@ -352,6 +423,15 @@ def test_hotpath_trajectory():
                  f"{metrics['parity_batch_mparities_per_s']:.2f} Mparity/s", ""],
                 [f"[{name}] join batch",
                  f"{metrics['join_batch_mbps']:.1f} MB/s", ""],
+                [f"[{name}] crc batch",
+                 f"{metrics['crc_batch_mbps']:.1f} MB/s",
+                 f"{metrics['crc_batch_speedup_vs_pure']:.1f}x vs pure"],
+                [f"[{name}] codec compress batch",
+                 f"{metrics['codec_compress_batch_mbps']:.1f} MB/s",
+                 f"{metrics['compress_batch_speedup_vs_pure']:.1f}x vs pure"],
+                [f"[{name}] codec decompress batch",
+                 f"{metrics['codec_decompress_batch_mbps']:.1f} MB/s",
+                 f"{metrics['decompress_batch_speedup_vs_pure']:.1f}x vs pure"],
             ]
         )
     table = format_table(
@@ -379,6 +459,16 @@ def test_hotpath_trajectory():
         )
     trajectory = _load_trajectory()
     baseline = trajectory.get("baseline")
+    if "numpy" in backend_results and baseline is not None:
+        committed_compress = baseline.get("absolute", {}).get("codec_compress_mbps")
+        if committed_compress:
+            floor = MIN_NUMPY_COMPRESS_VS_COMMITTED * committed_compress
+            current = backend_results["numpy"]["codec_compress_batch_mbps"]
+            assert current >= floor, (
+                f"numpy batched compress only {current:.1f} MB/s; the "
+                f"acceptance floor is {MIN_NUMPY_COMPRESS_VS_COMMITTED}x the "
+                f"committed {committed_compress} MB/s baseline ({floor:.1f})"
+            )
     if baseline is not None:
         ratios = baseline.get("speedups", {})
         # Older baselines predate the backend registry and carry no
@@ -392,8 +482,14 @@ def test_hotpath_trajectory():
         if name not in backend_results:
             continue  # backend filtered out or unavailable here
         speedups = generation.get("speedups", {})
-        _guard(
-            f"{name} batch speedup vs pure",
-            backend_results[name]["batch_speedup_vs_pure"],
-            speedups.get("batch_vs_pure"),
-        )
+        for committed_key, metric_key in (
+            ("batch_vs_pure", "batch_speedup_vs_pure"),
+            ("crc_batch_vs_pure", "crc_batch_speedup_vs_pure"),
+            ("compress_batch_vs_pure", "compress_batch_speedup_vs_pure"),
+            ("decompress_batch_vs_pure", "decompress_batch_speedup_vs_pure"),
+        ):
+            _guard(
+                f"{name} {committed_key.replace('_', ' ')}",
+                backend_results[name][metric_key],
+                speedups.get(committed_key),
+            )

@@ -406,7 +406,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", nargs="*", default=None, metavar="STAGE",
         help="profile hot-path stages with cProfile instead of running "
              "benchmark files; stages: encode, decode, transform, "
-             "transform-batch, parity-batch, switch-encode, switch-decode "
+             "transform-batch, parity-batch, crc-batch, encode-batch, "
+             "decode-batch, switch-encode, switch-decode "
              "(bare --profile = encode decode)",
     )
     bench.add_argument(
@@ -471,13 +472,15 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
                 "yes" if status["available"] else "no",
                 str(status["priority"]),
                 "yes" if status["default"] else "",
+                "yes" if status.get("crc_batch") else "no",
                 status["detail"] or "",
             ]
             for status in registry.backend_status()
         ]
         print(
             format_table(
-                ["backend", "available", "priority", "default", "detail"],
+                ["backend", "available", "priority", "default", "crc batch",
+                 "detail"],
                 rows,
                 title="codec backends (select with --backend/REPRO_GD_BACKEND)",
             )
@@ -862,6 +865,7 @@ def _resolve_benchmarks(names: Sequence[str], directory: Path) -> List[Path]:
 #: Stages ``repro bench --profile`` knows how to isolate.
 PROFILE_STAGES = (
     "encode", "decode", "transform", "transform-batch", "parity-batch",
+    "crc-batch", "encode-batch", "decode-batch",
     "switch-encode", "switch-decode",
 )
 
@@ -980,6 +984,42 @@ def _profile_hot_paths(
                  f"(backend {transform.backend})")
         return title, profile
 
+    def profile_crc_batch():
+        transform = GDTransform(order=8, backend=backend)
+        engine = transform.code.crc_engine
+        record_bits = 8 * transform.chunk_bytes
+        _, profile = run_profiled(
+            lambda: engine.compute_batch(data, record_bits, backend=backend)
+        )
+        title = (f"crc-batch: compute_batch over {len(data):,} bytes "
+                 f"({chunks:,} records of {record_bits} bits, "
+                 f"backend {transform.backend})")
+        return title, profile
+
+    def profile_encode_batch():
+        codec = GDCodec(order=8, identifier_bits=15, backend=backend)
+        blob, profile = run_profiled(
+            lambda: codec.to_container(codec.compress(data))
+        )
+        title = (f"encode-batch: compress + pack_stream container of "
+                 f"{len(data):,} bytes -> {len(blob):,} bytes")
+        return title, profile
+
+    def profile_decode_batch():
+        codec = GDCodec(order=8, identifier_bits=15, backend=backend)
+        blob = codec.to_container(codec.compress(data))
+        decoder = codec.clone()
+        restored, profile = run_profiled(
+            lambda: decoder.decompress_container(blob)
+        )
+        if restored != data:
+            raise ReproError(
+                "profile round trip corrupted the data (fast-path bug?)"
+            )
+        title = (f"decode-batch: columnar decompress_container of "
+                 f"{len(blob):,} container bytes")
+        return title, profile
+
     def build_switch_pair():
         from repro.controlplane.manager import ZipLineControlPlane
         from repro.zipline.decoder_switch import ZipLineDecoderSwitch
@@ -1035,6 +1075,9 @@ def _profile_hot_paths(
         "transform": profile_transform,
         "transform-batch": profile_transform_batch,
         "parity-batch": profile_parity_batch,
+        "crc-batch": profile_crc_batch,
+        "encode-batch": profile_encode_batch,
+        "decode-batch": profile_decode_batch,
         "switch-encode": profile_switch_encode,
         "switch-decode": profile_switch_decode,
     }

@@ -84,7 +84,7 @@ class BatchSplit:
     suite asserts across backends.
     """
 
-    __slots__ = ("count", "backend", "_materialize", "_fields")
+    __slots__ = ("count", "backend", "_materialize", "_fields", "_columns", "_cols")
 
     def __init__(
         self,
@@ -92,11 +92,16 @@ class BatchSplit:
         backend: str,
         materialize: Callable[[], List[Tuple[int, int, int]]],
         fields: Optional[List[Tuple[int, int, int]]] = None,
+        columns: Optional[
+            Callable[[], Tuple[List[int], List[int], List[int]]]
+        ] = None,
     ):
         self.count = count
         self.backend = backend
         self._materialize = materialize
         self._fields = fields
+        self._columns = columns
+        self._cols: Optional[Tuple[List[int], List[int], List[int]]] = None
 
     @classmethod
     def from_fields(
@@ -108,20 +113,44 @@ class BatchSplit:
     def fields(self) -> List[Tuple[int, int, int]]:
         """The split as ``(prefix, basis, deviation)`` tuples (cached)."""
         if self._fields is None:
-            self._fields = self._materialize()
+            if self._cols is not None:
+                prefixes, bases, deviations = self._cols
+                self._fields = list(zip(prefixes, bases, deviations))
+            else:
+                self._fields = self._materialize()
         return self._fields
+
+    def columns(self) -> Tuple[List[int], List[int], List[int]]:
+        """The split as three parallel columns (cached).
+
+        Accelerated backends provide a native column thunk that skips the
+        per-chunk tuple zip entirely — the batched encoder consumes the
+        basis column alone, which is several times cheaper than the full
+        field list.
+        """
+        if self._cols is None:
+            if self._fields is not None or self._columns is None:
+                fields = self.fields()
+                self._cols = (
+                    [prefix for prefix, _, _ in fields],
+                    [basis for _, basis, _ in fields],
+                    [deviation for _, _, deviation in fields],
+                )
+            else:
+                self._cols = self._columns()
+        return self._cols
 
     def prefixes(self) -> List[int]:
         """The prefix column."""
-        return [prefix for prefix, _, _ in self.fields()]
+        return self.columns()[0]
 
     def bases(self) -> List[int]:
         """The basis column (deduplication units)."""
-        return [basis for _, basis, _ in self.fields()]
+        return self.columns()[1]
 
     def deviations(self) -> List[int]:
         """The deviation (syndrome) column."""
-        return [deviation for _, _, deviation in self.fields()]
+        return self.columns()[2]
 
     def __len__(self) -> int:
         return self.count
@@ -186,6 +215,16 @@ class CodecBackend:
         """True when this backend can batch-join chunks for ``transform``."""
         return True
 
+    def supports_crc_batch(self, parameters) -> bool:
+        """True when this backend can batch-compute CRCs for ``parameters``.
+
+        ``parameters`` is a :class:`repro.core.crc.CrcParameters`.  The
+        default is ``False``: batch CRC support is opt-in per backend, and
+        :meth:`CrcEngine.compute_batch` falls back to its pure slice-by-N
+        fold for backends that decline.
+        """
+        return False
+
     # -- operations -------------------------------------------------------
 
     def split_batch_fields(self, transform, data) -> List[Tuple[int, int, int]]:
@@ -208,6 +247,11 @@ class CodecBackend:
         deviations: Sequence[int],
     ) -> bytes:
         """Rebuild and serialise every chunk of a resolved batch."""
+        raise NotImplementedError
+
+    def crc_batch(self, engine, data, record_bits: int) -> List[int]:
+        """CRC of every fixed-size record in ``data`` (see
+        :meth:`repro.core.crc.CrcEngine.compute_batch`)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -299,7 +343,16 @@ def resolve_backend(
 
 
 def backend_status() -> List[Dict[str, object]]:
-    """One status row per registered backend (the ``codecs --backends`` view)."""
+    """One status row per registered backend (the ``codecs --backends`` view).
+
+    ``crc_batch`` reports whether the backend accelerates whole-batch CRC
+    folding (probed with the order-8 syndrome parameters, the GD hot
+    configuration); the pure slice-by-N fold is always available as the
+    fallback, so ``False`` means "falls back", not "cannot compute".
+    """
+    from repro.core.crc import CrcParameters  # local: crc lazily imports us
+
+    probe = CrcParameters(polynomial=0x1D, width=8, augment=False)
     default_name = default_backend().name
     rows: List[Dict[str, object]] = []
     for name in backend_names():
@@ -310,6 +363,8 @@ def backend_status() -> List[Dict[str, object]]:
                 "available": backend.available(),
                 "priority": backend.priority,
                 "default": name == default_name,
+                "crc_batch": backend.available()
+                and backend.supports_crc_batch(probe),
                 "detail": backend.availability_detail(),
             }
         )

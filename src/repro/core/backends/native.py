@@ -55,6 +55,9 @@ class NativeBackend(CodecBackend):
     def supports_join(self, transform) -> bool:
         return False
 
+    def supports_crc_batch(self, parameters) -> bool:
+        return False
+
     def split_batch_fields(self, transform, data) -> List[Tuple[int, int, int]]:
         raise self._unavailable()
 
@@ -71,4 +74,7 @@ class NativeBackend(CodecBackend):
         bases: Sequence[int],
         deviations: Sequence[int],
     ) -> bytes:
+        raise self._unavailable()
+
+    def crc_batch(self, engine, data, record_bits: int) -> List[int]:
         raise self._unavailable()

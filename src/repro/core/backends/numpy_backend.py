@@ -46,8 +46,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.backends import BatchSplit, CodecBackend
-from repro.core.crc import lane_tables
-from repro.exceptions import ChunkSizeError
+from repro.core.crc import lane_tables, reflect_bits
+from repro.exceptions import ChunkSizeError, CodingError
 
 __all__ = ["NumpyBackend"]
 
@@ -212,17 +212,15 @@ class _ParityState:
         self.fold = _build_fold(np, code.crc_parameter, code.m, self.parity_bytes)
 
 
-def _materialize_fields(
-    count: int, prefixes, deviations, basis_buffer: bytes, basis_bytes: int
-) -> List[Tuple[int, int, int]]:
-    """Columns → the classic ``(prefix, basis, deviation)`` tuple list.
+def _materialize_bases(
+    count: int, basis_buffer: bytes, basis_bytes: int
+) -> List[int]:
+    """Basis byte rows → basis integers.
 
     Per-chunk ``int.from_bytes`` is the floor of this conversion; real
     traces repeat a small working set of bases (that is the whole premise
     of GD), so a bytes-keyed dict collapses most rows to one dict probe.
     """
-    prefix_list = prefixes.tolist() if prefixes is not None else [0] * count
-    deviation_list = deviations.tolist()
     cache: Dict[bytes, int] = {}
     get = cache.get
     from_bytes = int.from_bytes
@@ -234,7 +232,141 @@ def _materialize_fields(
         if value is None:
             value = cache[key] = from_bytes(key, "big")
         append(value)
+    return bases
+
+
+def _materialize_columns(
+    count: int, prefixes, deviations, basis_buffer: bytes, basis_bytes: int
+) -> Tuple[List[int], List[int], List[int]]:
+    """Arrays → the three plain column lists, without any per-chunk tuples."""
+    prefix_list = prefixes.tolist() if prefixes is not None else [0] * count
+    deviation_list = deviations.tolist()
+    bases = _materialize_bases(count, basis_buffer, basis_bytes)
+    return prefix_list, bases, deviation_list
+
+
+def _materialize_fields(
+    count: int, prefixes, deviations, basis_buffer: bytes, basis_bytes: int
+) -> List[Tuple[int, int, int]]:
+    """Columns → the classic ``(prefix, basis, deviation)`` tuple list."""
+    prefix_list, bases, deviation_list = _materialize_columns(
+        count, prefixes, deviations, basis_buffer, basis_bytes
+    )
     return list(zip(prefix_list, bases, deviation_list))
+
+
+class _CrcBatchState:
+    """Per-(parameters, record width) constants for the whole-batch CRC fold.
+
+    The per-position tables come from the engine's own batch state — the
+    shared :func:`repro.core.crc.slice_table` registry — re-packed as
+    ndarray gather tables: adjacent byte lanes are paired into 65536-entry
+    ``uint16``-indexed tables when the CRC fits 16 bits (two lanes per
+    gather, the transform-split trick), wider CRCs gather one 256-entry
+    table per lane at the matching dtype.
+    """
+
+    __slots__ = (
+        "record_bytes",
+        "extra",
+        "width",
+        "init_term",
+        "reflect_in",
+        "reflect_out",
+        "xor_out",
+        "fold_mode",
+        "fold_tables",
+        "reflect_table",
+    )
+
+    def __init__(self, np, engine, record_bits: int):
+        params = engine.parameters
+        record_bytes, tables, init_term, _head_limit = engine._batch_state(
+            record_bits
+        )
+        self.record_bytes = record_bytes
+        self.extra = record_bytes * 8 - record_bits
+        self.width = params.width
+        self.init_term = init_term
+        self.reflect_in = params.reflect_in
+        self.reflect_out = params.reflect_out
+        self.xor_out = params.xor_out
+        if self.width <= 8:
+            dtype = np.uint8
+        elif self.width <= 16:
+            dtype = np.uint16
+        elif self.width <= 32:
+            dtype = np.uint32
+        else:
+            dtype = np.uint64
+        arrays = [np.array(table, dtype=dtype) for table in tables]
+        if record_bytes >= 2 and record_bytes % 2 == 0 and self.width <= 16:
+            self.fold_mode = "pairs"
+            self.fold_tables = [
+                np.bitwise_xor(
+                    arrays[index][:, None], arrays[index + 1][None, :]
+                ).reshape(-1)
+                for index in range(0, record_bytes, 2)
+            ]
+        else:
+            self.fold_mode = "bytes"
+            self.fold_tables = arrays
+        byte_reflect = [reflect_bits(value, 8) for value in range(256)]
+        self.reflect_table = (
+            np.array(byte_reflect, dtype=np.uint8) if params.reflect_in else None,
+            np.array(byte_reflect, dtype=np.uint64) if params.reflect_out else None,
+        )
+
+    def compute(self, np, data, record_bits: int) -> List[int]:
+        buf = bytes(data)
+        total = len(buf)
+        record_bytes = self.record_bytes
+        if total % record_bytes:
+            raise CodingError(
+                f"buffer of {total} bytes is not a whole number of "
+                f"{record_bytes}-byte records"
+            )
+        count = total // record_bytes
+        if count == 0:
+            return []
+        rows = np.frombuffer(buf, dtype=np.uint8).reshape(count, record_bytes)
+        if self.extra:
+            bad = rows[:, 0] >> (8 - self.extra)
+            if bad.any():
+                index = int(np.flatnonzero(bad)[0])
+                raise CodingError(
+                    f"record {index} does not fit in {record_bits} bits"
+                )
+        if self.reflect_in:
+            rows = self.reflect_table[0][rows]
+        tables = self.fold_tables
+        if self.fold_mode == "pairs":
+            columns = rows.view(">u2") if rows.flags["C_CONTIGUOUS"] else (
+                np.ascontiguousarray(rows).view(">u2")
+            )
+            accumulator = tables[0][columns[:, 0]]
+            for index in range(1, len(tables)):
+                accumulator = accumulator ^ tables[index][columns[:, index]]
+        else:
+            accumulator = tables[0][rows[:, 0]]
+            for index in range(1, len(tables)):
+                accumulator = accumulator ^ tables[index][rows[:, index]]
+        if self.init_term:
+            accumulator = accumulator ^ accumulator.dtype.type(self.init_term)
+        if self.reflect_out:
+            # Full 64-bit bit reversal as eight reflected byte gathers in
+            # reverse order, then shift down to the CRC width.
+            value = accumulator.astype(np.uint64)
+            reversed_bits = np.zeros_like(value)
+            reflect = self.reflect_table[1]
+            for shift in range(0, 64, 8):
+                reversed_bits = (reversed_bits << np.uint64(8)) | reflect[
+                    ((value >> np.uint64(shift)) & np.uint64(0xFF)).astype(np.intp)
+                ]
+            accumulator = reversed_bits >> np.uint64(64 - self.width)
+        if self.xor_out:
+            accumulator = accumulator ^ accumulator.dtype.type(self.xor_out)
+        return accumulator.tolist()
 
 
 class NumpyBackend(CodecBackend):
@@ -247,6 +379,7 @@ class NumpyBackend(CodecBackend):
     def __init__(self):
         self._split_states: Dict[Tuple[int, int, int], _SplitState] = {}
         self._parity_states: Dict[Tuple[int, int], _ParityState] = {}
+        self._crc_states: Dict[Tuple[object, int], _CrcBatchState] = {}
 
     # -- availability -----------------------------------------------------
 
@@ -276,6 +409,11 @@ class NumpyBackend(CodecBackend):
             and transform.chunk_bits % 8 == 0
             and transform.prefix_bits <= 24
         )
+
+    def supports_crc_batch(self, parameters) -> bool:
+        # uint64 gathers cap the register; every Rocksoft knob (reflect,
+        # init, xor_out, augment) is handled inside the fold state.
+        return self.available() and parameters.width <= 64
 
     # -- state ------------------------------------------------------------
 
@@ -316,7 +454,18 @@ class NumpyBackend(CodecBackend):
             lambda: _materialize_fields(
                 count, prefixes, deviations, basis_buffer, basis_bytes
             ),
+            columns=lambda: _materialize_columns(
+                count, prefixes, deviations, basis_buffer, basis_bytes
+            ),
         )
+
+    def crc_batch(self, engine, data, record_bits: int) -> List[int]:
+        np = _numpy()[0]
+        key = (engine.parameters, record_bits)
+        state = self._crc_states.get(key)
+        if state is None:
+            state = self._crc_states[key] = _CrcBatchState(np, engine, record_bits)
+        return state.compute(np, data, record_bits)
 
     def parities_of_bases(self, code, bases: Sequence[int]) -> Sequence[int]:
         if not bases:

@@ -26,9 +26,10 @@ import struct
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.core.dictionary import BasisDictionary, EvictionPolicy
 from repro.core.decoder import GDDecoder
-from repro.core.encoder import EncoderMode, GDEncoder
+from repro.core.encoder import EncodedBatch, EncoderMode, GDEncoder
 from repro.core.records import (
     CompressedRecord,
     GDRecord,
@@ -271,9 +272,18 @@ class GDCodec:
     # -- compression -------------------------------------------------------------
 
     def compress(self, data: bytes, pad: bool = False) -> CompressionResult:
-        """Compress a byte string into GD records."""
+        """Compress a byte string into GD records.
+
+        The records come back as a lazily materialised
+        :class:`~repro.core.encoder.EncodedBatch` when possible (tracing
+        forces the eager per-record path); both shapes compare equal and
+        serialise identically.
+        """
         padded_bits_before = self._encoder.stats.output_padded_bits
-        records = self._encoder.encode_buffer(self._padded(data, pad))
+        buffer = self._padded(data, pad)
+        records = self._encoder.encode_buffer_batch(buffer)
+        if records is None:
+            records = tuple(self._encoder.encode_buffer(buffer))
         # Padded record payloads are byte aligned, so the wire volume is the
         # encoder's padded-bit delta — no per-record property walk needed.
         payload_bytes = (
@@ -283,7 +293,7 @@ class GDCodec:
         # type tag plus the payload per record (see ``to_container``).
         container_bytes = _HEADER.size + 8 + len(records) + payload_bytes
         return CompressionResult(
-            records=tuple(records),
+            records=records,
             original_bytes=len(data),
             payload_bytes=payload_bytes,
             container_bytes=container_bytes,
@@ -315,8 +325,16 @@ class GDCodec:
     def to_container(self, result: CompressionResult) -> bytes:
         """Serialise a compression result into the ``GDZ1`` container format."""
         header = self.container_header(record_count=len(result.records))
+        records = result.records
+        if isinstance(records, EncodedBatch):
+            # Columnar batch: the body is packed straight from the field
+            # columns (vectorized when numpy is present), byte-identical to
+            # the per-record loop below.
+            return (
+                header + struct.pack(">Q", result.original_bytes) + records.pack_stream()
+            )
         parts: List[bytes] = [header, struct.pack(">Q", result.original_bytes)]
-        for record in result.records:
+        for record in records:
             parts.append(bytes([int(record.record_type)]))
             parts.append(record.to_bytes())
         return b"".join(parts)
@@ -400,15 +418,83 @@ class GDCodec:
         offset = _HEADER.size
         (original_bytes,) = struct.unpack_from(">Q", blob, offset)
         offset += 8
-        records: List[GDRecord] = []
-        for _ in range(count):
-            record, offset = self.parse_record(blob, offset)
-            records.append(record)
         # Containers are self-contained: decode with a fresh dictionary so
         # that identifiers resolve exactly as the producing encoder assigned
         # them, independent of anything this codec decoded before.
         fresh = self.clone()
+        if count and not _obs.TRACER.enabled:
+            # Columnar fast path: unpack the tagged records straight into
+            # field columns and decode without materialising record
+            # objects.  Tracing needs the per-record path for its events.
+            return fresh._decompress_container_columns(
+                blob, offset, count, original_bytes
+            )
+        records: List[GDRecord] = []
+        for _ in range(count):
+            record, offset = self.parse_record(blob, offset)
+            records.append(record)
         return fresh.decompress_records(records, original_bytes=original_bytes)
+
+    def _decompress_container_columns(
+        self, blob: bytes, offset: int, count: int, original_bytes: int
+    ) -> bytes:
+        """Container body → field columns → bytes, skipping record objects.
+
+        Parses exactly like repeated :meth:`parse_record` calls (including
+        every truncation error) but keeps the fields columnar, then hands
+        them to :meth:`GDDecoder.decode_columns_to_bytes` for the batched
+        resolve + vectorized join.
+        """
+        transform = self._transform
+        deviation_bits = transform.deviation_bits
+        deviation_mask = (1 << deviation_bits) - 1
+        basis_bits = transform.basis_bits
+        basis_mask = (1 << basis_bits) - 1
+        identifier_bits = self._identifier_bits
+        identifier_mask = (1 << identifier_bits) - 1
+        prefix_bits = transform.prefix_bits
+        prefix_mask = (1 << prefix_bits) - 1
+        size2 = self.record_wire_size(int(RecordType.UNCOMPRESSED))
+        size3 = self.record_wire_size(int(RecordType.COMPRESSED))
+        total = len(blob)
+        from_bytes = int.from_bytes
+        tags = bytearray(count)
+        prefixes = [0] * count
+        keys = [0] * count
+        deviations = [0] * count
+        for index in range(count):
+            if offset >= total:
+                raise CodingError("container truncated: missing record tag")
+            tag = blob[offset]
+            offset += 1
+            if tag == 3:
+                payload = blob[offset : offset + size3]
+                if len(payload) != size3:
+                    raise CodingError("container truncated: short type-3 record")
+                value = from_bytes(payload, "big")
+                deviations[index] = value & deviation_mask
+                value >>= deviation_bits
+                keys[index] = value & identifier_mask
+                if prefix_bits:
+                    prefixes[index] = (value >> identifier_bits) & prefix_mask
+                tags[index] = 3
+                offset += size3
+            elif tag == 2:
+                payload = blob[offset : offset + size2]
+                if len(payload) != size2:
+                    raise CodingError("container truncated: short type-2 record")
+                value = from_bytes(payload, "big")
+                deviations[index] = value & deviation_mask
+                value >>= deviation_bits
+                keys[index] = value & basis_mask
+                if prefix_bits:
+                    prefixes[index] = (value >> basis_bits) & prefix_mask
+                tags[index] = 2
+                offset += size2
+            else:
+                raise CodingError(f"unknown record tag {tag} at offset {offset - 1}")
+        data = self._decoder.decode_columns_to_bytes(tags, prefixes, keys, deviations)
+        return data[:original_bytes]
 
     def parse_record(self, blob: bytes, offset: int) -> Tuple[GDRecord, int]:
         """Parse one tagged record from a container blob.

@@ -52,6 +52,8 @@ __all__ = [
     "poly_mod_table",
     "byte_remainder_function",
     "lane_tables",
+    "slice_table",
+    "slice_tables",
     "prefix_syndrome_table",
     "CRC32_ETHERNET",
     "CRC16_CCITT",
@@ -200,6 +202,22 @@ _BYTE_REFLECT: Tuple[int, ...] = tuple(
     sum(((i >> bit) & 1) << (7 - bit) for bit in range(8)) for i in range(256)
 )
 
+#: The same reversal as a ``bytes.translate`` table (whole-buffer reflection).
+_BYTE_REFLECT_BYTES: bytes = bytes(_BYTE_REFLECT)
+
+#: Lazily-imported backend registry module (importing it eagerly would be a
+#: cycle: the backends import this module for the shared tables).
+_BACKENDS_MODULE = None
+
+
+def _backends():
+    global _BACKENDS_MODULE
+    if _BACKENDS_MODULE is None:
+        from repro.core import backends
+
+        _BACKENDS_MODULE = backends
+    return _BACKENDS_MODULE
+
 #: Messages shorter than this stay on the direct-division path: for a couple
 #: of bytes the table set-up (``int.to_bytes`` plus loop overhead) costs more
 #: than it saves.
@@ -270,11 +288,100 @@ def poly_mod_table(value: int, polynomial: int, width: int) -> int:
     return _table_remainder(value, crc_table(polynomial, width), width)
 
 
+#: Widened slice-by-N tables: (polynomial, width) -> {bit distance -> 256-entry
+#: tuple}.  Entry ``b`` of the distance-``D`` table is ``(b * x**D) mod g(x)``:
+#: the remainder contribution of a message byte with ``D`` bits following it.
+#: This generalises the classic table (distance = ``width``) and the byte
+#: lanes (distance = ``8*d``) into one registry, so the batch CRC engine, the
+#: Hamming lane path and the Tofino CRC extern model all share one build per
+#: polynomial.  The distance-``width`` entry *is* the :func:`crc_table` tuple.
+_SLICE_REGISTRY: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
+
+
+def slice_table(polynomial: int, width: int, distance: int) -> Tuple[int, ...]:
+    """The shared 256-entry contribution table at a given bit ``distance``.
+
+    ``table[b] == (b * x**distance) mod g(x)`` — what a message byte ``b``
+    adds to the remainder when ``distance`` more bits follow it.  This is
+    the LiteEthMACCRCEngine construction in table form: the parallel
+    next-state network for a whole word is the XOR of one such table per
+    byte lane.  Tables are derived incrementally (one byte-table step per
+    8 bits of distance) and cached process-wide; ``distance == width``
+    aliases the exact :func:`crc_table` tuple, so no consumer ever builds
+    a duplicate table for the same polynomial.
+    """
+    if distance < 0:
+        raise CodingError(f"bit distance must be non-negative, got {distance}")
+    key = (polynomial, width)
+    tables = _SLICE_REGISTRY.get(key)
+    if tables is None:
+        tables = _SLICE_REGISTRY[key] = {}
+    table = tables.get(distance)
+    if table is not None:
+        return table
+    if distance == width:
+        table = crc_table(polynomial, width)
+        tables[distance] = table
+        return table
+    byte_table = crc_table(polynomial, width)  # validates the parameters
+    full = (1 << width) | polynomial
+    if distance < 8:
+        table = tuple(poly_mod(byte << distance, full) for byte in range(256))
+        tables[distance] = table
+        return table
+    # Walk down the distance ladder to the nearest cached ancestor (same
+    # residue class mod 8), then step back up: multiplying a residue by
+    # x**8 is one round of the shared byte table.
+    start = distance
+    while start >= 8 and start not in tables:
+        start -= 8
+    if start not in tables:
+        if start == width:
+            tables[start] = crc_table(polynomial, width)
+        else:
+            tables[start] = tuple(
+                poly_mod(byte << start, full) for byte in range(256)
+            )
+    reg_mask = mask(width)
+    current = tables[start]
+    while start < distance:
+        start += 8
+        step = tables.get(start)
+        if step is None:
+            step = tuple(
+                byte_table[(residue << 8) >> width] ^ ((residue << 8) & reg_mask)
+                for residue in current
+            )
+            tables[start] = step
+        current = step
+    return current
+
+
+def slice_tables(
+    polynomial: int, width: int, length: int, shift: int = 0
+) -> List[Tuple[int, ...]]:
+    """Per-position slice tables for ``length``-byte records.
+
+    Position ``p`` of an ``L``-byte record sits ``8*(L-1-p)`` bits above the
+    end of the message; ``shift`` adds the ``x**width`` pre-multiplication of
+    augmented CRCs.  The remainder of a whole record is then the XOR of one
+    table lookup per byte — the slice-by-8/16 fold widened to the full
+    record, exactly how a hardware engine absorbs a whole word per clock.
+    """
+    if length <= 0:
+        raise CodingError(f"record length must be positive, got {length}")
+    return [
+        slice_table(polynomial, width, 8 * (length - 1 - position) + shift)
+        for position in range(length)
+    ]
+
+
 #: Per-byte-lane contribution tables: (polynomial, width) -> list where entry
 #: ``d`` is a 256-byte translation table mapping a message byte to its
 #: remainder contribution when ``d`` whole bytes follow it in the message.
-#: Grown lazily as longer messages are seen; shared process-wide like the
-#: 256-entry tables above.
+#: Grown lazily as longer messages are seen; the *values* come from the
+#: shared :func:`slice_table` registry (re-packed as ``bytes`` so they can
+#: drive ``bytes.translate``), so both registries build each table once.
 _LANE_REGISTRY: Dict[Tuple[int, int], List[bytes]] = {}
 
 
@@ -306,18 +413,11 @@ def lane_tables(polynomial: int, width: int, length: int) -> Sequence[bytes]:
     key = (polynomial, width)
     tables = _LANE_REGISTRY.get(key)
     if tables is None:
-        full = (1 << width) | polynomial
-        # Distance 0: a byte with nothing after it contributes itself mod g.
-        tables = [bytes(poly_mod(byte, full) for byte in range(256))]
-        _LANE_REGISTRY[key] = tables
-    if len(tables) < length:
-        # Extend: multiplying a residue by x**8 is one step of the shared
-        # byte table — residue << (8 - width) indexes it directly.
-        table = crc_table(polynomial, width)
-        shift = 8 - width
-        while len(tables) < length:
-            previous = tables[-1]
-            tables.append(bytes(table[residue << shift] for residue in previous))
+        tables = _LANE_REGISTRY[key] = []
+    while len(tables) < length:
+        # One byte table per 8 bits of distance, from the shared widened
+        # slice registry (a width ≤ 8 remainder always fits one byte).
+        tables.append(bytes(slice_table(polynomial, width, 8 * len(tables))))
     return [tables[length - 1 - position] for position in range(length)]
 
 
@@ -522,6 +622,7 @@ class CrcEngine:
     def __init__(self, parameters: CrcParameters):
         self._parameters = parameters
         self._table: Optional[Tuple[int, ...]] = None
+        self._batch_states: Dict[int, Tuple[int, List[Tuple[int, ...]], int, int]] = {}
 
     @property
     def parameters(self) -> CrcParameters:
@@ -658,6 +759,121 @@ class CrcEngine:
         if not isinstance(data, bytes):
             data = bytes(data)
         return self.compute_bits_table(int.from_bytes(data, "big"), len(data) * 8)
+
+    # -- batch path -----------------------------------------------------------
+
+    def _batch_state(self, record_bits: int):
+        """Validated per-record-width batch state (tables, init term, bounds)."""
+        state = self._batch_states.get(record_bits)
+        if state is None:
+            params = self._parameters
+            if record_bits <= 0:
+                raise CodingError(
+                    f"record width must be positive, got {record_bits}"
+                )
+            if params.reflect_in and record_bits % 8:
+                raise CodingError(
+                    f"reflect_in requires byte-aligned input (got width {record_bits})"
+                )
+            record_bytes = (record_bits + 7) // 8
+            tables = slice_tables(
+                params.polynomial,
+                params.width,
+                record_bytes,
+                shift=params.width if params.augment else 0,
+            )
+            init_term = (
+                poly_mod(params.init << record_bits, params.full_polynomial)
+                if params.init
+                else 0
+            )
+            extra = record_bytes * 8 - record_bits
+            head_limit = (1 << (8 - extra)) if extra else 256
+            state = (record_bytes, tables, init_term, head_limit)
+            self._batch_states[record_bits] = state
+        return state
+
+    def compute_batch(self, data, record_bits: int, backend=None) -> List[int]:
+        """CRC of every consecutive ``record_bits``-wide record in ``data``.
+
+        ``data`` is a contiguous bytes-like buffer of fixed-size records,
+        each occupying ``(record_bits + 7) // 8`` bytes with the value in
+        the low ``record_bits`` bits (big-endian, leading pad bits zero) —
+        the layout of a chunk buffer or a sliced frame batch.  Returns one
+        CRC per record, bit-identical to ``compute_bits(value, record_bits)``
+        for every record, for every parameter set (augmented, reflected,
+        init/xorout, non-byte-aligned widths).
+
+        Dispatch goes through the codec backend registry: an accelerated
+        backend that reports :meth:`~repro.core.backends.CodecBackend.
+        supports_crc_batch` folds the whole buffer with table-gather XORs
+        over a single ``frombuffer`` view; otherwise the pure slice-by-N
+        fold of :meth:`compute_batch_pure` runs.  An explicitly named
+        ``backend`` is honoured for any batch size; automatic selection
+        requires ``MIN_BATCH_CHUNKS`` records, like the transform paths.
+        """
+        record_bytes, _tables, _init_term, _head_limit = self._batch_state(
+            record_bits
+        )
+        total = len(data)
+        if total % record_bytes:
+            raise CodingError(
+                f"buffer of {total} bytes is not a whole number of "
+                f"{record_bytes}-byte records"
+            )
+        count = total // record_bytes
+        if count == 0:
+            return []
+        registry = _backends()
+        resolved = registry.resolve_backend(backend)
+        if (
+            resolved.accelerated
+            and (backend is not None or count >= registry.MIN_BATCH_CHUNKS)
+            and resolved.supports_crc_batch(self._parameters)
+        ):
+            return resolved.crc_batch(self, data, record_bits)
+        return self.compute_batch_pure(data, record_bits)
+
+    def compute_batch_pure(self, data, record_bits: int) -> List[int]:
+        """Pure-Python batch CRC: the slice-by-N fold, one table per lane.
+
+        Widens the classic slice-by-8/16 folding to the whole record: byte
+        lane ``p`` is absorbed through the shared
+        :func:`slice_table` at its bit distance, so each record costs one
+        XOR per byte with no shifting register — the software shape of the
+        ``LiteEthMACCRCEngine`` parallel next-state network.
+        """
+        params = self._parameters
+        record_bytes, tables, init_term, head_limit = self._batch_state(record_bits)
+        buf = bytes(data)
+        total = len(buf)
+        if total % record_bytes:
+            raise CodingError(
+                f"buffer of {total} bytes is not a whole number of "
+                f"{record_bytes}-byte records"
+            )
+        if params.reflect_in:
+            buf = buf.translate(_BYTE_REFLECT_BYTES)
+        reflect_out = params.reflect_out
+        xor_out = params.xor_out
+        width = params.width
+        results: List[int] = []
+        append = results.append
+        offset = 0
+        for index in range(total // record_bytes):
+            record = buf[offset : offset + record_bytes]
+            if record[0] >= head_limit:
+                raise CodingError(
+                    f"record {index} does not fit in {record_bits} bits"
+                )
+            register = init_term
+            for table, byte in zip(tables, record):
+                register ^= table[byte]
+            if reflect_out:
+                register = reflect_bits(register, width)
+            append(register ^ xor_out)
+            offset += record_bytes
+        return results
 
     def compute(
         self, message: "BitVector | bytes | int", width: Optional[int] = None

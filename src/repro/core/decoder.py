@@ -339,6 +339,83 @@ class GDDecoder:
             return b"".join(chunk.to_bytes(chunk_bytes, "big") for chunk in chunks)
         return b"".join(transform.chunk_to_bytes(chunk) for chunk in chunks)
 
+    def decode_columns_to_bytes(
+        self,
+        tags: "bytes | bytearray",
+        prefixes: List[int],
+        keys: List[int],
+        deviations: List[int],
+    ) -> bytes:
+        """Decode already-parsed record columns into the original bytes.
+
+        ``tags[i]`` is the record type (2 or 3) of position ``i``;
+        ``keys[i]`` carries the basis for type-2 positions and the
+        identifier for type-3 positions.  Statistics, dictionary learning
+        and exception behaviour match feeding the equivalent record objects
+        through :meth:`decode_batch_to_bytes`; the resolve loop stays
+        strictly sequential (a type-3 record may reference a basis a
+        type-2 record introduced earlier in the same batch) while the join
+        runs through the vectorized backend when eligible.  Callers
+        guarantee the fields already fit the transform's widths (the
+        container parser masks them), so only dictionary-supplied bases
+        are re-checked.
+        """
+        stats = self.stats
+        transform = self._transform
+        dictionary = self._dictionary
+        learn = self._learn
+        chunk_bits = transform.chunk_bits
+        basis_width = transform.basis_bits
+        count = len(tags)
+        bases: List[int] = [0] * count
+        for position in range(count):
+            if tags[position] == 2:
+                stats.uncompressed_records += 1
+                basis = keys[position]
+                if learn and dictionary is not None:
+                    dictionary.insert(basis)
+                stats.output_bits += chunk_bits
+                bases[position] = basis
+            else:
+                stats.compressed_records += 1
+                if dictionary is None:
+                    raise DictionaryError(
+                        "cannot decode a compressed record without a dictionary"
+                    )
+                basis = dictionary.reverse_lookup(keys[position])
+                if basis is None:
+                    stats.unknown_identifiers += 1
+                    raise DictionaryError(
+                        f"identifier {keys[position]} is not mapped to any basis"
+                    )
+                if learn:
+                    dictionary.touch(basis)
+                if not isinstance(basis, int) or basis < 0 or basis >> basis_width:
+                    raise CodingError(
+                        f"basis {basis!r} does not fit in {basis_width} bits"
+                    )
+                stats.output_bits += chunk_bits
+                bases[position] = basis
+        stats.records += count
+        if count == 0:
+            return b""
+        aligned = chunk_bits % 8 == 0
+        chunk_bytes = transform.chunk_bytes
+        backend = transform.backend_impl
+        if (
+            aligned
+            and transform.fast
+            and backend.accelerated
+            and count >= MIN_BATCH_CHUNKS
+            and backend.supports_join(transform)
+        ):
+            return backend.join_batch_to_bytes(transform, prefixes, bases, deviations)
+        chunks: List[int] = [0] * count
+        self._join_resolved(chunks, list(range(count)), prefixes, bases, deviations)
+        if aligned:
+            return b"".join(chunk.to_bytes(chunk_bytes, "big") for chunk in chunks)
+        return b"".join(transform.chunk_to_bytes(chunk) for chunk in chunks)
+
     # -- internals ------------------------------------------------------------
 
     def _decode_uncompressed(self, record: UncompressedRecord) -> int:

@@ -19,10 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import obs as _obs
-from repro.core.bits import align_up
+from repro.core.bits import align_up, int_to_bytes
 from repro.core.dictionary import (
     BasisDictionary,
     EvictionPolicy,
@@ -33,7 +33,7 @@ from repro.core.records import CompressedRecord, GDRecord, RecordType, Uncompres
 from repro.core.transform import ChunkLike, GDFields, GDTransform
 from repro.exceptions import CodingError, DictionaryError
 
-__all__ = ["EncoderMode", "EncoderStats", "GDEncoder"]
+__all__ = ["EncodedBatch", "EncoderMode", "EncoderStats", "GDEncoder"]
 
 
 class EncoderMode(Enum):
@@ -121,6 +121,213 @@ class EncoderStats:
             "compression_ratio": self.compression_ratio,
             "unpadded_ratio": self.unpadded_ratio,
         }
+
+
+class EncodedBatch:
+    """Columnar result of :meth:`GDEncoder.encode_buffer_batch`.
+
+    Holds one type tag per chunk plus the field columns, and behaves like
+    the record tuple the eager encoder would have produced: length,
+    iteration, indexing and equality all go through :meth:`materialize`,
+    which builds the exact :class:`CompressedRecord` /
+    :class:`UncompressedRecord` objects on first use.  The hot consumers
+    never materialise — :meth:`pack_stream` serialises the container body
+    straight from the columns (vectorized over the type-3 runs when numpy
+    is available), which is where the batched codec pipeline gets its
+    throughput.
+    """
+
+    __slots__ = (
+        "_tags",
+        "_identifiers",
+        "_prefixes",
+        "_bases",
+        "_deviations",
+        "_prefix_bits",
+        "_basis_bits",
+        "_deviation_bits",
+        "_identifier_bits",
+        "_padding",
+        "_t2_padded",
+        "_t3_padded",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        tags: bytes,
+        identifiers: List[int],
+        prefixes: List[int],
+        bases: List[int],
+        deviations: List[int],
+        prefix_bits: int,
+        basis_bits: int,
+        deviation_bits: int,
+        identifier_bits: int,
+        padding: int,
+        t2_padded: int,
+        t3_padded: int,
+    ):
+        self._tags = tags
+        self._identifiers = identifiers
+        self._prefixes = prefixes
+        self._bases = bases
+        self._deviations = deviations
+        self._prefix_bits = prefix_bits
+        self._basis_bits = basis_bits
+        self._deviation_bits = deviation_bits
+        self._identifier_bits = identifier_bits
+        self._padding = padding
+        self._t2_padded = t2_padded
+        self._t3_padded = t3_padded
+        self._records: Optional[Tuple[GDRecord, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __iter__(self) -> Iterator[GDRecord]:
+        return iter(self.materialize())
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EncodedBatch):
+            other = other.materialize()
+        if isinstance(other, (tuple, list)):
+            return self.materialize() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.materialize())
+
+    def __repr__(self) -> str:
+        return f"EncodedBatch({len(self._tags)} records)"
+
+    def materialize(self) -> Tuple[GDRecord, ...]:
+        """The classic record tuple, built once and cached."""
+        records = self._records
+        if records is None:
+            prefixes = self._prefixes
+            deviations = self._deviations
+            bases = self._bases
+            prefix_bits = self._prefix_bits
+            basis_bits = self._basis_bits
+            deviation_bits = self._deviation_bits
+            identifier_bits = self._identifier_bits
+            padding = self._padding
+            next_identifier = iter(self._identifiers).__next__
+            out: List[GDRecord] = []
+            append = out.append
+            for position, tag in enumerate(self._tags):
+                if tag == 3:
+                    append(
+                        CompressedRecord(
+                            prefix=prefixes[position],
+                            identifier=next_identifier(),
+                            deviation=deviations[position],
+                            prefix_bits=prefix_bits,
+                            identifier_bits=identifier_bits,
+                            deviation_bits=deviation_bits,
+                            alignment_padding_bits=0,
+                        )
+                    )
+                else:
+                    append(
+                        UncompressedRecord(
+                            prefix=prefixes[position],
+                            basis=bases[position],
+                            deviation=deviations[position],
+                            prefix_bits=prefix_bits,
+                            basis_bits=basis_bits,
+                            deviation_bits=deviation_bits,
+                            alignment_padding_bits=padding,
+                        )
+                    )
+            records = self._records = tuple(out)
+        return records
+
+    def pack_stream(self) -> bytes:
+        """The container body: one tag byte plus the payload per record.
+
+        Byte-identical to concatenating ``bytes([tag]) + record.to_bytes()``
+        over :meth:`materialize`, but built from the columns.  When numpy
+        is available and the type-3 payload fits a ``uint64``, all type-3
+        rows are packed as one ``(count, 1 + size)`` byte matrix and the
+        (rare) type-2 records are spliced between the runs.
+        """
+        tags = self._tags
+        count = len(tags)
+        if count == 0:
+            return b""
+        identifier_bits = self._identifier_bits
+        basis_bits = self._basis_bits
+        deviation_bits = self._deviation_bits
+        prefixes = self._prefixes
+        bases = self._bases
+        deviations = self._deviations
+        t2_padded = self._t2_padded
+        t3_padded = self._t3_padded
+        t3_size = t3_padded // 8
+        np = None
+        if self._identifiers and t3_size <= 8:
+            from repro.core.backends.numpy_backend import _numpy
+
+            np = _numpy()[0]
+        if np is None:
+            next_identifier = iter(self._identifiers).__next__
+            parts: List[bytes] = []
+            append = parts.append
+            for position in range(count):
+                if tags[position] == 3:
+                    value = (
+                        ((prefixes[position] << identifier_bits) | next_identifier())
+                        << deviation_bits
+                    ) | deviations[position]
+                    append(b"\x03" + int_to_bytes(value, t3_padded))
+                else:
+                    value = (
+                        ((prefixes[position] << basis_bits) | bases[position])
+                        << deviation_bits
+                    ) | deviations[position]
+                    append(b"\x02" + int_to_bytes(value, t2_padded))
+            return b"".join(parts)
+        tags_np = np.frombuffer(tags, dtype=np.uint8)
+        indices = np.flatnonzero(tags_np == 3)
+        values = np.asarray(self._identifiers, dtype=np.uint64) << np.uint64(
+            deviation_bits
+        )
+        if self._prefix_bits:
+            values = values | (
+                np.asarray(prefixes, dtype=np.uint64)[indices]
+                << np.uint64(deviation_bits + identifier_bits)
+            )
+        values = values | np.asarray(deviations, dtype=np.uint64)[indices]
+        row = 1 + t3_size
+        matrix = np.empty((len(indices), row), dtype=np.uint8)
+        matrix[:, 0] = 3
+        for column in range(t3_size):
+            matrix[:, 1 + column] = (
+                values >> np.uint64(8 * (t3_size - 1 - column))
+            ).astype(np.uint8)
+        block = matrix.tobytes()
+        if len(indices) == count:
+            return block
+        parts = []
+        append = parts.append
+        consumed = 0
+        for rank, position in enumerate(np.flatnonzero(tags_np == 2).tolist()):
+            preceding = position - rank  # type-3 rows before this type-2
+            if preceding > consumed:
+                append(block[consumed * row : preceding * row])
+            value = (
+                ((prefixes[position] << basis_bits) | bases[position])
+                << deviation_bits
+            ) | deviations[position]
+            append(b"\x02" + int_to_bytes(value, t2_padded))
+            consumed = preceding
+        append(block[consumed * row :])
+        return b"".join(parts)
 
 
 class GDEncoder:
@@ -266,6 +473,80 @@ class GDEncoder:
         if isinstance(chunks, (bytes, bytearray, memoryview)):
             return self._encode_fields(self._transform.split_batch_fields(chunks))
         return self.encode_batch(chunks)
+
+    def encode_buffer_batch(
+        self, data: "bytes | bytearray | memoryview"
+    ) -> Optional[EncodedBatch]:
+        """Encode a buffer of whole chunks into a columnar batch.
+
+        Runs the same dictionary loop as :meth:`encode_buffer` — identical
+        hit/miss decisions, learning-delay handling and statistics — but
+        over the backend's column output, skipping per-chunk record
+        construction entirely.  The returned :class:`EncodedBatch` compares
+        (and materialises) equal to :meth:`encode_buffer`'s record list.
+
+        Returns ``None`` when lifecycle tracing is active: the per-record
+        trace events require the eager loop, so callers fall back to it.
+        """
+        if _obs.TRACER.enabled:
+            return None
+        transform = self._transform
+        split = transform.split_batch_columns(data)
+        prefixes, bases, deviations = split.columns()
+        stats = self.stats
+        dictionary = self._dictionary
+        no_table = self._mode is EncoderMode.NO_TABLE or dictionary is None
+        dynamic = self._mode is EncoderMode.DYNAMIC
+        lookup = None if no_table else dictionary.lookup
+        insert = None if no_table else dictionary.insert
+        learning_delay = self._learning_delay_chunks
+        pending = self._pending_activation
+        is_active = self._is_active
+
+        count = split.count
+        tags = bytearray(count)
+        identifiers: List[int] = []
+        append_identifier = identifiers.append
+        index = stats.chunks
+        compressed = 0
+        position = 0
+        for basis in bases:
+            identifier = None if no_table else lookup(basis)
+            if identifier is not None and (not pending or is_active(basis, index)):
+                tags[position] = 3
+                append_identifier(identifier)
+                compressed += 1
+            else:
+                if identifier is None and dynamic:
+                    insert(basis)
+                    if learning_delay:
+                        pending[basis] = index + 1 + learning_delay
+                tags[position] = 2
+            index += 1
+            position += 1
+        uncompressed = count - compressed
+        stats.chunks = index
+        stats.input_bits += count * transform.chunk_bits
+        stats.output_bits += compressed * self._t3_bits + uncompressed * self._t2_bits
+        stats.output_padded_bits += (
+            compressed * self._t3_padded + uncompressed * self._t2_padded
+        )
+        stats.compressed_records += compressed
+        stats.uncompressed_records += uncompressed
+        return EncodedBatch(
+            bytes(tags),
+            identifiers,
+            prefixes,
+            bases,
+            deviations,
+            prefix_bits=transform.prefix_bits,
+            basis_bits=transform.basis_bits,
+            deviation_bits=transform.deviation_bits,
+            identifier_bits=self._identifier_bits,
+            padding=self._alignment_padding_bits,
+            t2_padded=self._t2_padded,
+            t3_padded=self._t3_padded,
+        )
 
     # -- internals -----------------------------------------------------------------
 

@@ -509,6 +509,13 @@ class TopologyEngine:
         (false).  ``None`` (default) qualifies exactly when the engine
         builds more than one control plane; shard workers receive the
         full-spec answer so shard-local reports merge without colliding.
+    batch_drain:
+        Whether ZipLine nodes defer frames arriving at the same simulated
+        timestamp into one drain event and hand them to the switch's
+        ``receive_batch`` (sharing a single batched CRC/parity pass).
+        ``None`` (default) follows the spec's ``batch_drain`` field.
+        Emitted frames, counters and reports are identical either way;
+        only the wall-clock cost of the run changes.
     """
 
     def __init__(
@@ -518,6 +525,7 @@ class TopologyEngine:
         metrics_mode: str = "exact",
         tap_fallback: bool = True,
         qualify_controlplane: Optional[bool] = None,
+        batch_drain: Optional[bool] = None,
     ):
         if metrics_mode not in METRICS_MODES:
             raise TopologyError(
@@ -530,6 +538,9 @@ class TopologyEngine:
         self._streaming = metrics_mode == "streaming"
         self.tap_fallback = tap_fallback
         self._qualify_controlplane = qualify_controlplane
+        self.batch_drain = (
+            getattr(spec, "batch_drain", False) if batch_drain is None else batch_drain
+        )
         self.simulator = Simulator()
         self.transform = GDTransform(order=spec.order)
         self.graph = TopologyGraph(self.simulator)
@@ -606,6 +617,7 @@ class TopologyEngine:
                 digest_engine = DigestEngine(self.simulator)
                 node = ZipLineEncoderNode(
                     node_spec.name,
+                    batch_drain=self.batch_drain,
                     transform=self.transform,
                     identifier_bits=self.spec.identifier_bits,
                     simulator=self.simulator,
@@ -619,6 +631,7 @@ class TopologyEngine:
             elif node_spec.kind == "decoder":
                 node = ZipLineDecoderNode(
                     node_spec.name,
+                    batch_drain=self.batch_drain,
                     transform=self.transform,
                     identifier_bits=self.spec.identifier_bits,
                     simulator=self.simulator,

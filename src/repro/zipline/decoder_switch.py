@@ -361,6 +361,11 @@ class ZipLineDecoderSwitch:
         """The underlying pipeline."""
         return self.switch.pipeline
 
+    @property
+    def simulator(self) -> Optional[Simulator]:
+        """The shared simulator this switch schedules against (if any)."""
+        return self._simulator
+
     def set_forwarding(self, ingress_port: int, egress_port: int) -> None:
         """Add or change a static forwarding entry."""
         if ingress_port < 0 or egress_port < 0:
@@ -380,7 +385,87 @@ class ZipLineDecoderSwitch:
                 return result
         return self.switch.receive(frame, ingress_port)
 
-    def _fast_receive(self, frame: bytes, ingress_port: int):
+    def receive_batch(self, frames: List[bytes], ingress_port: int) -> List[object]:
+        """Process co-resident frames, batching the parity recovery.
+
+        A pure pre-pass peeks the basis each decodable frame will rebuild
+        its chunk from; all those parities are then recovered in **one**
+        :meth:`CrcExtern.get_batch` call and the frames are finished
+        strictly in arrival order.  Counters, table metadata, drops and
+        emitted frames are identical to per-frame :meth:`receive` calls;
+        frames that would take the interpreted path still do.
+        """
+        switch = self.switch
+        if (
+            not self._fast_enabled
+            or not 0 <= ingress_port < switch.port_count
+            or len(frames) < 2
+        ):
+            return [self.receive(frame, ingress_port) for frame in frames]
+        code = self._transform.code
+        m = code.m
+        parity_bytes = (code.n + 7) // 8
+        bases: Dict[int, int] = {}
+        for index, frame in enumerate(frames):
+            basis = self._peek_basis(frame)
+            if basis is not None:
+                bases[index] = basis
+        parities: Dict[int, int] = {}
+        if len(bases) >= 2:
+            buffer = b"".join(
+                (basis << m).to_bytes(parity_bytes, "big")
+                for basis in bases.values()
+            )
+            parities = dict(
+                zip(bases.keys(), self._crc.get_batch(buffer, 8 * parity_bytes))
+            )
+        results = []
+        append = results.append
+        for index, frame in enumerate(frames):
+            parity = parities.get(index)
+            if parity is not None:
+                append(self._fast_receive(frame, ingress_port, parity=parity))
+            else:
+                append(self.receive(frame, ingress_port))
+        return results
+
+    def _peek_basis(self, frame: bytes) -> Optional[int]:
+        """Pure pre-pass: the basis this frame's chunk would be rebuilt from.
+
+        Returns ``None`` when the frame would not reach the fused chunk
+        emit (wrong EtherType, short frame, unknown or oddly-typed
+        identifier mapping) — those frames keep their per-frame path.
+        Reads table state without touching counters or hit metadata.
+        """
+        if len(frame) < 14:
+            return None
+        ethertype = frame[12:14]
+        code = self._transform.code
+        m = code.m
+        if ethertype == self._fast_eth_type3:
+            header_end = 14 + self._fast_type3_bytes
+            if len(frame) < header_end:
+                return None
+            value = int.from_bytes(frame[14:header_end], "big") >> self._fast_type3_pad
+            identifier = (value >> m) & self._fast_identifier_mask
+            entry = self._identifier_table.get_entry(identifier)
+            if entry is None or entry.action != "set_basis":
+                return None
+            basis = entry.params["basis"]
+            if not isinstance(basis, int) or basis < 0 or basis >> code.k:
+                return None
+            return basis
+        if ethertype == self._fast_eth_type2:
+            header_end = 14 + self._fast_type2_bytes
+            if len(frame) < header_end:
+                return None
+            value = int.from_bytes(frame[14:header_end], "big") >> self._fast_type2_pad
+            return (value >> m) & self._fast_basis_mask
+        return None
+
+    def _fast_receive(
+        self, frame: bytes, ingress_port: int, parity: Optional[int] = None
+    ):
         """Compiled per-frame path; returns ``None`` to defer to the pipeline."""
         switch = self.switch
         if not 0 <= ingress_port < switch.port_count:
@@ -444,7 +529,9 @@ class ZipLineDecoderSwitch:
             table.hits += 1
             entry.last_hit = now
             entry.hit_count += 1
-            out = self._fast_emit_chunk(frame, header_end, prefix, basis, syndrome)
+            out = self._fast_emit_chunk(
+                frame, header_end, prefix, basis, syndrome, parity=parity
+            )
             self.counters.count("compressed_to_raw", length)
             tracer = _obs.TRACER
             if tracer.enabled:
@@ -463,7 +550,9 @@ class ZipLineDecoderSwitch:
             syndrome = value & self._fast_syndrome_mask
             basis = (value >> m) & self._fast_basis_mask
             prefix = value >> (m + code.k) if transform.prefix_bits else 0
-            out = self._fast_emit_chunk(frame, header_end, prefix, basis, syndrome)
+            out = self._fast_emit_chunk(
+                frame, header_end, prefix, basis, syndrome, parity=parity
+            )
             self.counters.count("uncompressed_to_raw", length)
             tracer = _obs.TRACER
             if tracer.enabled:
@@ -500,12 +589,16 @@ class ZipLineDecoderSwitch:
         prefix: int,
         basis: int,
         syndrome: int,
+        parity: Optional[int] = None,
     ) -> bytes:
         """Fused Figure 2 ➌–➐: rebuild the raw chunk frame bytes."""
         code = self._transform.code
-        # Steps ➌/➍: parity through the same CRC unit (fused byte loop).
-        parity = code.parity_of_basis_fast(basis)
-        self._crc.record_invocation()
+        # Steps ➌/➍: parity through the same CRC unit (fused byte loop).  A
+        # batched caller passes the precomputed parity — already counted by
+        # the extern's batch call.
+        if parity is None:
+            parity = code.parity_of_basis_fast(basis)
+            self._crc.record_invocation()
         codeword = (basis << code.m) | parity
         # Steps ➎/➏: syndrome table metadata + the XOR mask.  The
         # interpreted program looks this table up without a timestamp

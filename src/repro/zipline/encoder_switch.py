@@ -415,6 +415,11 @@ class ZipLineEncoderSwitch:
         """The underlying pipeline."""
         return self.switch.pipeline
 
+    @property
+    def simulator(self) -> Optional[Simulator]:
+        """The shared simulator this switch schedules against (if any)."""
+        return self._simulator
+
     def set_forwarding(self, ingress_port: int, egress_port: int) -> None:
         """Add or change a static forwarding entry."""
         if ingress_port < 0 or egress_port < 0:
@@ -435,7 +440,54 @@ class ZipLineEncoderSwitch:
                 return result
         return self.switch.receive(frame, ingress_port)
 
-    def _fast_receive(self, frame: bytes, ingress_port: int):
+    def receive_batch(self, frames: List[bytes], ingress_port: int) -> List[object]:
+        """Process co-resident frames, batching the per-chunk CRC work.
+
+        Every raw-chunk frame long enough for the fast path contributes its
+        chunk to **one** whole-buffer syndrome computation
+        (:meth:`CrcExtern.get_batch`, vectorized under an accelerated
+        backend); the frames are then finished strictly in arrival order
+        with the precomputed remainders, so counters, table metadata,
+        digest emission and transmit order — and every emitted frame — are
+        identical to calling :meth:`receive` once per frame.  Ineligible
+        frames transparently take the per-frame path.
+        """
+        switch = self.switch
+        if (
+            not self._fast_enabled
+            or not 0 <= ingress_port < switch.port_count
+            or len(frames) < 2
+        ):
+            return [self.receive(frame, ingress_port) for frame in frames]
+        eth_raw = self._fast_eth_raw
+        min_chunk = self._fast_min_chunk_frame
+        chunk_bytes = self._fast_chunk_header_bytes
+        eligible = [
+            index
+            for index, frame in enumerate(frames)
+            if len(frame) >= min_chunk and frame[12:14] == eth_raw
+        ]
+        remainders: Dict[int, int] = {}
+        if len(eligible) >= 2:
+            buffer = b"".join(
+                frames[index][14 : 14 + chunk_bytes] for index in eligible
+            )
+            remainders = dict(
+                zip(eligible, self._crc.get_batch(buffer, 8 * chunk_bytes))
+            )
+        results = []
+        append = results.append
+        for index, frame in enumerate(frames):
+            remainder = remainders.get(index)
+            if remainder is not None:
+                append(self._fast_receive(frame, ingress_port, remainder=remainder))
+            else:
+                append(self.receive(frame, ingress_port))
+        return results
+
+    def _fast_receive(
+        self, frame: bytes, ingress_port: int, remainder: Optional[int] = None
+    ):
         """Compiled per-frame path; returns ``None`` to defer to the pipeline."""
         switch = self.switch
         if not 0 <= ingress_port < switch.port_count:
@@ -462,12 +514,13 @@ class ZipLineEncoderSwitch:
             prefix = chunk_value >> n
             body = chunk_value & self._body_mask
             # Step ➋: syndrome through the shared CRC byte loop (same unit
-            # the extern reduces with); keep the extern's accounting.
-            syndrome = (
-                self._fast_remainder(chunk_slice)
-                ^ self._fast_prefix_syndromes[prefix]
-            )
-            self._crc.record_invocation()
+            # the extern reduces with); keep the extern's accounting.  A
+            # batched caller passes the precomputed remainder — already
+            # counted by the extern's batch call.
+            if remainder is None:
+                remainder = self._fast_remainder(chunk_slice)
+                self._crc.record_invocation()
+            syndrome = remainder ^ self._fast_prefix_syndromes[prefix]
             # Step ➌: const syndrome→mask table, with hit metadata.
             syndrome_table = self._syndrome_table
             syndrome_table.lookups += 1

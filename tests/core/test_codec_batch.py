@@ -1,0 +1,180 @@
+"""Batched codec pipeline equivalence: EncodedBatch vs the per-record path.
+
+`GDCodec.compress` returns a lazily materialised `EncodedBatch`; the
+container it serialises, the dictionary state it leaves behind and the
+stats it accumulates must all be byte-for-byte / field-for-field identical
+to the eager per-record path.  Likewise `decompress_container`'s columnar
+decode must return the same bytes — and the same decoder stats — as
+materialising every record.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.codec import GDCodec
+from repro.core.encoder import EncodedBatch
+
+
+def clustered_data(codec, bases, count, rng):
+    """Data whose chunks share the given bases (codeword ± one bit)."""
+    code = codec.transform.code
+    chunks = []
+    for index in range(count):
+        codeword = code.encode(bases[index % len(bases)])
+        position = rng.randrange(code.n + 1)
+        body = codeword if position == code.n else codeword ^ (1 << position)
+        chunks.append(body.to_bytes(codec.chunk_bytes, "big"))
+    return b"".join(chunks)
+
+CONFIGS = {
+    "default": dict(),
+    "order4": dict(order=4, identifier_bits=6),
+    "no_table": dict(mode="no_table"),
+    "padded": dict(alignment_padding_bits=8),
+    "learning_delay": dict(learning_delay_chunks=3),
+    "pure_backend": dict(backend="pure"),
+}
+
+
+def _sample(codec, count=120, seed=11):
+    rng = random.Random(seed)
+    bases = [rng.getrandbits(codec.transform.code.k) for _ in range(8)]
+    return clustered_data(codec, bases, count, rng)
+
+
+def _force_eager(codec, monkeypatch):
+    """Disable the batch encode so compress() takes the per-record path."""
+    monkeypatch.setattr(
+        codec.encoder, "encode_buffer_batch", lambda buffer: None
+    )
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+class TestCompressBatchEquivalence:
+    def test_records_stats_and_container_match_eager_path(self, config, monkeypatch):
+        batch_codec = GDCodec(**CONFIGS[config])
+        eager_codec = GDCodec(**CONFIGS[config])
+        _force_eager(eager_codec, monkeypatch)
+        data = _sample(batch_codec)
+
+        batch_result = batch_codec.compress(data)
+        eager_result = eager_codec.compress(data)
+
+        assert isinstance(batch_result.records, EncodedBatch)
+        assert not isinstance(eager_result.records, EncodedBatch)
+        assert list(batch_result.records) == list(eager_result.records)
+        assert batch_result.records == tuple(eager_result.records)
+        assert batch_codec.encoder.stats.as_dict() == eager_codec.encoder.stats.as_dict()
+        assert dataclasses.replace(batch_result, records=()) == dataclasses.replace(
+            eager_result, records=()
+        )
+        assert batch_codec.to_container(batch_result) == eager_codec.to_container(
+            eager_result
+        )
+
+    def test_batches_compose_with_dictionary_state(self, config, monkeypatch):
+        """Back-to-back compress calls see the dictionary the previous batch
+        left behind, exactly like the per-record path."""
+        batch_codec = GDCodec(**CONFIGS[config])
+        eager_codec = GDCodec(**CONFIGS[config])
+        _force_eager(eager_codec, monkeypatch)
+        rng = random.Random(3)
+        for count in (40, 40, 40):
+            data = _sample(batch_codec, count=count, seed=rng.randrange(1 << 30))
+            assert list(batch_codec.compress(data).records) == list(
+                eager_codec.compress(data).records
+            )
+
+    def test_container_roundtrip(self, config, monkeypatch):
+        codec = GDCodec(**CONFIGS[config])
+        data = _sample(codec)
+        blob = codec.to_container(codec.compress(data))
+        assert codec.clone().decompress_container(blob) == data
+
+
+class TestColumnarDecompress:
+    def test_matches_record_path_bytes_and_stats(self, monkeypatch):
+        codec = GDCodec()
+        data = _sample(codec, count=200)
+        blob = codec.to_container(codec.compress(data))
+
+        columnar_codec = codec.clone()
+        record_codec = codec.clone()
+        # Starve the record path of the columnar shortcut so it exercises
+        # parse_record + decode_to_bytes.
+        monkeypatch.setattr(
+            type(record_codec),
+            "_decompress_container_columns",
+            lambda self, blob, offset, count, original_bytes: (_ for _ in ()).throw(
+                AssertionError("columnar path should be disabled")
+            ),
+            raising=True,
+        )
+
+        def forced_records(self, blob, offset, count, original_bytes):
+            records = []
+            for _ in range(count):
+                record, offset = self.parse_record(blob, offset)
+                records.append(record)
+            return self.decompress_records(records, original_bytes=original_bytes)
+
+        monkeypatch.setattr(
+            type(record_codec), "_decompress_container_columns", forced_records
+        )
+        assert columnar_codec.decompress_container(blob) == data
+        assert record_codec.decompress_container(blob) == data
+
+    def test_decode_columns_matches_record_path_bytes_and_stats(self):
+        codec = GDCodec()
+        data = _sample(codec, count=150)
+        records = list(codec.compress(data).records)
+        assert any(record.record_type == 3 for record in records)
+
+        record_codec = codec.clone()
+        record_bytes = record_codec.decoder.decode_to_bytes(records)
+
+        tags = bytearray()
+        prefixes, keys, deviations = [], [], []
+        for record in records:
+            tags.append(int(record.record_type))
+            prefixes.append(record.prefix)
+            keys.append(
+                record.identifier if int(record.record_type) == 3 else record.basis
+            )
+            deviations.append(record.deviation)
+        columnar_codec = codec.clone()
+        columnar_bytes = columnar_codec.decoder.decode_columns_to_bytes(
+            bytes(tags), prefixes, keys, deviations
+        )
+        assert columnar_bytes == record_bytes
+        assert (
+            columnar_codec.decoder.stats.as_dict()
+            == record_codec.decoder.stats.as_dict()
+        )
+
+    def test_empty_payload_roundtrips(self):
+        codec = GDCodec()
+        blob = codec.to_container(codec.compress(b""))
+        assert codec.clone().decompress_container(blob) == b""
+
+
+class TestEncodedBatchContainer:
+    def test_pack_stream_matches_per_record_serialisation(self):
+        codec = GDCodec()
+        data = _sample(codec, count=90)
+        result = codec.compress(data)
+        assert isinstance(result.records, EncodedBatch)
+        eager = dataclasses.replace(result, records=tuple(result.records))
+        assert codec.to_container(result) == codec.to_container(eager)
+
+    def test_sequence_protocol(self):
+        codec = GDCodec()
+        data = _sample(codec, count=30)
+        records = codec.compress(data).records
+        assert isinstance(records, EncodedBatch)
+        assert len(records) == 30
+        assert records[0] == list(records)[0]
+        assert records[-1] == list(records)[-1]
+        assert records == tuple(records)

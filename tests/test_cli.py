@@ -79,6 +79,20 @@ class TestCodecSelection:
         for name in ("gd", "gzip", "dedup", "null"):
             assert name in output
 
+    def test_codecs_backends_reports_batch_crc_capability(self, capsys):
+        assert main(["codecs", "--backends"]) == 0
+        output = capsys.readouterr().out
+        assert "crc batch" in output
+        lines = {line.split()[0]: line for line in output.splitlines()
+                 if line.strip() and line.split()[0] in ("pure", "numpy")}
+        # The pure fold never advertises an accelerated batch-CRC kernel.
+        assert "no" in lines["pure"]
+        from repro.core.backends import get_backend
+
+        numpy_backend = get_backend("numpy")
+        expected = "yes" if numpy_backend.available() else "no"
+        assert expected in lines["numpy"]
+
 
 class TestTraceCommands:
     def test_generate_and_replay_synthetic(self, tmp_path, capsys):
@@ -491,12 +505,30 @@ class TestBenchCommand:
         ) == 0
         assert "=== switch-decode:" in capsys.readouterr().out
 
+    def test_profile_batch_stages(self, capsys):
+        assert main(
+            ["bench", "--profile", "crc-batch", "encode-batch", "decode-batch",
+             "--profile-chunks", "200"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "=== crc-batch: compute_batch" in output
+        assert "=== encode-batch: compress + pack_stream" in output
+        assert "=== decode-batch: columnar decompress_container" in output
+
+    def test_profile_batch_stages_honor_backend_pin(self, capsys):
+        assert main(
+            ["bench", "--profile", "crc-batch", "--profile-chunks", "200",
+             "--backend", "pure"]
+        ) == 0
+        assert "backend pure" in capsys.readouterr().out
+
     def test_profile_stage_typo_names_offender_and_valid_stages(self, capsys):
         assert main(["bench", "--profile", "encod"]) == 1
         err = capsys.readouterr().err
         assert "unknown profile stage 'encod'" in err
         # The error lists every registered stage.
-        for stage in ("encode", "decode", "transform", "switch-encode",
+        for stage in ("encode", "decode", "transform", "crc-batch",
+                      "encode-batch", "decode-batch", "switch-encode",
                       "switch-decode"):
             assert stage in err
 

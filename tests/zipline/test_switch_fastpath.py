@@ -278,3 +278,87 @@ class TestDecoderSwitchFastPath:
                 decoder.receive(frame, 0)
             payloads = [frame[14 : 14 + 32] for frame in restored]
             assert payloads == chunks, f"fast={fast}"
+
+
+class TestReceiveBatch:
+    """Batched ingest is indistinguishable from per-frame receive calls.
+
+    ``receive_batch`` shares one CRC-extern batch call across co-resident
+    frames; every observable — emitted frames, counters, pipeline
+    summaries, table metadata, CRC invocation counts — must match the
+    per-frame path exactly, for both switch models.
+    """
+
+    def _chunked(self, frames, rng):
+        groups = []
+        index = 0
+        while index < len(frames):
+            size = rng.choice([1, 2, 3, 5, 8, 17])
+            groups.append(frames[index : index + size])
+            index += size
+        return groups
+
+    def _build_encoder(self):
+        switch = ZipLineEncoderSwitch(
+            transform=GDTransform(order=8), forwarding={0: 1}, fast=True
+        )
+        delivered = []
+        switch.switch.attach_port(1, lambda frame, _t: delivered.append(frame))
+        mapping_rng = random.Random(1)
+        for identifier in range(12):
+            switch.install_basis_mapping(mapping_rng.getrandbits(3), identifier)
+        return switch, delivered
+
+    def _build_decoder(self):
+        switch = ZipLineDecoderSwitch(
+            transform=GDTransform(order=8), forwarding={0: 1}, fast=True
+        )
+        delivered = []
+        switch.switch.attach_port(1, lambda frame, _t: delivered.append(frame))
+        mapping_rng = random.Random(8)
+        for identifier in range(40):
+            switch.install_identifier_mapping(
+                identifier, mapping_rng.getrandbits(switch.transform.code.k)
+            )
+        return switch, delivered
+
+    @pytest.mark.parametrize("kind", ["encoder", "decoder"])
+    def test_equivalent_over_randomized_frame_mix(self, kind):
+        build = self._build_encoder if kind == "encoder" else self._build_decoder
+        base_switch, base_out = build()
+        batch_switch, batch_out = build()
+        rng = random.Random(7)
+        frames = _frame_mix(base_switch.transform, base_switch.headers, rng, 600)
+        base_results = [base_switch.receive(frame, 0) for frame in frames]
+        batch_results = []
+        for group in self._chunked(frames, random.Random(3)):
+            batch_results.extend(batch_switch.receive_batch(group, 0))
+        assert len(base_results) == len(batch_results)
+        for base, batch in zip(base_results, batch_results):
+            assert base.frame == batch.frame
+            assert base.egress_port == batch.egress_port
+            assert base.digests == batch.digests
+            assert base.latency == batch.latency
+        assert base_out == batch_out
+        labels = ENCODER_COUNTERS if kind == "encoder" else DECODER_COUNTERS
+        _diff_counters(base_switch, batch_switch, labels)
+        assert base_switch.pipeline.summary() == batch_switch.pipeline.summary()
+        assert base_switch._crc.invocations == batch_switch._crc.invocations
+        assert base_switch.switch.summary() == batch_switch.switch.summary()
+        table = "basis_table" if kind == "encoder" else "identifier_table"
+        assert getattr(base_switch, table).lookups == getattr(batch_switch, table).lookups
+        assert getattr(base_switch, table).hits == getattr(batch_switch, table).hits
+
+    def test_single_frame_batches_delegate(self):
+        switch, _ = self._build_encoder()
+        frames = _frame_mix(switch.transform, switch.headers, random.Random(5), 10)
+        results = switch.receive_batch(frames[:1], 0)
+        assert len(results) == 1
+
+    def test_interpreted_switch_falls_back_per_frame(self):
+        switch = ZipLineEncoderSwitch(
+            transform=GDTransform(order=8, fast=False), forwarding={0: 1}
+        )
+        frames = _frame_mix(switch.transform, switch.headers, random.Random(5), 20)
+        results = switch.receive_batch(frames, 0)
+        assert len(results) == len(frames)
